@@ -1,0 +1,206 @@
+// Command eagletree runs one simulated configuration under one workload and
+// prints the full report — the command-line counterpart of the paper's
+// demonstration main window: choose hardware, controller and OS policies and
+// a workload, run, observe metrics.
+//
+// Examples:
+//
+//	eagletree -channels 4 -luns 2 -workload randwrite -count 20000
+//	eagletree -mapping dftl -cmt 1024 -workload mix -read-frac 0.7
+//	eagletree -policy reads-first -workload mix -prepare
+//	eagletree -workload zipf -open -oracle-temp -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eagletree"
+)
+
+func main() {
+	var (
+		channels = flag.Int("channels", 2, "number of channels")
+		luns     = flag.Int("luns", 2, "LUNs per channel")
+		blocks   = flag.Int("blocks", 128, "blocks per LUN")
+		pages    = flag.Int("pages", 32, "pages per block")
+		cell     = flag.String("cell", "slc", "flash cell type: slc | mlc")
+		copyback = flag.Bool("copyback", false, "enable copyback GC")
+		ilv      = flag.Bool("interleaving", false, "enable channel interleaving")
+
+		mapping = flag.String("mapping", "pagemap", "FTL mapping: pagemap | dftl")
+		cmt     = flag.Int("cmt", 1024, "DFTL cached mapping table entries")
+		op      = flag.Float64("op", 0.15, "overprovisioning fraction")
+		greed   = flag.Int("greediness", 2, "GC greediness (free blocks per LUN)")
+		gcPol   = flag.String("gc", "greedy", "GC victim policy: greedy | costbenefit | random")
+		wlMode  = flag.String("wl", "off", "wear leveling: off | static | dynamic | full")
+
+		policy = flag.String("policy", "fifo", "SSD scheduler: fifo | reads-first | writes-first | deadline | fair")
+		alloc  = flag.String("alloc", "leastloaded", "write allocator: leastloaded | roundrobin | striped")
+		osPol  = flag.String("os-policy", "fifo", "OS scheduler: fifo | prio | cfq")
+		qd     = flag.Int("qd", 32, "OS queue depth")
+
+		open       = flag.String("open", "", "open interface: empty = block device, 'on' = honor tags")
+		detector   = flag.Bool("bloom", false, "enable the multi-bloom hot-data detector")
+		oracleTemp = flag.Bool("oracle-temp", false, "zipf workload publishes oracle temperature tags (needs -open on)")
+
+		wl       = flag.String("workload", "randwrite", "workload: seqwrite | seqread | randwrite | randread | zipf | mix | fs | gracejoin | lsm | extsort")
+		count    = flag.Int64("count", 10000, "workload IO count (or ops for fs, inserts for lsm)")
+		depth    = flag.Int("depth", 32, "workload IO depth")
+		readFrac = flag.Float64("read-frac", 0.5, "read fraction for -workload mix")
+		prepare  = flag.Bool("prepare", false, "prepare the device first (sequential fill + random overwrite), measure only the workload")
+		seed     = flag.Uint64("seed", 1, "deterministic simulation seed")
+		series   = flag.Bool("series", false, "print the completion time series sparkline")
+		memrep   = flag.Bool("mem", false, "print the controller memory report")
+		trace    = flag.Int("trace", 0, "record an IO trace and print its last N events")
+	)
+	flag.Parse()
+
+	cfg := eagletree.Config{Seed: *seed}
+	cfg.Controller.Geometry = eagletree.Geometry{
+		Channels: *channels, LUNsPerChannel: *luns,
+		BlocksPerLUN: *blocks, PagesPerBlock: *pages, PageSize: 4096,
+	}
+	if *cell == "mlc" {
+		cfg.Controller.Timing = eagletree.TimingMLC()
+	} else {
+		cfg.Controller.Timing = eagletree.TimingSLC()
+	}
+	cfg.Controller.Features = eagletree.Features{Copyback: *copyback, Interleaving: *ilv}
+	cfg.Controller.GCCopyback = *copyback
+	cfg.Controller.Overprovision = *op
+	cfg.Controller.GCGreediness = *greed
+	cfg.OS.QueueDepth = *qd
+
+	if *mapping == "dftl" {
+		cfg.Controller.Mapping = eagletree.MapDFTL
+		cfg.Controller.CMTEntries = *cmt
+		cfg.Controller.ReservedTransBlocks = 4
+	}
+	switch *gcPol {
+	case "costbenefit":
+		cfg.Controller.GCPolicy = eagletree.GCCostBenefit{}
+	case "random":
+		cfg.Controller.GCPolicy = &eagletree.GCRandom{}
+	}
+	switch *wlMode {
+	case "off":
+		cfg.Controller.WL = eagletree.WLOff()
+	case "static":
+		cfg.Controller.WL = eagletree.WLDefault()
+		cfg.Controller.WL.Dynamic = false
+	case "dynamic":
+		cfg.Controller.WL = eagletree.WLDefault()
+		cfg.Controller.WL.Static = false
+	default:
+		cfg.Controller.WL = eagletree.WLDefault()
+	}
+	switch *policy {
+	case "reads-first":
+		cfg.Controller.Policy = &eagletree.SSDPriority{Prefer: eagletree.PreferReads, UseTags: *open == "on"}
+	case "writes-first":
+		cfg.Controller.Policy = &eagletree.SSDPriority{Prefer: eagletree.PreferWrites, UseTags: *open == "on"}
+	case "deadline":
+		cfg.Controller.Policy = &eagletree.SSDDeadline{
+			ReadDeadline:  2 * eagletree.Millisecond,
+			WriteDeadline: 20 * eagletree.Millisecond,
+		}
+	case "fair":
+		cfg.Controller.Policy = &eagletree.SSDFair{}
+	default:
+		if *open == "on" {
+			cfg.Controller.Policy = &eagletree.SSDPriority{UseTags: true}
+		}
+	}
+	switch *alloc {
+	case "roundrobin":
+		cfg.Controller.Alloc = &eagletree.AllocRoundRobin{}
+	case "striped":
+		cfg.Controller.Alloc = eagletree.AllocStriped{}
+	}
+	switch *osPol {
+	case "prio":
+		cfg.OS.Policy = &eagletree.OSPrio{ReadsFirst: true}
+	case "cfq":
+		cfg.OS.Policy = &eagletree.OSCFQ{}
+	}
+	cfg.Controller.OpenInterface = *open == "on"
+	if *detector {
+		cfg.Controller.Detector = eagletree.NewBloomDetector()
+	}
+	if *series {
+		cfg.SeriesBucket = 10 * eagletree.Millisecond
+	}
+	if *trace > 0 {
+		cfg.TraceCap = *trace
+	}
+
+	s, err := eagletree.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eagletree:", err)
+		os.Exit(1)
+	}
+	n := int64(s.LogicalPages())
+
+	var barrier *eagletree.Handle
+	if *prepare {
+		seq := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
+		age := s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
+		barrier = s.AddBarrier(age)
+	}
+
+	var thread eagletree.Thread
+	switch *wl {
+	case "seqwrite":
+		thread = &eagletree.SequentialWriter{From: 0, Count: min64(*count, n), Depth: *depth}
+	case "seqread":
+		thread = &eagletree.SequentialReader{From: 0, Count: min64(*count, n), Depth: *depth}
+	case "randread":
+		thread = &eagletree.RandomReader{From: 0, Space: n, Count: *count, Depth: *depth}
+	case "zipf":
+		thread = &eagletree.ZipfWriter{From: 0, Space: n, Count: *count, Depth: *depth,
+			TagTemperature: *oracleTemp, HotFraction: 0.2}
+	case "mix":
+		thread = &eagletree.ReadWriteMix{From: 0, Space: n, Count: *count, ReadFraction: *readFrac, Depth: *depth}
+	case "fs":
+		thread = &eagletree.FileSystem{From: 0, Space: n, Ops: *count, Depth: *depth, TagLocality: *open == "on"}
+	case "gracejoin":
+		r := n / 8
+		thread = &eagletree.GraceJoin{RFrom: 0, RPages: r, SFrom: eagletree.LPN(r), SPages: 2 * r,
+			PartFrom: eagletree.LPN(3 * r), Partitions: 8, Depth: *depth}
+	case "lsm":
+		thread = &eagletree.LSMInsert{From: 0, Space: n, Inserts: *count, Depth: *depth, TagPriority: *open == "on"}
+	case "extsort":
+		in := n / 3
+		thread = &eagletree.ExternalSort{From: 0, InputPages: in, ScratchFrom: eagletree.LPN(in), Depth: *depth}
+	default: // randwrite
+		thread = &eagletree.RandomWriter{From: 0, Space: n, Count: *count, Depth: *depth}
+	}
+	s.Add(thread, barrier)
+
+	end := s.Run()
+	fmt.Printf("eagletree: %s workload on %dx%d LUNs, %s, mapping=%s, policy=%s, qd=%d\n",
+		*wl, *channels, *luns, *cell, *mapping, *policy, *qd)
+	fmt.Printf("simulated %v of device time\n\n", end)
+	fmt.Print(s.Report())
+	if *series {
+		if ts := s.Stats.Series(); ts != nil {
+			fmt.Printf("\ncompletions over time (%d buckets):\n%s\n", ts.Len(), ts.Sparkline())
+		}
+	}
+	if *memrep {
+		fmt.Printf("\ncontroller memory:\n%s", s.Controller.Memory().Report())
+	}
+	if *trace > 0 {
+		tr := s.Stats.Trace()
+		fmt.Printf("\nIO trace (last %d of %d events):\n%s", len(tr.Events()), tr.Total(), tr.Dump())
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

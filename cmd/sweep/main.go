@@ -1,0 +1,93 @@
+// Command sweep runs the predefined design-space experiments (DESIGN.md's
+// E1–E12) and prints their result tables and charts — the experimental-suite
+// API exercised end to end. EXPERIMENTS.md records its output against the
+// paper's expected shapes.
+//
+// Examples:
+//
+//	sweep -list
+//	sweep -run e3
+//	sweep -run all -scale full -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eagletree/internal/experiment"
+	"eagletree/internal/sim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "all", "experiment to run: e1..e12 | all")
+		scale    = flag.String("scale", "small", "workload scale: small | full")
+		csv      = flag.Bool("csv", false, "also print CSV")
+		chart    = flag.Bool("chart", true, "print throughput chart per experiment")
+		timeline = flag.Bool("timeline", false, "record and print completions-over-time sparklines")
+	)
+	flag.Parse()
+
+	sc := experiment.Small
+	if *scale == "full" {
+		sc = experiment.Full
+	}
+	suite := experiment.Suite(sc)
+
+	if *list {
+		for _, def := range suite {
+			fmt.Println(def.Name)
+		}
+		return
+	}
+
+	sel := strings.ToLower(*run)
+	ran := 0
+	for _, def := range suite {
+		id := strings.SplitN(def.Name, "-", 2)[0] // "E3"
+		if sel != "all" && !strings.EqualFold(id, sel) && !strings.EqualFold(def.Name, sel) {
+			continue
+		}
+		ran++
+		if *timeline {
+			def.SeriesBucket = 20 * sim.Millisecond
+		}
+		res, err := experiment.Run(def)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table())
+		if *chart {
+			fmt.Println(res.Chart(experiment.MetricThroughput, 40))
+		}
+		if *timeline {
+			fmt.Println(res.Timelines())
+		}
+		if def.Name == "E12-game" {
+			printGame(res)
+		}
+		if *csv {
+			fmt.Println(res.CSV())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "sweep: no experiment matches %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+}
+
+func printGame(res experiment.Results) {
+	w := experiment.DefaultGameWeights()
+	best := res.Rows[0]
+	for _, r := range res.Rows {
+		fmt.Printf("  score %10.1f  %s\n", w.Score(r.Report), r.Label)
+		if w.Score(r.Report) > w.Score(best.Report) {
+			best = r
+		}
+	}
+	fmt.Printf("optimal combination: %s\n\n", best.Label)
+}

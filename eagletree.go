@@ -1,0 +1,355 @@
+// Package eagletree is a discrete-event simulation framework for SSD-based
+// algorithms, reproducing "EagleTree: Exploring the Design Space of SSD-Based
+// Algorithms" (Dayan, Svendsen, Bjørling, Bonnet, Bouganim — VLDB 2013).
+//
+// EagleTree simulates the complete IO stack in virtual time, bottom-up:
+//
+//   - the flash hardware array (channels × LUNs, SLC/MLC timings, advanced
+//     commands: copyback and channel interleaving),
+//   - the SSD controller (page-map or DFTL mapping, garbage collection, wear
+//     leveling, a modular IO scheduler, RAM accounting, write buffering),
+//   - the operating-system IO scheduler (pending pools, queue depth, FIFO /
+//     priority / CFQ policies),
+//   - and an application thread framework (init/callback threads, workload
+//     generators, dependencies for device preparation).
+//
+// Beyond the block-device contract, the OS and SSD can converse over an
+// extensible message bus — the open interface — carrying priorities,
+// update-locality groups and data temperatures.
+//
+// A (Config, Seed) pair fully determines the simulation trace, so large
+// design-space explorations are repeatable. The experiment suite runs one
+// simulation per variant of a parameter or policy and renders comparable
+// tables, CSV and text charts.
+//
+// Quickstart:
+//
+//	cfg := eagletree.DefaultConfig()
+//	s, err := eagletree.New(cfg)
+//	if err != nil { ... }
+//	n := int64(s.LogicalPages())
+//	prep := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
+//	barrier := s.AddBarrier(prep)
+//	s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, barrier)
+//	s.Run()
+//	fmt.Println(s.Report())
+package eagletree
+
+import (
+	"eagletree/internal/controller"
+	"eagletree/internal/core"
+	"eagletree/internal/experiment"
+	"eagletree/internal/flash"
+	"eagletree/internal/gc"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/iface"
+	"eagletree/internal/osched"
+	"eagletree/internal/sched"
+	"eagletree/internal/sim"
+	"eagletree/internal/wl"
+	"eagletree/internal/workload"
+)
+
+// Virtual time. All latencies and timestamps are virtual nanoseconds.
+type (
+	// Time is a virtual instant (nanoseconds since simulation start).
+	Time = sim.Time
+	// Duration is a virtual time span.
+	Duration = sim.Duration
+)
+
+// Duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Hardware layer types.
+type (
+	// Geometry is the SSD's physical shape: channels × LUNs × blocks × pages.
+	Geometry = flash.Geometry
+	// Timing holds per-operation flash chip latencies.
+	Timing = flash.Timing
+	// Features flags advanced chip commands (copyback, interleaving).
+	Features = flash.Features
+	// PPA is a physical page address.
+	PPA = flash.PPA
+)
+
+// TimingSLC returns timings typical of SLC datasheets.
+func TimingSLC() Timing { return flash.TimingSLC() }
+
+// TimingMLC returns timings typical of MLC datasheets.
+func TimingMLC() Timing { return flash.TimingMLC() }
+
+// Block interface and open interface types.
+type (
+	// LPN is a logical page number.
+	LPN = iface.LPN
+	// Request is one IO traveling through the stack.
+	Request = iface.Request
+	// Tags is open-interface request metadata.
+	Tags = iface.Tags
+	// Priority is the scheduling weight carried by the priority tag.
+	Priority = iface.Priority
+	// Temperature is expected update frequency (hot/cold).
+	Temperature = iface.Temperature
+	// Message is anything exchanged on the open-interface bus.
+	Message = iface.Message
+	// PriorityHint assigns a priority to a thread's future IOs.
+	PriorityHint = iface.PriorityHint
+	// LocalityHint declares pages that share update-locality.
+	LocalityHint = iface.LocalityHint
+	// TemperatureHint declares an LPN range hot or cold.
+	TemperatureHint = iface.TemperatureHint
+)
+
+// Request type, priority and temperature constants.
+const (
+	ReadIO  = iface.Read
+	WriteIO = iface.Write
+	TrimIO  = iface.Trim
+
+	PriorityLow    = iface.PriorityLow
+	PriorityNormal = iface.PriorityNormal
+	PriorityHigh   = iface.PriorityHigh
+
+	TempUnknown = iface.TempUnknown
+	TempCold    = iface.TempCold
+	TempHot     = iface.TempHot
+)
+
+// SSD controller configuration.
+type (
+	// ControllerConfig assembles the SSD controller.
+	ControllerConfig = controller.Config
+	// MappingScheme selects the FTL (page map in RAM, or DFTL).
+	MappingScheme = controller.MappingScheme
+)
+
+// Mapping schemes.
+const (
+	MapPageRAM = controller.MapPageRAM
+	MapDFTL    = controller.MapDFTL
+)
+
+// WLConfig configures wear leveling.
+type WLConfig = wl.Config
+
+// WLDefault returns the default wear-leveling configuration (static and
+// dynamic enabled).
+func WLDefault() WLConfig { return wl.DefaultConfig() }
+
+// WLOff returns a wear-leveling configuration with both modes disabled.
+func WLOff() WLConfig { return controller.WLOff() }
+
+// GC victim-selection policies.
+type (
+	// GCPolicy selects which block garbage collection reclaims.
+	GCPolicy = gc.VictimPolicy
+	// GCGreedy picks the block with the fewest live pages.
+	GCGreedy = gc.Greedy
+	// GCCostBenefit weighs migration cost against reclaimed space and age.
+	GCCostBenefit = gc.CostBenefit
+	// GCRandom picks uniformly among non-full candidates (baseline).
+	GCRandom = gc.Random
+)
+
+// Hot/cold detection.
+type (
+	// Detector classifies written pages hot or cold.
+	Detector = hotcold.Detector
+	// BloomDetector is the multiple-bloom-filter hot-data identifier
+	// (Park & Du, MSST 2011).
+	BloomDetector = hotcold.MBF
+	// BloomDetectorConfig tunes the multi-bloom-filter detector.
+	BloomDetectorConfig = hotcold.MBFConfig
+	// NoDetector classifies nothing (always unknown).
+	NoDetector = hotcold.None
+)
+
+// NewBloomDetector builds the multi-bloom-filter detector with the paper-ish
+// default parameters.
+func NewBloomDetector() *BloomDetector {
+	return hotcold.NewMBF(hotcold.DefaultMBFConfig())
+}
+
+// SSD-side IO scheduling.
+type (
+	// SSDPolicy orders the controller's single IO queue.
+	SSDPolicy = sched.Policy
+	// SSDFIFO dispatches in arrival order.
+	SSDFIFO = sched.FIFO
+	// SSDPriority scores requests by tag, type preference and source.
+	SSDPriority = sched.Priority
+	// SSDDeadline serves overdue requests first (starvation guard).
+	SSDDeadline = sched.Deadline
+	// SSDFair serves IO sources in weighted round-robin.
+	SSDFair = sched.Fair
+	// Preference biases a priority policy between reads and writes.
+	Preference = sched.Preference
+	// InternalOrder places internal IOs (GC/WL/mapping) against application IOs.
+	InternalOrder = sched.InternalOrder
+	// Allocator decides which LUN a write lands on.
+	Allocator = sched.Allocator
+	// AllocRoundRobin rotates writes across LUNs.
+	AllocRoundRobin = sched.RoundRobin
+	// AllocLeastLoaded picks the soonest-free allocatable LUN.
+	AllocLeastLoaded = sched.LeastLoaded
+	// AllocStriped statically maps LPN mod N to a LUN.
+	AllocStriped = sched.Striped
+	// PatternDetector classifies per-thread logical address patterns
+	// (sequential vs random), §2.2's "record and exploit information about
+	// logical address patterns".
+	PatternDetector = sched.PatternDetector
+	// AllocPatternAware stripes detected sequential runs across LUNs so a
+	// later sequential scan fans out; random writes go least-loaded.
+	AllocPatternAware = sched.PatternAware
+)
+
+// Scheduling preference and internal-order constants.
+const (
+	PreferNone    = sched.PreferNone
+	PreferReads   = sched.PreferReads
+	PreferWrites  = sched.PreferWrites
+	InternalEqual = sched.InternalEqual
+	InternalLast  = sched.InternalLast
+	InternalFirst = sched.InternalFirst
+)
+
+// OS layer.
+type (
+	// OSConfig configures the operating-system scheduler.
+	OSConfig = osched.Config
+	// OSPolicy orders the OS pending pool.
+	OSPolicy = osched.Policy
+	// OSFIFO issues in submission order (the default).
+	OSFIFO = osched.FIFO
+	// OSPrio issues by priority tag, optionally reads-first.
+	OSPrio = osched.Prio
+	// OSCFQ round-robins threads with a quantum.
+	OSCFQ = osched.CFQ
+	// OSElevator serves in ascending-LPN sweeps (C-SCAN). Its HDD rationale
+	// — minimizing seeks — does not exist on an SSD; it is included to show
+	// that contract breaking.
+	OSElevator = osched.Elevator
+)
+
+// Workload layer.
+type (
+	// Thread is a simulated application: Init plus a completion callback.
+	Thread = workload.Thread
+	// Ctx is a thread's window onto the stack.
+	Ctx = workload.Ctx
+	// Handle names a registered thread for dependencies.
+	Handle = workload.Handle
+	// SequentialWriter writes a range in order (device preparation).
+	SequentialWriter = workload.SequentialWriter
+	// SequentialReader reads a range in order.
+	SequentialReader = workload.SequentialReader
+	// RandomWriter writes uniformly over a range (aging, overwrite stress).
+	RandomWriter = workload.RandomWriter
+	// RandomReader reads uniformly over a range.
+	RandomReader = workload.RandomReader
+	// ZipfWriter writes with Zipf-skewed popularity (hot/cold workloads).
+	ZipfWriter = workload.ZipfWriter
+	// ReadWriteMix interleaves uniform reads and writes.
+	ReadWriteMix = workload.ReadWriteMix
+	// Trimmer trims a range.
+	Trimmer = workload.Trimmer
+	// FileSystem models file create/overwrite/delete over extents.
+	FileSystem = workload.FileSystem
+	// GraceJoin follows the IO pattern of a Grace hash join.
+	GraceJoin = workload.GraceJoin
+	// LSMInsert follows the IO pattern of LSM-tree insertions.
+	LSMInsert = workload.LSMInsert
+	// ExternalSort follows the IO pattern of external merge sort.
+	ExternalSort = workload.ExternalSort
+	// FuncThread wraps plain functions as a thread (barriers, custom logic).
+	FuncThread = workload.Func
+)
+
+// Stack assembly and reports.
+type (
+	// Config configures every layer of the stack.
+	Config = core.Config
+	// Stack is one assembled simulation.
+	Stack = core.Stack
+	// Report is the metric snapshot of a measured run.
+	Report = core.Report
+	// LatencySummary condenses one latency distribution.
+	LatencySummary = core.LatencySummary
+	// WearSummary describes the erase-count distribution.
+	WearSummary = core.WearSummary
+)
+
+// New assembles a simulation stack from the configuration.
+func New(cfg Config) (*Stack, error) { return core.New(cfg) }
+
+// Experiment suite.
+type (
+	// Experiment is a template: a parameter, a strategy to vary it, and a
+	// workload.
+	Experiment = experiment.Definition
+	// Variant is one setting of the varied parameter.
+	Variant = experiment.Variant
+	// Results collects per-variant outcomes.
+	Results = experiment.Results
+	// ResultRow is one variant's outcome.
+	ResultRow = experiment.Row
+	// Metric extracts one scalar from a report.
+	Metric = experiment.Metric
+)
+
+// Standard chartable metrics.
+var (
+	MetricThroughput = experiment.MetricThroughput
+	MetricReadMean   = experiment.MetricReadMean
+	MetricWriteMean  = experiment.MetricWriteMean
+	MetricReadP99    = experiment.MetricReadP99
+	MetricWriteP99   = experiment.MetricWriteP99
+	MetricReadStd    = experiment.MetricReadStd
+	MetricWriteStd   = experiment.MetricWriteStd
+	MetricWA         = experiment.MetricWA
+	MetricGCPages    = experiment.MetricGCPages
+	MetricWearSpread = experiment.MetricWearSpread
+)
+
+// RunExperiment executes one simulation per variant and collects results.
+func RunExperiment(def Experiment) (Results, error) { return experiment.Run(def) }
+
+// DefaultConfig returns a mid-size SSD: 4 channels × 2 LUNs, 256 blocks per
+// LUN of 64 pages (512 MiB raw at 4 KiB pages), SLC timings, page-map FTL,
+// greedy GC, wear leveling on, FIFO scheduling, queue depth 32.
+func DefaultConfig() Config {
+	return Config{
+		Controller: ControllerConfig{
+			Geometry:      Geometry{Channels: 4, LUNsPerChannel: 2, BlocksPerLUN: 256, PagesPerBlock: 64, PageSize: 4096},
+			Timing:        TimingSLC(),
+			Overprovision: 0.1,
+			GCGreediness:  2,
+			WL:            WLDefault(),
+		},
+		OS:   OSConfig{QueueDepth: 32},
+		Seed: 1,
+	}
+}
+
+// SmallConfig returns a deliberately tiny SSD (2×2 LUNs, 64 blocks of 16
+// pages) that reaches steady-state GC within seconds of real time — the
+// right scale for tests and quick explorations.
+func SmallConfig() Config {
+	return Config{
+		Controller: ControllerConfig{
+			Geometry:      Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 64, PagesPerBlock: 16, PageSize: 4096},
+			Timing:        TimingSLC(),
+			Overprovision: 0.15,
+			GCGreediness:  2,
+			WL:            WLOff(),
+		},
+		OS:   OSConfig{QueueDepth: 16},
+		Seed: 1,
+	}
+}

@@ -1,0 +1,65 @@
+// External merge sort on an SSD: the paper's application-layer question
+// applied to the classic IO-bound algorithm. Two knobs interact:
+//
+//   - IO depth — how many concurrent IOs the sort keeps in flight — decides
+//     how much of the array's parallelism the sort can use;
+//   - run size (the in-memory chunk) decides the run count, which shapes the
+//     merge phase's access pattern.
+//
+// On an HDD, larger memory means fewer, longer runs and that dominates. On
+// the simulated SSD, IO depth dwarfs run size: random-ish merge reads cost
+// the same as sequential ones, so memory buys little — the "performance
+// contract" HDD intuition breaks.
+//
+//	go run ./examples/extsort
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eagletree"
+)
+
+func sortTime(runPages int64, depth int) (eagletree.Duration, error) {
+	cfg := eagletree.DefaultConfig()
+	cfg.Controller.Features = eagletree.Features{Interleaving: true}
+	s, err := eagletree.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(s.LogicalPages())
+	input := n / 3
+
+	// Materialize the input, then measure only the sort.
+	fill := s.Add(&eagletree.SequentialWriter{From: 0, Count: input, Depth: 32})
+	barrier := s.AddBarrier(fill)
+	s.Add(&eagletree.ExternalSort{
+		From:        0,
+		InputPages:  input,
+		ScratchFrom: eagletree.LPN(input),
+		RunPages:    runPages,
+		Depth:       depth,
+	}, barrier)
+	s.Run()
+	return s.Report().Duration, nil
+}
+
+func main() {
+	fmt.Println("External merge sort: memory (run size) vs IO depth on an SSD")
+	fmt.Println()
+	fmt.Printf("%12s %8s %16s\n", "run pages", "depth", "sort time")
+	for _, runPages := range []int64{32, 128, 512} {
+		for _, depth := range []int{1, 8, 32} {
+			d, err := sortTime(runPages, depth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12d %8d %16v\n", runPages, depth, d)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading down a column (same depth): 16x more memory barely moves the")
+	fmt.Println("needle. Reading across a row (same memory): IO depth is worth several")
+	fmt.Println("fold. On this device the sort is parallelism-bound, not memory-bound.")
+}

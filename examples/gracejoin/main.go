@@ -1,0 +1,64 @@
+// Grace hash join vs SSD parallelism: the paper's motivating application
+// question — how much does an IO-bound join algorithm gain from submitting
+// enough concurrent IOs to cover the flash array?
+//
+// The same join (partition R, partition S, probe) runs at increasing IO
+// depth on the same 8-LUN SSD. Shallow submission serializes on one LUN at a
+// time; deep submission keeps all LUNs busy.
+//
+//	go run ./examples/gracejoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eagletree"
+)
+
+func main() {
+	fmt.Println("Grace hash join on an 8-LUN SSD, varying the join's IO depth")
+	fmt.Println()
+	fmt.Printf("%8s %14s %16s\n", "depth", "join time", "throughput")
+
+	var base eagletree.Duration
+	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := eagletree.DefaultConfig()
+		cfg.Controller.Geometry = eagletree.Geometry{
+			Channels: 4, LUNsPerChannel: 2, BlocksPerLUN: 128, PagesPerBlock: 64, PageSize: 4096,
+		}
+		// Without interleaving a page program holds its channel end to end,
+		// capping write parallelism at the channel count (4) instead of the
+		// LUN count (8) — try flipping this to false to see that wall.
+		cfg.Controller.Features = eagletree.Features{Interleaving: true}
+		s, err := eagletree.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := int64(s.LogicalPages())
+		r := n / 8 // R relation size in pages; S is twice that
+
+		join := &eagletree.GraceJoin{
+			RFrom: 0, RPages: r,
+			SFrom: eagletree.LPN(r), SPages: 2 * r,
+			PartFrom:   eagletree.LPN(3 * r),
+			Partitions: 8,
+			Depth:      depth,
+		}
+		// Materialize both relations first; measure only the join.
+		rel := s.Add(&eagletree.SequentialWriter{From: 0, Count: 3 * r, Depth: 32})
+		barrier := s.AddBarrier(rel)
+		s.Add(join, barrier)
+
+		s.Run()
+		rep := s.Report()
+		elapsed := rep.Duration // measured window only: the join itself
+		if depth == 1 {
+			base = elapsed
+		}
+		fmt.Printf("%8d %14v %13.0f IOPS   (%.2fx vs depth 1)\n",
+			depth, elapsed, rep.Throughput, float64(base)/float64(elapsed))
+	}
+	fmt.Println("\nThe join is embarrassingly parallel at the IO level: deeper")
+	fmt.Println("submission exposes the array's parallelism until the channels saturate.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: assemble a default SSD, prepare it following the paper's
+// methodology (sequential fill, then random aging), and measure a random
+// overwrite workload in steady state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eagletree"
+)
+
+func main() {
+	cfg := eagletree.DefaultConfig()
+	cfg.SeriesBucket = 50 * eagletree.Millisecond
+
+	s, err := eagletree.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := int64(s.LogicalPages())
+	fmt.Printf("simulated SSD: %d logical pages (%.0f MiB), %d LUNs\n",
+		n, float64(n)*4096/(1<<20), cfg.Controller.Geometry.LUNs())
+
+	// Device preparation (§2.3): write the whole logical space sequentially,
+	// then overwrite it randomly once, so measurements start from a
+	// well-defined steady state instead of a fresh-out-of-box device.
+	seq := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
+	age := s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
+	barrier := s.AddBarrier(age)
+
+	// The measured workload: one more random overwrite pass.
+	s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, barrier)
+
+	s.Run()
+	fmt.Println()
+	fmt.Print(s.Report())
+	if ts := s.Stats.Series(); ts != nil {
+		fmt.Printf("\ncompletions over time:\n%s\n", ts.Sparkline())
+	}
+}

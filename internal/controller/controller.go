@@ -1,0 +1,515 @@
+// Package controller implements the SSD controller: it orchestrates the
+// mapping scheme, garbage collection, wear leveling and IO scheduling over
+// the flash array, exposes the device interface the OS submits to, and
+// optionally honors open-interface hints (priorities, update-locality,
+// temperatures).
+//
+// Everything the controller does flows through one scheduler queue: external
+// reads and writes, GC migrations, wear-leveling migrations, DFTL
+// translation traffic, and erases. That single queue is what lets EagleTree
+// study how internal operations interfere with application IOs.
+package controller
+
+import (
+	"fmt"
+
+	"eagletree/internal/flash"
+	"eagletree/internal/ftl"
+	"eagletree/internal/gc"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/iface"
+	"eagletree/internal/sched"
+	"eagletree/internal/sim"
+	"eagletree/internal/stats"
+	"eagletree/internal/wl"
+)
+
+// WLOff returns a wear-leveling configuration with both static and dynamic
+// modes disabled — the baseline for wear experiments.
+func WLOff() wl.Config {
+	cfg := wl.DefaultConfig()
+	cfg.Static = false
+	cfg.Dynamic = false
+	return cfg
+}
+
+// MappingScheme selects the FTL mapping implementation.
+type MappingScheme int
+
+const (
+	// MapPageRAM keeps the full page map in controller RAM.
+	MapPageRAM MappingScheme = iota
+	// MapDFTL caches mappings on demand; the full table lives on flash.
+	MapDFTL
+)
+
+func (m MappingScheme) String() string {
+	if m == MapDFTL {
+		return "dftl"
+	}
+	return "pagemap"
+}
+
+// Config assembles a controller. Zero fields get sane defaults from
+// (*Config).withDefaults; Validate rejects inconsistent combinations.
+type Config struct {
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	Features flash.Features
+
+	// Mapping selects the FTL scheme; DFTL additionally needs CMTEntries
+	// and ReservedTransBlocks (per LUN).
+	Mapping             MappingScheme
+	CMTEntries          int
+	ReservedTransBlocks int
+
+	// Overprovision is the fraction of data-region pages withheld from the
+	// logical address space (0.05 .. 0.5 typical).
+	Overprovision float64
+
+	// GCPolicy selects victims; GCGreediness is the free-blocks-per-LUN
+	// target that triggers collection.
+	GCPolicy     gc.VictimPolicy
+	GCGreediness int
+	// GCCopyback migrates GC pages with copyback when the chip supports it.
+	GCCopyback bool
+
+	// WL configures wear leveling; WL.Dynamic also flips the block manager
+	// into age-aware allocation.
+	WL wl.Config
+
+	// Policy orders the controller's single IO queue; Alloc places writes.
+	Policy sched.Policy
+	Alloc  sched.Allocator
+
+	// Detector classifies written pages hot/cold for stream separation.
+	Detector hotcold.Detector
+	// OpenInterface honors request tags and bus hints; when false the
+	// controller behaves as a plain block device (the locked GUI mode).
+	OpenInterface bool
+
+	// WriteBuffer enables a battery-backed-RAM write buffer of the given
+	// page capacity (0 disables it).
+	WriteBufferPages int
+	// WriteBufferLatency is the RAM store latency seen by buffered writes.
+	WriteBufferLatency sim.Duration
+
+	// RAMBytes and SafeRAMBytes are memory-manager budgets; zero means
+	// unconstrained.
+	RAMBytes     int64
+	SafeRAMBytes int64
+
+	// BadBlockFraction retires this fraction of data-region blocks at
+	// manufacture time (factory bad blocks), deterministically from
+	// BadBlockSeed. Retired blocks never hold data; the usable
+	// overprovisioning shrinks accordingly.
+	BadBlockFraction float64
+	BadBlockSeed     uint64
+
+	// OnComplete delivers finished application requests to the OS layer.
+	OnComplete func(*iface.Request)
+}
+
+func (c *Config) withDefaults() {
+	if c.Timing.Cmd == 0 {
+		c.Timing = flash.TimingSLC()
+	}
+	if c.GCPolicy == nil {
+		c.GCPolicy = gc.Greedy{}
+	}
+	if c.GCGreediness == 0 {
+		c.GCGreediness = 2
+	}
+	if c.Policy == nil {
+		c.Policy = &sched.FIFO{}
+	}
+	if c.Alloc == nil {
+		c.Alloc = sched.LeastLoaded{}
+	}
+	if c.Detector == nil {
+		c.Detector = hotcold.None{}
+	}
+	if c.Mapping == MapDFTL {
+		if c.CMTEntries == 0 {
+			c.CMTEntries = 4096
+		}
+		if c.ReservedTransBlocks == 0 {
+			c.ReservedTransBlocks = 2
+		}
+	}
+	if c.WriteBufferPages > 0 && c.WriteBufferLatency == 0 {
+		c.WriteBufferLatency = 5 * sim.Microsecond
+	}
+	if c.WL.CheckInterval == 0 {
+		c.WL.CheckInterval = wl.DefaultConfig().CheckInterval
+	}
+	if c.Overprovision == 0 {
+		c.Overprovision = 0.1
+	}
+}
+
+// Validate reports configuration errors after defaults are applied.
+func (c *Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.Overprovision < 0.01 || c.Overprovision > 0.9 {
+		return fmt.Errorf("controller: overprovision %.2f outside [0.01, 0.9]", c.Overprovision)
+	}
+	if c.GCGreediness < 1 {
+		return fmt.Errorf("controller: GC greediness %d, must be >= 1", c.GCGreediness)
+	}
+	if c.Mapping == MapDFTL && c.ReservedTransBlocks < 2 {
+		return fmt.Errorf("controller: DFTL needs >= 2 reserved translation blocks per LUN, got %d", c.ReservedTransBlocks)
+	}
+	if c.Mapping == MapDFTL && c.ReservedTransBlocks >= c.Geometry.BlocksPerLUN/2 {
+		return fmt.Errorf("controller: %d translation blocks per LUN leaves too little data region", c.ReservedTransBlocks)
+	}
+	if c.GCCopyback && !c.Features.Copyback {
+		return fmt.Errorf("controller: GCCopyback requires the copyback chip feature")
+	}
+	if c.BadBlockFraction < 0 || c.BadBlockFraction > 0.5 {
+		return fmt.Errorf("controller: bad-block fraction %.2f outside [0, 0.5]", c.BadBlockFraction)
+	}
+	return nil
+}
+
+// opKind is what an internal queue entry actually does on the array.
+type opKind int
+
+const (
+	opData opKind = iota
+	opTransRead
+	opTransWrite
+	opTransErase
+	opGCRead
+	opGCWrite
+	opGCCopyback
+	opGCErase
+	opWLRead
+	opWLWrite
+)
+
+// reqState is the controller-private state of a queued request.
+type reqState struct {
+	kind     opKind
+	blocked  bool             // waiting on a predecessor in a dependency chain
+	next     []*iface.Request // unblocked when this request completes
+	trans    ftl.TransOp      // payload for opTrans*
+	src      flash.PPA        // explicit source page (GC/WL migrations)
+	dst      flash.PPA        // destination (copyback)
+	run      *gcRun           // owning GC/WL run, if any
+	accessd  bool             // mapper.Access already performed
+	errored  bool             // completed without touching flash (unmapped read)
+	buffered bool             // write absorbed by the battery-backed buffer
+}
+
+// gcRun tracks one in-flight collection or wear-leveling migration.
+type gcRun struct {
+	victim    flash.BlockID
+	pending   int  // migration pairs not yet finished
+	erased    bool // erase issued
+	isWL      bool
+	collector *Controller
+}
+
+// Counters aggregates controller-level totals for reports.
+type Counters struct {
+	AppReads        uint64
+	AppWrites       uint64
+	AppTrims        uint64
+	UnmappedReads   uint64
+	GCMigratedPages uint64
+	GCErases        uint64
+	WLMigratedPages uint64
+	BufferedWrites  uint64
+	BufferStalls    uint64
+}
+
+// Controller is the simulated SSD. Create with New; drive it by Submit-ing
+// requests and running the shared engine.
+type Controller struct {
+	cfg    Config
+	eng    *sim.Engine
+	array  *flash.Array
+	bm     *ftl.BlockManager
+	mapper ftl.Mapper
+	gc     *gc.Collector
+	lvl    *wl.Leveler
+	bus    *iface.Bus
+	stats  *stats.Collector
+	mem    *MemoryManager
+
+	inflight     []bool // one operation per LUN at a time
+	state        map[*iface.Request]*reqState
+	gcActive     []bool // per LUN: a GC/WL run owns the LUN's migration budget
+	nextID       uint64
+	dispPend     bool
+	counters     Counters
+	logical      int // exported logical pages
+	completions  uint64
+	opsSinceScan uint64
+	wlScanArmed  bool
+	deferred     []*iface.Request // writes an allocator refused; retried after the next completion
+	lastTrans    *iface.Request   // tail of the most recently planned translation chain
+
+	// Open-interface state fed by bus hints.
+	threadPrio map[int]iface.Priority
+	locality   map[iface.LPN]int
+	tempHints  map[iface.LPN]iface.Temperature
+	wlCold     map[iface.LPN]struct{} // pages last moved by static WL
+
+	buffer *writeBuffer
+}
+
+// New builds the controller and its substrates on the given engine and bus.
+func New(eng *sim.Engine, bus *iface.Bus, col *stats.Collector, cfg Config) (*Controller, error) {
+	cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	array := flash.NewArray(cfg.Geometry, cfg.Timing, cfg.Features)
+	reserved := 0
+	if cfg.Mapping == MapDFTL {
+		reserved = cfg.ReservedTransBlocks
+	}
+	if cfg.BadBlockFraction > 0 {
+		// Factory bad blocks, confined to the data region: the translation
+		// ring assumes its reserved blocks are usable.
+		rng := sim.NewRNG(cfg.BadBlockSeed + 1)
+		for lun := 0; lun < cfg.Geometry.LUNs(); lun++ {
+			for blk := reserved; blk < cfg.Geometry.BlocksPerLUN; blk++ {
+				if rng.Float64() < cfg.BadBlockFraction {
+					array.MarkBad(flash.BlockID{LUN: lun, Block: blk})
+				}
+			}
+		}
+	}
+	bm := ftl.NewBlockManager(array, reserved, cfg.GCGreediness, cfg.WL.Dynamic)
+	logical := int(float64(bm.DataPages()) * (1 - cfg.Overprovision))
+	var mapper ftl.Mapper
+	switch cfg.Mapping {
+	case MapDFTL:
+		mapper = ftl.NewDFTL(cfg.Geometry, logical, cfg.CMTEntries, cfg.ReservedTransBlocks)
+	default:
+		mapper = ftl.NewPageMap(cfg.Geometry, logical)
+	}
+
+	c := &Controller{
+		cfg:        cfg,
+		eng:        eng,
+		array:      array,
+		bm:         bm,
+		mapper:     mapper,
+		gc:         gc.NewCollector(bm, cfg.GCPolicy, cfg.GCGreediness),
+		lvl:        wl.NewLeveler(bm, cfg.WL),
+		bus:        bus,
+		stats:      col,
+		inflight:   make([]bool, cfg.Geometry.LUNs()),
+		state:      make(map[*iface.Request]*reqState),
+		gcActive:   make([]bool, cfg.Geometry.LUNs()),
+		logical:    logical,
+		threadPrio: make(map[int]iface.Priority),
+		locality:   make(map[iface.LPN]int),
+		tempHints:  make(map[iface.LPN]iface.Temperature),
+		wlCold:     make(map[iface.LPN]struct{}),
+	}
+	c.mem = NewMemoryManager(cfg.RAMBytes, cfg.SafeRAMBytes)
+	if err := c.mem.Reserve("mapping", mapper.RAMBytes(), false); err != nil {
+		return nil, err
+	}
+	if cfg.WriteBufferPages > 0 {
+		c.buffer = newWriteBuffer(cfg.WriteBufferPages)
+		bufBytes := int64(cfg.WriteBufferPages) * int64(cfg.Geometry.PageSize)
+		if err := c.mem.Reserve("write-buffer", bufBytes, true); err != nil {
+			return nil, err
+		}
+	}
+	c.subscribe()
+	if cfg.WL.Static {
+		c.scheduleWLScan()
+	}
+	return c, nil
+}
+
+// LogicalPages returns the exported logical capacity in pages.
+func (c *Controller) LogicalPages() int { return c.logical }
+
+// Array exposes the flash array for statistics and tests.
+func (c *Controller) Array() *flash.Array { return c.array }
+
+// Mapper exposes the mapping scheme for statistics and tests.
+func (c *Controller) Mapper() ftl.Mapper { return c.mapper }
+
+// BlockManager exposes space accounting for statistics and tests.
+func (c *Controller) BlockManager() *ftl.BlockManager { return c.bm }
+
+// Counters returns controller-level totals.
+func (c *Controller) Counters() Counters { return c.counters }
+
+// Memory returns the memory manager's accounting.
+func (c *Controller) Memory() *MemoryManager { return c.mem }
+
+// GCCollector exposes the garbage collector for reports.
+func (c *Controller) GCCollector() *gc.Collector { return c.gc }
+
+// Leveler exposes the wear leveler for reports.
+func (c *Controller) Leveler() *wl.Leveler { return c.lvl }
+
+// QueueLen returns the number of requests waiting in the scheduler queue.
+func (c *Controller) QueueLen() int { return c.cfg.Policy.Len() }
+
+// WriteAmplification returns flash page writes (data + GC + WL + mapping)
+// divided by application page writes. It is the paper's measure of GC and
+// metadata overhead.
+func (c *Controller) WriteAmplification() float64 {
+	if c.counters.AppWrites == 0 {
+		return 0
+	}
+	flashWrites := c.array.Counters().Writes + c.array.Counters().Copybacks
+	return float64(flashWrites) / float64(c.counters.AppWrites)
+}
+
+// subscribe wires the open-interface hints. A locked bus never delivers, so
+// block-device mode needs no special casing here.
+func (c *Controller) subscribe() {
+	c.bus.Subscribe("priority", func(m iface.Message) {
+		h := m.(iface.PriorityHint)
+		c.threadPrio[h.Thread] = h.Priority
+	})
+	c.bus.Subscribe("locality", func(m iface.Message) {
+		h := m.(iface.LocalityHint)
+		for _, lpn := range h.Pages {
+			c.locality[lpn] = h.Group
+		}
+	})
+	c.bus.Subscribe("temperature", func(m iface.Message) {
+		h := m.(iface.TemperatureHint)
+		for lpn := h.From; lpn < h.To; lpn++ {
+			c.tempHints[lpn] = h.Temperature
+		}
+	})
+}
+
+// Submit accepts a request from the OS layer. It implements the osched
+// Device interface.
+func (c *Controller) Submit(r *iface.Request) {
+	if r.Issued == 0 {
+		r.Issued = c.eng.Now()
+	}
+	if !c.cfg.OpenInterface {
+		r.Tags = iface.Tags{} // block-device mode: hints do not exist
+	} else {
+		c.applyHints(r)
+		if r.Tags.Temperature != iface.TempUnknown {
+			// Remember per-page temperature: GC consults it when choosing a
+			// migration stream long after the tagged write completed.
+			c.tempHints[r.LPN] = r.Tags.Temperature
+		}
+	}
+	if r.Source == iface.SourceApp {
+		switch r.Type {
+		case iface.Read:
+			c.counters.AppReads++
+		case iface.Write:
+			c.counters.AppWrites++
+		case iface.Trim:
+			c.counters.AppTrims++
+		}
+	}
+	c.scheduleWLScan() // re-arm the static WL scan if it went quiet
+	c.state[r] = &reqState{kind: opData}
+	if r.Type == iface.Write && r.Source == iface.SourceApp && c.buffer != nil {
+		c.counters.BufferedWrites++
+		c.bufferWrite(r)
+		return
+	}
+	c.cfg.Policy.Push(r)
+	c.scheduleDispatch()
+}
+
+// applyHints folds previously received bus hints into the request's tags,
+// without overriding anything the OS set explicitly on this request.
+func (c *Controller) applyHints(r *iface.Request) {
+	if r.Tags.Priority == iface.PriorityNormal {
+		if p, ok := c.threadPrio[r.Thread]; ok {
+			r.Tags.Priority = p
+		}
+	}
+	if r.Tags.Locality == 0 {
+		if g, ok := c.locality[r.LPN]; ok {
+			r.Tags.Locality = g
+		}
+	}
+	if r.Tags.Temperature == iface.TempUnknown {
+		if tmp, ok := c.tempHints[r.LPN]; ok {
+			r.Tags.Temperature = tmp
+		}
+	}
+}
+
+// scheduleDispatch coalesces dispatch work to the tail of the current event.
+func (c *Controller) scheduleDispatch() {
+	if c.dispPend {
+		return
+	}
+	c.dispPend = true
+	c.eng.Schedule(c.eng.Now(), func() {
+		c.dispPend = false
+		c.dispatch()
+	})
+}
+
+// dispatch drains the policy queue as far as hardware and space allow.
+func (c *Controller) dispatch() {
+	for {
+		r := c.cfg.Policy.Pop(c.eng.Now(), c.canRun)
+		if r == nil {
+			return
+		}
+		c.execute(r)
+	}
+}
+
+// canRun reports whether a request could be dispatched right now.
+func (c *Controller) canRun(r *iface.Request) bool {
+	st := c.state[r]
+	if st == nil || st.blocked {
+		return false
+	}
+	switch st.kind {
+	case opTransRead, opTransWrite:
+		return !c.inflight[st.trans.PPA.LUN]
+	case opTransErase:
+		return !c.inflight[st.trans.Block.LUN]
+	case opGCRead, opWLRead, opGCCopyback:
+		return !c.inflight[st.src.LUN]
+	case opGCWrite, opWLWrite:
+		// Migration writes stay on the victim's LUN: the read already
+		// landed there and cross-LUN migration would need a channel hop the
+		// paper's GC does not model.
+		return !c.inflight[st.src.LUN] && c.bm.CanAlloc(st.src.LUN, c.streamFor(r))
+	case opGCErase:
+		return !c.inflight[st.src.LUN]
+	}
+	switch r.Type {
+	case iface.Read:
+		ppa, ok := c.mapper.Lookup(r.LPN)
+		if !ok {
+			return true // completes immediately as an unmapped read
+		}
+		return !c.inflight[ppa.LUN]
+	case iface.Write:
+		for lun := range c.inflight {
+			if !c.inflight[lun] && c.bm.CanAlloc(lun, c.streamFor(r)) {
+				return true
+			}
+		}
+		return false
+	default: // Trim
+		return true
+	}
+}

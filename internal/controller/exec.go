@@ -1,0 +1,403 @@
+package controller
+
+import (
+	"fmt"
+
+	"eagletree/internal/ftl"
+	"eagletree/internal/iface"
+	"eagletree/internal/sched"
+	"eagletree/internal/sim"
+	"eagletree/internal/stats"
+)
+
+// pruneEvery bounds reservation-list growth: after this many completions the
+// flash array drops intervals that ended in the past.
+const pruneEvery = 2048
+
+// streamFor maps a request onto the block-manager write stream it fills.
+func (c *Controller) streamFor(r *iface.Request) ftl.Stream {
+	st := c.state[r]
+	switch st.kind {
+	case opGCWrite, opGCCopyback:
+		// Temperature-aware GC: migrating live pages back into a shared GC
+		// block would re-mix hot and cold data that the write path carefully
+		// separated, so known-temperature pages keep their class. The GC
+		// variants are internal streams (reserve access), preventing a
+		// migration/allocation deadlock.
+		switch c.tempOf(r.LPN) {
+		case iface.TempHot:
+			return ftl.StreamGCHot
+		case iface.TempCold:
+			return ftl.StreamGCCold
+		}
+		return ftl.StreamGC
+	case opWLWrite:
+		return ftl.StreamWL
+	case opTransWrite:
+		return ftl.StreamDefault // translation pages live in their own region
+	}
+	if r.Tags.Locality != 0 {
+		return ftl.LocalityStream(r.Tags.Locality)
+	}
+	temp := r.Tags.Temperature
+	if temp == iface.TempUnknown {
+		temp = c.tempOf(r.LPN)
+	}
+	switch temp {
+	case iface.TempHot:
+		return ftl.StreamHot
+	case iface.TempCold:
+		return ftl.StreamCold
+	default:
+		return ftl.StreamDefault
+	}
+}
+
+// tempOf estimates a page's temperature from the three sources the paper
+// lists, in confidence order: explicit open-interface information, the
+// static-WL cold inference, then the hot-data detector.
+func (c *Controller) tempOf(lpn iface.LPN) iface.Temperature {
+	if t, ok := c.tempHints[lpn]; ok {
+		return t
+	}
+	if _, ok := c.wlCold[lpn]; ok {
+		// Inference source (1) of the paper: pages migrated by static
+		// wear leveling are cold until the application touches them.
+		return iface.TempCold
+	}
+	return c.cfg.Detector.Classify(lpn)
+}
+
+// newInternal creates a controller-generated request.
+func (c *Controller) newInternal(t iface.ReqType, src iface.Source, lpn iface.LPN, st *reqState) *iface.Request {
+	c.nextID++
+	r := &iface.Request{
+		ID:        1<<63 | c.nextID, // high bit marks internal IDs in traces
+		Type:      t,
+		LPN:       lpn,
+		Source:    src,
+		Submitted: c.eng.Now(),
+		Issued:    c.eng.Now(),
+	}
+	c.state[r] = st
+	return r
+}
+
+// ensureAccess runs the mapping scheme's Access step once per request. When
+// the scheme needs translation IOs first, they are enqueued as a dependency
+// chain ahead of r (which is re-queued blocked) and ensureAccess reports
+// false: the caller must stop and wait for the chain.
+func (c *Controller) ensureAccess(r *iface.Request, write bool) bool {
+	st := c.state[r]
+	if st.accessd {
+		return true
+	}
+	st.accessd = true
+	ops := c.mapper.Access(r.LPN, write)
+	if len(ops) == 0 {
+		return true
+	}
+	c.enqueueTransChain(ops, r)
+	return false
+}
+
+// enqueueTransChain pushes the translation ops as SourceMap requests that
+// execute strictly in order, then unblock final.
+//
+// Chains are additionally serialized against each other: the head of this
+// chain waits for the tail of the previously planned one. The mapping scheme
+// plans physical addresses, stale pointers and ring erases at Access time, so
+// translation ops are only correct when executed in global plan order — and a
+// real controller serializes its metadata engine the same way.
+func (c *Controller) enqueueTransChain(ops []ftl.TransOp, final *iface.Request) {
+	prev := (*iface.Request)(nil)
+	for i, op := range ops {
+		var t iface.ReqType
+		var kind opKind
+		switch op.Kind {
+		case ftl.TransRead:
+			t, kind = iface.Read, opTransRead
+		case ftl.TransWrite:
+			t, kind = iface.Write, opTransWrite
+		default:
+			t, kind = iface.Erase, opTransErase
+		}
+		st := &reqState{kind: kind, trans: op, blocked: i > 0}
+		req := c.newInternal(t, iface.SourceMap, final.LPN, st)
+		if i == 0 {
+			if lt := c.lastTrans; lt != nil && c.state[lt] != nil {
+				st.blocked = true
+				c.state[lt].next = append(c.state[lt].next, req)
+			}
+		}
+		if prev != nil {
+			c.state[prev].next = append(c.state[prev].next, req)
+		}
+		prev = req
+		c.cfg.Policy.Push(req)
+	}
+	c.lastTrans = prev
+	fs := c.state[final]
+	fs.blocked = true
+	c.state[prev].next = append(c.state[prev].next, final)
+	c.cfg.Policy.Push(final)
+}
+
+// execute dispatches one popped request to the flash array (or completes it
+// directly when no flash work is needed).
+func (c *Controller) execute(r *iface.Request) {
+	now := c.eng.Now()
+	r.Dispatched = now
+	if tr := c.stats.Trace(); tr != nil {
+		tr.Record(now, r.ID, stats.StageDispatched, r)
+	}
+	st := c.state[r]
+	switch st.kind {
+	case opTransRead:
+		sched, err := c.array.ScheduleRead(st.trans.PPA, now)
+		c.must(err, r)
+		c.busyUntil(st.trans.PPA.LUN, sched.Done, r)
+	case opTransWrite:
+		sched, err := c.array.ScheduleWrite(st.trans.PPA, now)
+		c.must(err, r)
+		if st.trans.HasStale {
+			c.must(c.array.Invalidate(st.trans.Stale), r)
+		}
+		c.busyUntil(st.trans.PPA.LUN, sched.Done, r)
+	case opTransErase:
+		sched, err := c.array.ScheduleErase(st.trans.Block, now)
+		c.must(err, r)
+		c.busyUntil(st.trans.Block.LUN, sched.Done, r)
+	case opGCRead, opWLRead:
+		c.executeMigrationRead(r, st)
+	case opGCWrite, opWLWrite:
+		c.executeMigrationWrite(r, st)
+	case opGCCopyback:
+		c.executeCopyback(r, st)
+	case opGCErase:
+		sched, err := c.array.ScheduleErase(st.run.victim, now)
+		c.must(err, r)
+		c.busyUntil(st.run.victim.LUN, sched.Done, r)
+	default:
+		c.executeData(r, st)
+	}
+}
+
+func (c *Controller) executeData(r *iface.Request, st *reqState) {
+	now := c.eng.Now()
+	switch r.Type {
+	case iface.Read:
+		ppa, ok := c.mapper.Lookup(r.LPN)
+		if !ok {
+			// Reading a never-written page: nothing on flash. Complete after
+			// the command-handling latency only, as a real device returning
+			// zeroes without touching a chip.
+			c.counters.UnmappedReads++
+			st.errored = true
+			done := now.Add(c.cfg.Timing.Cmd)
+			c.eng.Schedule(done, func() { c.finish(r, done) })
+			return
+		}
+		if !c.ensureAccess(r, false) {
+			return // waiting on translation chain
+		}
+		sched, err := c.array.ScheduleRead(ppa, now)
+		c.must(err, r)
+		c.busyUntil(ppa.LUN, sched.Done, r)
+	case iface.Write:
+		if !c.ensureAccess(r, true) {
+			return
+		}
+		stream := c.streamFor(r)
+		views := c.lunViews(stream)
+		lun, ok := c.cfg.Alloc.PickLUN(r, views)
+		if !ok {
+			// canRun said yes but the allocator refused (e.g. striped
+			// placement with a busy home LUN). Defer until a completion
+			// changes the picture; re-popping immediately would livelock.
+			st.blocked = true
+			c.deferred = append(c.deferred, r)
+			c.cfg.Policy.Push(r)
+			return
+		}
+		ppa, err := c.bm.Alloc(lun, stream)
+		c.must(err, r)
+		sched, err := c.array.ScheduleWrite(ppa, now)
+		c.must(err, r)
+		if old, had := c.mapper.Map(r.LPN, ppa); had {
+			c.must(c.array.Invalidate(old), r)
+		}
+		if r.Source == iface.SourceApp {
+			delete(c.wlCold, r.LPN) // the page proved itself non-cold
+			c.cfg.Detector.RecordWrite(r.LPN)
+		}
+		c.busyUntil(lun, sched.Done, r)
+	case iface.Trim:
+		if old, had := c.mapper.Unmap(r.LPN); had {
+			c.must(c.array.Invalidate(old), r)
+		}
+		c.finish(r, now)
+	default:
+		c.must(fmt.Errorf("controller: unexpected external request type %v", r.Type), r)
+	}
+}
+
+// lunViews snapshots per-LUN state for the write allocator.
+func (c *Controller) lunViews(stream ftl.Stream) []sched.LUNView {
+	views := make([]sched.LUNView, len(c.inflight))
+	for lun := range views {
+		views[lun] = sched.LUNView{
+			Busy:     c.inflight[lun],
+			FreeAt:   c.array.LUNFreeAt(lun),
+			CanAlloc: c.bm.CanAlloc(lun, stream),
+		}
+	}
+	return views
+}
+
+// must panics on errors that can only be controller bugs (NAND constraint
+// violations, allocation failures after canRun approved). Failing loudly
+// here is deliberate: continuing would silently corrupt every metric the
+// simulator exists to produce.
+func (c *Controller) must(err error, r *iface.Request) {
+	if err != nil {
+		panic(fmt.Sprintf("controller: dispatching %v: %v", r, err))
+	}
+}
+
+// busyUntil marks the LUN occupied and schedules the request's completion.
+func (c *Controller) busyUntil(lun int, done sim.Time, r *iface.Request) {
+	c.inflight[lun] = true
+	c.eng.Schedule(done, func() {
+		c.inflight[lun] = false
+		c.finish(r, done)
+	})
+}
+
+// finish completes a request: stamps it, records statistics, unblocks any
+// dependency chain successor, notifies GC/WL bookkeeping, delivers external
+// completions to the OS, and re-arms dispatch.
+func (c *Controller) finish(r *iface.Request, at sim.Time) {
+	st := c.state[r]
+	r.Completed = at
+	if !st.buffered {
+		c.stats.RecordCompletion(r)
+	}
+	for _, succ := range st.next {
+		if ss := c.state[succ]; ss != nil {
+			ss.blocked = false
+		}
+	}
+	delete(c.state, r)
+
+	switch st.kind {
+	case opGCWrite, opGCCopyback:
+		c.counters.GCMigratedPages++
+		st.run.pending--
+		c.checkRunDone(st.run)
+	case opWLWrite:
+		c.counters.WLMigratedPages++
+		st.run.pending--
+		c.checkRunDone(st.run)
+	case opGCErase:
+		c.finishErase(st.run)
+	case opData:
+		if r.Type == iface.Write {
+			lun := -1
+			if ppa, ok := c.mapper.Lookup(r.LPN); ok {
+				lun = ppa.LUN
+			}
+			if lun >= 0 {
+				c.maybeGC(lun)
+			}
+		}
+		if r.Source == iface.SourceApp && c.cfg.OnComplete != nil && !st.buffered {
+			c.cfg.OnComplete(r)
+		}
+		if st.buffered {
+			c.onFlushDone()
+		}
+	}
+
+	if len(c.deferred) > 0 {
+		for _, d := range c.deferred {
+			if ds := c.state[d]; ds != nil {
+				ds.blocked = false
+			}
+		}
+		c.deferred = c.deferred[:0]
+	}
+	c.opsSinceScan++
+	if c.completions++; c.completions%pruneEvery == 0 {
+		c.array.Prune(c.eng.Now())
+	}
+	c.scheduleDispatch()
+}
+
+// skipMigration accounts for a migration pair whose page died (the
+// application overwrote it) before the pair ran.
+func (c *Controller) skipMigration(r *iface.Request, st *reqState) {
+	// Unblock the successors (if any); their own liveness re-check will skip
+	// them the same way. Accounting happens on the write half only.
+	for _, succ := range st.next {
+		if ss := c.state[succ]; ss != nil {
+			ss.blocked = false
+		}
+	}
+	delete(c.state, r)
+	if st.kind == opGCWrite || st.kind == opWLWrite || st.kind == opGCCopyback {
+		st.run.pending--
+		c.checkRunDone(st.run)
+	}
+	c.scheduleDispatch()
+}
+
+func (c *Controller) executeMigrationRead(r *iface.Request, st *reqState) {
+	if cur, ok := c.mapper.Lookup(r.LPN); !ok || cur != st.src {
+		c.skipMigration(r, st)
+		return
+	}
+	sched, err := c.array.ScheduleRead(st.src, c.eng.Now())
+	c.must(err, r)
+	c.busyUntil(st.src.LUN, sched.Done, r)
+}
+
+func (c *Controller) executeMigrationWrite(r *iface.Request, st *reqState) {
+	if cur, ok := c.mapper.Lookup(r.LPN); !ok || cur != st.src {
+		c.skipMigration(r, st)
+		return
+	}
+	if !c.ensureAccess(r, true) {
+		return
+	}
+	stream := c.streamFor(r)
+	ppa, err := c.bm.Alloc(st.src.LUN, stream)
+	c.must(err, r)
+	sched, err := c.array.ScheduleWrite(ppa, c.eng.Now())
+	c.must(err, r)
+	if old, had := c.mapper.Map(r.LPN, ppa); had {
+		c.must(c.array.Invalidate(old), r)
+	}
+	if st.kind == opWLWrite {
+		c.wlCold[r.LPN] = struct{}{}
+	}
+	c.busyUntil(st.src.LUN, sched.Done, r)
+}
+
+func (c *Controller) executeCopyback(r *iface.Request, st *reqState) {
+	if cur, ok := c.mapper.Lookup(r.LPN); !ok || cur != st.src {
+		c.skipMigration(r, st)
+		return
+	}
+	if !c.ensureAccess(r, true) {
+		return
+	}
+	dst, err := c.bm.Alloc(st.src.LUN, ftl.StreamGC)
+	c.must(err, r)
+	sched, err := c.array.ScheduleCopyback(st.src, dst, c.eng.Now())
+	c.must(err, r)
+	if old, had := c.mapper.Map(r.LPN, dst); had {
+		c.must(c.array.Invalidate(old), r)
+	}
+	c.busyUntil(st.src.LUN, sched.Done, r)
+}

@@ -1,0 +1,132 @@
+package controller
+
+import (
+	"eagletree/internal/flash"
+	"eagletree/internal/iface"
+	"eagletree/internal/stats"
+)
+
+// maybeGC starts a collection run on the LUN if free space has fallen to the
+// greediness floor and no run already owns the LUN.
+func (c *Controller) maybeGC(lun int) {
+	if c.gcActive[lun] || !c.gc.ShouldCollect(lun) {
+		return
+	}
+	victim, ok := c.gc.SelectVictim(lun, c.eng.Now())
+	if !ok {
+		return
+	}
+	c.startRun(victim, false)
+}
+
+// startRun begins migrating a victim block's live pages (GC or static WL).
+func (c *Controller) startRun(victim flash.BlockID, isWL bool) {
+	c.gcActive[victim.LUN] = true
+	run := &gcRun{victim: victim, isWL: isWL}
+	if tr := c.stats.Trace(); tr != nil {
+		stage := stats.StageGCStart
+		if isWL {
+			stage = stats.StageWLStart
+		}
+		tr.Record(c.eng.Now(), 0, stage, nil)
+	}
+
+	geo := c.array.Geometry()
+	src := iface.SourceGC
+	readKind, writeKind := opGCRead, opGCWrite
+	if isWL {
+		src = iface.SourceWL
+		readKind, writeKind = opWLRead, opWLWrite
+	}
+	useCopyback := !isWL && c.cfg.GCCopyback && c.cfg.Features.Copyback
+
+	for page := 0; page < geo.PagesPerBlock; page++ {
+		ppa := flash.PPA{LUN: victim.LUN, Block: victim.Block, Page: page}
+		if c.array.PageState(ppa) != flash.PageValid {
+			continue
+		}
+		lpn, ok := c.mapper.LPNAt(ppa)
+		if !ok {
+			// A valid data-region page must be mapped; anything else is a
+			// bookkeeping bug worth failing loudly over.
+			panic("controller: valid page with no reverse mapping in " + ppa.String())
+		}
+		run.pending++
+		if useCopyback {
+			st := &reqState{kind: opGCCopyback, src: ppa, run: run}
+			c.cfg.Policy.Push(c.newInternal(iface.Write, src, lpn, st))
+			continue
+		}
+		rst := &reqState{kind: readKind, src: ppa, run: run}
+		read := c.newInternal(iface.Read, src, lpn, rst)
+		wst := &reqState{kind: writeKind, src: ppa, run: run, blocked: true}
+		write := c.newInternal(iface.Write, src, lpn, wst)
+		rst.next = append(rst.next, write)
+		c.cfg.Policy.Push(read)
+		c.cfg.Policy.Push(write)
+	}
+	if run.pending == 0 {
+		c.issueErase(run)
+	}
+	c.scheduleDispatch()
+}
+
+// checkRunDone issues the victim erase once every migration pair finished.
+func (c *Controller) checkRunDone(run *gcRun) {
+	if run.pending == 0 && !run.erased {
+		c.issueErase(run)
+	}
+}
+
+func (c *Controller) issueErase(run *gcRun) {
+	run.erased = true
+	src := iface.SourceGC
+	if run.isWL {
+		src = iface.SourceWL
+	}
+	st := &reqState{kind: opGCErase, run: run, src: flash.PPA{LUN: run.victim.LUN, Block: run.victim.Block}}
+	c.cfg.Policy.Push(c.newInternal(iface.Erase, src, 0, st))
+	c.scheduleDispatch()
+}
+
+// finishErase returns the reclaimed block to the free pool and re-arms GC.
+func (c *Controller) finishErase(run *gcRun) {
+	c.bm.Release(run.victim)
+	c.gcActive[run.victim.LUN] = false
+	if !run.isWL {
+		c.counters.GCErases++
+	}
+	if tr := c.stats.Trace(); tr != nil && !run.isWL {
+		tr.Record(c.eng.Now(), 0, stats.StageGCEnd, nil)
+	}
+	c.maybeGC(run.victim.LUN)
+}
+
+// scheduleWLScan arms the periodic static wear-leveling scan. The scan
+// disarms itself when the device goes quiet (no completions since the last
+// scan) so simulations can drain; any later submission re-arms it.
+func (c *Controller) scheduleWLScan() {
+	if c.wlScanArmed || !c.cfg.WL.Static {
+		return
+	}
+	c.wlScanArmed = true
+	c.eng.ScheduleAfter(c.cfg.WL.CheckInterval, func() {
+		c.wlScanArmed = false
+		if c.opsSinceScan == 0 {
+			return // quiet device: stop scanning until traffic resumes
+		}
+		c.opsSinceScan = 0
+		c.wlScan()
+		c.scheduleWLScan()
+	})
+}
+
+// wlScan migrates the victims static wear leveling identified.
+func (c *Controller) wlScan() {
+	for _, victim := range c.lvl.Victims(c.eng.Now()) {
+		if c.gcActive[victim.LUN] {
+			continue // one run per LUN at a time
+		}
+		c.startRun(victim, true)
+	}
+}

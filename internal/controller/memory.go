@@ -1,0 +1,94 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MemoryManager tracks how the controller's RAM and battery-backed (safe)
+// RAM budgets are spent: mapping tables, the cached mapping table, IO
+// buffers. Budgets of zero mean unconstrained (accounting only).
+type MemoryManager struct {
+	ramBudget  int64
+	safeBudget int64
+	uses       map[string]memUse
+}
+
+type memUse struct {
+	bytes int64
+	safe  bool
+}
+
+// NewMemoryManager creates a manager with the given budgets in bytes.
+func NewMemoryManager(ramBudget, safeBudget int64) *MemoryManager {
+	return &MemoryManager{ramBudget: ramBudget, safeBudget: safeBudget, uses: make(map[string]memUse)}
+}
+
+// Reserve books bytes under a named purpose, in safe RAM when safe is true.
+// It fails when a non-zero budget would be exceeded.
+func (m *MemoryManager) Reserve(name string, bytes int64, safe bool) error {
+	if bytes < 0 {
+		return fmt.Errorf("controller: negative reservation %d for %q", bytes, name)
+	}
+	budget, used := m.ramBudget, m.RAMUsed()
+	if safe {
+		budget, used = m.safeBudget, m.SafeUsed()
+	}
+	if old, ok := m.uses[name]; ok && old.safe == safe {
+		used -= old.bytes
+	}
+	if budget > 0 && used+bytes > budget {
+		kind := "RAM"
+		if safe {
+			kind = "safe RAM"
+		}
+		return fmt.Errorf("controller: %q needs %d bytes of %s, only %d of %d free",
+			name, bytes, kind, budget-used, budget)
+	}
+	m.uses[name] = memUse{bytes: bytes, safe: safe}
+	return nil
+}
+
+// RAMUsed returns bytes booked against plain RAM.
+func (m *MemoryManager) RAMUsed() int64 {
+	var sum int64
+	for _, u := range m.uses {
+		if !u.safe {
+			sum += u.bytes
+		}
+	}
+	return sum
+}
+
+// SafeUsed returns bytes booked against battery-backed RAM.
+func (m *MemoryManager) SafeUsed() int64 {
+	var sum int64
+	for _, u := range m.uses {
+		if u.safe {
+			sum += u.bytes
+		}
+	}
+	return sum
+}
+
+// Report renders the reservations, stable-sorted by name.
+func (m *MemoryManager) Report() string {
+	names := make([]string, 0, len(m.uses))
+	for name := range m.uses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		u := m.uses[name]
+		kind := "ram"
+		if u.safe {
+			kind = "safe-ram"
+		}
+		fmt.Fprintf(&b, "%-16s %10d bytes  %s\n", name, u.bytes, kind)
+	}
+	fmt.Fprintf(&b, "%-16s %10d bytes  ram (budget %d)\n", "total", m.RAMUsed(), m.ramBudget)
+	fmt.Fprintf(&b, "%-16s %10d bytes  safe-ram (budget %d)\n", "total", m.SafeUsed(), m.safeBudget)
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package controller
+
+import "eagletree/internal/iface"
+
+// writeBuffer models the battery-backed-RAM write buffer module the paper
+// suggests as a controller extension: application writes are absorbed at RAM
+// latency and flushed to flash in the background. When the buffer is full,
+// writes stall until a flush frees a slot — the backpressure a real bounded
+// buffer exhibits.
+type writeBuffer struct {
+	capacity int
+	used     int
+	waiting  []*iface.Request // writes stalled on a full buffer
+}
+
+func newWriteBuffer(capacity int) *writeBuffer {
+	return &writeBuffer{capacity: capacity}
+}
+
+// bufferWrite absorbs (or stalls) an application write.
+func (c *Controller) bufferWrite(r *iface.Request) {
+	if c.buffer.used >= c.buffer.capacity {
+		c.counters.BufferStalls++
+		c.buffer.waiting = append(c.buffer.waiting, r)
+		return
+	}
+	c.absorb(r)
+}
+
+// absorb completes the write at RAM latency and enqueues the background
+// flush that performs the actual flash program.
+func (c *Controller) absorb(r *iface.Request) {
+	c.buffer.used++
+	now := c.eng.Now()
+	r.Dispatched = now
+	done := now.Add(c.cfg.WriteBufferLatency)
+
+	// The flush inherits the data's identity (LPN, tags, thread) so stream
+	// separation and mapping behave exactly as for an unbuffered write, but
+	// it is invisible to per-request statistics: the application-visible
+	// latency is the RAM store, already recorded on r.
+	fst := &reqState{kind: opData, buffered: true}
+	flush := c.newInternal(iface.Write, iface.SourceApp, r.LPN, fst)
+	flush.Thread = r.Thread
+	flush.Tags = r.Tags
+
+	c.eng.Schedule(done, func() {
+		r.Completed = done
+		c.stats.RecordCompletion(r)
+		st := c.state[r]
+		delete(c.state, r)
+		_ = st
+		if c.cfg.OnComplete != nil {
+			c.cfg.OnComplete(r)
+		}
+	})
+	c.cfg.Policy.Push(flush)
+	c.scheduleDispatch()
+}
+
+// onFlushDone frees a buffer slot and admits a stalled write, if any.
+func (c *Controller) onFlushDone() {
+	c.buffer.used--
+	if len(c.buffer.waiting) > 0 {
+		next := c.buffer.waiting[0]
+		c.buffer.waiting = c.buffer.waiting[1:]
+		c.absorb(next)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"eagletree/internal/flash"
+	"eagletree/internal/iface"
+	"eagletree/internal/workload"
+)
+
+func TestBadBlocksShrinkCapacity(t *testing.T) {
+	clean := testConfig()
+	faulty := testConfig()
+	faulty.Controller.BadBlockFraction = 0.1
+	faulty.Controller.BadBlockSeed = 3
+
+	sc, err := New(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := New(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.LogicalPages() >= sc.LogicalPages() {
+		t.Fatalf("faulty device exports %d pages, clean %d", sf.LogicalPages(), sc.LogicalPages())
+	}
+}
+
+func TestBadBlocksSurviveFullWorkload(t *testing.T) {
+	cfg := testConfig()
+	cfg.Controller.BadBlockFraction = 0.1
+	cfg.Controller.BadBlockSeed = 5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(s.LogicalPages())
+	// Fill, overwrite randomly (forcing GC around the bad blocks), then
+	// verify every LPN still readable.
+	seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: 16})
+	over := s.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 16}, seq)
+	barrier := s.AddBarrier(over)
+	s.Add(&workload.SequentialReader{From: 0, Count: n, Depth: 16}, barrier)
+	s.Run()
+	if !s.Runner.Done() {
+		t.Fatal("workload hung on a bad-block device")
+	}
+	if got := s.Controller.Counters().UnmappedReads; got != 0 {
+		t.Fatalf("%d LPNs lost on a bad-block device", got)
+	}
+	rep := s.Report()
+	if rep.Wear.BadBlocks == 0 {
+		t.Fatal("report shows no bad blocks despite injection")
+	}
+	// No bad block may ever have been programmed.
+	geo := cfg.Controller.Geometry
+	arr := s.Controller.Array()
+	for lun := 0; lun < geo.LUNs(); lun++ {
+		for blk := 0; blk < geo.BlocksPerLUN; blk++ {
+			meta := arr.Block(flash.BlockID{LUN: lun, Block: blk})
+			if meta.Bad && meta.WritePtr != 0 {
+				t.Fatalf("bad block lun%d/blk%d was programmed", lun, blk)
+			}
+		}
+	}
+}
+
+func TestBadBlockFractionValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Controller.BadBlockFraction = 0.9
+	if _, err := New(cfg); err == nil {
+		t.Fatal("90% bad blocks accepted")
+	}
+}
+
+func TestBadBlocksDeterministic(t *testing.T) {
+	mk := func() int {
+		cfg := testConfig()
+		cfg.Controller.BadBlockFraction = 0.15
+		cfg.Controller.BadBlockSeed = 11
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.LogicalPages()
+	}
+	if mk() != mk() {
+		t.Fatal("same seed produced different bad-block maps")
+	}
+}
+
+func TestEnduranceReporting(t *testing.T) {
+	cfg := testConfig()
+	cfg.Controller.Timing.EnduranceLimit = 2 // absurdly low: trip it fast
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(s.LogicalPages())
+	s.Add(&workload.RandomWriter{From: 0, Space: n, Count: 6 * n, Depth: 16})
+	s.Run()
+	if s.Report().Wear.PastEndurance == 0 {
+		t.Fatal("no block reported past a 2-cycle endurance limit after 6 overwrite passes")
+	}
+}
+
+func TestTrimmedDeviceReadsUnmapped(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Add(&workload.SequentialWriter{From: 0, Count: 64, Depth: 8})
+	tr := s.Add(&workload.Trimmer{From: 0, Count: 64, Depth: 8}, w)
+	s.Add(&workload.SequentialReader{From: 0, Count: 64, Depth: 8}, tr)
+	s.Run()
+	if got := s.Controller.Counters().UnmappedReads; got != 64 {
+		t.Fatalf("UnmappedReads = %d, want 64 after trim", got)
+	}
+	_ = iface.LPN(0)
+}

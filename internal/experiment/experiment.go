@@ -1,0 +1,140 @@
+// Package experiment implements EagleTree's experimental suite API: an
+// experiment template takes a parameter or policy, a strategy for varying it
+// (the variant list), and a workload definition; it runs one full simulation
+// per variant and collects comparable metric rows — tables, CSV and text
+// charts standing in for the GUI's graphs.
+//
+// Device preparation is first-class: when a definition has a Prepare hook,
+// measured threads automatically depend on a barrier behind the preparation
+// threads, and statistics cover only the measured window (§2.3's repeatable
+// methodology).
+package experiment
+
+import (
+	"fmt"
+
+	"eagletree/internal/core"
+	"eagletree/internal/sim"
+	"eagletree/internal/workload"
+)
+
+// Variant is one setting of the varied parameter or policy.
+type Variant struct {
+	// Label names the variant in tables ("channels=4", "policy=fifo").
+	Label string
+	// X is the variant's numeric value where one exists (sweep position);
+	// charts use it as the x coordinate.
+	X float64
+	// Mutate applies the variant to the base configuration.
+	Mutate func(*core.Config)
+	// Prepare, when non-nil, overrides the definition's Prepare for this
+	// variant — used when preparation itself is what varies (fresh vs aged
+	// device, experiment E11).
+	Prepare func(s *core.Stack) []*workload.Handle
+	// Workload, when non-nil, overrides the definition's Workload for this
+	// variant — used when the workload itself carries the varied behavior
+	// (oracle temperature tags, experiment E8).
+	Workload func(s *core.Stack, after *workload.Handle)
+}
+
+// Definition is an experiment template.
+type Definition struct {
+	// Name identifies the experiment in reports.
+	Name string
+	// Base returns the configuration shared by all variants.
+	Base func() core.Config
+	// Variants is the parameter sweep; each produces one result row.
+	Variants []Variant
+	// Prepare, if non-nil, registers device-preparation threads (aging) and
+	// returns their handles; measurement starts only after they finish.
+	Prepare func(s *core.Stack) []*workload.Handle
+	// Workload registers the measured threads. Each must depend on after
+	// (nil when there is no preparation phase).
+	Workload func(s *core.Stack, after *workload.Handle)
+	// SeriesBucket, when positive, records a completion time series with
+	// this bucket width per variant; Timelines renders them ("graphs
+	// showing how metrics evolved across time").
+	SeriesBucket sim.Duration
+}
+
+// Row is one variant's outcome.
+type Row struct {
+	Label  string
+	X      float64
+	Report core.Report
+	// Timeline is the completion-rate sparkline over the measured window
+	// (empty unless the definition set SeriesBucket).
+	Timeline string
+}
+
+// Results collects every variant's outcome for rendering.
+type Results struct {
+	Name string
+	Rows []Row
+}
+
+// Run executes the experiment: one independent simulation per variant.
+func Run(def Definition) (Results, error) {
+	res := Results{Name: def.Name}
+	if len(def.Variants) == 0 {
+		return res, fmt.Errorf("experiment %q: no variants", def.Name)
+	}
+	for _, v := range def.Variants {
+		cfg := def.Base()
+		if def.SeriesBucket > 0 {
+			cfg.SeriesBucket = def.SeriesBucket
+		}
+		if v.Mutate != nil {
+			v.Mutate(&cfg)
+		}
+		stack, err := core.New(cfg)
+		if err != nil {
+			return res, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+		}
+		prepare := def.Prepare
+		if v.Prepare != nil {
+			prepare = v.Prepare
+		}
+		var barrier *workload.Handle
+		if prepare != nil {
+			prep := prepare(stack)
+			barrier = stack.AddBarrier(prep...)
+		}
+		wload := def.Workload
+		if v.Workload != nil {
+			wload = v.Workload
+		}
+		wload(stack, barrier)
+		stack.Run()
+		if !stack.Runner.Done() {
+			return res, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
+				def.Name, v.Label, stack.Runner.Active())
+		}
+		row := Row{Label: v.Label, X: v.X, Report: stack.Report()}
+		if ts := stack.Stats.Series(); ts != nil {
+			row.Timeline = ts.Sparkline()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Metric extracts one scalar from a report, for charts and CSV columns.
+type Metric struct {
+	Name string
+	F    func(core.Report) float64
+}
+
+// Standard metrics experiments chart.
+var (
+	MetricThroughput = Metric{"throughput_iops", func(r core.Report) float64 { return r.Throughput }}
+	MetricReadMean   = Metric{"read_mean_us", func(r core.Report) float64 { return r.ReadLatency.Mean.Micros() }}
+	MetricWriteMean  = Metric{"write_mean_us", func(r core.Report) float64 { return r.WriteLatency.Mean.Micros() }}
+	MetricReadP99    = Metric{"read_p99_us", func(r core.Report) float64 { return r.ReadLatency.P99.Micros() }}
+	MetricWriteP99   = Metric{"write_p99_us", func(r core.Report) float64 { return r.WriteLatency.P99.Micros() }}
+	MetricReadStd    = Metric{"read_std_us", func(r core.Report) float64 { return r.ReadLatency.Std.Micros() }}
+	MetricWriteStd   = Metric{"write_std_us", func(r core.Report) float64 { return r.WriteLatency.Std.Micros() }}
+	MetricWA         = Metric{"write_amp", func(r core.Report) float64 { return r.WriteAmplification }}
+	MetricGCPages    = Metric{"gc_pages", func(r core.Report) float64 { return float64(r.GCMigratedPages) }}
+	MetricWearSpread = Metric{"wear_spread", func(r core.Report) float64 { return float64(r.Wear.Spread()) }}
+)

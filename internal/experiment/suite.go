@@ -1,0 +1,499 @@
+package experiment
+
+import (
+	"fmt"
+
+	"eagletree/internal/controller"
+	"eagletree/internal/core"
+	"eagletree/internal/flash"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/iface"
+	"eagletree/internal/osched"
+	"eagletree/internal/sched"
+	"eagletree/internal/sim"
+	"eagletree/internal/wl"
+	"eagletree/internal/workload"
+)
+
+// Scale sizes the predefined experiments. Small finishes in tens of
+// milliseconds per variant (benchmarks, CI); Full is the paper-credible
+// size the sweep tool uses.
+type Scale int
+
+const (
+	// Small is bench/CI scale.
+	Small Scale = iota
+	// Full is report scale.
+	Full
+)
+
+// factor returns the workload multiplier for the scale.
+func (s Scale) factor() int64 {
+	if s == Full {
+		return 8
+	}
+	return 1
+}
+
+// baseConfig is the shared starting point of every predefined experiment: a
+// 2×2-LUN SLC SSD small enough to reach steady state quickly.
+func baseConfig(s Scale) core.Config {
+	geo := flash.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 64, PagesPerBlock: 32, PageSize: 4096}
+	if s == Full {
+		geo.BlocksPerLUN = 128
+	}
+	return core.Config{
+		Controller: controller.Config{
+			Geometry:      geo,
+			Timing:        flash.TimingSLC(),
+			Overprovision: 0.15,
+			GCGreediness:  2,
+			WL:            controller.WLOff(),
+		},
+		OS:   osched.Config{QueueDepth: 32},
+		Seed: 7,
+	}
+}
+
+// fillSequential returns a Prepare hook writing the logical space once.
+func fillSequential(depth int) func(*core.Stack) []*workload.Handle {
+	return func(s *core.Stack) []*workload.Handle {
+		n := int64(s.LogicalPages())
+		return []*workload.Handle{
+			s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: depth}),
+		}
+	}
+}
+
+// fillAndAge returns a Prepare hook writing the space sequentially and then
+// overwriting it randomly (uFLIP-style aging into steady state).
+func fillAndAge(depth int, agePasses int64) func(*core.Stack) []*workload.Handle {
+	return func(s *core.Stack) []*workload.Handle {
+		n := int64(s.LogicalPages())
+		seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: depth})
+		age := s.Add(&workload.RandomWriter{From: 0, Space: n, Count: agePasses * n, Depth: depth}, seq)
+		return []*workload.Handle{age}
+	}
+}
+
+// E1Parallelism sweeps the array shape — channels and LUNs per channel —
+// under a parallel random-write load (Figure 1's hardware design space).
+// Expected shape: throughput scales with channels×LUNs until the channel
+// saturates; more LUNs per channel help less than more channels.
+func E1Parallelism(s Scale) Definition {
+	shape := func(ch, luns int) Variant {
+		return Variant{
+			Label: fmt.Sprintf("ch=%d,luns/ch=%d", ch, luns),
+			X:     float64(ch * luns),
+			Mutate: func(c *core.Config) {
+				c.Controller.Geometry.Channels = ch
+				c.Controller.Geometry.LUNsPerChannel = luns
+			},
+		}
+	}
+	return Definition{
+		Name: "E1-parallelism",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			shape(1, 1), shape(1, 2), shape(1, 4),
+			shape(2, 2), shape(2, 4),
+			shape(4, 2), shape(4, 4),
+			shape(8, 4),
+		},
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			count := 2000 * s.factor()
+			space := int64(st.LogicalPages())
+			st.Add(&workload.RandomWriter{From: 0, Space: space, Count: count, Depth: 64})
+		},
+	}
+}
+
+// E2SchedPolicy compares SSD scheduling policies under a mixed read/write
+// load on an aged device (§3: "prioritizing between application reads and
+// writes is not always easy"). Expected shape: reads-first cuts read latency
+// but inflates write latency and vice versa; deadline bounds the tails.
+func E2SchedPolicy(s Scale) Definition {
+	policy := func(label string, p func() sched.Policy) Variant {
+		return Variant{Label: label, Mutate: func(c *core.Config) { c.Controller.Policy = p() }}
+	}
+	return Definition{
+		Name: "E2-sched-policy",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			policy("fifo", func() sched.Policy { return &sched.FIFO{} }),
+			policy("reads-first", func() sched.Policy { return &sched.Priority{Prefer: sched.PreferReads} }),
+			policy("writes-first", func() sched.Policy { return &sched.Priority{Prefer: sched.PreferWrites} }),
+			policy("deadline", func() sched.Policy {
+				return &sched.Deadline{
+					ReadDeadline:  2 * sim.Millisecond,
+					WriteDeadline: 20 * sim.Millisecond,
+				}
+			}),
+		},
+		Prepare: fillAndAge(32, 1),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			count := 1500 * s.factor()
+			st.Add(&workload.RandomReader{From: 0, Space: n, Count: count, Depth: 16}, after)
+			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: count, Depth: 16}, after)
+		},
+	}
+}
+
+// E3GCGreediness sweeps the GC greediness parameter (free blocks per LUN
+// target) under steady-state random overwrite (§2.2). Expected shape: lazier
+// GC (smaller greediness) lowers write amplification but stretches the write
+// tail; greedier GC smooths latency at more migrations.
+func E3GCGreediness(s Scale) Definition {
+	level := func(g int) Variant {
+		return Variant{
+			Label:  fmt.Sprintf("greediness=%d", g),
+			X:      float64(g),
+			Mutate: func(c *core.Config) { c.Controller.GCGreediness = g },
+		}
+	}
+	return Definition{
+		Name: "E3-gc-greediness",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			level(1), level(2), level(4), level(8),
+		},
+		Prepare: fillAndAge(32, 1),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 32}, after)
+		},
+	}
+}
+
+// E4WearLeveling compares WL modes under a skewed (hot/cold) overwrite load
+// (§2.2). Expected shape: wear leveling narrows the erase-count spread at a
+// small throughput cost; static+dynamic narrows it most.
+func E4WearLeveling(s Scale) Definition {
+	mode := func(label string, static, dynamic bool) Variant {
+		return Variant{Label: label, Mutate: func(c *core.Config) {
+			cfg := wl.DefaultConfig()
+			cfg.Static = static
+			cfg.Dynamic = dynamic
+			cfg.CheckInterval = 5 * sim.Millisecond
+			c.Controller.WL = cfg
+		}}
+	}
+	return Definition{
+		Name: "E4-wear-leveling",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			mode("wl=off", false, false),
+			mode("wl=static", true, false),
+			mode("wl=dynamic", false, true),
+			mode("wl=static+dynamic", true, true),
+		},
+		Prepare: fillSequential(32),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			st.Add(&workload.ZipfWriter{From: 0, Space: n, Count: 4 * n * s.factor() / 2, Exponent: 1.2, Depth: 32}, after)
+		},
+	}
+}
+
+// E5Mapping compares the RAM page map against DFTL across CMT sizes under
+// random IO over the whole space (§2.2). Expected shape: DFTL approaches the
+// page map as the CMT grows; small CMTs pay translation reads and dirty
+// eviction writes on most accesses.
+func E5Mapping(s Scale) Definition {
+	dftl := func(cmt int) Variant {
+		return Variant{
+			Label: fmt.Sprintf("dftl,cmt=%d", cmt),
+			X:     float64(cmt),
+			Mutate: func(c *core.Config) {
+				c.Controller.Mapping = controller.MapDFTL
+				c.Controller.CMTEntries = cmt
+				c.Controller.ReservedTransBlocks = 4
+			},
+		}
+	}
+	return Definition{
+		Name: "E5-mapping",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			{Label: "pagemap", X: 0},
+			dftl(128), dftl(512), dftl(2048), dftl(8192),
+		},
+		Prepare: fillSequential(32),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			count := 1500 * s.factor()
+			st.Add(&workload.ReadWriteMix{From: 0, Space: n, Count: count, ReadFraction: 0.5, Depth: 16}, after)
+		},
+	}
+}
+
+// E6PriorityTag measures what the open interface's priority tag buys a
+// latency-critical reader competing with a background writer (§2.2
+// "Priorities"). Expected shape: with tags honored, tagged reads jump the
+// queue and their latency collapses; block-device mode treats them like
+// everything else.
+func E6PriorityTag(s Scale) Definition {
+	return Definition{
+		Name: "E6-priority-tag",
+		Base: func() core.Config {
+			cfg := baseConfig(s)
+			cfg.Controller.Policy = &sched.Priority{UseTags: true}
+			return cfg
+		},
+		Variants: []Variant{
+			{Label: "block-device", Mutate: func(c *core.Config) { c.Controller.OpenInterface = false }},
+			{Label: "open-interface", Mutate: func(c *core.Config) { c.Controller.OpenInterface = true }},
+		},
+		Prepare: fillAndAge(32, 1),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			count := 800 * s.factor()
+			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 4 * count, Depth: 32}, after)
+			st.Add(&workload.RandomReader{From: 0, Space: n, Count: count, Depth: 4,
+				Tags: iface.Tags{Priority: iface.PriorityHigh}}, after)
+		},
+	}
+}
+
+// E7UpdateLocality measures the update-locality hint (§2.2): a file-system
+// workload whose files are overwritten and deleted as units. Expected shape:
+// with locality tags each file's pages share physical blocks, so deletions
+// and overwrites invalidate whole blocks and GC migrates less (lower WA).
+func E7UpdateLocality(s Scale) Definition {
+	return Definition{
+		Name: "E7-update-locality",
+		Base: func() core.Config {
+			cfg := baseConfig(s)
+			cfg.Controller.OpenInterface = true
+			// Extra physical headroom: locality streams pin one open block
+			// each per LUN, which must not consume the whole GC slack.
+			cfg.Controller.Geometry.BlocksPerLUN += 32
+			return cfg
+		},
+		Variants: []Variant{
+			{Label: "untagged", Mutate: func(c *core.Config) { c.LockBus = true; c.Controller.OpenInterface = false }},
+			{Label: "locality-tags"},
+		},
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			// Four concurrent file systems whose writes interleave at the
+			// SSD: without locality tags the shared write frontier mixes
+			// files from different threads into the same physical blocks, so
+			// when a file dies its block survives with live remnants. File
+			// size is centered on one erase block — the case where a tagged
+			// file dies as a whole block but an untagged one straddles.
+			n := int64(st.LogicalPages())
+			const threads = 4
+			region := n * 3 / 4 / threads
+			ops := 2000 * s.factor()
+			ppb := st.Config().Controller.Geometry.PagesPerBlock
+			for i := int64(0); i < threads; i++ {
+				st.Add(&workload.FileSystem{
+					From: iface.LPN(i * region), Space: region, Ops: ops, Depth: 8,
+					MeanFilePages: ppb, TagLocality: true,
+				}, after)
+			}
+		},
+	}
+}
+
+// E8Temperature compares temperature sources for hot/cold stream separation
+// (§2.2 "Temperatures" + the bloom-filter detector): none, the multi-bloom
+// detector, and oracle tags through the open interface. Expected shape: any
+// separation lowers WA under skew; oracle ≥ detector ≥ none.
+func E8Temperature(s Scale) Definition {
+	zipf := func(oracle bool) func(*core.Stack, *workload.Handle) {
+		return func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			st.Add(&workload.ZipfWriter{
+				From: 0, Space: n, Count: 3 * n * s.factor(), Exponent: 1.2, Depth: 32,
+				TagTemperature: oracle, HotFraction: 0.2, Scramble: true,
+			}, after)
+		}
+	}
+	return Definition{
+		Name: "E8-temperature",
+		Base: func() core.Config {
+			cfg := baseConfig(s)
+			cfg.Controller.OpenInterface = true
+			return cfg
+		},
+		Variants: []Variant{
+			{Label: "none"},
+			{Label: "bloom-detector", Mutate: func(c *core.Config) {
+				c.Controller.Detector = hotcold.NewMBF(hotcold.DefaultMBFConfig())
+			}},
+			{Label: "oracle-tags", Workload: zipf(true)},
+		},
+		Prepare:  fillSequential(32),
+		Workload: zipf(false),
+	}
+}
+
+// E9QueueDepth sweeps the OS queue depth under random reads on a full device
+// (§2.1 "How many outstanding IOs should be submitted to the SSD?").
+// Expected shape: throughput climbs with depth until every LUN stays busy,
+// then plateaus while latency keeps growing — the classic knee.
+func E9QueueDepth(s Scale) Definition {
+	depth := func(d int) Variant {
+		return Variant{
+			Label:  fmt.Sprintf("depth=%d", d),
+			X:      float64(d),
+			Mutate: func(c *core.Config) { c.OS.QueueDepth = d },
+		}
+	}
+	return Definition{
+		Name: "E9-queue-depth",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			depth(1), depth(2), depth(4), depth(8), depth(16), depth(32), depth(64),
+		},
+		Prepare: fillSequential(32),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			count := 2000 * s.factor()
+			// Closed loop at the swept depth: the thread keeps exactly as
+			// many IOs outstanding as the OS may pass to the SSD, so the
+			// variant controls the offered concurrency end to end.
+			st.Add(&workload.RandomReader{From: 0, Space: n, Count: count,
+				Depth: st.Config().OS.QueueDepth}, after)
+		},
+	}
+}
+
+// E10AdvancedCmds toggles the advanced chip commands under GC-heavy
+// overwrite (§2.2 "aggressiveness of interleaving and copy-back").
+// Expected shape: copyback accelerates GC by skipping channel transfers;
+// interleaving overlaps transfers with array operations; both combine.
+func E10AdvancedCmds(s Scale) Definition {
+	feat := func(label string, copyback, interleave bool) Variant {
+		return Variant{Label: label, Mutate: func(c *core.Config) {
+			c.Controller.Features = flash.Features{Copyback: copyback, Interleaving: interleave}
+			c.Controller.GCCopyback = copyback
+		}}
+	}
+	return Definition{
+		Name: "E10-advanced-cmds",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			feat("baseline", false, false),
+			feat("copyback", true, false),
+			feat("interleaving", false, true),
+			feat("copyback+interleaving", true, true),
+		},
+		Prepare: fillAndAge(32, 1),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 32}, after)
+		},
+	}
+}
+
+// E11Aging contrasts a fresh device with an aged one under the same random
+// write burst (§2.3's device-preparation methodology, after uFLIP).
+// Expected shape: the aged device is markedly slower and shows WA > 1 —
+// which is why experiments must prepare the device before measuring.
+func E11Aging(s Scale) Definition {
+	return Definition{
+		Name: "E11-aging",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			{
+				Label: "fresh",
+				// Fresh still needs a barrier so both variants measure the
+				// same window; prepare nothing.
+				Prepare: func(st *core.Stack) []*workload.Handle { return nil },
+			},
+			{
+				Label:   "aged",
+				Prepare: fillAndAge(32, 2),
+			},
+		},
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: n / 2, Depth: 32}, after)
+		},
+	}
+}
+
+// GameWeights scores the demonstration game: maximize throughput while
+// balancing mean latency and latency variability between IO types (§3).
+type GameWeights struct {
+	// LatencyPenalty scales the mean of read and write latency (per µs).
+	LatencyPenalty float64
+	// BalancePenalty scales the |read - write| mean latency gap (per µs).
+	BalancePenalty float64
+	// VariabilityPenalty scales the summed latency std (per µs).
+	VariabilityPenalty float64
+}
+
+// DefaultGameWeights returns the scoring the demo uses. Penalties are per
+// millisecond of latency, gap and variability respectively.
+func DefaultGameWeights() GameWeights {
+	return GameWeights{LatencyPenalty: 0.1, BalancePenalty: 0.3, VariabilityPenalty: 0.1}
+}
+
+// Score computes the game's composite objective for one run: throughput
+// discounted by mean latency, by the read/write latency imbalance, and by
+// latency variability. Higher is better; the score stays positive, so it
+// reads as "effective IOPS".
+func (w GameWeights) Score(r core.Report) float64 {
+	rm, wm := r.ReadLatency.Mean.Millis(), r.WriteLatency.Mean.Millis()
+	gap := rm - wm
+	if gap < 0 {
+		gap = -gap
+	}
+	penalty := w.LatencyPenalty*(rm+wm) +
+		w.BalancePenalty*gap +
+		w.VariabilityPenalty*(r.ReadLatency.Std.Millis()+r.WriteLatency.Std.Millis())
+	return r.Throughput / (1 + penalty)
+}
+
+// E12Game exhaustively searches a subset of the SSD scheduling design space
+// — read/write preference × internal-IO ordering — for the combination
+// maximizing the game score on a fixed mixed workload (§3's game).
+// Expected shape: the optimum is a non-obvious combination; single-axis
+// intuition ("always prioritize reads", "always defer GC") loses.
+func E12Game(s Scale) Definition {
+	combos := []Variant{}
+	prefs := []struct {
+		name string
+		p    sched.Preference
+	}{{"none", sched.PreferNone}, {"reads", sched.PreferReads}, {"writes", sched.PreferWrites}}
+	internals := []struct {
+		name string
+		o    sched.InternalOrder
+	}{{"equal", sched.InternalEqual}, {"last", sched.InternalLast}, {"first", sched.InternalFirst}}
+	for _, pf := range prefs {
+		for _, in := range internals {
+			pf, in := pf, in
+			combos = append(combos, Variant{
+				Label: "prefer=" + pf.name + ",internal=" + in.name,
+				Mutate: func(c *core.Config) {
+					c.Controller.Policy = &sched.Priority{Prefer: pf.p, Internal: in.o}
+				},
+			})
+		}
+	}
+	return Definition{
+		Name:     "E12-game",
+		Base:     func() core.Config { return baseConfig(s) },
+		Variants: combos,
+		Prepare:  fillAndAge(32, 1),
+		Workload: func(st *core.Stack, after *workload.Handle) {
+			n := int64(st.LogicalPages())
+			count := 1000 * s.factor()
+			st.Add(&workload.ReadWriteMix{From: 0, Space: n, Count: count, ReadFraction: 0.6, Depth: 24}, after)
+		},
+	}
+}
+
+// Suite returns every predefined experiment at the given scale, in paper
+// order.
+func Suite(s Scale) []Definition {
+	return []Definition{
+		E1Parallelism(s), E2SchedPolicy(s), E3GCGreediness(s), E4WearLeveling(s),
+		E5Mapping(s), E6PriorityTag(s), E7UpdateLocality(s), E8Temperature(s),
+		E9QueueDepth(s), E10AdvancedCmds(s), E11Aging(s), E12Game(s),
+	}
+}

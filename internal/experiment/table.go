@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders the results as an aligned ASCII table with the standard
+// metric columns — the text-mode counterpart of the GUI's numeric panel.
+func (r Results) Table() string {
+	cols := []Metric{
+		MetricThroughput, MetricReadMean, MetricWriteMean,
+		MetricReadP99, MetricWriteP99, MetricReadStd, MetricWriteStd, MetricWA,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Name)
+	fmt.Fprintf(&b, "%-24s", "variant")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%16s", c.Name)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s", row.Label)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%16.2f", c.F(row.Report))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the results with every standard metric, one row per variant.
+func (r Results) CSV() string {
+	cols := []Metric{
+		MetricThroughput, MetricReadMean, MetricWriteMean,
+		MetricReadP99, MetricWriteP99, MetricReadStd, MetricWriteStd,
+		MetricWA, MetricGCPages, MetricWearSpread,
+	}
+	var b strings.Builder
+	b.WriteString("variant,x")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%g", csvEscape(row.Label), row.X)
+		for _, c := range cols {
+			fmt.Fprintf(&b, ",%g", c.F(row.Report))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Chart renders one metric as a horizontal text bar chart over the variants
+// — the text-mode stand-in for the suite's performance-vs-parameter graphs.
+func (r Results) Chart(m Metric, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, row := range r.Rows {
+		if v := m.F(row.Report); v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.Name, m.Name)
+	for _, row := range r.Rows {
+		v := m.F(row.Report)
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-24s |%-*s| %.2f\n", row.Label, width, strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// Timelines renders each variant's completion-rate sparkline — the suite's
+// metrics-over-time graphs. Empty when the definition recorded no series.
+func (r Results) Timelines() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		if row.Timeline == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %s\n", row.Label, row.Timeline)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s — completions over time\n%s", r.Name, b.String())
+}
+
+// Best returns the row maximizing the metric (ties: first).
+func (r Results) Best(m Metric) Row {
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if m.F(row.Report) > m.F(best.Report) {
+			best = row
+		}
+	}
+	return best
+}
+
+// Worst returns the row minimizing the metric (ties: first).
+func (r Results) Worst(m Metric) Row {
+	worst := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if m.F(row.Report) < m.F(worst.Report) {
+			worst = row
+		}
+	}
+	return worst
+}

@@ -1,0 +1,396 @@
+package flash
+
+import (
+	"fmt"
+
+	"eagletree/internal/sim"
+)
+
+// Schedule reports when a flash operation starts and completes, as computed
+// against current channel and LUN occupancy. Start is when the first bus
+// cycle happens; Done is when the operation's result is available (data
+// transferred for reads, programmed for writes, erased for erases).
+type Schedule struct {
+	Start sim.Time
+	Done  sim.Time
+}
+
+// Latency returns the span from request to completion, given the time the
+// operation was requested.
+func (s Schedule) Latency(requested sim.Time) sim.Duration { return s.Done.Sub(requested) }
+
+// Counters aggregates raw hardware operation counts, the denominator for
+// write amplification and wear statistics.
+type Counters struct {
+	Reads     uint64
+	Writes    uint64
+	Erases    uint64
+	Copybacks uint64
+}
+
+// Array is the flash memory array: page and block state plus channel and LUN
+// occupancy. It enforces NAND constraints (sequential programming within a
+// block, no overwrite without erase) and computes operation timing, but makes
+// no policy decisions.
+type Array struct {
+	geo    Geometry
+	timing Timing
+	feat   Features
+
+	pages    []PageState
+	blocks   []BlockMeta
+	channels []resource
+	luns     []resource
+
+	freePerLUN []int // count of free (fully erased, non-bad) blocks per LUN
+	counters   Counters
+}
+
+// NewArray builds an array with all pages free. It panics on invalid
+// geometry or timing: configurations are validated once at the public API
+// boundary and an invalid one here is a bug.
+func NewArray(geo Geometry, timing Timing, feat Features) *Array {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	if err := timing.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{
+		geo:        geo,
+		timing:     timing,
+		feat:       feat,
+		pages:      make([]PageState, geo.Pages()),
+		blocks:     make([]BlockMeta, geo.Blocks()),
+		channels:   make([]resource, geo.Channels),
+		luns:       make([]resource, geo.LUNs()),
+		freePerLUN: make([]int, geo.LUNs()),
+	}
+	for i := range a.freePerLUN {
+		a.freePerLUN[i] = geo.BlocksPerLUN
+	}
+	return a
+}
+
+// Geometry returns the array's shape.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing returns the chip timing parameters.
+func (a *Array) Timing() Timing { return a.timing }
+
+// Features returns the advanced command support flags.
+func (a *Array) Features() Features { return a.feat }
+
+// Counters returns cumulative operation counts.
+func (a *Array) Counters() Counters { return a.counters }
+
+// PageState returns the state of one physical page.
+func (a *Array) PageState(p PPA) PageState { return a.pages[a.geo.Index(p)] }
+
+// Block returns a copy of the block's metadata.
+func (a *Array) Block(b BlockID) BlockMeta { return a.blocks[a.geo.BlockIndex(b)] }
+
+// FreeBlocks returns the number of fully erased, non-bad blocks in a LUN.
+func (a *Array) FreeBlocks(lun int) int { return a.freePerLUN[lun] }
+
+// LUNFreeAt returns the first instant the LUN has no reservation after it.
+func (a *Array) LUNFreeAt(lun int) sim.Time { return a.luns[lun].freeAt() }
+
+// ChannelFreeAt returns the first instant the channel has no reservation
+// after it.
+func (a *Array) ChannelFreeAt(ch int) sim.Time { return a.channels[ch].freeAt() }
+
+// LUNBusy reports whether the LUN has a reservation covering now.
+func (a *Array) LUNBusy(lun int, now sim.Time) bool { return a.luns[lun].busyAt(now) }
+
+// Prune discards resource reservations that ended at or before now.
+func (a *Array) Prune(now sim.Time) {
+	for i := range a.channels {
+		a.channels[i].prune(now)
+	}
+	for i := range a.luns {
+		a.luns[i].prune(now)
+	}
+}
+
+func (a *Array) checkBounds(p PPA) error {
+	if !a.geo.Contains(p) {
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, p)
+	}
+	return nil
+}
+
+// ScheduleRead books a page read at or after `at` and returns its schedule.
+// The page must hold valid data.
+//
+// Phases: command on the channel, sense inside the LUN, data transfer back on
+// the channel. With interleaving the channel is free for other LUNs during
+// the sense window; without it the channel is held end to end.
+func (a *Array) ScheduleRead(p PPA, at sim.Time) (Schedule, error) {
+	if err := a.checkBounds(p); err != nil {
+		return Schedule{}, err
+	}
+	if a.pages[a.geo.Index(p)] != PageValid {
+		return Schedule{}, fmt.Errorf("%w: read %v (%v)", ErrNotValid, p, a.pages[a.geo.Index(p)])
+	}
+	ch := &a.channels[a.geo.ChannelOf(p.LUN)]
+	lun := &a.luns[p.LUN]
+	t := a.timing
+	var sched Schedule
+	if a.feat.Interleaving {
+		earliest := at
+		if f := lun.freeAt(); f > earliest {
+			earliest = f
+		}
+		cmdStart := ch.reserveEarliest(earliest, t.Cmd)
+		senseEnd := cmdStart.Add(t.Cmd + t.PageRead)
+		xferStart := ch.reserveEarliest(senseEnd, t.Transfer)
+		done := xferStart.Add(t.Transfer)
+		// The LUN holds the page register from command until data-out ends.
+		lun.reserveTail(cmdStart, done.Sub(cmdStart))
+		sched = Schedule{Start: cmdStart, Done: done}
+	} else {
+		total := t.Cmd + t.PageRead + t.Transfer
+		start := at
+		if f := ch.freeAt(); f > start {
+			start = f
+		}
+		if f := lun.freeAt(); f > start {
+			start = f
+		}
+		ch.reserveTail(start, total)
+		lun.reserveTail(start, total)
+		sched = Schedule{Start: start, Done: start.Add(total)}
+	}
+	a.counters.Reads++
+	return sched, nil
+}
+
+// ScheduleWrite books a page program at or after `at`. NAND constraints are
+// enforced: the page must be the block's next programmable page, the page
+// must be free, and the block must not be bad. On success the page becomes
+// valid immediately in simulator state (the single-threaded event loop makes
+// issue-time state transitions safe).
+func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
+	if err := a.checkBounds(p); err != nil {
+		return Schedule{}, err
+	}
+	blk := &a.blocks[a.geo.BlockIndex(p.BlockOf())]
+	switch {
+	case blk.Bad:
+		return Schedule{}, fmt.Errorf("%w: write %v", ErrBadBlock, p)
+	case p.Page != blk.WritePtr:
+		return Schedule{}, fmt.Errorf("%w: write %v, next programmable page is %d", ErrProgramOrder, p, blk.WritePtr)
+	case a.pages[a.geo.Index(p)] != PageFree:
+		return Schedule{}, fmt.Errorf("%w: write %v", ErrNotFree, p)
+	}
+
+	ch := &a.channels[a.geo.ChannelOf(p.LUN)]
+	lun := &a.luns[p.LUN]
+	t := a.timing
+	var sched Schedule
+	if a.feat.Interleaving {
+		earliest := at
+		if f := lun.freeAt(); f > earliest {
+			earliest = f
+		}
+		xferStart := ch.reserveEarliest(earliest, t.Cmd+t.Transfer)
+		done := xferStart.Add(t.Cmd + t.Transfer + t.PageWrite)
+		lun.reserveTail(xferStart, done.Sub(xferStart))
+		sched = Schedule{Start: xferStart, Done: done}
+	} else {
+		total := t.Cmd + t.Transfer + t.PageWrite
+		start := at
+		if f := ch.freeAt(); f > start {
+			start = f
+		}
+		if f := lun.freeAt(); f > start {
+			start = f
+		}
+		ch.reserveTail(start, total)
+		lun.reserveTail(start, total)
+		sched = Schedule{Start: start, Done: start.Add(total)}
+	}
+
+	if blk.Free() {
+		a.freePerLUN[p.LUN]--
+	}
+	a.pages[a.geo.Index(p)] = PageValid
+	blk.WritePtr++
+	blk.ValidPages++
+	a.counters.Writes++
+	return sched, nil
+}
+
+// ScheduleErase books a block erase at or after `at`. Erasing a block that
+// still holds valid pages is refused: the GC layer must migrate live data
+// first, and silently destroying it would hide GC bugs.
+func (a *Array) ScheduleErase(b BlockID, at sim.Time) (Schedule, error) {
+	if !a.geo.Contains(PPA{LUN: b.LUN, Block: b.Block}) {
+		return Schedule{}, fmt.Errorf("%w: %v", ErrOutOfBounds, b)
+	}
+	blk := &a.blocks[a.geo.BlockIndex(b)]
+	if blk.Bad {
+		return Schedule{}, fmt.Errorf("%w: erase %v", ErrBadBlock, b)
+	}
+	if blk.ValidPages > 0 {
+		return Schedule{}, fmt.Errorf("%w: erase %v with %d live pages", ErrEraseLivePage, b, blk.ValidPages)
+	}
+
+	ch := &a.channels[a.geo.ChannelOf(b.LUN)]
+	lun := &a.luns[b.LUN]
+	t := a.timing
+	var sched Schedule
+	if a.feat.Interleaving {
+		earliest := at
+		if f := lun.freeAt(); f > earliest {
+			earliest = f
+		}
+		cmdStart := ch.reserveEarliest(earliest, t.Cmd)
+		done := cmdStart.Add(t.Cmd + t.BlockErase)
+		lun.reserveTail(cmdStart, done.Sub(cmdStart))
+		sched = Schedule{Start: cmdStart, Done: done}
+	} else {
+		total := t.Cmd + t.BlockErase
+		start := at
+		if f := ch.freeAt(); f > start {
+			start = f
+		}
+		if f := lun.freeAt(); f > start {
+			start = f
+		}
+		ch.reserveTail(start, total)
+		lun.reserveTail(start, total)
+		sched = Schedule{Start: start, Done: start.Add(total)}
+	}
+
+	wasFree := blk.Free()
+	base := a.geo.Index(PPA{LUN: b.LUN, Block: b.Block, Page: 0})
+	for i := 0; i < a.geo.PagesPerBlock; i++ {
+		a.pages[base+i] = PageFree
+	}
+	blk.WritePtr = 0
+	blk.ValidPages = 0
+	blk.EraseCount++
+	blk.LastErase = sched.Done
+	if !wasFree {
+		a.freePerLUN[b.LUN]++
+	}
+	a.counters.Erases++
+	return sched, nil
+}
+
+// ScheduleCopyback books an intra-LUN page move through the chip's internal
+// page register: one sense plus one program, with only a command cycle on the
+// channel and no data transfer. The destination must satisfy the same NAND
+// constraints as a write; the source stays valid until the caller invalidates
+// it (GC erases the whole source block afterwards).
+func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
+	if !a.feat.Copyback {
+		return Schedule{}, ErrCopybackOff
+	}
+	if err := a.checkBounds(src); err != nil {
+		return Schedule{}, err
+	}
+	if err := a.checkBounds(dst); err != nil {
+		return Schedule{}, err
+	}
+	if src.LUN != dst.LUN {
+		return Schedule{}, fmt.Errorf("%w: %v -> %v", ErrCrossLUN, src, dst)
+	}
+	if a.pages[a.geo.Index(src)] != PageValid {
+		return Schedule{}, fmt.Errorf("%w: copyback from %v", ErrNotValid, src)
+	}
+	blk := &a.blocks[a.geo.BlockIndex(dst.BlockOf())]
+	switch {
+	case blk.Bad:
+		return Schedule{}, fmt.Errorf("%w: copyback to %v", ErrBadBlock, dst)
+	case dst.Page != blk.WritePtr:
+		return Schedule{}, fmt.Errorf("%w: copyback to %v, next programmable page is %d", ErrProgramOrder, dst, blk.WritePtr)
+	case a.pages[a.geo.Index(dst)] != PageFree:
+		return Schedule{}, fmt.Errorf("%w: copyback to %v", ErrNotFree, dst)
+	}
+
+	ch := &a.channels[a.geo.ChannelOf(src.LUN)]
+	lun := &a.luns[src.LUN]
+	t := a.timing
+	opLen := t.PageRead + t.PageWrite
+	var sched Schedule
+	if a.feat.Interleaving {
+		earliest := at
+		if f := lun.freeAt(); f > earliest {
+			earliest = f
+		}
+		cmdStart := ch.reserveEarliest(earliest, t.Cmd)
+		done := cmdStart.Add(t.Cmd + opLen)
+		lun.reserveTail(cmdStart, done.Sub(cmdStart))
+		sched = Schedule{Start: cmdStart, Done: done}
+	} else {
+		total := t.Cmd + opLen
+		start := at
+		if f := ch.freeAt(); f > start {
+			start = f
+		}
+		if f := lun.freeAt(); f > start {
+			start = f
+		}
+		ch.reserveTail(start, total)
+		lun.reserveTail(start, total)
+		sched = Schedule{Start: start, Done: start.Add(total)}
+	}
+
+	if blk.Free() {
+		a.freePerLUN[dst.LUN]--
+	}
+	a.pages[a.geo.Index(dst)] = PageValid
+	blk.WritePtr++
+	blk.ValidPages++
+	a.counters.Copybacks++
+	return sched, nil
+}
+
+// Invalidate marks a valid page stale (an overwrite left a before-image).
+func (a *Array) Invalidate(p PPA) error {
+	if err := a.checkBounds(p); err != nil {
+		return err
+	}
+	idx := a.geo.Index(p)
+	switch a.pages[idx] {
+	case PageValid:
+		a.pages[idx] = PageInvalid
+		a.blocks[a.geo.BlockIndex(p.BlockOf())].ValidPages--
+		return nil
+	case PageInvalid:
+		return fmt.Errorf("%w: %v", ErrAlreadyStale, p)
+	default:
+		return fmt.Errorf("%w: invalidate %v", ErrNotValid, p)
+	}
+}
+
+// MarkBad retires a block. A free block leaves the free pool; a bad block is
+// never erased, written or counted free again.
+func (a *Array) MarkBad(b BlockID) {
+	blk := &a.blocks[a.geo.BlockIndex(b)]
+	if blk.Bad {
+		return
+	}
+	if blk.Free() {
+		a.freePerLUN[b.LUN]--
+	}
+	blk.Bad = true
+}
+
+// EraseCounts returns every block's erase count, indexed by BlockIndex.
+// Wear-leveling statistics and experiment reports consume this.
+func (a *Array) EraseCounts() []int {
+	out := make([]int, len(a.blocks))
+	for i := range a.blocks {
+		out[i] = a.blocks[i].EraseCount
+	}
+	return out
+}
+
+// ValidPagesIn returns the live-page count of a block (GC victim selection).
+func (a *Array) ValidPagesIn(b BlockID) int {
+	return a.blocks[a.geo.BlockIndex(b)].ValidPages
+}

@@ -1,0 +1,104 @@
+// Package flash models the SSD hardware layer: the flash memory array, its
+// geometry (channels × LUNs × blocks × pages), per-operation timings for SLC
+// and MLC chips, and the occupancy of the shared buses (channels) and logical
+// units (LUNs).
+//
+// Following the ONFI terminology the paper adopts, the LUN is the minimum
+// granularity of parallelism: packages, chips and dies are abstracted away.
+// The package is passive — it validates state transitions and computes when
+// an operation can start and finish given current resource occupancy — while
+// all decisions (which IO, which LUN, when) belong to the controller layer.
+package flash
+
+import "fmt"
+
+// Geometry describes the physical shape of the simulated SSD.
+type Geometry struct {
+	Channels       int // independent buses to the controller
+	LUNsPerChannel int // parallel units wired to each channel
+	BlocksPerLUN   int // erase blocks per LUN
+	PagesPerBlock  int // program pages per erase block
+	PageSize       int // bytes per page, data transfer granularity
+}
+
+// Validate reports an error if any dimension is non-positive.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("flash: Channels = %d, must be positive", g.Channels)
+	case g.LUNsPerChannel <= 0:
+		return fmt.Errorf("flash: LUNsPerChannel = %d, must be positive", g.LUNsPerChannel)
+	case g.BlocksPerLUN <= 0:
+		return fmt.Errorf("flash: BlocksPerLUN = %d, must be positive", g.BlocksPerLUN)
+	case g.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock = %d, must be positive", g.PagesPerBlock)
+	case g.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize = %d, must be positive", g.PageSize)
+	}
+	return nil
+}
+
+// LUNs returns the total number of LUNs in the array.
+func (g Geometry) LUNs() int { return g.Channels * g.LUNsPerChannel }
+
+// Blocks returns the total number of erase blocks in the array.
+func (g Geometry) Blocks() int { return g.LUNs() * g.BlocksPerLUN }
+
+// Pages returns the total number of physical pages in the array.
+func (g Geometry) Pages() int { return g.Blocks() * g.PagesPerBlock }
+
+// Bytes returns the raw capacity of the array in bytes.
+func (g Geometry) Bytes() int64 { return int64(g.Pages()) * int64(g.PageSize) }
+
+// PagesPerLUN returns the number of physical pages per LUN.
+func (g Geometry) PagesPerLUN() int { return g.BlocksPerLUN * g.PagesPerBlock }
+
+// ChannelOf returns the channel a LUN is wired to.
+func (g Geometry) ChannelOf(lun int) int { return lun / g.LUNsPerChannel }
+
+// PPA identifies one physical page by LUN-relative coordinates.
+// LUN indexes the whole array (channel = LUN / LUNsPerChannel).
+type PPA struct {
+	LUN   int
+	Block int // block index within the LUN
+	Page  int // page index within the block
+}
+
+func (p PPA) String() string {
+	return fmt.Sprintf("lun%d/blk%d/pg%d", p.LUN, p.Block, p.Page)
+}
+
+// Index linearizes the PPA to a dense array index under geometry g.
+func (g Geometry) Index(p PPA) int {
+	return (p.LUN*g.BlocksPerLUN+p.Block)*g.PagesPerBlock + p.Page
+}
+
+// PPAOf is the inverse of Index.
+func (g Geometry) PPAOf(index int) PPA {
+	page := index % g.PagesPerBlock
+	index /= g.PagesPerBlock
+	block := index % g.BlocksPerLUN
+	lun := index / g.BlocksPerLUN
+	return PPA{LUN: lun, Block: block, Page: page}
+}
+
+// BlockID identifies an erase block across the whole array.
+type BlockID struct {
+	LUN   int
+	Block int
+}
+
+func (b BlockID) String() string { return fmt.Sprintf("lun%d/blk%d", b.LUN, b.Block) }
+
+// BlockIndex linearizes a BlockID to a dense index under geometry g.
+func (g Geometry) BlockIndex(b BlockID) int { return b.LUN*g.BlocksPerLUN + b.Block }
+
+// BlockOf returns the block containing the page.
+func (p PPA) BlockOf() BlockID { return BlockID{LUN: p.LUN, Block: p.Block} }
+
+// Contains reports whether the PPA is within the geometry's bounds.
+func (g Geometry) Contains(p PPA) bool {
+	return p.LUN >= 0 && p.LUN < g.LUNs() &&
+		p.Block >= 0 && p.Block < g.BlocksPerLUN &&
+		p.Page >= 0 && p.Page < g.PagesPerBlock
+}

@@ -1,0 +1,144 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeo() Geometry {
+	return Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 8, PagesPerBlock: 4, PageSize: 4096}
+}
+
+func TestGeometryTotals(t *testing.T) {
+	g := testGeo()
+	if g.LUNs() != 4 {
+		t.Errorf("LUNs = %d, want 4", g.LUNs())
+	}
+	if g.Blocks() != 32 {
+		t.Errorf("Blocks = %d, want 32", g.Blocks())
+	}
+	if g.Pages() != 128 {
+		t.Errorf("Pages = %d, want 128", g.Pages())
+	}
+	if g.Bytes() != 128*4096 {
+		t.Errorf("Bytes = %d, want %d", g.Bytes(), 128*4096)
+	}
+	if g.PagesPerLUN() != 32 {
+		t.Errorf("PagesPerLUN = %d, want 32", g.PagesPerLUN())
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeo().Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []Geometry{
+		{Channels: 0, LUNsPerChannel: 1, BlocksPerLUN: 1, PagesPerBlock: 1, PageSize: 1},
+		{Channels: 1, LUNsPerChannel: 0, BlocksPerLUN: 1, PagesPerBlock: 1, PageSize: 1},
+		{Channels: 1, LUNsPerChannel: 1, BlocksPerLUN: 0, PagesPerBlock: 1, PageSize: 1},
+		{Channels: 1, LUNsPerChannel: 1, BlocksPerLUN: 1, PagesPerBlock: 0, PageSize: 1},
+		{Channels: 1, LUNsPerChannel: 1, BlocksPerLUN: 1, PagesPerBlock: 1, PageSize: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid geometry accepted", i)
+		}
+	}
+}
+
+func TestGeometryChannelOf(t *testing.T) {
+	g := testGeo() // 2 LUNs per channel
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1}
+	for lun, want := range cases {
+		if got := g.ChannelOf(lun); got != want {
+			t.Errorf("ChannelOf(%d) = %d, want %d", lun, got, want)
+		}
+	}
+}
+
+func TestGeometryIndexRoundTrip(t *testing.T) {
+	g := testGeo()
+	seen := make(map[int]bool)
+	for lun := 0; lun < g.LUNs(); lun++ {
+		for b := 0; b < g.BlocksPerLUN; b++ {
+			for p := 0; p < g.PagesPerBlock; p++ {
+				ppa := PPA{LUN: lun, Block: b, Page: p}
+				idx := g.Index(ppa)
+				if idx < 0 || idx >= g.Pages() {
+					t.Fatalf("Index(%v) = %d out of range", ppa, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("Index(%v) = %d collides", ppa, idx)
+				}
+				seen[idx] = true
+				if back := g.PPAOf(idx); back != ppa {
+					t.Fatalf("PPAOf(Index(%v)) = %v", ppa, back)
+				}
+			}
+		}
+	}
+}
+
+func TestGeometryIndexRoundTripProperty(t *testing.T) {
+	f := func(c, l, b, p uint8) bool {
+		g := Geometry{
+			Channels:       int(c%4) + 1,
+			LUNsPerChannel: int(l%4) + 1,
+			BlocksPerLUN:   int(b%16) + 1,
+			PagesPerBlock:  int(p%16) + 1,
+			PageSize:       4096,
+		}
+		for idx := 0; idx < g.Pages(); idx++ {
+			if g.Index(g.PPAOf(idx)) != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryContains(t *testing.T) {
+	g := testGeo()
+	if !g.Contains(PPA{LUN: 3, Block: 7, Page: 3}) {
+		t.Error("last page reported out of bounds")
+	}
+	for _, p := range []PPA{
+		{LUN: 4, Block: 0, Page: 0},
+		{LUN: 0, Block: 8, Page: 0},
+		{LUN: 0, Block: 0, Page: 4},
+		{LUN: -1, Block: 0, Page: 0},
+	} {
+		if g.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	for _, tm := range []Timing{TimingSLC(), TimingMLC()} {
+		if err := tm.Validate(); err != nil {
+			t.Errorf("preset %v rejected: %v", tm.Cell, err)
+		}
+	}
+	bad := TimingSLC()
+	bad.PageWrite = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero PageWrite accepted")
+	}
+}
+
+func TestTimingPresetsOrdering(t *testing.T) {
+	slc, mlc := TimingSLC(), TimingMLC()
+	if mlc.PageWrite <= slc.PageWrite {
+		t.Error("MLC program should be slower than SLC")
+	}
+	if mlc.EnduranceLimit >= slc.EnduranceLimit {
+		t.Error("MLC endurance should be below SLC")
+	}
+	if slc.Cell.String() != "SLC" || mlc.Cell.String() != "MLC" {
+		t.Error("CellType String() wrong")
+	}
+}

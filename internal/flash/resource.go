@@ -1,0 +1,100 @@
+package flash
+
+import "eagletree/internal/sim"
+
+// resource tracks the busy intervals of one exclusive hardware resource
+// (a channel or a LUN). Reservations are half-open intervals [start, end).
+//
+// Two reservation disciplines are supported:
+//
+//   - reserveTail: the operation queues behind everything already booked.
+//     This models a channel without interleaving, which is held for whole
+//     operations, and LUNs, which execute one operation at a time.
+//   - reserveEarliest: the operation slots into the earliest gap large
+//     enough, at or after the requested time. This models an interleaved
+//     channel, where command and data phases of different operations share
+//     the bus between each other's chip-internal phases.
+type resource struct {
+	intervals []interval // sorted by start, non-overlapping
+}
+
+type interval struct {
+	start, end sim.Time
+}
+
+// freeAt returns the end of the last reservation, i.e. the first instant with
+// nothing booked after it.
+func (r *resource) freeAt() sim.Time {
+	if len(r.intervals) == 0 {
+		return 0
+	}
+	return r.intervals[len(r.intervals)-1].end
+}
+
+// reserveTail books [max(at, tail), +d) behind all existing reservations and
+// returns the start time.
+func (r *resource) reserveTail(at sim.Time, d sim.Duration) sim.Time {
+	start := at
+	if tail := r.freeAt(); tail > start {
+		start = tail
+	}
+	r.intervals = append(r.intervals, interval{start, start.Add(d)})
+	return start
+}
+
+// reserveEarliest books d time units in the earliest gap beginning at or
+// after at, and returns the start time.
+func (r *resource) reserveEarliest(at sim.Time, d sim.Duration) sim.Time {
+	// Find the first gap [gapStart, gapEnd) with gapEnd-gapStart >= d and
+	// gapStart >= at (clamping gap starts up to at).
+	prevEnd := sim.Time(0)
+	for i, iv := range r.intervals {
+		gapStart := prevEnd
+		if gapStart < at {
+			gapStart = at
+		}
+		if iv.start >= gapStart && iv.start.Sub(gapStart) >= d {
+			r.insert(i, interval{gapStart, gapStart.Add(d)})
+			return gapStart
+		}
+		prevEnd = iv.end
+	}
+	start := prevEnd
+	if start < at {
+		start = at
+	}
+	r.intervals = append(r.intervals, interval{start, start.Add(d)})
+	return start
+}
+
+func (r *resource) insert(i int, iv interval) {
+	r.intervals = append(r.intervals, interval{})
+	copy(r.intervals[i+1:], r.intervals[i:])
+	r.intervals[i] = iv
+}
+
+// prune discards reservations that ended at or before now. The controller
+// calls it periodically so interval lists stay short.
+func (r *resource) prune(now sim.Time) {
+	keep := 0
+	for _, iv := range r.intervals {
+		if iv.end > now {
+			r.intervals[keep] = iv
+			keep++
+		}
+	}
+	r.intervals = r.intervals[:keep]
+}
+
+// busyAt reports whether the resource has a reservation covering t.
+func (r *resource) busyAt(t sim.Time) bool {
+	for _, iv := range r.intervals {
+		if iv.start <= t && t < iv.end {
+			return true
+		}
+		if iv.start > t {
+			break
+		}
+	}
+	return false
+}

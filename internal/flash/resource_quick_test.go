@@ -1,0 +1,130 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eagletree/internal/sim"
+)
+
+// TestResourceReservationsNeverOverlap: whatever mix of tail and earliest
+// reservations is thrown at a resource, its committed intervals never
+// overlap and every reservation starts at or after its requested time.
+func TestResourceReservationsNeverOverlap(t *testing.T) {
+	f := func(ops []struct {
+		At       uint16
+		Dur      uint8
+		Earliest bool
+	}) bool {
+		var r resource
+		for _, op := range ops {
+			at := sim.Time(op.At)
+			d := sim.Duration(op.Dur) + 1
+			var start sim.Time
+			if op.Earliest {
+				start = r.reserveEarliest(at, d)
+			} else {
+				start = r.reserveTail(at, d)
+			}
+			if start < at {
+				t.Logf("reservation at %v started %v, before requested", at, start)
+				return false
+			}
+		}
+		// Sort-free overlap check: intervals must be pairwise disjoint.
+		for i := 0; i < len(r.intervals); i++ {
+			for j := i + 1; j < len(r.intervals); j++ {
+				a, b := r.intervals[i], r.intervals[j]
+				if a.start < b.end && b.start < a.end {
+					t.Logf("overlap %v-%v with %v-%v", a.start, a.end, b.start, b.end)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourceEarliestIsSorted: reserveEarliest must keep the interval list
+// sorted by start time (its gap search depends on it).
+func TestResourceEarliestIsSorted(t *testing.T) {
+	f := func(ops []struct {
+		At  uint16
+		Dur uint8
+	}) bool {
+		var r resource
+		for _, op := range ops {
+			r.reserveEarliest(sim.Time(op.At), sim.Duration(op.Dur)+1)
+		}
+		for i := 1; i < len(r.intervals); i++ {
+			if r.intervals[i-1].start > r.intervals[i].start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourcePrunePreservesFuture: pruning at any instant drops only
+// intervals that ended at or before it.
+func TestResourcePrunePreservesFuture(t *testing.T) {
+	f := func(ops []struct {
+		At  uint16
+		Dur uint8
+	}, cut uint16) bool {
+		var r resource
+		for _, op := range ops {
+			r.reserveTail(sim.Time(op.At), sim.Duration(op.Dur)+1)
+		}
+		var want int
+		for _, iv := range r.intervals {
+			if iv.end > sim.Time(cut) {
+				want++
+			}
+		}
+		r.prune(sim.Time(cut))
+		if len(r.intervals) != want {
+			return false
+		}
+		for _, iv := range r.intervals {
+			if iv.end <= sim.Time(cut) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusyAtMatchesIntervals: busyAt answers exactly "is t inside some
+// reservation".
+func TestBusyAtMatchesIntervals(t *testing.T) {
+	f := func(ops []struct {
+		At  uint16
+		Dur uint8
+	}, probe uint16) bool {
+		var r resource
+		for _, op := range ops {
+			r.reserveTail(sim.Time(op.At), sim.Duration(op.Dur)+1)
+		}
+		tp := sim.Time(probe)
+		want := false
+		for _, iv := range r.intervals {
+			if iv.start <= tp && tp < iv.end {
+				want = true
+			}
+		}
+		return r.busyAt(tp) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package flash
+
+import (
+	"testing"
+
+	"eagletree/internal/sim"
+)
+
+func TestResourceTailSerializes(t *testing.T) {
+	var r resource
+	s1 := r.reserveTail(0, 100)
+	s2 := r.reserveTail(0, 100)
+	s3 := r.reserveTail(50, 100)
+	if s1 != 0 || s2 != 100 || s3 != 200 {
+		t.Fatalf("tail starts = %v %v %v, want 0 100 200", s1, s2, s3)
+	}
+	if r.freeAt() != 300 {
+		t.Fatalf("freeAt = %v, want 300", r.freeAt())
+	}
+}
+
+func TestResourceTailRespectsRequestTime(t *testing.T) {
+	var r resource
+	if s := r.reserveTail(500, 10); s != 500 {
+		t.Fatalf("idle tail reservation started at %v, want 500", s)
+	}
+}
+
+func TestResourceEarliestFillsGap(t *testing.T) {
+	var r resource
+	r.reserveTail(0, 100)   // [0,100)
+	r.reserveTail(300, 100) // [300,400)
+	s := r.reserveEarliest(0, 50)
+	if s != 100 {
+		t.Fatalf("gap reservation started at %v, want 100", s)
+	}
+	// The gap [150,300) still has 150 units; a 200-unit op must go after 400.
+	s2 := r.reserveEarliest(0, 200)
+	if s2 != 400 {
+		t.Fatalf("oversized op started at %v, want 400", s2)
+	}
+}
+
+func TestResourceEarliestHonorsAt(t *testing.T) {
+	var r resource
+	r.reserveTail(0, 100)   // [0,100)
+	r.reserveTail(200, 100) // [200,300)
+	// Gap [100,200) exists, but the op cannot start before 150.
+	s := r.reserveEarliest(150, 50)
+	if s != 150 {
+		t.Fatalf("clamped gap reservation started at %v, want 150", s)
+	}
+}
+
+func TestResourceEarliestKeepsSortedNonOverlapping(t *testing.T) {
+	var r resource
+	rng := sim.NewRNG(99)
+	for i := 0; i < 500; i++ {
+		at := sim.Time(rng.Intn(10000))
+		d := sim.Duration(rng.Intn(50) + 1)
+		if rng.Intn(2) == 0 {
+			r.reserveEarliest(at, d)
+		} else {
+			r.reserveTail(at, d)
+		}
+	}
+	for i := 1; i < len(r.intervals); i++ {
+		prev, cur := r.intervals[i-1], r.intervals[i]
+		if cur.start < prev.end {
+			t.Fatalf("intervals overlap or unsorted at %d: %v then %v", i, prev, cur)
+		}
+	}
+}
+
+func TestResourcePrune(t *testing.T) {
+	var r resource
+	r.reserveTail(0, 100)
+	r.reserveTail(0, 100)
+	r.reserveTail(0, 100)
+	r.prune(150)
+	if len(r.intervals) != 2 {
+		t.Fatalf("after prune(150): %d intervals, want 2", len(r.intervals))
+	}
+	if r.freeAt() != 300 {
+		t.Fatalf("prune changed tail: freeAt = %v", r.freeAt())
+	}
+}
+
+func TestResourceBusyAt(t *testing.T) {
+	var r resource
+	r.reserveTail(100, 50) // [100,150)
+	cases := map[sim.Time]bool{99: false, 100: true, 149: true, 150: false}
+	for at, want := range cases {
+		if got := r.busyAt(at); got != want {
+			t.Errorf("busyAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+}

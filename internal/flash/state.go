@@ -1,0 +1,68 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"eagletree/internal/sim"
+)
+
+// PageState tracks the lifecycle of one physical page.
+type PageState uint8
+
+const (
+	// PageFree means erased and programmable.
+	PageFree PageState = iota
+	// PageValid holds live data some logical page maps to.
+	PageValid
+	// PageInvalid holds a stale before-image awaiting garbage collection.
+	PageInvalid
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// BlockMeta is the per-erase-block bookkeeping the controller layers consult:
+// garbage collection needs ValidPages, wear leveling needs EraseCount and
+// LastErase, bad-block management needs Bad.
+type BlockMeta struct {
+	EraseCount int      // program/erase cycles so far (the block's "age")
+	LastErase  sim.Time // when the block was last erased
+	ValidPages int      // live pages in the block
+	WritePtr   int      // next programmable page index (NAND programs in order)
+	Bad        bool     // retired block, never used again
+}
+
+// Free reports whether the block is fully erased and unused.
+func (b BlockMeta) Free() bool { return !b.Bad && b.WritePtr == 0 }
+
+// Full reports whether every page has been programmed.
+func (b BlockMeta) Full(pagesPerBlock int) bool { return b.WritePtr >= pagesPerBlock }
+
+// InvalidPages returns the count of stale pages given the geometry.
+func (b BlockMeta) InvalidPages() int { return b.WritePtr - b.ValidPages }
+
+// Errors returned by Array state transitions. All are programming errors in
+// the FTL or GC layer, not recoverable runtime conditions, but they are
+// returned (not panicked) so tests can assert on them.
+var (
+	ErrOutOfBounds   = errors.New("flash: address out of bounds")
+	ErrNotValid      = errors.New("flash: page does not hold valid data")
+	ErrNotFree       = errors.New("flash: page is not free")
+	ErrProgramOrder  = errors.New("flash: pages must be programmed sequentially within a block")
+	ErrBadBlock      = errors.New("flash: block is marked bad")
+	ErrCopybackOff   = errors.New("flash: copyback not supported by this chip")
+	ErrCrossLUN      = errors.New("flash: copyback source and destination must share a LUN")
+	ErrAlreadyStale  = errors.New("flash: page already invalid")
+	ErrEraseLivePage = errors.New("flash: erasing block that still holds valid pages")
+)

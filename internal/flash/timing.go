@@ -1,0 +1,102 @@
+package flash
+
+import (
+	"fmt"
+
+	"eagletree/internal/sim"
+)
+
+// CellType distinguishes flash cell technologies, which differ mainly in
+// program/erase latency and endurance.
+type CellType int
+
+const (
+	SLC CellType = iota // single-level cell: fast, high endurance
+	MLC                 // multi-level cell: denser, slower writes, lower endurance
+)
+
+func (c CellType) String() string {
+	switch c {
+	case SLC:
+		return "SLC"
+	case MLC:
+		return "MLC"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// Timing holds the basic flash chip timings the paper lists: sending a
+// command, transferring one page of data on a channel, and the chip-internal
+// read (sense), write (program) and erase operations.
+type Timing struct {
+	Cell       CellType
+	Cmd        sim.Duration // command/address cycle on the channel
+	Transfer   sim.Duration // one full page of data on the channel
+	PageRead   sim.Duration // array sense time (tR)
+	PageWrite  sim.Duration // array program time (tPROG)
+	BlockErase sim.Duration // block erase time (tBERS)
+
+	// EnduranceLimit is the nominal program/erase cycle budget per block,
+	// used by wear statistics; the simulator does not destroy blocks that
+	// pass it, it reports them.
+	EnduranceLimit int
+}
+
+// Validate reports an error if any latency is non-positive.
+func (t Timing) Validate() error {
+	switch {
+	case t.Cmd <= 0:
+		return fmt.Errorf("flash: Cmd latency %v, must be positive", t.Cmd)
+	case t.Transfer <= 0:
+		return fmt.Errorf("flash: Transfer latency %v, must be positive", t.Transfer)
+	case t.PageRead <= 0:
+		return fmt.Errorf("flash: PageRead latency %v, must be positive", t.PageRead)
+	case t.PageWrite <= 0:
+		return fmt.Errorf("flash: PageWrite latency %v, must be positive", t.PageWrite)
+	case t.BlockErase <= 0:
+		return fmt.Errorf("flash: BlockErase latency %v, must be positive", t.BlockErase)
+	case t.EnduranceLimit <= 0:
+		return fmt.Errorf("flash: EnduranceLimit %d, must be positive", t.EnduranceLimit)
+	}
+	return nil
+}
+
+// TimingSLC returns timings typical of ONFI-class SLC datasheets
+// (tR 25us, tPROG 200us, tBERS 1.5ms, ~400MB/s channel → ~10us per 4KiB page).
+func TimingSLC() Timing {
+	return Timing{
+		Cell:           SLC,
+		Cmd:            200 * sim.Nanosecond,
+		Transfer:       10 * sim.Microsecond,
+		PageRead:       25 * sim.Microsecond,
+		PageWrite:      200 * sim.Microsecond,
+		BlockErase:     1500 * sim.Microsecond,
+		EnduranceLimit: 100_000,
+	}
+}
+
+// TimingMLC returns timings typical of MLC datasheets
+// (tR 50us, tPROG 900us, tBERS 3ms).
+func TimingMLC() Timing {
+	return Timing{
+		Cell:           MLC,
+		Cmd:            200 * sim.Nanosecond,
+		Transfer:       10 * sim.Microsecond,
+		PageRead:       50 * sim.Microsecond,
+		PageWrite:      900 * sim.Microsecond,
+		BlockErase:     3000 * sim.Microsecond,
+		EnduranceLimit: 5_000,
+	}
+}
+
+// Features describes the advanced command set of the simulated chips.
+type Features struct {
+	// Copyback allows a page to be moved within a LUN through the chip's
+	// internal page register, avoiding both channel transfers.
+	Copyback bool
+	// Interleaving allows the channel to serve other LUNs while one LUN is
+	// busy sensing, programming or erasing. Without it the channel is held
+	// for the full duration of each operation.
+	Interleaving bool
+}

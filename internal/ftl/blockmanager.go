@@ -1,0 +1,276 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"eagletree/internal/flash"
+)
+
+// Stream identifies a write frontier. Each (LUN, stream) pair fills its own
+// open block, so pages written through one stream land together — the
+// mechanism behind hot/cold separation, GC isolation and update-locality
+// grouping.
+type Stream uint8
+
+// Base streams. Locality groups map to dedicated streams above these.
+const (
+	StreamDefault Stream = iota // untagged application writes
+	StreamGC                    // garbage-collection migrations, temperature unknown
+	StreamWL                    // wear-leveling migrations (cold by definition)
+	StreamHot                   // data known or detected hot
+	StreamCold                  // data known or detected cold
+	StreamGCHot                 // GC migrations of known-hot pages
+	StreamGCCold                // GC migrations of known-cold pages
+	numBaseStreams
+)
+
+// MaxLocalityStreams bounds how many concurrent update-locality groups get
+// their own write frontier; groups hash onto these.
+const MaxLocalityStreams = 8
+
+// LocalityStream returns the stream for an update-locality group.
+func LocalityStream(group int) Stream {
+	if group < 0 {
+		group = -group
+	}
+	return numBaseStreams + Stream(group%MaxLocalityStreams)
+}
+
+func (s Stream) String() string {
+	switch s {
+	case StreamDefault:
+		return "default"
+	case StreamGC:
+		return "gc"
+	case StreamWL:
+		return "wl"
+	case StreamHot:
+		return "hot"
+	case StreamCold:
+		return "cold"
+	case StreamGCHot:
+		return "gc-hot"
+	case StreamGCCold:
+		return "gc-cold"
+	default:
+		return fmt.Sprintf("loc%d", int(s-numBaseStreams))
+	}
+}
+
+// internal reports whether the stream belongs to the controller itself.
+// Internal streams may dig into the GC reserve; application streams may not,
+// otherwise GC could find no free block to migrate into and deadlock.
+func (s Stream) internal() bool {
+	return s == StreamGC || s == StreamWL || s == StreamGCHot || s == StreamGCCold
+}
+
+// cold reports whether the stream should prefer old (high-erase-count)
+// blocks under dynamic wear leveling.
+func (s Stream) cold() bool { return s == StreamCold || s == StreamWL || s == StreamGCCold }
+
+type openBlock struct {
+	block int // block index within the LUN
+	next  int // next page to program
+}
+
+type lunState struct {
+	free []int // free data-region block indices, sorted young -> old when ageAware
+	open map[Stream]*openBlock
+}
+
+// BlockManager owns physical space allocation for the data region: per-LUN
+// free block pools and one open block per active write stream. The first
+// ReservedTrans blocks of every LUN are carved out for the mapping scheme's
+// translation log and never appear in the data pools.
+type BlockManager struct {
+	array         *flash.Array
+	geo           flash.Geometry
+	reservedTrans int
+	gcReserve     int
+	ageAware      bool
+	luns          []lunState
+}
+
+// NewBlockManager carves the array into translation and data regions and
+// fills the free pools. gcReserve free blocks per LUN are kept back from
+// application streams so internal migrations always find space; ageAware
+// enables dynamic wear leveling (young blocks to hot streams, old to cold).
+func NewBlockManager(array *flash.Array, reservedTrans, gcReserve int, ageAware bool) *BlockManager {
+	geo := array.Geometry()
+	if reservedTrans < 0 || reservedTrans >= geo.BlocksPerLUN {
+		panic(fmt.Sprintf("ftl: reservedTrans %d out of range for %d blocks/LUN", reservedTrans, geo.BlocksPerLUN))
+	}
+	if gcReserve < 1 {
+		gcReserve = 1
+	}
+	bm := &BlockManager{
+		array:         array,
+		geo:           geo,
+		reservedTrans: reservedTrans,
+		gcReserve:     gcReserve,
+		ageAware:      ageAware,
+		luns:          make([]lunState, geo.LUNs()),
+	}
+	for lun := range bm.luns {
+		st := &bm.luns[lun]
+		st.open = make(map[Stream]*openBlock)
+		st.free = make([]int, 0, geo.BlocksPerLUN-reservedTrans)
+		for b := reservedTrans; b < geo.BlocksPerLUN; b++ {
+			if array.Block(flash.BlockID{LUN: lun, Block: b}).Bad {
+				continue // factory bad block: never part of any pool
+			}
+			st.free = append(st.free, b)
+		}
+		if ageAware {
+			lun := lun
+			sort.SliceStable(st.free, func(i, j int) bool {
+				ei := array.Block(flash.BlockID{LUN: lun, Block: st.free[i]}).EraseCount
+				ej := array.Block(flash.BlockID{LUN: lun, Block: st.free[j]}).EraseCount
+				return ei < ej
+			})
+		}
+	}
+	return bm
+}
+
+// ReservedTrans returns the number of translation blocks per LUN.
+func (bm *BlockManager) ReservedTrans() int { return bm.reservedTrans }
+
+// GCReserve returns the per-LUN free-block floor kept for internal streams.
+func (bm *BlockManager) GCReserve() int { return bm.gcReserve }
+
+// LUNs returns the number of LUNs the manager spans.
+func (bm *BlockManager) LUNs() int { return len(bm.luns) }
+
+// PagesPerBlock returns the page count of one erase block.
+func (bm *BlockManager) PagesPerBlock() int { return bm.geo.PagesPerBlock }
+
+// DataBlocksPerLUN returns the block count of the data region per LUN,
+// including any bad blocks.
+func (bm *BlockManager) DataBlocksPerLUN() int { return bm.geo.BlocksPerLUN - bm.reservedTrans }
+
+// DataPages returns the total usable physical page count of the data region
+// (bad blocks excluded) — the basis for the exported logical capacity.
+func (bm *BlockManager) DataPages() int {
+	pages := 0
+	for lun := range bm.luns {
+		bm.DataBlocks(lun, func(flash.BlockID, flash.BlockMeta) { pages += bm.geo.PagesPerBlock })
+	}
+	return pages
+}
+
+// FreeCount returns the number of fully free data blocks in a LUN (open
+// blocks being filled do not count).
+func (bm *BlockManager) FreeCount(lun int) int { return len(bm.luns[lun].free) }
+
+// Alloc returns the next physical page for a write on the given LUN and
+// stream. It returns ErrOutOfSpace if only the GC reserve remains and the
+// stream is external, or ErrNoFreeBlock if the LUN is exhausted entirely.
+func (bm *BlockManager) Alloc(lun int, stream Stream) (flash.PPA, error) {
+	st := &bm.luns[lun]
+	ob := st.open[stream]
+	if ob == nil {
+		b, err := bm.takeFree(lun, stream)
+		if err != nil {
+			return flash.PPA{}, err
+		}
+		ob = &openBlock{block: b}
+		st.open[stream] = ob
+	}
+	ppa := flash.PPA{LUN: lun, Block: ob.block, Page: ob.next}
+	ob.next++
+	if ob.next >= bm.geo.PagesPerBlock {
+		delete(st.open, stream)
+	}
+	return ppa, nil
+}
+
+// CanAlloc reports whether Alloc would succeed for the stream on this LUN.
+func (bm *BlockManager) CanAlloc(lun int, stream Stream) bool {
+	st := &bm.luns[lun]
+	if st.open[stream] != nil {
+		return true
+	}
+	if stream.internal() {
+		return len(st.free) > 0
+	}
+	return len(st.free) > bm.gcReserve
+}
+
+func (bm *BlockManager) takeFree(lun int, stream Stream) (int, error) {
+	st := &bm.luns[lun]
+	if len(st.free) == 0 {
+		return 0, fmt.Errorf("%w: lun %d stream %v", ErrNoFreeBlock, lun, stream)
+	}
+	if !stream.internal() && len(st.free) <= bm.gcReserve {
+		return 0, fmt.Errorf("%w: lun %d stream %v (%d free)", ErrOutOfSpace, lun, stream, len(st.free))
+	}
+	idx := 0
+	if bm.ageAware && stream.cold() {
+		idx = len(st.free) - 1 // oldest block for cold data
+	}
+	b := st.free[idx]
+	st.free = append(st.free[:idx], st.free[idx+1:]...)
+	return b, nil
+}
+
+// Release returns an erased block to the free pool. The controller calls it
+// after an erase completes.
+func (bm *BlockManager) Release(b flash.BlockID) {
+	st := &bm.luns[b.LUN]
+	if !bm.ageAware {
+		st.free = append(st.free, b.Block)
+		return
+	}
+	// Keep the pool sorted young -> old by erase count so dynamic wear
+	// leveling can pick from either end.
+	ec := bm.array.Block(b).EraseCount
+	pos := sort.Search(len(st.free), func(i int) bool {
+		return bm.array.Block(flash.BlockID{LUN: b.LUN, Block: st.free[i]}).EraseCount > ec
+	})
+	st.free = append(st.free, 0)
+	copy(st.free[pos+1:], st.free[pos:])
+	st.free[pos] = b.Block
+}
+
+// IsOpen reports whether the block is currently an open write frontier.
+func (bm *BlockManager) IsOpen(b flash.BlockID) bool {
+	for _, ob := range bm.luns[b.LUN].open {
+		if ob.block == b.Block {
+			return true
+		}
+	}
+	return false
+}
+
+// OpenStreams returns how many streams have an open block on the LUN.
+func (bm *BlockManager) OpenStreams(lun int) int { return len(bm.luns[lun].open) }
+
+// DataBlocks calls fn for every non-bad data-region block in the LUN,
+// including free ones. Wear statistics are computed over this set: free
+// blocks carry erase cycles too.
+func (bm *BlockManager) DataBlocks(lun int, fn func(b flash.BlockID, meta flash.BlockMeta)) {
+	for blk := bm.reservedTrans; blk < bm.geo.BlocksPerLUN; blk++ {
+		id := flash.BlockID{LUN: lun, Block: blk}
+		meta := bm.array.Block(id)
+		if meta.Bad {
+			continue
+		}
+		fn(id, meta)
+	}
+}
+
+// VictimCandidates calls fn for every data-region block in the LUN that is
+// eligible as a GC or WL victim: programmed at least partially, not free,
+// not bad, and not an open write frontier.
+func (bm *BlockManager) VictimCandidates(lun int, fn func(b flash.BlockID, meta flash.BlockMeta)) {
+	for blk := bm.reservedTrans; blk < bm.geo.BlocksPerLUN; blk++ {
+		id := flash.BlockID{LUN: lun, Block: blk}
+		meta := bm.array.Block(id)
+		if meta.Bad || meta.Free() || bm.IsOpen(id) {
+			continue
+		}
+		fn(id, meta)
+	}
+}

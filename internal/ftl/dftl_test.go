@@ -1,0 +1,207 @@
+package ftl
+
+import (
+	"testing"
+
+	"eagletree/internal/flash"
+	"eagletree/internal/iface"
+)
+
+// transExecutor applies TransOps to a real array, enforcing the same rules
+// the controller does. It proves DFTL's op sequences are executable NAND
+// programs (ordering, program-order, erase-only-dead constraints).
+type transExecutor struct {
+	t     *testing.T
+	array *flash.Array
+}
+
+func (e *transExecutor) exec(ops []TransOp) {
+	e.t.Helper()
+	for _, op := range ops {
+		switch op.Kind {
+		case TransRead:
+			if _, err := e.array.ScheduleRead(op.PPA, 0); err != nil {
+				e.t.Fatalf("trans read %v: %v", op.PPA, err)
+			}
+		case TransWrite:
+			if _, err := e.array.ScheduleWrite(op.PPA, 0); err != nil {
+				e.t.Fatalf("trans write %v: %v", op.PPA, err)
+			}
+			if op.HasStale {
+				if err := e.array.Invalidate(op.Stale); err != nil {
+					e.t.Fatalf("invalidate stale %v: %v", op.Stale, err)
+				}
+			}
+		case TransErase:
+			if _, err := e.array.ScheduleErase(op.Block, 0); err != nil {
+				e.t.Fatalf("trans erase %v: %v", op.Block, err)
+			}
+		}
+	}
+}
+
+func TestDFTLHitNoOps(t *testing.T) {
+	g := ftlGeo()
+	d := NewDFTL(g, 64, 4, 2)
+	if ops := d.Access(1, true); len(ops) != 0 {
+		t.Fatalf("first access (virgin translation page) produced ops: %v", ops)
+	}
+	if ops := d.Access(1, false); len(ops) != 0 {
+		t.Fatalf("hit produced ops: %v", ops)
+	}
+	s := d.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDFTLCleanEvictionIsFree(t *testing.T) {
+	g := ftlGeo()
+	d := NewDFTL(g, 1024, 2, 2)
+	// Fill the CMT with clean (read) entries from distinct translation pages.
+	epp := g.PageSize / 8
+	d.Access(iface.LPN(0*epp), false)
+	d.Access(iface.LPN(1*epp), false)
+	ops := d.Access(iface.LPN(2*epp), false) // evicts the clean LRU entry
+	if len(ops) != 0 {
+		t.Fatalf("clean eviction of a virgin page produced ops: %v", ops)
+	}
+	if d.Stats().CleanEvicts != 1 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+	if d.CMTLen() != 2 {
+		t.Fatalf("CMTLen = %d, want capacity 2", d.CMTLen())
+	}
+}
+
+func TestDFTLDirtyEvictionWritesTranslationPage(t *testing.T) {
+	g := ftlGeo()
+	a := flash.NewArray(g, flash.TimingSLC(), flash.Features{})
+	ex := &transExecutor{t: t, array: a}
+	d := NewDFTL(g, 1024, 1, 2)
+
+	ex.exec(d.Access(5, true)) // dirty entry, virgin translation page: no ops
+	ops := d.Access(9999, false)
+	// Evicting the dirty entry must write its translation page.
+	var writes int
+	for _, op := range ops {
+		if op.Kind == TransWrite {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("dirty eviction ops = %v, want exactly one translation write", ops)
+	}
+	ex.exec(ops)
+	if d.Stats().DirtyEvicts != 1 || d.Stats().TransWrites != 1 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+}
+
+func TestDFTLMissReadsExistingTranslationPage(t *testing.T) {
+	g := ftlGeo()
+	a := flash.NewArray(g, flash.TimingSLC(), flash.Features{})
+	ex := &transExecutor{t: t, array: a}
+	d := NewDFTL(g, 1024, 1, 2)
+
+	ex.exec(d.Access(5, true))     // tvpn 0 entry, dirty
+	ex.exec(d.Access(9999, false)) // evict -> tvpn 0 written to flash
+	ops := d.Access(5, false)      // miss on tvpn 0, which now exists
+	var reads int
+	for _, op := range ops {
+		if op.Kind == TransRead {
+			reads++
+		}
+	}
+	if reads != 1 {
+		t.Fatalf("re-access ops = %v, want one translation read", ops)
+	}
+	ex.exec(ops)
+}
+
+func TestDFTLMapMarksDirty(t *testing.T) {
+	g := ftlGeo()
+	d := NewDFTL(g, 1024, 2, 2)
+	d.Access(7, false) // clean
+	d.Map(7, flash.PPA{LUN: 0, Block: 2, Page: 0})
+	d.Access(1000, false)        // fills CMT
+	ops := d.Access(2000, false) // evicts LPN 7, which Map dirtied
+	var writes int
+	for _, op := range ops {
+		if op.Kind == TransWrite {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("eviction after Map produced %d writes, want 1", writes)
+	}
+}
+
+func TestDFTLRingWrapsAndStaysExecutable(t *testing.T) {
+	// Tiny geometry: ring of 2 blocks/LUN x 1 LUN x 4 pages = 8 translation
+	// pages; hammer far more dirty evictions than that so the ring wraps and
+	// cleans repeatedly, validating every op against the array.
+	g := flash.Geometry{Channels: 1, LUNsPerChannel: 1, BlocksPerLUN: 8, PagesPerBlock: 4, PageSize: 64}
+	a := flash.NewArray(g, flash.TimingSLC(), flash.Features{})
+	ex := &transExecutor{t: t, array: a}
+	epp := g.PageSize / 8 // 8 entries per translation page
+	d := NewDFTL(g, g.Pages()*epp, 1, 3)
+
+	for i := 0; i < 200; i++ {
+		lpn := iface.LPN((i % 5) * epp) // 5 distinct translation pages
+		ex.exec(d.Access(lpn, true))
+	}
+	s := d.Stats()
+	if s.TransErases == 0 {
+		t.Fatal("translation ring never wrapped; test ineffective")
+	}
+	if s.TransWrites < s.DirtyEvicts {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}
+
+func TestDFTLUnmapDropsCMTEntry(t *testing.T) {
+	g := ftlGeo()
+	d := NewDFTL(g, 1024, 4, 2)
+	d.Access(3, true)
+	d.Map(3, flash.PPA{LUN: 1, Block: 3, Page: 0})
+	if _, had := d.Unmap(3); !had {
+		t.Fatal("Unmap lost the binding")
+	}
+	if d.CMTLen() != 0 {
+		t.Fatalf("CMTLen after Unmap = %d", d.CMTLen())
+	}
+	if _, ok := d.Lookup(3); ok {
+		t.Fatal("Lookup after Unmap resolved")
+	}
+}
+
+func TestDFTLDelegatesMapping(t *testing.T) {
+	g := ftlGeo()
+	d := NewDFTL(g, 1024, 4, 2)
+	p := flash.PPA{LUN: 2, Block: 4, Page: 1}
+	d.Access(11, true)
+	d.Map(11, p)
+	if got, ok := d.Lookup(11); !ok || got != p {
+		t.Fatalf("Lookup = %v %v", got, ok)
+	}
+	if lpn, ok := d.LPNAt(p); !ok || lpn != 11 {
+		t.Fatalf("LPNAt = %v %v", lpn, ok)
+	}
+	if d.Name() != "dftl" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.RAMBytes() <= 0 {
+		t.Error("RAMBytes not accounted")
+	}
+}
+
+func TestDFTLRAMSmallerThanPageMap(t *testing.T) {
+	g := flash.Geometry{Channels: 4, LUNsPerChannel: 2, BlocksPerLUN: 64, PagesPerBlock: 64, PageSize: 4096}
+	n := g.Pages() * 3 / 4
+	pm := NewPageMap(g, n)
+	d := NewDFTL(g, n, 256, 2)
+	if d.RAMBytes() >= pm.RAMBytes() {
+		t.Fatalf("DFTL RAM %d not below page map RAM %d — the scheme's whole point", d.RAMBytes(), pm.RAMBytes())
+	}
+}

@@ -1,0 +1,89 @@
+// Package ftl implements the flash translation layer building blocks: the
+// logical-to-physical mapping schemes (a full page map held in RAM, and DFTL
+// with its cached mapping table), and the block manager that hands out
+// physical pages to write streams.
+//
+// Mapping schemes impose constraints on writes and may themselves generate
+// flash traffic (DFTL's translation-page reads and writes). Those internal
+// IOs are returned to the controller as TransOps so they compete for the
+// flash array through the same scheduler as everything else — which is
+// exactly the interference the paper sets out to study.
+package ftl
+
+import (
+	"errors"
+
+	"eagletree/internal/flash"
+	"eagletree/internal/iface"
+)
+
+// TransKind enumerates translation-metadata flash operations.
+type TransKind int
+
+const (
+	TransRead TransKind = iota
+	TransWrite
+	TransErase
+)
+
+func (k TransKind) String() string {
+	switch k {
+	case TransRead:
+		return "trans-read"
+	case TransWrite:
+		return "trans-write"
+	case TransErase:
+		return "trans-erase"
+	default:
+		return "trans-?"
+	}
+}
+
+// TransOp is one flash operation a mapping scheme needs executed before a
+// data access can proceed. Ops must be executed in slice order: the
+// translation log precomputes physical addresses, so reordering would violate
+// NAND program-order constraints.
+type TransOp struct {
+	Kind  TransKind
+	PPA   flash.PPA     // for TransRead / TransWrite
+	Block flash.BlockID // for TransErase
+
+	// Stale, when HasStale is set on a TransWrite, is the superseded copy of
+	// the translation page; the executor must invalidate it on the array so
+	// the ring block can later be erased.
+	Stale    flash.PPA
+	HasStale bool
+}
+
+// Mapper is the mapping-scheme interface the controller drives.
+//
+// The call protocol per data access is: Access (returns metadata ops the
+// controller must execute first), then Lookup for reads or Map for writes.
+type Mapper interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Access prepares the mapping entry for lpn and returns the metadata
+	// flash operations this access incurs (nil for RAM-resident schemes).
+	Access(lpn iface.LPN, write bool) []TransOp
+	// Lookup translates lpn. ok is false if the LPN was never written or
+	// was trimmed.
+	Lookup(lpn iface.LPN) (ppa flash.PPA, ok bool)
+	// Map binds lpn to ppa and returns the previous binding, which the
+	// caller must invalidate on flash.
+	Map(lpn iface.LPN, ppa flash.PPA) (old flash.PPA, hadOld bool)
+	// Unmap removes the binding (trim), returning the stale PPA if any.
+	Unmap(lpn iface.LPN) (old flash.PPA, hadOld bool)
+	// LPNAt reverse-translates a physical page; garbage collection uses it
+	// to find whose data lives in a victim block.
+	LPNAt(ppa flash.PPA) (lpn iface.LPN, ok bool)
+	// RAMBytes reports the controller RAM this scheme occupies, for the
+	// memory manager.
+	RAMBytes() int64
+}
+
+// Errors shared by mapping schemes and the block manager.
+var (
+	ErrNoFreeBlock = errors.New("ftl: no free block available")
+	ErrOutOfSpace  = errors.New("ftl: LUN out of space for external writes (GC reserve reached)")
+	ErrRingFull    = errors.New("ftl: translation ring too small for translation working set")
+)

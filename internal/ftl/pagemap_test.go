@@ -1,0 +1,123 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eagletree/internal/flash"
+	"eagletree/internal/iface"
+)
+
+func ftlGeo() flash.Geometry {
+	return flash.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 8, PagesPerBlock: 4, PageSize: 4096}
+}
+
+func TestPageMapLifecycle(t *testing.T) {
+	g := ftlGeo()
+	pm := NewPageMap(g, 64)
+	if pm.Name() != "pagemap" {
+		t.Errorf("Name = %q", pm.Name())
+	}
+	if _, ok := pm.Lookup(5); ok {
+		t.Fatal("unmapped LPN resolved")
+	}
+	p1 := flash.PPA{LUN: 0, Block: 1, Page: 2}
+	if old, had := pm.Map(5, p1); had {
+		t.Fatalf("first Map returned old %v", old)
+	}
+	if got, ok := pm.Lookup(5); !ok || got != p1 {
+		t.Fatalf("Lookup = %v %v", got, ok)
+	}
+	if lpn, ok := pm.LPNAt(p1); !ok || lpn != 5 {
+		t.Fatalf("LPNAt = %v %v", lpn, ok)
+	}
+	p2 := flash.PPA{LUN: 3, Block: 7, Page: 3}
+	old, had := pm.Map(5, p2)
+	if !had || old != p1 {
+		t.Fatalf("remap returned %v %v", old, had)
+	}
+	if _, ok := pm.LPNAt(p1); ok {
+		t.Fatal("stale reverse mapping survived remap")
+	}
+	if pm.Mapped() != 1 {
+		t.Fatalf("Mapped = %d", pm.Mapped())
+	}
+	gone, had := pm.Unmap(5)
+	if !had || gone != p2 {
+		t.Fatalf("Unmap returned %v %v", gone, had)
+	}
+	if pm.Mapped() != 0 {
+		t.Fatalf("Mapped after Unmap = %d", pm.Mapped())
+	}
+	if _, had := pm.Unmap(5); had {
+		t.Fatal("double Unmap reported a binding")
+	}
+}
+
+func TestPageMapOutOfRangeLookups(t *testing.T) {
+	pm := NewPageMap(ftlGeo(), 10)
+	if _, ok := pm.Lookup(-1); ok {
+		t.Error("negative LPN resolved")
+	}
+	if _, ok := pm.Lookup(10); ok {
+		t.Error("past-end LPN resolved")
+	}
+	if _, had := pm.Unmap(-1); had {
+		t.Error("negative Unmap reported binding")
+	}
+}
+
+func TestPageMapAccessIsFree(t *testing.T) {
+	pm := NewPageMap(ftlGeo(), 10)
+	if ops := pm.Access(3, true); ops != nil {
+		t.Fatalf("RAM page map produced translation ops: %v", ops)
+	}
+	if pm.RAMBytes() <= 0 {
+		t.Fatal("RAMBytes not accounted")
+	}
+}
+
+// Property: forward and reverse maps stay mutually consistent under random
+// map/unmap traffic.
+func TestPageMapConsistencyProperty(t *testing.T) {
+	g := ftlGeo()
+	f := func(ops []uint32) bool {
+		pm := NewPageMap(g, 32)
+		model := map[iface.LPN]flash.PPA{}
+		used := map[int]iface.LPN{}
+		for _, op := range ops {
+			lpn := iface.LPN(op % 32)
+			if op%3 == 0 {
+				if old, had := pm.Unmap(lpn); had {
+					delete(used, g.Index(old))
+				}
+				delete(model, lpn)
+				continue
+			}
+			idx := int(op) % g.Pages()
+			if owner, taken := used[idx]; taken && owner != lpn {
+				continue // a real allocator never double-books a page
+			}
+			ppa := g.PPAOf(idx)
+			if old, had := pm.Map(lpn, ppa); had {
+				delete(used, g.Index(old))
+			}
+			model[lpn] = ppa
+			used[idx] = lpn
+		}
+		for lpn, want := range model {
+			got, ok := pm.Lookup(lpn)
+			if !ok || got != want {
+				return false
+			}
+			back, ok := pm.LPNAt(want)
+			if !ok || back != lpn {
+				return false
+			}
+		}
+		return pm.Mapped() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

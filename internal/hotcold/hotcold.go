@@ -1,0 +1,212 @@
+// Package hotcold implements hot-data identification: deciding whether a
+// logical page is updated frequently (hot) or rarely (cold).
+//
+// Three sources are supported, mirroring the paper's §2.2 list:
+//
+//  1. the multiple-bloom-filter detector of Park & Du (MSST 2011),
+//     implemented here in full;
+//  2. inference from wear leveling (pages migrated by static WL are cold) —
+//     the controller applies this directly;
+//  3. explicit temperature information arriving through the open interface —
+//     carried on request tags.
+package hotcold
+
+import (
+	"eagletree/internal/iface"
+)
+
+// Detector classifies logical pages by update temperature.
+type Detector interface {
+	Name() string
+	// RecordWrite observes one write to lpn.
+	RecordWrite(lpn iface.LPN)
+	// Classify returns the current temperature estimate for lpn.
+	Classify(lpn iface.LPN) iface.Temperature
+}
+
+// None is the null detector: everything is TempUnknown.
+type None struct{}
+
+// Name implements Detector.
+func (None) Name() string { return "none" }
+
+// RecordWrite implements Detector.
+func (None) RecordWrite(iface.LPN) {}
+
+// Classify implements Detector.
+func (None) Classify(iface.LPN) iface.Temperature { return iface.TempUnknown }
+
+// bloom is one fixed-size bloom filter with k hash functions derived from a
+// 64-bit mix.
+type bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int
+}
+
+func newBloom(mBits, k int) *bloom {
+	if mBits < 64 {
+		mBits = 64
+	}
+	return &bloom{bits: make([]uint64, (mBits+63)/64), m: uint64(mBits), k: k}
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (b *bloom) positions(lpn iface.LPN) (uint64, uint64) {
+	h := mix64(uint64(lpn) + 0x9e3779b97f4a7c15)
+	return h, mix64(h)
+}
+
+func (b *bloom) add(lpn iface.LPN) {
+	h1, h2 := b.positions(lpn)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (b *bloom) test(lpn iface.LPN) bool {
+	h1, h2 := b.positions(lpn)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bloom) reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}
+
+// MBF is the multiple-bloom-filter hot data identifier (Park & Du, MSST'11):
+// V bloom filters are used round-robin; each write inserts the LPN into the
+// current filter, and every DecayWindow writes the oldest filter is cleared
+// and becomes current. A page's hotness is the number of filters containing
+// it — recency-weighted frequency with bounded memory and automatic decay.
+type MBF struct {
+	filters   []*bloom
+	cur       int
+	window    int // writes per filter rotation
+	sinceTurn int
+	threshold int // filters that must match for "hot"
+	writes    uint64
+}
+
+// MBFConfig tunes the detector.
+type MBFConfig struct {
+	Filters     int     // V: number of bloom filters
+	BitsPerFilt int     // m: bits per filter
+	Hashes      int     // k: hash functions
+	DecayWindow int     // writes between filter rotations
+	HotFraction float64 // fraction of V that must match to call a page hot
+}
+
+// DefaultMBFConfig returns the paper-ish defaults: 4 filters, 4096 bits
+// each, 2 hashes, rotate every 1024 writes, hot if found in >= half the
+// filters.
+func DefaultMBFConfig() MBFConfig {
+	return MBFConfig{Filters: 4, BitsPerFilt: 4096, Hashes: 2, DecayWindow: 1024, HotFraction: 0.5}
+}
+
+// NewMBF builds the detector. Invalid fields fall back to defaults.
+func NewMBF(cfg MBFConfig) *MBF {
+	def := DefaultMBFConfig()
+	if cfg.Filters < 2 {
+		cfg.Filters = def.Filters
+	}
+	if cfg.BitsPerFilt <= 0 {
+		cfg.BitsPerFilt = def.BitsPerFilt
+	}
+	if cfg.Hashes <= 0 {
+		cfg.Hashes = def.Hashes
+	}
+	if cfg.DecayWindow <= 0 {
+		cfg.DecayWindow = def.DecayWindow
+	}
+	if cfg.HotFraction <= 0 || cfg.HotFraction > 1 {
+		cfg.HotFraction = def.HotFraction
+	}
+	m := &MBF{
+		filters:   make([]*bloom, cfg.Filters),
+		window:    cfg.DecayWindow,
+		threshold: int(float64(cfg.Filters)*cfg.HotFraction + 0.5),
+	}
+	if m.threshold < 1 {
+		m.threshold = 1
+	}
+	for i := range m.filters {
+		m.filters[i] = newBloom(cfg.BitsPerFilt, cfg.Hashes)
+	}
+	return m
+}
+
+// Name implements Detector.
+func (m *MBF) Name() string { return "mbf" }
+
+// Writes returns how many writes the detector has observed.
+func (m *MBF) Writes() uint64 { return m.writes }
+
+// RecordWrite implements Detector.
+func (m *MBF) RecordWrite(lpn iface.LPN) {
+	m.writes++
+	m.filters[m.cur].add(lpn)
+	if m.sinceTurn++; m.sinceTurn >= m.window {
+		m.sinceTurn = 0
+		m.cur = (m.cur + 1) % len(m.filters)
+		m.filters[m.cur].reset()
+	}
+}
+
+// Hotness returns in how many filters the page currently appears.
+func (m *MBF) Hotness(lpn iface.LPN) int {
+	n := 0
+	for _, f := range m.filters {
+		if f.test(lpn) {
+			n++
+		}
+	}
+	return n
+}
+
+// Classify implements Detector: hot if the page appears in at least the
+// threshold number of filters, cold otherwise. The MBF never answers
+// Unknown — absence of evidence is evidence of coldness here.
+func (m *MBF) Classify(lpn iface.LPN) iface.Temperature {
+	if m.Hotness(lpn) >= m.threshold {
+		return iface.TempHot
+	}
+	return iface.TempCold
+}
+
+// Oracle is a detector fed perfect knowledge, used as the upper bound in
+// experiment E8 (standing in for application hints over the open interface).
+type Oracle struct {
+	HotBelow iface.LPN // LPNs below this are hot
+}
+
+// Name implements Detector.
+func (Oracle) Name() string { return "oracle" }
+
+// RecordWrite implements Detector.
+func (Oracle) RecordWrite(iface.LPN) {}
+
+// Classify implements Detector.
+func (o Oracle) Classify(lpn iface.LPN) iface.Temperature {
+	if lpn < o.HotBelow {
+		return iface.TempHot
+	}
+	return iface.TempCold
+}

@@ -1,0 +1,167 @@
+package hotcold
+
+import (
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+func TestNoneDetector(t *testing.T) {
+	var d None
+	d.RecordWrite(1)
+	if d.Classify(1) != iface.TempUnknown {
+		t.Fatal("None detector classified")
+	}
+	if d.Name() != "none" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestBloomBasic(t *testing.T) {
+	b := newBloom(1024, 2)
+	if b.test(42) {
+		t.Fatal("empty filter claims membership")
+	}
+	b.add(42)
+	if !b.test(42) {
+		t.Fatal("added element not found")
+	}
+	b.reset()
+	if b.test(42) {
+		t.Fatal("reset did not clear filter")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(8192, 3)
+	for lpn := iface.LPN(0); lpn < 500; lpn++ {
+		b.add(lpn)
+	}
+	for lpn := iface.LPN(0); lpn < 500; lpn++ {
+		if !b.test(lpn) {
+			t.Fatalf("false negative for %d", lpn)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRateBounded(t *testing.T) {
+	b := newBloom(16384, 2)
+	for lpn := iface.LPN(0); lpn < 1000; lpn++ {
+		b.add(lpn)
+	}
+	fp := 0
+	for lpn := iface.LPN(100000); lpn < 110000; lpn++ {
+		if b.test(lpn) {
+			fp++
+		}
+	}
+	// m/n ~ 16, k=2 -> theoretical fp ~ 1.4%; allow generous slack.
+	if rate := float64(fp) / 10000; rate > 0.08 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomTinySizeClamped(t *testing.T) {
+	b := newBloom(1, 2) // clamps to 64 bits rather than dividing by zero
+	b.add(7)
+	if !b.test(7) {
+		t.Fatal("clamped filter lost element")
+	}
+}
+
+func TestMBFHotColdSeparation(t *testing.T) {
+	m := NewMBF(DefaultMBFConfig())
+	rng := sim.NewRNG(42)
+	// 90% of writes hit LPNs 0..9 (hot), 10% hit 1000..9999 (cold).
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(10) < 9 {
+			m.RecordWrite(iface.LPN(rng.Intn(10)))
+		} else {
+			m.RecordWrite(iface.LPN(1000 + rng.Intn(9000)))
+		}
+	}
+	hotRight := 0
+	for lpn := iface.LPN(0); lpn < 10; lpn++ {
+		if m.Classify(lpn) == iface.TempHot {
+			hotRight++
+		}
+	}
+	if hotRight < 9 {
+		t.Fatalf("only %d/10 hot pages detected", hotRight)
+	}
+	coldRight := 0
+	for lpn := iface.LPN(20000); lpn < 21000; lpn++ { // never written
+		if m.Classify(lpn) == iface.TempCold {
+			coldRight++
+		}
+	}
+	if coldRight < 950 {
+		t.Fatalf("only %d/1000 never-written pages classified cold", coldRight)
+	}
+	if m.Writes() != 20000 {
+		t.Fatalf("Writes = %d", m.Writes())
+	}
+}
+
+func TestMBFDecay(t *testing.T) {
+	cfg := DefaultMBFConfig()
+	cfg.DecayWindow = 100
+	cfg.Filters = 4
+	m := NewMBF(cfg)
+	// Make LPN 5 hot.
+	for i := 0; i < 400; i++ {
+		m.RecordWrite(5)
+	}
+	if m.Classify(5) != iface.TempHot {
+		t.Fatal("heavily written page not hot")
+	}
+	// Then stop writing it; other traffic rotates the filters.
+	for i := 0; i < 400; i++ {
+		m.RecordWrite(iface.LPN(1000 + i))
+	}
+	if m.Classify(5) == iface.TempHot {
+		t.Fatal("page stayed hot after 4 full filter rotations")
+	}
+}
+
+func TestMBFHotnessMonotonic(t *testing.T) {
+	m := NewMBF(DefaultMBFConfig())
+	before := m.Hotness(77)
+	m.RecordWrite(77)
+	if m.Hotness(77) < before {
+		t.Fatal("recording a write decreased hotness")
+	}
+	if m.Hotness(77) < 1 {
+		t.Fatal("written page has zero hotness")
+	}
+}
+
+func TestMBFConfigFallbacks(t *testing.T) {
+	m := NewMBF(MBFConfig{}) // all invalid -> defaults
+	if m.Name() != "mbf" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	m.RecordWrite(1)
+	if m.Classify(1) == iface.TempUnknown {
+		t.Fatal("MBF should never answer Unknown")
+	}
+	// Threshold must be at least 1 even with absurd fractions.
+	m2 := NewMBF(MBFConfig{Filters: 2, HotFraction: 0.01})
+	if m2.threshold < 1 {
+		t.Fatal("threshold below 1")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := Oracle{HotBelow: 100}
+	if o.Classify(50) != iface.TempHot {
+		t.Error("oracle misclassified hot")
+	}
+	if o.Classify(100) != iface.TempCold {
+		t.Error("oracle misclassified cold boundary")
+	}
+	if o.Name() != "oracle" {
+		t.Errorf("Name = %q", o.Name())
+	}
+}

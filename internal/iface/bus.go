@@ -1,0 +1,87 @@
+package iface
+
+// Message is anything exchanged on the open interface beyond plain block
+// requests. Users of the framework define new message types by implementing
+// Kind; the paper's examples (priorities, update-locality, temperatures) ship
+// as concrete types below.
+type Message interface {
+	Kind() string
+}
+
+// Bus is the extensible messaging framework connecting the OS and the SSD as
+// peers. Components subscribe to message kinds; publishing delivers
+// synchronously, in subscription order, inside the simulation event loop.
+//
+// A locked bus (block-device mode) drops every message: that is the "red
+// lock" of the demonstration GUI.
+type Bus struct {
+	handlers map[string][]func(Message)
+	locked   bool
+	dropped  uint64
+}
+
+// NewBus returns an open (unlocked) bus.
+func NewBus() *Bus {
+	return &Bus{handlers: make(map[string][]func(Message))}
+}
+
+// SetLocked switches between block-device mode (true: all messages dropped)
+// and open-interface mode.
+func (b *Bus) SetLocked(locked bool) { b.locked = locked }
+
+// Locked reports whether the bus is in block-device mode.
+func (b *Bus) Locked() bool { return b.locked }
+
+// Dropped returns how many messages were discarded while locked.
+func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// Subscribe registers a handler for one message kind.
+func (b *Bus) Subscribe(kind string, h func(Message)) {
+	b.handlers[kind] = append(b.handlers[kind], h)
+}
+
+// Publish delivers the message to every subscriber of its kind and reports
+// whether it was delivered to at least one handler.
+func (b *Bus) Publish(m Message) bool {
+	if b.locked {
+		b.dropped++
+		return false
+	}
+	hs := b.handlers[m.Kind()]
+	for _, h := range hs {
+		h(m)
+	}
+	return len(hs) > 0
+}
+
+// TemperatureHint tells the SSD the expected update frequency of an LPN
+// range (paper: "the OS can inform the SSD whether the page being written is
+// likely to be updated soon").
+type TemperatureHint struct {
+	From, To    LPN // half-open range [From, To)
+	Temperature Temperature
+}
+
+// Kind implements Message.
+func (TemperatureHint) Kind() string { return "temperature" }
+
+// LocalityHint tells the SSD that a set of pages shares update-locality
+// (paper: "the SSD can then write these pages so as to minimize subsequent
+// garbage-collection").
+type LocalityHint struct {
+	Group int
+	Pages []LPN
+}
+
+// Kind implements Message.
+func (LocalityHint) Kind() string { return "locality" }
+
+// PriorityHint assigns a scheduling priority to all future IOs of a thread
+// (paper: "the OS can communicate to the SSD the priority of an IO").
+type PriorityHint struct {
+	Thread   int
+	Priority Priority
+}
+
+// Kind implements Message.
+func (PriorityHint) Kind() string { return "priority" }

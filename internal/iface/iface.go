@@ -1,0 +1,171 @@
+// Package iface defines the communication interface between the operating
+// system layer and the SSD: IO requests, completions, and — departing from
+// the traditional block-device contract as the paper proposes — an extensible
+// messaging framework over which the OS and SSD converse as peers.
+//
+// In block-device mode the SSD only sees request type, address and size.
+// With the open interface unlocked, requests carry Tags (priority,
+// update-locality group, data temperature) and arbitrary further messages can
+// be exchanged on the Bus.
+package iface
+
+import (
+	"fmt"
+
+	"eagletree/internal/sim"
+)
+
+// LPN is a logical page number: the address unit of the block interface.
+type LPN int64
+
+// ReqType enumerates the request kinds the block interface carries.
+type ReqType int
+
+const (
+	Read ReqType = iota
+	Write
+	Trim // deallocation hint: the LPN's contents may be discarded
+	// Erase never crosses the block interface; the controller generates
+	// erase requests internally so the SSD scheduler can order them against
+	// reads and writes, as the paper's scheduling framework requires.
+	Erase
+)
+
+// NumTypes is the count of distinct ReqType values, for dense per-type
+// statistics arrays.
+const NumTypes = 4
+
+func (t ReqType) String() string {
+	switch t {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Trim:
+		return "trim"
+	case Erase:
+		return "erase"
+	default:
+		return fmt.Sprintf("ReqType(%d)", int(t))
+	}
+}
+
+// Source identifies who generated an IO inside the stack. External requests
+// come from application threads; the SSD controller additionally generates
+// internal IOs for garbage collection, wear leveling and mapping metadata.
+type Source int
+
+const (
+	SourceApp Source = iota
+	SourceGC
+	SourceWL
+	SourceMap // FTL translation-page traffic (DFTL)
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceApp:
+		return "app"
+	case SourceGC:
+		return "gc"
+	case SourceWL:
+		return "wl"
+	case SourceMap:
+		return "map"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// NumSources is the count of distinct Source values, for dense per-source
+// statistics arrays.
+const NumSources = 4
+
+// Priority is the scheduling weight a request carries through the open
+// interface. The zero value is PriorityNormal so that an untagged request —
+// which is all block-device mode ever delivers — needs no special casing.
+type Priority int
+
+const (
+	PriorityLow    Priority = -1
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// Temperature is the expected update frequency of a page's data. The SSD can
+// learn it (hot-data detection), infer it (wear-leveling migrations are
+// cold), or be told through the open interface.
+type Temperature int
+
+const (
+	TempUnknown Temperature = iota
+	TempCold
+	TempHot
+)
+
+func (t Temperature) String() string {
+	switch t {
+	case TempUnknown:
+		return "unknown"
+	case TempCold:
+		return "cold"
+	case TempHot:
+		return "hot"
+	default:
+		return fmt.Sprintf("Temperature(%d)", int(t))
+	}
+}
+
+// Tags is the open-interface metadata a request may carry. The zero value
+// means "no hints", which is exactly what block-device mode delivers.
+type Tags struct {
+	Priority Priority
+	// Locality groups pages that share update-locality: pages in one group
+	// tend to be overwritten together, so co-locating them in the same
+	// physical blocks minimizes subsequent garbage collection. Zero means
+	// ungrouped.
+	Locality int
+	// Temperature tells the SSD whether the page is likely to be updated
+	// soon (hot) or to stay untouched (cold).
+	Temperature Temperature
+}
+
+// Request is one IO traveling from a thread through the OS to the SSD.
+type Request struct {
+	ID     uint64
+	Type   ReqType
+	LPN    LPN
+	Source Source
+	Thread int // dispatching thread, for per-thread statistics and OS policy
+	Tags   Tags
+
+	// Timestamps stamped as the request moves through the stack.
+	Submitted  sim.Time // thread handed it to the OS
+	Issued     sim.Time // OS dispatched it to the SSD
+	Dispatched sim.Time // SSD scheduler sent it to the flash array
+	Completed  sim.Time // result available
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("req%d{%v lpn=%d src=%v thr=%d}", r.ID, r.Type, r.LPN, r.Source, r.Thread)
+}
+
+// QueueWait returns how long the request waited between OS submission and
+// flash dispatch.
+func (r *Request) QueueWait() sim.Duration { return r.Dispatched.Sub(r.Submitted) }
+
+// Latency returns the full submission-to-completion latency.
+func (r *Request) Latency() sim.Duration { return r.Completed.Sub(r.Submitted) }

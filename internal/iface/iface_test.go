@@ -1,0 +1,141 @@
+package iface
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequestTimestamps(t *testing.T) {
+	r := &Request{ID: 1, Type: Write, LPN: 42}
+	r.Submitted = 100
+	r.Dispatched = 250
+	r.Completed = 700
+	if r.QueueWait() != 150 {
+		t.Errorf("QueueWait = %v, want 150", r.QueueWait())
+	}
+	if r.Latency() != 600 {
+		t.Errorf("Latency = %v, want 600", r.Latency())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Trim.String() != "trim" {
+		t.Error("ReqType strings wrong")
+	}
+	if SourceApp.String() != "app" || SourceGC.String() != "gc" ||
+		SourceWL.String() != "wl" || SourceMap.String() != "map" {
+		t.Error("Source strings wrong")
+	}
+	if PriorityHigh.String() != "high" || PriorityLow.String() != "low" {
+		t.Error("Priority strings wrong")
+	}
+	if TempHot.String() != "hot" || TempCold.String() != "cold" || TempUnknown.String() != "unknown" {
+		t.Error("Temperature strings wrong")
+	}
+	r := &Request{ID: 7, Type: Read, LPN: 9, Source: SourceGC, Thread: 2}
+	if s := r.String(); !strings.Contains(s, "req7") || !strings.Contains(s, "gc") {
+		t.Errorf("Request.String() = %q", s)
+	}
+}
+
+func TestNumSourcesCoversAll(t *testing.T) {
+	for s := Source(0); s < NumSources; s++ {
+		if strings.HasPrefix(s.String(), "Source(") {
+			t.Errorf("Source %d has no name; NumSources stale?", s)
+		}
+	}
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var got []Temperature
+	b.Subscribe("temperature", func(m Message) {
+		got = append(got, m.(TemperatureHint).Temperature)
+	})
+	if !b.Publish(TemperatureHint{From: 0, To: 10, Temperature: TempHot}) {
+		t.Fatal("Publish with subscriber returned false")
+	}
+	if len(got) != 1 || got[0] != TempHot {
+		t.Fatalf("handler got %v", got)
+	}
+}
+
+func TestBusMultipleSubscribersInOrder(t *testing.T) {
+	b := NewBus()
+	var order []int
+	b.Subscribe("locality", func(Message) { order = append(order, 1) })
+	b.Subscribe("locality", func(Message) { order = append(order, 2) })
+	b.Publish(LocalityHint{Group: 1})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order %v", order)
+	}
+}
+
+func TestBusUnknownKind(t *testing.T) {
+	b := NewBus()
+	if b.Publish(PriorityHint{Thread: 1, Priority: PriorityHigh}) {
+		t.Fatal("Publish with no subscriber returned true")
+	}
+}
+
+func TestBusLocked(t *testing.T) {
+	b := NewBus()
+	called := false
+	b.Subscribe("priority", func(Message) { called = true })
+	b.SetLocked(true)
+	if b.Publish(PriorityHint{}) {
+		t.Fatal("locked bus delivered a message")
+	}
+	if called {
+		t.Fatal("locked bus invoked a handler")
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", b.Dropped())
+	}
+	b.SetLocked(false)
+	if !b.Publish(PriorityHint{}) || !called {
+		t.Fatal("unlocking did not restore delivery")
+	}
+}
+
+func TestMessageKinds(t *testing.T) {
+	if (TemperatureHint{}).Kind() != "temperature" ||
+		(LocalityHint{}).Kind() != "locality" ||
+		(PriorityHint{}).Kind() != "priority" {
+		t.Error("message kinds wrong")
+	}
+}
+
+func TestAllStringMethods(t *testing.T) {
+	for _, rt := range []ReqType{Read, Write, Trim, Erase, ReqType(99)} {
+		if rt.String() == "" {
+			t.Errorf("empty string for ReqType %d", int(rt))
+		}
+	}
+	for _, s := range []Source{SourceApp, SourceGC, SourceWL, SourceMap, Source(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for Source %d", int(s))
+		}
+	}
+	for _, p := range []Priority{PriorityLow, PriorityNormal, PriorityHigh, Priority(99)} {
+		if p.String() == "" {
+			t.Errorf("empty string for Priority %d", int(p))
+		}
+	}
+	for _, tm := range []Temperature{TempUnknown, TempCold, TempHot, Temperature(99)} {
+		if tm.String() == "" {
+			t.Errorf("empty string for Temperature %d", int(tm))
+		}
+	}
+}
+
+func TestBusLockedAccessor(t *testing.T) {
+	b := NewBus()
+	if b.Locked() {
+		t.Fatal("fresh bus locked")
+	}
+	b.SetLocked(true)
+	if !b.Locked() {
+		t.Fatal("SetLocked(true) not reflected")
+	}
+}

@@ -1,0 +1,249 @@
+package osched
+
+import (
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// fakeDevice completes every request after a fixed latency.
+type fakeDevice struct {
+	eng        *sim.Engine
+	latency    sim.Duration
+	onComplete func(*iface.Request)
+
+	inFlight    int
+	maxInFlight int
+	order       []uint64
+}
+
+func (d *fakeDevice) Submit(r *iface.Request) {
+	d.inFlight++
+	if d.inFlight > d.maxInFlight {
+		d.maxInFlight = d.inFlight
+	}
+	d.order = append(d.order, r.ID)
+	done := d.eng.Now().Add(d.latency)
+	d.eng.Schedule(done, func() {
+		d.inFlight--
+		r.Completed = done
+		d.onComplete(r)
+	})
+}
+
+type osRig struct {
+	eng  *sim.Engine
+	dev  *fakeDevice
+	os   *OS
+	done []*iface.Request
+}
+
+func newOSRig(t *testing.T, cfg Config) *osRig {
+	t.Helper()
+	r := &osRig{eng: sim.NewEngine()}
+	r.dev = &fakeDevice{eng: r.eng, latency: 100 * sim.Microsecond}
+	os, err := New(r.eng, r.dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev.onComplete = os.Completed
+	r.os = os
+	return r
+}
+
+func (r *osRig) submit(id uint64, t iface.ReqType, thread int, tags iface.Tags) *iface.Request {
+	req := &iface.Request{ID: id, Type: t, LPN: iface.LPN(id), Thread: thread, Source: iface.SourceApp, Tags: tags}
+	r.os.Submit(req)
+	return req
+}
+
+func TestOSQueueDepthBoundsOutstanding(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 4})
+	for i := 0; i < 32; i++ {
+		r.submit(uint64(i+1), iface.Read, 0, iface.Tags{})
+	}
+	r.eng.RunUntilIdle()
+	if r.dev.maxInFlight != 4 {
+		t.Fatalf("device saw %d outstanding, queue depth is 4", r.dev.maxInFlight)
+	}
+	if got := r.os.Stats().Issued; got != 32 {
+		t.Fatalf("issued %d of 32", got)
+	}
+	if got := r.os.Stats().Completed; got != 32 {
+		t.Fatalf("completed %d of 32", got)
+	}
+}
+
+func TestOSFIFOOrder(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1})
+	for i := 0; i < 8; i++ {
+		r.submit(uint64(i+1), iface.Write, 0, iface.Tags{})
+	}
+	r.eng.RunUntilIdle()
+	for i, id := range r.dev.order {
+		if id != uint64(i+1) {
+			t.Fatalf("position %d got id %d, want %d", i, id, i+1)
+		}
+	}
+}
+
+func TestOSPrioPolicyPrefersHighPriority(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1, Policy: &Prio{}})
+	// All submissions pool before the dispatch pump fires, so the
+	// high-priority request must overtake everything submitted before it.
+	r.submit(1, iface.Write, 0, iface.Tags{})
+	for i := 0; i < 6; i++ {
+		r.submit(uint64(10+i), iface.Write, 0, iface.Tags{})
+	}
+	r.submit(99, iface.Write, 0, iface.Tags{Priority: iface.PriorityHigh})
+	r.eng.RunUntilIdle()
+	if r.dev.order[0] != 99 {
+		t.Fatalf("dispatch order %v: high-priority request not first", r.dev.order)
+	}
+}
+
+func TestOSPrioReadsFirstBreaksTies(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1, Policy: &Prio{ReadsFirst: true}})
+	r.submit(1, iface.Write, 0, iface.Tags{})
+	r.submit(2, iface.Write, 0, iface.Tags{})
+	r.submit(3, iface.Read, 0, iface.Tags{})
+	r.eng.RunUntilIdle()
+	if r.dev.order[0] != 3 {
+		t.Fatalf("dispatch order %v: read did not overtake equal-priority writes", r.dev.order)
+	}
+}
+
+func TestOSCFQRoundRobinsThreads(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1, Policy: &CFQ{Quantum: 2}})
+	// Thread 0 floods; thread 1 submits two. With quantum 2 the pattern
+	// must interleave 2-and-2 rather than serving thread 0 to exhaustion.
+	for i := 0; i < 6; i++ {
+		r.submit(uint64(i+1), iface.Write, 0, iface.Tags{})
+	}
+	r.submit(101, iface.Write, 1, iface.Tags{})
+	r.submit(102, iface.Write, 1, iface.Tags{})
+	r.eng.RunUntilIdle()
+	// First dispatch happens before thread 1 submits? No: all submissions at
+	// time 0, pump runs once after. Expect 1,2,101,102,3,4,5,6.
+	want := []uint64{1, 2, 101, 102, 3, 4, 5, 6}
+	for i, id := range r.dev.order {
+		if id != want[i] {
+			t.Fatalf("dispatch order %v, want %v", r.dev.order, want)
+		}
+	}
+}
+
+func TestOSCallbackDelivery(t *testing.T) {
+	r := newOSRig(t, Config{})
+	var thread0, thread1 int
+	r.os.SetCallback(0, func(*iface.Request) { thread0++ })
+	r.os.SetCallback(1, func(*iface.Request) { thread1++ })
+	r.submit(1, iface.Read, 0, iface.Tags{})
+	r.submit(2, iface.Read, 1, iface.Tags{})
+	r.submit(3, iface.Read, 1, iface.Tags{})
+	r.eng.RunUntilIdle()
+	if thread0 != 1 || thread1 != 2 {
+		t.Fatalf("callbacks: thread0=%d thread1=%d, want 1 and 2", thread0, thread1)
+	}
+}
+
+func TestOSCallbackCanResubmit(t *testing.T) {
+	// A thread that issues a new IO from its completion callback — the
+	// paper's call_back() contract — must keep the pipeline going.
+	r := newOSRig(t, Config{QueueDepth: 2})
+	issued := 0
+	r.os.SetCallback(0, func(done *iface.Request) {
+		if issued < 10 {
+			issued++
+			r.submit(uint64(100+issued), iface.Read, 0, iface.Tags{})
+		}
+	})
+	r.submit(1, iface.Read, 0, iface.Tags{})
+	r.eng.RunUntilIdle()
+	if got := r.os.Stats().Completed; got != 11 {
+		t.Fatalf("completed %d, want 11 (1 seed + 10 chained)", got)
+	}
+}
+
+func TestOSStampsTimes(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1})
+	a := r.submit(1, iface.Read, 0, iface.Tags{})
+	b := r.submit(2, iface.Read, 0, iface.Tags{})
+	r.eng.RunUntilIdle()
+	if a.Submitted != 0 || a.Issued != 0 {
+		t.Fatalf("first request stamps: submitted=%v issued=%v", a.Submitted, a.Issued)
+	}
+	if b.Issued <= b.Submitted {
+		t.Fatalf("second request issued at %v, submitted at %v: queueing not visible", b.Issued, b.Submitted)
+	}
+}
+
+func TestOSValidation(t *testing.T) {
+	if _, err := New(sim.NewEngine(), &fakeDevice{}, Config{QueueDepth: -1}); err == nil {
+		t.Fatal("negative queue depth accepted")
+	}
+}
+
+func TestCFQSingleThreadDegeneratesToFIFO(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1, Policy: &CFQ{Quantum: 3}})
+	for i := 0; i < 7; i++ {
+		r.submit(uint64(i+1), iface.Write, 5, iface.Tags{})
+	}
+	r.eng.RunUntilIdle()
+	for i, id := range r.dev.order {
+		if id != uint64(i+1) {
+			t.Fatalf("order %v not FIFO", r.dev.order)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{&FIFO{}, &Prio{}, &Prio{ReadsFirst: true}, &CFQ{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestElevatorSweepsAscending(t *testing.T) {
+	r := newOSRig(t, Config{QueueDepth: 1, Policy: &Elevator{}})
+	for i, lpn := range []uint64{50, 10, 30, 70, 20} {
+		req := &iface.Request{ID: uint64(i + 1), Type: iface.Read, LPN: iface.LPN(lpn), Source: iface.SourceApp}
+		r.os.Submit(req)
+	}
+	r.eng.RunUntilIdle()
+	// All pooled before the pump: the sweep starts at 0 and ascends.
+	want := []uint64{2, 5, 3, 1, 4} // LPNs 10, 20, 30, 50, 70
+	for i, id := range r.dev.order {
+		if id != want[i] {
+			t.Fatalf("dispatch order %v, want %v", r.dev.order, want)
+		}
+	}
+}
+
+func TestElevatorWrapsAround(t *testing.T) {
+	e := &Elevator{}
+	push := func(id uint64, lpn iface.LPN) {
+		e.Push(&iface.Request{ID: id, LPN: lpn})
+	}
+	push(1, 100)
+	push(2, 5)
+	if got := e.Pop(0); got.ID != 2 {
+		t.Fatalf("first pop id %d, want 2 (lpn 5)", got.ID)
+	}
+	if got := e.Pop(0); got.ID != 1 {
+		t.Fatalf("second pop id %d", got.ID)
+	}
+	// Head is now at 100; a new low request forces a wrap.
+	push(3, 7)
+	if got := e.Pop(0); got.ID != 3 {
+		t.Fatalf("wrap pop id %d, want 3", got.ID)
+	}
+	if e.Pop(0) != nil {
+		t.Fatal("empty elevator popped something")
+	}
+	if e.Name() == "" {
+		t.Fatal("empty name")
+	}
+}

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// LUNView is the per-LUN state an Allocator sees when placing a write:
+// whether the LUN can accept an operation right now, when it frees up, and
+// whether the block manager can hand out a page there for this request's
+// stream.
+type LUNView struct {
+	Busy     bool     // an operation is in flight on the LUN
+	FreeAt   sim.Time // when current reservations drain
+	CanAlloc bool     // block manager has room for this stream
+	Queued   int      // requests already bound to this LUN and waiting
+}
+
+// Allocator decides which LUN a write lands on. For page-mapped FTLs any
+// LUN is legal, so placement is purely a scheduling decision: it determines
+// how well the workload spreads over the array's parallelism.
+type Allocator interface {
+	Name() string
+	// PickLUN returns the chosen LUN for the request, or ok=false if no LUN
+	// can take it now.
+	PickLUN(r *iface.Request, views []LUNView) (lun int, ok bool)
+}
+
+// RoundRobin statically rotates across LUNs, skipping ones that cannot
+// accept the write.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Allocator.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// PickLUN implements Allocator.
+func (rr *RoundRobin) PickLUN(_ *iface.Request, views []LUNView) (int, bool) {
+	n := len(views)
+	for i := 0; i < n; i++ {
+		lun := (rr.next + i) % n
+		v := views[lun]
+		if !v.Busy && v.CanAlloc {
+			rr.next = (lun + 1) % n
+			return lun, true
+		}
+	}
+	return 0, false
+}
+
+// LeastLoaded picks the allocatable idle LUN whose reservations drain
+// soonest, greedily balancing queue pressure across the array.
+type LeastLoaded struct{}
+
+// Name implements Allocator.
+func (LeastLoaded) Name() string { return "leastloaded" }
+
+// PickLUN implements Allocator.
+func (LeastLoaded) PickLUN(_ *iface.Request, views []LUNView) (int, bool) {
+	best := -1
+	for lun, v := range views {
+		if v.Busy || !v.CanAlloc {
+			continue
+		}
+		if best < 0 ||
+			v.Queued < views[best].Queued ||
+			(v.Queued == views[best].Queued && v.FreeAt < views[best].FreeAt) {
+			best = lun
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Striped statically maps each logical page to LUN = LPN mod N, the layout a
+// RAID-like design would use. It sacrifices placement freedom (a busy stripe
+// blocks its writes) but keeps any LPN's location predictable — the paper's
+// example of how the mapping scheme can restrict the scheduler.
+type Striped struct{}
+
+// Name implements Allocator.
+func (Striped) Name() string { return "striped" }
+
+// PickLUN implements Allocator.
+func (Striped) PickLUN(r *iface.Request, views []LUNView) (int, bool) {
+	lun := int(int64(r.LPN) % int64(len(views)))
+	v := views[lun]
+	if v.Busy || !v.CanAlloc {
+		return 0, false
+	}
+	return lun, true
+}

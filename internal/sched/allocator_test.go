@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"eagletree/internal/iface"
+)
+
+func TestRoundRobinRotates(t *testing.T) {
+	rr := &RoundRobin{}
+	views := []LUNView{
+		{CanAlloc: true}, {CanAlloc: true}, {CanAlloc: true},
+	}
+	var got []int
+	for i := 0; i < 6; i++ {
+		lun, ok := rr.PickLUN(&iface.Request{}, views)
+		if !ok {
+			t.Fatal("no LUN")
+		}
+		got = append(got, lun)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsBusyAndFull(t *testing.T) {
+	rr := &RoundRobin{}
+	views := []LUNView{
+		{Busy: true, CanAlloc: true},
+		{CanAlloc: false},
+		{CanAlloc: true},
+	}
+	lun, ok := rr.PickLUN(&iface.Request{}, views)
+	if !ok || lun != 2 {
+		t.Fatalf("PickLUN = %d %v, want 2", lun, ok)
+	}
+	views[2].Busy = true
+	if _, ok := rr.PickLUN(&iface.Request{}, views); ok {
+		t.Fatal("picked a LUN when none available")
+	}
+}
+
+func TestLeastLoadedPicksShortestQueue(t *testing.T) {
+	views := []LUNView{
+		{CanAlloc: true, Queued: 5, FreeAt: 0},
+		{CanAlloc: true, Queued: 1, FreeAt: 100},
+		{CanAlloc: true, Queued: 1, FreeAt: 50},
+	}
+	lun, ok := LeastLoaded{}.PickLUN(&iface.Request{}, views)
+	if !ok || lun != 2 {
+		t.Fatalf("PickLUN = %d %v, want 2 (shortest queue, earliest free)", lun, ok)
+	}
+}
+
+func TestLeastLoadedExcludesBusy(t *testing.T) {
+	views := []LUNView{
+		{Busy: true, CanAlloc: true, Queued: 0},
+		{CanAlloc: true, Queued: 9},
+	}
+	lun, ok := LeastLoaded{}.PickLUN(&iface.Request{}, views)
+	if !ok || lun != 1 {
+		t.Fatalf("PickLUN = %d %v, want 1", lun, ok)
+	}
+}
+
+func TestStripedIsDeterministic(t *testing.T) {
+	views := make([]LUNView, 4)
+	for i := range views {
+		views[i].CanAlloc = true
+	}
+	r := &iface.Request{LPN: 10}
+	lun, ok := Striped{}.PickLUN(r, views)
+	if !ok || lun != 2 {
+		t.Fatalf("PickLUN = %d %v, want 2 (10 mod 4)", lun, ok)
+	}
+	// Striping refuses rather than relocating when the home LUN is busy.
+	views[2].Busy = true
+	if _, ok := (Striped{}).PickLUN(r, views); ok {
+		t.Fatal("striped allocator moved a page off its stripe")
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	if (&RoundRobin{}).Name() != "roundrobin" ||
+		(LeastLoaded{}).Name() != "leastloaded" ||
+		(Striped{}).Name() != "striped" {
+		t.Error("allocator names wrong")
+	}
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"eagletree/internal/iface"
+)
+
+// Pattern classifies a request's logical address behavior.
+type Pattern int
+
+const (
+	// PatternUnknown means not enough history to judge.
+	PatternUnknown Pattern = iota
+	// PatternSequential means the address continues a detected run.
+	PatternSequential
+	// PatternRandom means the address broke away from any run.
+	PatternRandom
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternSequential:
+		return "sequential"
+	case PatternRandom:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// PatternDetector records logical address patterns per thread — §2.2's
+// "record and exploit information about logical address patterns". A thread
+// whose consecutive writes continue an ascending run of at least MinRun
+// pages is classified sequential; breaking the run resets it.
+//
+// The detector is deliberately per-thread: interleaved sequential streams
+// from different threads look random in arrival order, which is exactly the
+// information the block interface destroys and this recovers.
+type PatternDetector struct {
+	// MinRun is the run length at which a stream counts as sequential.
+	// Zero means 8.
+	MinRun int
+
+	streams map[int]*runState
+}
+
+type runState struct {
+	next   iface.LPN // expected next LPN to continue the run
+	length int       // current run length
+}
+
+func (d *PatternDetector) minRun() int {
+	if d.MinRun > 0 {
+		return d.MinRun
+	}
+	return 8
+}
+
+// Observe ingests one request and returns its classification. The request
+// extends its thread's run when it hits the expected next address.
+func (d *PatternDetector) Observe(r *iface.Request) Pattern {
+	if d.streams == nil {
+		d.streams = make(map[int]*runState)
+	}
+	st := d.streams[r.Thread]
+	if st == nil {
+		st = &runState{}
+		d.streams[r.Thread] = st
+	}
+	if st.length > 0 && r.LPN == st.next {
+		st.length++
+		st.next = r.LPN + 1
+		if st.length >= d.minRun() {
+			return PatternSequential
+		}
+		return PatternUnknown
+	}
+	wasRunning := st.length >= d.minRun()
+	st.length = 1
+	st.next = r.LPN + 1
+	if wasRunning {
+		return PatternRandom // just broke a real run
+	}
+	return PatternUnknown
+}
+
+// RunLength returns the thread's current run length (tests, reports).
+func (d *PatternDetector) RunLength(thread int) int {
+	if st := d.streams[thread]; st != nil {
+		return st.length
+	}
+	return 0
+}
+
+// PatternAware is an Allocator that exploits detected address patterns:
+// sequential runs are striped deterministically across LUNs (LPN-derived),
+// so a later sequential read of the same range fans out over the whole
+// array; random writes fall back to least-loaded placement.
+//
+// This is the paper's example of exploiting logical address patterns inside
+// the controller, and the write-side mirror of read parallelism: striping
+// costs nothing at write time (any idle LUN is as good as another) but
+// determines which LUNs a future sequential scan can overlap.
+type PatternAware struct {
+	// Detector classifies requests; shared with whoever else consumes
+	// pattern information. Required.
+	Detector *PatternDetector
+	fallback LeastLoaded
+}
+
+// Name implements Allocator.
+func (*PatternAware) Name() string { return "pattern-aware" }
+
+// PickLUN implements Allocator.
+func (p *PatternAware) PickLUN(r *iface.Request, views []LUNView) (int, bool) {
+	switch p.Detector.Observe(r) {
+	case PatternSequential:
+		lun := int(int64(r.LPN) % int64(len(views)))
+		v := views[lun]
+		if !v.Busy && v.CanAlloc {
+			return lun, true
+		}
+		// The stripe target is busy: fall back rather than stall the run.
+		return p.fallback.PickLUN(r, views)
+	default:
+		return p.fallback.PickLUN(r, views)
+	}
+}

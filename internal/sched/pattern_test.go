@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eagletree/internal/iface"
+)
+
+func patReq(thread int, lpn iface.LPN) *iface.Request {
+	return &iface.Request{Type: iface.Write, Thread: thread, LPN: lpn}
+}
+
+func TestPatternDetectorSequentialRun(t *testing.T) {
+	d := &PatternDetector{MinRun: 4}
+	var got Pattern
+	for i := 0; i < 8; i++ {
+		got = d.Observe(patReq(0, iface.LPN(100+i)))
+	}
+	if got != PatternSequential {
+		t.Fatalf("8-long ascending run classified %v", got)
+	}
+	if d.RunLength(0) != 8 {
+		t.Fatalf("run length %d, want 8", d.RunLength(0))
+	}
+}
+
+func TestPatternDetectorBreaksRun(t *testing.T) {
+	d := &PatternDetector{MinRun: 4}
+	for i := 0; i < 6; i++ {
+		d.Observe(patReq(0, iface.LPN(i)))
+	}
+	if got := d.Observe(patReq(0, 500)); got != PatternRandom {
+		t.Fatalf("run break classified %v, want random", got)
+	}
+	if got := d.Observe(patReq(0, 501)); got != PatternUnknown {
+		t.Fatalf("fresh 2-run classified %v, want unknown", got)
+	}
+}
+
+func TestPatternDetectorPerThread(t *testing.T) {
+	// Two interleaved sequential streams: per-thread tracking must classify
+	// both sequential even though the merged arrival order alternates.
+	d := &PatternDetector{MinRun: 4}
+	var a, b Pattern
+	for i := 0; i < 8; i++ {
+		a = d.Observe(patReq(1, iface.LPN(i)))
+		b = d.Observe(patReq(2, iface.LPN(1000+i)))
+	}
+	if a != PatternSequential || b != PatternSequential {
+		t.Fatalf("interleaved streams classified %v / %v", a, b)
+	}
+}
+
+func TestPatternDetectorShortRunsStayUnknown(t *testing.T) {
+	d := &PatternDetector{MinRun: 8}
+	for i := 0; i < 7; i++ {
+		if got := d.Observe(patReq(0, iface.LPN(i))); got != PatternUnknown {
+			t.Fatalf("position %d classified %v before MinRun", i, got)
+		}
+	}
+}
+
+// TestPatternDetectorNeverSeqWithoutRun: property — random single
+// observations (each to a fresh thread) can never yield sequential.
+func TestPatternDetectorNeverSeqWithoutRun(t *testing.T) {
+	f := func(lpns []int16) bool {
+		d := &PatternDetector{}
+		for i, lpn := range lpns {
+			if d.Observe(patReq(i, iface.LPN(lpn))) == PatternSequential {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternAwareStripesRuns(t *testing.T) {
+	p := &PatternAware{Detector: &PatternDetector{MinRun: 2}}
+	views := make([]LUNView, 4)
+	for i := range views {
+		views[i] = LUNView{CanAlloc: true}
+	}
+	// Warm the run, then verify striping: LPN k -> LUN k%4.
+	p.PickLUN(patReq(0, 0), views)
+	for k := 1; k < 12; k++ {
+		lun, ok := p.PickLUN(patReq(0, iface.LPN(k)), views)
+		if !ok {
+			t.Fatalf("no LUN for lpn %d", k)
+		}
+		if lun != k%4 {
+			t.Fatalf("lpn %d placed on LUN %d, want %d", k, lun, k%4)
+		}
+	}
+}
+
+func TestPatternAwareFallsBackWhenStripeBusy(t *testing.T) {
+	p := &PatternAware{Detector: &PatternDetector{MinRun: 2}}
+	views := make([]LUNView, 4)
+	for i := range views {
+		views[i] = LUNView{CanAlloc: true}
+	}
+	p.PickLUN(patReq(0, 0), views)
+	p.PickLUN(patReq(0, 1), views)
+	views[2].Busy = true // stripe target of LPN 2
+	lun, ok := p.PickLUN(patReq(0, 2), views)
+	if !ok {
+		t.Fatal("no LUN despite three idle ones")
+	}
+	if lun == 2 {
+		t.Fatal("picked the busy stripe target")
+	}
+}
+
+func TestPatternAwareRandomUsesLeastLoaded(t *testing.T) {
+	p := &PatternAware{Detector: &PatternDetector{MinRun: 4}}
+	views := []LUNView{
+		{CanAlloc: true, Queued: 3},
+		{CanAlloc: true, Queued: 0},
+		{CanAlloc: true, Queued: 5},
+	}
+	lun, ok := p.PickLUN(patReq(0, 999), views)
+	if !ok || lun != 1 {
+		t.Fatalf("random write placed on LUN %d, want least-loaded 1", lun)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if PatternSequential.String() != "sequential" ||
+		PatternRandom.String() != "random" ||
+		PatternUnknown.String() != "unknown" {
+		t.Error("pattern strings wrong")
+	}
+}

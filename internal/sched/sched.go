@@ -1,0 +1,374 @@
+// Package sched is the SSD controller's IO scheduling framework — the
+// central module of the simulator, as the paper puts it. Given the state of
+// the flash array and a queue of pending IOs from various sources
+// (application, garbage collection, wear leveling, mapping) of various types
+// (read, write, erase, copyback) that have waited different lengths of time,
+// a Policy decides which IO executes next, and an Allocator decides where
+// (on which LUN) a write lands.
+//
+// Policies are deliberately small and composable so that the design space —
+// priority schemes by source, type and tag; deadlines with overdue handling;
+// fairness across sources — can be explored by swapping one value.
+package sched
+
+import (
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// Policy orders the controller's pending IO queue. Push enqueues; Pop
+// removes and returns the next request to dispatch among those for which
+// canRun returns true, or nil if none is dispatchable.
+//
+// canRun encapsulates hardware and space constraints the policy cannot see:
+// the target LUN of a read must be idle, a write needs some LUN with room,
+// and translation dependencies must have drained.
+type Policy interface {
+	Name() string
+	Push(r *iface.Request)
+	Pop(now sim.Time, canRun func(*iface.Request) bool) *iface.Request
+	Len() int
+}
+
+// queue is the shared backing store: arrival-ordered with stable removal.
+type queue struct {
+	items []*iface.Request
+}
+
+func (q *queue) push(r *iface.Request) { q.items = append(q.items, r) }
+
+func (q *queue) removeAt(i int) *iface.Request {
+	r := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return r
+}
+
+func (q *queue) len() int { return len(q.items) }
+
+// FIFO dispatches strictly in arrival order, skipping requests that cannot
+// run yet. It is the baseline every other policy is measured against.
+type FIFO struct {
+	q queue
+}
+
+// Name implements Policy.
+func (*FIFO) Name() string { return "fifo" }
+
+// Push implements Policy.
+func (f *FIFO) Push(r *iface.Request) { f.q.push(r) }
+
+// Len implements Policy.
+func (f *FIFO) Len() int { return f.q.len() }
+
+// Pop implements Policy.
+func (f *FIFO) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
+	for i, r := range f.q.items {
+		if canRun(r) {
+			return f.q.removeAt(i)
+		}
+	}
+	return nil
+}
+
+// Preference biases a Priority policy between request types.
+type Preference int
+
+const (
+	PreferNone Preference = iota
+	PreferReads
+	PreferWrites
+)
+
+func (p Preference) String() string {
+	switch p {
+	case PreferReads:
+		return "reads-first"
+	case PreferWrites:
+		return "writes-first"
+	default:
+		return "no-preference"
+	}
+}
+
+// InternalOrder places controller-internal IOs (GC, WL, mapping) relative to
+// application IOs.
+type InternalOrder int
+
+const (
+	// InternalEqual treats internal and application IOs alike.
+	InternalEqual InternalOrder = iota
+	// InternalLast lets application IOs overtake internal ones — GC runs in
+	// the gaps (non-obtrusive, but risks falling behind under load).
+	InternalLast
+	// InternalFirst drains internal IOs eagerly — GC debt never builds up,
+	// at the price of application latency spikes.
+	InternalFirst
+)
+
+func (o InternalOrder) String() string {
+	switch o {
+	case InternalLast:
+		return "internal-last"
+	case InternalFirst:
+		return "internal-first"
+	default:
+		return "internal-equal"
+	}
+}
+
+// Priority dispatches the highest-scoring runnable request; ties break in
+// arrival order. The score combines the open-interface priority tag, the
+// read/write preference, and the internal-vs-application ordering.
+type Priority struct {
+	// Prefer biases between reads and writes.
+	Prefer Preference
+	// Internal orders controller-internal IOs against application IOs.
+	Internal InternalOrder
+	// UseTags honors the open-interface priority tag; block-device mode
+	// configurations leave it false.
+	UseTags bool
+
+	q queue
+}
+
+// Name implements Policy.
+func (p *Priority) Name() string { return "priority/" + p.Prefer.String() + "/" + p.Internal.String() }
+
+// Push implements Policy.
+func (p *Priority) Push(r *iface.Request) { p.q.push(r) }
+
+// Len implements Policy.
+func (p *Priority) Len() int { return p.q.len() }
+
+func (p *Priority) score(r *iface.Request) int {
+	s := 0
+	if p.UseTags {
+		s += int(r.Tags.Priority) * 100 // tag dominates
+	}
+	switch p.Prefer {
+	case PreferReads:
+		if r.Type == iface.Read {
+			s += 10
+		}
+	case PreferWrites:
+		if r.Type == iface.Write {
+			s += 10
+		}
+	}
+	internal := r.Source != iface.SourceApp
+	switch p.Internal {
+	case InternalLast:
+		if internal {
+			s -= 1000
+		}
+	case InternalFirst:
+		if internal {
+			s += 1000
+		}
+	}
+	return s
+}
+
+// Pop implements Policy.
+func (p *Priority) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
+	best, bestScore := -1, 0
+	for i, r := range p.q.items {
+		if !canRun(r) {
+			continue
+		}
+		s := p.score(r)
+		if best < 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return p.q.removeAt(best)
+}
+
+// Deadline gives each request a deadline from its submission time, by type.
+// Overdue requests are served first, earliest deadline first; when nothing
+// is overdue it behaves like the fallback ordering of Priority (with its
+// knobs), so deadlines act as a starvation guard rather than the primary
+// order.
+//
+// MaxConsecutiveOverdue controls how overdue IOs are handled relative to
+// other IOs (§2.2): 0 means overdue requests preempt everything until the
+// backlog drains; k > 0 means after k consecutive overdue dispatches one
+// non-overdue request is served, bounding how hard an overdue burst can
+// freeze the rest of the queue.
+type Deadline struct {
+	ReadDeadline     sim.Duration
+	WriteDeadline    sim.Duration
+	InternalDeadline sim.Duration
+	// Fallback orders the queue when nothing is overdue. Nil means FIFO.
+	Fallback Policy
+	// MaxConsecutiveOverdue bounds overdue preemption (0 = unbounded).
+	MaxConsecutiveOverdue int
+
+	q          queue
+	overdueRun int
+}
+
+// Name implements Policy.
+func (d *Deadline) Name() string { return "deadline" }
+
+// Push implements Policy. The fallback policy is only lent the queue during
+// Pop; it never stores requests across calls.
+func (d *Deadline) Push(r *iface.Request) { d.q.push(r) }
+
+// Len implements Policy.
+func (d *Deadline) Len() int { return d.q.len() }
+
+func (d *Deadline) deadlineFor(r *iface.Request) sim.Time {
+	var dl sim.Duration
+	switch {
+	case r.Source != iface.SourceApp:
+		dl = d.InternalDeadline
+	case r.Type == iface.Read:
+		dl = d.ReadDeadline
+	default:
+		dl = d.WriteDeadline
+	}
+	if dl <= 0 {
+		return sim.Never
+	}
+	return r.Submitted.Add(dl)
+}
+
+// Pop implements Policy.
+func (d *Deadline) Pop(now sim.Time, canRun func(*iface.Request) bool) *iface.Request {
+	// Overdue first, earliest deadline wins — unless the overdue run just
+	// hit its cap, in which case one non-overdue request goes first.
+	preempt := d.MaxConsecutiveOverdue <= 0 || d.overdueRun < d.MaxConsecutiveOverdue
+	if preempt {
+		best, bestDL := -1, sim.Never
+		for i, r := range d.q.items {
+			dl := d.deadlineFor(r)
+			if dl <= now && canRun(r) && dl < bestDL {
+				best, bestDL = i, dl
+			}
+		}
+		if best >= 0 {
+			d.overdueRun++
+			return d.q.removeAt(best)
+		}
+	}
+	d.overdueRun = 0
+	if r := d.popFresh(now, canRun); r != nil {
+		return r
+	}
+	if preempt {
+		return nil // nothing runnable at all
+	}
+	// The cap demanded a non-overdue request but none is runnable; serve
+	// the overdue backlog rather than idling the device.
+	best, bestDL := -1, sim.Never
+	for i, r := range d.q.items {
+		dl := d.deadlineFor(r)
+		if dl <= now && canRun(r) && dl < bestDL {
+			best, bestDL = i, dl
+		}
+	}
+	if best >= 0 {
+		d.overdueRun = 1
+		return d.q.removeAt(best)
+	}
+	return nil
+}
+
+// popFresh picks among not-yet-overdue requests via the fallback ordering.
+func (d *Deadline) popFresh(now sim.Time, canRun func(*iface.Request) bool) *iface.Request {
+	freshRunnable := func(r *iface.Request) bool {
+		return d.deadlineFor(r) > now && canRun(r)
+	}
+	if d.Fallback != nil {
+		// Delegate ordering to the fallback by lending it our queue.
+		return d.popViaFallback(now, freshRunnable)
+	}
+	for i, r := range d.q.items {
+		if freshRunnable(r) {
+			return d.q.removeAt(i)
+		}
+	}
+	return nil
+}
+
+func (d *Deadline) popViaFallback(now sim.Time, canRun func(*iface.Request) bool) *iface.Request {
+	// Feed the fallback a fresh view of our pending items, pop one, and
+	// remove it from our queue. Fallback policies are stateless between
+	// calls except for their queue, so this stays cheap at simulator scale.
+	for _, r := range d.q.items {
+		d.Fallback.Push(r)
+	}
+	picked := d.Fallback.Pop(now, canRun)
+	// Drain the fallback completely so the next call starts clean.
+	for d.Fallback.Len() > 0 {
+		if d.Fallback.Pop(now, func(*iface.Request) bool { return true }) == nil {
+			break
+		}
+	}
+	if picked == nil {
+		return nil
+	}
+	for i, r := range d.q.items {
+		if r == picked {
+			return d.q.removeAt(i)
+		}
+	}
+	return picked
+}
+
+// Fair serves sources in weighted round-robin order, preventing any single
+// source (for example a write-heavy thread, or GC) from monopolizing the
+// array. Weights index by iface.Source; zero weights default to 1.
+type Fair struct {
+	Weights [iface.NumSources]int
+
+	q       queue
+	credits [iface.NumSources]int
+	turn    iface.Source
+}
+
+// Name implements Policy.
+func (f *Fair) Name() string { return "fair" }
+
+// Push implements Policy.
+func (f *Fair) Push(r *iface.Request) { f.q.push(r) }
+
+// Len implements Policy.
+func (f *Fair) Len() int { return f.q.len() }
+
+func (f *Fair) weight(s iface.Source) int {
+	if w := f.Weights[s]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Pop implements Policy.
+func (f *Fair) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
+	// Try each source starting from the current turn; within a source,
+	// arrival order. A source with remaining credits keeps the turn.
+	for tried := 0; tried < int(iface.NumSources); tried++ {
+		src := iface.Source((int(f.turn) + tried) % iface.NumSources)
+		for i, r := range f.q.items {
+			if r.Source != src || !canRun(r) {
+				continue
+			}
+			if tried != 0 {
+				// Turn moved on; reset credits for the new holder.
+				f.turn = src
+				f.credits[src] = 0
+			}
+			f.credits[src]++
+			if f.credits[src] >= f.weight(src) {
+				f.credits[src] = 0
+				f.turn = iface.Source((int(src) + 1) % iface.NumSources)
+			}
+			return f.q.removeAt(i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{500, 100, 300, 200, 400} {
+		at := at
+		e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	e.RunUntilIdle()
+	want := []Time{100, 200, 300, 400, 500}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(42, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(100, func() {
+		e.ScheduleAfter(50, func() { at = e.Now() })
+	})
+	e.RunUntilIdle()
+	if at != 150 {
+		t.Fatalf("nested ScheduleAfter fired at %v, want 150", at)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(50, func() {})
+	})
+	e.RunUntilIdle()
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(100, func() { fired++ })
+	e.Schedule(200, func() { fired++ })
+	e.Schedule(300, func() { fired++ })
+	end := e.Run(200)
+	if fired != 2 {
+		t.Errorf("fired %d events before horizon, want 2 (horizon-inclusive)", fired)
+	}
+	if end != 200 {
+		t.Errorf("Run returned %v, want 200", end)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineAdvancesToHorizonWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	if end := e.Run(1000); end != 1000 {
+		t.Fatalf("idle engine stopped clock at %v, want horizon 1000", end)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(100, func() { fired = true })
+	ev.Cancel()
+	e.RunUntilIdle()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	e.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop: fired=%d", fired)
+	}
+	// A subsequent Run resumes.
+	e.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("engine did not resume after Stop: fired=%d", fired)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(6, func() { fired++ })
+	if !e.Step() || fired != 1 {
+		t.Fatalf("first Step: fired=%d", fired)
+	}
+	if !e.Step() || fired != 2 {
+		t.Fatalf("second Step: fired=%d", fired)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEngineManyEventsStaySorted(t *testing.T) {
+	e := NewEngine()
+	rng := NewRNG(7)
+	var last Time = -1
+	ok := true
+	for i := 0; i < 5000; i++ {
+		e.Schedule(Time(rng.Intn(100000)), func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		})
+	}
+	e.RunUntilIdle()
+	if !ok {
+		t.Fatal("events fired out of time order under load")
+	}
+	if e.Fired() != 5000 {
+		t.Fatalf("fired %d, want 5000", e.Fired())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var base Time = 1000
+	if got := base.Add(500); got != 1500 {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := Time(1500).Sub(base); got != 500 {
+		t.Errorf("Sub: got %v", got)
+	}
+	if !base.Before(1500) || base.After(1500) {
+		t.Error("Before/After inconsistent")
+	}
+	if (2 * Millisecond).Micros() != 2000 {
+		t.Error("Micros conversion wrong")
+	}
+	if (3 * Second).Millis() != 3000 {
+		t.Error("Millis conversion wrong")
+	}
+	if (5 * Second).Seconds() != 5 {
+		t.Error("Seconds conversion wrong")
+	}
+}
+
+// Property: for any batch of scheduled times, events fire in non-decreasing
+// time order and all fire.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			e.Schedule(Time(r%1_000_000), func() { fired = append(fired, e.Now()) })
+		}
+		e.RunUntilIdle()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventAtAndScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	ev := e.ScheduleAfter(100, func() {})
+	if ev.At() != 100 {
+		t.Fatalf("event at %v, want 100", ev.At())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay accepted")
+		}
+	}()
+	e.ScheduleAfter(-1, func() {})
+}
+
+func TestTimeAndDurationStrings(t *testing.T) {
+	if Time(1500).String() != "1.500us" {
+		t.Fatalf("time string %q", Time(1500).String())
+	}
+	if Duration(2500).String() != "2.500us" {
+		t.Fatalf("duration string %q", Duration(2500).String())
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGZeroSeedIsUsable(t *testing.T) {
+	r := NewRNG(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero draws; state not spread", zeros)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(11)
+	child := r.Split()
+	// Drawing from the child must not change the parent's future stream
+	// relative to a parent that split but never used the child.
+	r2 := NewRNG(11)
+	r2.Split()
+	for i := 0; i < 10; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatal("child draws perturbed parent stream")
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := NewRNG(13)
+	z := NewZipf(r, 1000, 1.1)
+	for i := 0; i < 20000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf value %d out of [0,1000)", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(17)
+	z := NewZipf(r, 10000, 1.2)
+	const n = 200000
+	low := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 100 {
+			low++ // top 1% of the address space
+		}
+	}
+	frac := float64(low) / n
+	if frac < 0.5 {
+		t.Fatalf("Zipf(1.2): top 1%% drew only %.1f%% of accesses, want majority", frac*100)
+	}
+}
+
+func TestZipfExponentOneHandled(t *testing.T) {
+	z := NewZipf(NewRNG(1), 100, 1.0)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(); v < 0 || v >= 100 {
+			t.Fatalf("Zipf(s=1) value %d out of range", v)
+		}
+	}
+}
+
+func TestZipfMonotoneFrequency(t *testing.T) {
+	r := NewRNG(23)
+	z := NewZipf(r, 10, 1.5)
+	counts := make([]int, 10)
+	for i := 0; i < 300000; i++ {
+		counts[z.Next()]++
+	}
+	// Allow sampling noise but the head must dominate the tail.
+	if counts[0] <= counts[5] || counts[0] <= counts[9] {
+		t.Fatalf("Zipf head not dominant: %v", counts)
+	}
+	if counts[1] <= counts[9] {
+		t.Fatalf("Zipf second rank not above tail: %v", counts)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1.1}, {-5, 1.1}, {10, 0}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(n=%d, s=%v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(NewRNG(1), tc.n, tc.s)
+		}()
+	}
+}
+
+// Property: Zipf output is always in range for arbitrary seeds and sizes.
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint16, rawS uint8) bool {
+		n := int(rawN%5000) + 1
+		s := 0.2 + float64(rawS%30)/10 // 0.2 .. 3.1
+		z := NewZipf(NewRNG(seed), n, s)
+		for i := 0; i < 200; i++ {
+			v := z.Next()
+			if v < 0 || v >= int64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(10)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	seen := make(map[int]bool)
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+}

@@ -1,0 +1,53 @@
+// Package sim provides the discrete-event simulation kernel that every other
+// EagleTree layer runs on: a virtual clock, an event queue ordered by virtual
+// time, and a deterministic random number source.
+//
+// The entire simulated IO stack executes inside a single event loop. That is
+// a deliberate design decision inherited from the paper: with one loop and a
+// seeded RNG, a configuration plus a seed fully determines the simulation
+// trace, which is what makes large design-space explorations repeatable.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration but for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Never is a sentinel Time later than any reachable simulation instant.
+const Never Time = 1<<63 - 1
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+
+// Micros returns the duration expressed in microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis returns the duration expressed in milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+// Seconds returns the duration expressed in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e3) }

@@ -1,0 +1,90 @@
+package sim
+
+import "math"
+
+// Zipf draws values in [0, n) following a Zipf distribution with exponent
+// s > 0. Value 0 is the most frequent; workload generators map low values to
+// "hot" logical addresses. The sampler uses rejection-inversion
+// (Hörmann & Derflinger 1996), which needs O(1) state regardless of n, so it
+// scales to address spaces of millions of pages.
+type Zipf struct {
+	rng         *RNG
+	n           int64
+	s           float64
+	hIntegralX1 float64
+	hIntegralN  float64
+	sdiv        float64
+}
+
+// NewZipf returns a Zipf source over [0, n) with exponent s > 0. An exponent
+// of exactly 1 is nudged slightly so the closed-form antiderivative applies.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("sim: Zipf with non-positive exponent")
+	}
+	if s == 1 {
+		s = 1.0000001
+	}
+	z := &Zipf{rng: rng, n: int64(n), s: s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.sdiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// h is the Zipf density kernel x^(-s).
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegral is the antiderivative of h: (x^(1-s) - 1) / (1 - s), written via
+// expm1 for numerical stability near s == 1.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// hIntegralInv inverts hIntegral.
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * (1 - z.s)
+	if t < -1 {
+		t = -1 // rounding guard: keeps the argument of log1p in range
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with its limit 1 at x == 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with its limit 1 at x == 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next draws one value in [0, n).
+func (z *Zipf) Next() int64 {
+	for {
+		u := z.hIntegralN + z.rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := int64(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if float64(k)-x <= z.sdiv || u >= z.hIntegral(float64(k)+0.5)-z.h(float64(k)) {
+			return k - 1
+		}
+	}
+}

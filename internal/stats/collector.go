@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// Class indexes a (source, type) pair densely for per-class distributions.
+type Class int
+
+// nTypes covers Read, Write, Trim, Erase.
+const nTypes = iface.NumTypes
+
+// nClasses is the number of (source, type) combinations tracked.
+const nClasses = iface.NumSources * nTypes
+
+// ClassOf returns the dense class index of a request.
+func ClassOf(r *iface.Request) Class {
+	return Class(int(r.Source)*nTypes + int(r.Type))
+}
+
+// Collector accumulates per-class latency and queue-wait distributions plus
+// a completion time series. Reset at the measurement boundary so preparation
+// traffic (device aging) does not pollute results — the paper's §2.3
+// methodology.
+type Collector struct {
+	start     sim.Time
+	latency   [nClasses]Dist
+	queueWait [nClasses]Dist
+	perThread map[int]*ThreadStats // thread id -> app latency, opt-in
+	series    *TimeSeries
+	trace     *Trace
+	completed uint64
+}
+
+// ThreadStats is one watched thread's latency, broken down by request type —
+// the paper's "statistics gathering objects attached to an individual
+// thread".
+type ThreadStats struct {
+	byType [nTypes]Dist
+}
+
+// ByType returns the thread's latency distribution for one request type.
+func (t *ThreadStats) ByType(rt iface.ReqType) *Dist { return &t.byType[rt] }
+
+// Merged returns the thread's latency over all request types.
+func (t *ThreadStats) Merged() Dist {
+	var d Dist
+	for i := range t.byType {
+		d.Merge(&t.byType[i])
+	}
+	return d
+}
+
+// NewCollector returns a collector with a time series of the given bucket
+// width (0 disables the series) and an optional trace capacity (0 disables
+// tracing).
+func NewCollector(bucket sim.Duration, traceCap int) *Collector {
+	c := &Collector{perThread: make(map[int]*ThreadStats)}
+	if bucket > 0 {
+		c.series = NewTimeSeries(bucket)
+	}
+	if traceCap > 0 {
+		c.trace = NewTrace(traceCap)
+	}
+	return c
+}
+
+// Reset discards everything accumulated and restarts the clock at now.
+// Thread watch registrations survive (with fresh distributions): a thread
+// watched before the measurement barrier stays watched after it.
+func (c *Collector) Reset(now sim.Time) {
+	bucket := sim.Duration(0)
+	if c.series != nil {
+		bucket = c.series.Bucket()
+	}
+	traceCap := 0
+	if c.trace != nil {
+		traceCap = c.trace.Cap()
+	}
+	watched := c.perThread
+	*c = *NewCollector(bucket, traceCap)
+	c.start = now
+	if c.series != nil {
+		// Restart the x axis at the measurement epoch.
+		c.series = NewTimeSeriesAt(bucket, now)
+	}
+	for id := range watched {
+		c.perThread[id] = &ThreadStats{}
+	}
+}
+
+// Start returns the measurement epoch.
+func (c *Collector) Start() sim.Time { return c.start }
+
+// Trace returns the IO trace, or nil if tracing is off.
+func (c *Collector) Trace() *Trace { return c.trace }
+
+// Series returns the completion time series, or nil if disabled.
+func (c *Collector) Series() *TimeSeries { return c.series }
+
+// WatchThread opts a thread into per-thread latency collection — the
+// paper's "statistics gathering objects attached to an individual thread".
+func (c *Collector) WatchThread(id int) {
+	if _, ok := c.perThread[id]; !ok {
+		c.perThread[id] = &ThreadStats{}
+	}
+}
+
+// ThreadLatency returns the watched thread's merged latency distribution,
+// or nil if the thread is not watched.
+func (c *Collector) ThreadLatency(id int) *Dist {
+	ts, ok := c.perThread[id]
+	if !ok {
+		return nil
+	}
+	d := ts.Merged()
+	return &d
+}
+
+// ThreadStats returns the watched thread's per-type statistics, or nil.
+func (c *Collector) ThreadStats(id int) *ThreadStats { return c.perThread[id] }
+
+// RecordCompletion ingests a finished request's timestamps.
+func (c *Collector) RecordCompletion(r *iface.Request) {
+	cl := ClassOf(r)
+	c.latency[cl].Add(r.Latency())
+	c.queueWait[cl].Add(r.QueueWait())
+	c.completed++
+	if r.Source == iface.SourceApp {
+		if ts, ok := c.perThread[r.Thread]; ok {
+			ts.byType[r.Type].Add(r.Latency())
+		}
+	}
+	if c.series != nil {
+		c.series.Add(r.Completed, r.Latency())
+	}
+	if c.trace != nil {
+		c.trace.Record(r.Completed, r.ID, StageCompleted, r)
+	}
+}
+
+// Latency returns the latency distribution for one source and type.
+func (c *Collector) Latency(src iface.Source, t iface.ReqType) *Dist {
+	return &c.latency[int(src)*nTypes+int(t)]
+}
+
+// QueueWait returns the queue-wait distribution for one source and type.
+func (c *Collector) QueueWait(src iface.Source, t iface.ReqType) *Dist {
+	return &c.queueWait[int(src)*nTypes+int(t)]
+}
+
+// AppLatency returns the merged application read+write latency distribution.
+func (c *Collector) AppLatency() Dist {
+	var d Dist
+	d.Merge(c.Latency(iface.SourceApp, iface.Read))
+	d.Merge(c.Latency(iface.SourceApp, iface.Write))
+	return d
+}
+
+// Completed returns how many requests have finished since the last reset.
+func (c *Collector) Completed() uint64 { return c.completed }
+
+// AppCompleted returns finished application reads+writes+trims.
+func (c *Collector) AppCompleted() uint64 {
+	var n uint64
+	for t := 0; t < nTypes; t++ {
+		n += c.latency[int(iface.SourceApp)*nTypes+t].Count()
+	}
+	return n
+}
+
+// Throughput returns application IOs per simulated second between the
+// measurement epoch and now.
+func (c *Collector) Throughput(now sim.Time) float64 {
+	elapsed := now.Sub(c.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.AppCompleted()) / elapsed
+}

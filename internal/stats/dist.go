@@ -1,0 +1,143 @@
+// Package stats collects the performance metrics EagleTree experiments
+// report: throughput, latency and latency variability per IO source and
+// type, time series of how metrics evolve across a run, wear and write
+// amplification summaries, and a bounded trace of how every IO moved through
+// the simulator's components.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"eagletree/internal/sim"
+)
+
+// nBuckets covers latencies up to 2^63 ns in power-of-two buckets.
+const nBuckets = 64
+
+// Dist is a streaming distribution of durations: exact moments (count, mean,
+// variance via sum of squares, min, max) plus a log2-bucket histogram for
+// approximate percentiles. The zero value is ready to use.
+type Dist struct {
+	count   uint64
+	sum     float64
+	sumSq   float64
+	min     sim.Duration
+	max     sim.Duration
+	buckets [nBuckets]uint64
+}
+
+// Add records one sample. Negative durations are clamped to zero: they can
+// only come from timestamping bugs and must not corrupt variance.
+func (d *Dist) Add(v sim.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	d.count++
+	f := float64(v)
+	d.sum += f
+	d.sumSq += f * f
+	d.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count returns the number of samples.
+func (d *Dist) Count() uint64 { return d.count }
+
+// Min returns the smallest sample, or 0 if empty.
+func (d *Dist) Min() sim.Duration { return d.min }
+
+// Max returns the largest sample.
+func (d *Dist) Max() sim.Duration { return d.max }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (d *Dist) Mean() sim.Duration {
+	if d.count == 0 {
+		return 0
+	}
+	return sim.Duration(d.sum / float64(d.count))
+}
+
+// Std returns the population standard deviation — the "latency variability"
+// metric of the demonstration's game.
+func (d *Dist) Std() sim.Duration {
+	if d.count == 0 {
+		return 0
+	}
+	n := float64(d.count)
+	mean := d.sum / n
+	variance := d.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // floating-point cancellation guard
+	}
+	return sim.Duration(math.Sqrt(variance))
+}
+
+// Percentile returns an approximation of the p-quantile (0 < p <= 1) from
+// the log2 histogram: the geometric midpoint of the bucket holding the
+// quantile. Accurate to within a factor of sqrt(2), which is plenty to rank
+// policies by tail latency.
+func (d *Dist) Percentile(p float64) sim.Duration {
+	if d.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.min
+	}
+	if p >= 1 {
+		return d.max
+	}
+	target := uint64(p * float64(d.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range d.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := uint64(1) << (i - 1)
+			est := sim.Duration(float64(lo) * math.Sqrt2)
+			if est > d.max {
+				est = d.max // the histogram can only overshoot the true value
+			}
+			if est < d.min {
+				est = d.min
+			}
+			return est
+		}
+	}
+	return d.max
+}
+
+// Merge folds other into d.
+func (d *Dist) Merge(other *Dist) {
+	if other.count == 0 {
+		return
+	}
+	if d.count == 0 || other.min < d.min {
+		d.min = other.min
+	}
+	if other.max > d.max {
+		d.max = other.max
+	}
+	d.count += other.count
+	d.sum += other.sum
+	d.sumSq += other.sumSq
+	for i := range d.buckets {
+		d.buckets[i] += other.buckets[i]
+	}
+}
+
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%v std=%v p99=%v max=%v",
+		d.count, d.Mean(), d.Std(), d.Percentile(0.99), d.max)
+}

@@ -1,0 +1,300 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+func TestDistMoments(t *testing.T) {
+	var d Dist
+	for _, v := range []sim.Duration{10, 20, 30, 40} {
+		d.Add(v)
+	}
+	if d.Count() != 4 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if d.Mean() != 25 {
+		t.Errorf("Mean = %v, want 25", d.Mean())
+	}
+	if d.Min() != 10 || d.Max() != 40 {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+	// Population std of {10,20,30,40} = sqrt(125) ~ 11.18
+	want := sim.Duration(math.Sqrt(125))
+	if diff := d.Std() - want; diff < -1 || diff > 1 {
+		t.Errorf("Std = %v, want ~%v", d.Std(), want)
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Std() != 0 || d.Percentile(0.5) != 0 {
+		t.Error("empty distribution not all-zero")
+	}
+}
+
+func TestDistNegativeClamped(t *testing.T) {
+	var d Dist
+	d.Add(-5)
+	if d.Min() != 0 || d.Mean() != 0 {
+		t.Error("negative sample not clamped")
+	}
+}
+
+func TestDistPercentileApproximation(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 1000; i++ {
+		d.Add(sim.Duration(i * 1000)) // 1us .. 1ms spread
+	}
+	p50 := d.Percentile(0.5)
+	// True median 500us; log2 buckets are accurate within sqrt(2)x plus
+	// bucket granularity — accept [250us, 1ms].
+	if p50 < 250_000 || p50 > 1_000_000 {
+		t.Errorf("p50 = %v, want within 2x of 500us", p50)
+	}
+	if d.Percentile(0) != d.Min() || d.Percentile(1) != d.Max() {
+		t.Error("percentile extremes wrong")
+	}
+	if d.Percentile(0.99) < p50 {
+		t.Error("p99 below p50")
+	}
+}
+
+func TestDistPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var d Dist
+		for _, v := range raw {
+			d.Add(sim.Duration(v))
+		}
+		last := sim.Duration(-1)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := d.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b Dist
+	a.Add(10)
+	a.Add(20)
+	b.Add(30)
+	b.Add(40)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Mean() != 25 || a.Max() != 40 || a.Min() != 10 {
+		t.Fatalf("merged: %v", a.String())
+	}
+	var empty Dist
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 4 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func completedReq(id uint64, src iface.Source, typ iface.ReqType, submitted, completed sim.Time) *iface.Request {
+	return &iface.Request{
+		ID: id, Source: src, Type: typ,
+		Submitted: submitted, Dispatched: submitted + 10, Completed: completed,
+	}
+}
+
+func TestCollectorPerClass(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.RecordCompletion(completedReq(1, iface.SourceApp, iface.Read, 0, 100))
+	c.RecordCompletion(completedReq(2, iface.SourceApp, iface.Write, 0, 300))
+	c.RecordCompletion(completedReq(3, iface.SourceGC, iface.Write, 0, 500))
+
+	if n := c.Latency(iface.SourceApp, iface.Read).Count(); n != 1 {
+		t.Errorf("app reads = %d", n)
+	}
+	if n := c.Latency(iface.SourceGC, iface.Write).Count(); n != 1 {
+		t.Errorf("gc writes = %d", n)
+	}
+	if c.AppCompleted() != 2 {
+		t.Errorf("AppCompleted = %d", c.AppCompleted())
+	}
+	if c.Completed() != 3 {
+		t.Errorf("Completed = %d", c.Completed())
+	}
+	app := c.AppLatency()
+	if app.Count() != 2 || app.Mean() != 200 {
+		t.Errorf("AppLatency = %v", app.String())
+	}
+}
+
+func TestCollectorThroughput(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.Reset(0)
+	for i := uint64(0); i < 1000; i++ {
+		c.RecordCompletion(completedReq(i, iface.SourceApp, iface.Read, 0, 100))
+	}
+	// 1000 IOs in 0.5 simulated seconds = 2000 IOPS.
+	got := c.Throughput(sim.Time(500 * sim.Millisecond))
+	if math.Abs(got-2000) > 1 {
+		t.Fatalf("Throughput = %v, want 2000", got)
+	}
+	if c.Throughput(0) != 0 {
+		t.Fatal("zero-elapsed throughput should be 0")
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(sim.Millisecond, 16)
+	c.WatchThread(7)
+	c.RecordCompletion(completedReq(1, iface.SourceApp, iface.Read, 0, 100))
+	c.Reset(1000)
+	if c.Completed() != 0 || c.AppCompleted() != 0 {
+		t.Fatal("reset kept samples")
+	}
+	if c.Start() != 1000 {
+		t.Fatalf("Start = %v", c.Start())
+	}
+	if c.Series() == nil || c.Trace() == nil {
+		t.Fatal("reset dropped series/trace configuration")
+	}
+}
+
+func TestCollectorPerThread(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.WatchThread(3)
+	r := completedReq(1, iface.SourceApp, iface.Write, 0, 50)
+	r.Thread = 3
+	c.RecordCompletion(r)
+	other := completedReq(2, iface.SourceApp, iface.Write, 0, 50)
+	other.Thread = 9 // unwatched
+	c.RecordCompletion(other)
+	if d := c.ThreadLatency(3); d == nil || d.Count() != 1 {
+		t.Fatal("watched thread not collected")
+	}
+	if c.ThreadLatency(9) != nil {
+		t.Fatal("unwatched thread collected")
+	}
+	// GC IOs never count toward a thread.
+	g := completedReq(3, iface.SourceGC, iface.Write, 0, 50)
+	g.Thread = 3
+	c.RecordCompletion(g)
+	if c.ThreadLatency(3).Count() != 1 {
+		t.Fatal("internal IO leaked into thread stats")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Add(50, 10)
+	ts.Add(99, 30)
+	ts.Add(250, 40)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if ts.Count(0) != 2 || ts.Count(1) != 0 || ts.Count(2) != 1 {
+		t.Fatalf("counts = %d %d %d", ts.Count(0), ts.Count(1), ts.Count(2))
+	}
+	if ts.MeanLatency(0) != 20 {
+		t.Fatalf("bucket 0 mean = %v", ts.MeanLatency(0))
+	}
+	if ts.MeanLatency(1) != 0 {
+		t.Fatal("empty bucket mean not 0")
+	}
+	if ts.MeanLatency(99) != 0 {
+		t.Fatal("out-of-range bucket mean not 0")
+	}
+	spark := ts.Sparkline()
+	if len([]rune(spark)) != 3 {
+		t.Fatalf("sparkline %q length", spark)
+	}
+}
+
+func TestTimeSeriesPanicsOnBadBucket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bucket accepted")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(3)
+	for i := uint64(1); i <= 5; i++ {
+		tr.Record(sim.Time(i), i, StageCompleted, &iface.Request{ID: i, LPN: iface.LPN(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	// Oldest retained should be req 3.
+	if evs[0].ReqID != 3 || evs[2].ReqID != 5 {
+		t.Fatalf("ring order: %+v", evs)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	dump := tr.Dump()
+	if !strings.Contains(dump, "req3") || strings.Contains(dump, "req2") {
+		t.Fatalf("dump wrong:\n%s", dump)
+	}
+}
+
+func TestTraceUnwrapped(t *testing.T) {
+	tr := NewTrace(10)
+	tr.Record(1, 1, StageGCStart, nil)
+	tr.Record(2, 1, StageGCEnd, nil)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Stage != StageGCStart {
+		t.Fatalf("events: %+v", evs)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := StageSubmitted; s <= StageWLStart; s++ {
+		if strings.HasPrefix(s.String(), "Stage(") {
+			t.Errorf("stage %d unnamed", s)
+		}
+	}
+}
+
+func TestTimeSeriesOrigin(t *testing.T) {
+	ts := NewTimeSeriesAt(100, 1000)
+	ts.Add(1000, 5) // first bucket
+	ts.Add(1150, 5) // second bucket
+	ts.Add(500, 5)  // before origin: clamped into first bucket
+	if ts.Len() != 2 {
+		t.Fatalf("len %d, want 2", ts.Len())
+	}
+	if ts.Count(0) != 2 || ts.Count(1) != 1 {
+		t.Fatalf("counts %d/%d, want 2/1", ts.Count(0), ts.Count(1))
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	ts := NewTimeSeries(1)
+	for i := 0; i < 1000; i++ {
+		ts.Add(sim.Time(i), 1)
+	}
+	line := ts.Sparkline()
+	if n := len([]rune(line)); n > 100 {
+		t.Fatalf("sparkline %d runes, want <= 100", n)
+	}
+}
+
+func TestCollectorResetRestartsSeries(t *testing.T) {
+	c := NewCollector(100, 0)
+	c.RecordCompletion(&iface.Request{Source: iface.SourceApp, Completed: 50})
+	c.Reset(10_000)
+	c.RecordCompletion(&iface.Request{Source: iface.SourceApp, Completed: 10_050})
+	if c.Series().Len() != 1 {
+		t.Fatalf("series has %d buckets after reset, want 1 (origin rebased)", c.Series().Len())
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+func completed(thread int, t iface.ReqType, lat sim.Duration) *iface.Request {
+	return &iface.Request{
+		Type: t, Thread: thread, Source: iface.SourceApp,
+		Submitted: 0, Issued: 0, Dispatched: 0, Completed: sim.Time(lat),
+	}
+}
+
+func TestThreadStatsPerType(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.WatchThread(3)
+	c.RecordCompletion(completed(3, iface.Read, 100))
+	c.RecordCompletion(completed(3, iface.Read, 200))
+	c.RecordCompletion(completed(3, iface.Write, 1000))
+	c.RecordCompletion(completed(9, iface.Read, 7)) // unwatched thread
+
+	ts := c.ThreadStats(3)
+	if ts == nil {
+		t.Fatal("watched thread has no stats")
+	}
+	if got := ts.ByType(iface.Read).Count(); got != 2 {
+		t.Fatalf("read count %d, want 2", got)
+	}
+	if got := ts.ByType(iface.Write).Mean(); got != 1000 {
+		t.Fatalf("write mean %v, want 1000", got)
+	}
+	merged := c.ThreadLatency(3)
+	if merged.Count() != 3 {
+		t.Fatalf("merged count %d, want 3", merged.Count())
+	}
+	if c.ThreadStats(9) != nil {
+		t.Fatal("unwatched thread has stats")
+	}
+	if c.ThreadLatency(9) != nil {
+		t.Fatal("unwatched thread has merged latency")
+	}
+}
+
+func TestThreadStatsSurviveReset(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.WatchThread(1)
+	c.RecordCompletion(completed(1, iface.Read, 50))
+	c.Reset(1000)
+	ts := c.ThreadStats(1)
+	if ts == nil {
+		t.Fatal("watch registration lost on reset")
+	}
+	if ts.ByType(iface.Read).Count() != 0 {
+		t.Fatal("pre-reset samples survived the reset")
+	}
+	c.RecordCompletion(completed(1, iface.Read, 60))
+	if ts := c.ThreadStats(1); ts.ByType(iface.Read).Count() != 1 {
+		t.Fatal("post-reset recording broken")
+	}
+}

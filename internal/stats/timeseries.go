@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"eagletree/internal/sim"
+)
+
+// TimeSeries buckets completions by virtual-time interval, recording per
+// bucket the IO count and mean latency — the "how metrics evolved across
+// time" graphs of the experimental suite. Buckets are relative to the
+// series origin, so a measurement reset restarts the x axis.
+type TimeSeries struct {
+	bucket  sim.Duration
+	origin  sim.Time
+	counts  []uint64
+	latSums []float64
+}
+
+// NewTimeSeries creates a series with the given bucket width and origin 0.
+func NewTimeSeries(bucket sim.Duration) *TimeSeries {
+	return NewTimeSeriesAt(bucket, 0)
+}
+
+// NewTimeSeriesAt creates a series whose first bucket starts at origin.
+func NewTimeSeriesAt(bucket sim.Duration, origin sim.Time) *TimeSeries {
+	if bucket <= 0 {
+		panic("stats: time series bucket must be positive")
+	}
+	return &TimeSeries{bucket: bucket, origin: origin}
+}
+
+// Bucket returns the bucket width.
+func (ts *TimeSeries) Bucket() sim.Duration { return ts.bucket }
+
+// Add records one completion at time t with the given latency. Times before
+// the origin land in the first bucket.
+func (ts *TimeSeries) Add(t sim.Time, latency sim.Duration) {
+	rel := int64(t - ts.origin)
+	if rel < 0 {
+		rel = 0
+	}
+	idx := int(rel / int64(ts.bucket))
+	for len(ts.counts) <= idx {
+		ts.counts = append(ts.counts, 0)
+		ts.latSums = append(ts.latSums, 0)
+	}
+	ts.counts[idx]++
+	ts.latSums[idx] += float64(latency)
+}
+
+// Len returns the number of buckets so far.
+func (ts *TimeSeries) Len() int { return len(ts.counts) }
+
+// Count returns the completions in bucket i.
+func (ts *TimeSeries) Count(i int) uint64 { return ts.counts[i] }
+
+// MeanLatency returns the mean latency of bucket i, or 0 if empty.
+func (ts *TimeSeries) MeanLatency(i int) sim.Duration {
+	if i >= len(ts.counts) || ts.counts[i] == 0 {
+		return 0
+	}
+	return sim.Duration(ts.latSums[i] / float64(ts.counts[i]))
+}
+
+// sparklineWidth caps rendered sparklines; longer series are downsampled by
+// merging adjacent buckets so charts stay terminal-sized.
+const sparklineWidth = 100
+
+// Sparkline renders the per-bucket counts as a unicode mini-chart, the
+// text-mode stand-in for the demonstration GUI's live graphs. Series longer
+// than 100 buckets are downsampled.
+func (ts *TimeSeries) Sparkline() string {
+	counts := ts.counts
+	if len(counts) == 0 {
+		return ""
+	}
+	if len(counts) > sparklineWidth {
+		merged := make([]uint64, sparklineWidth)
+		for i, c := range counts {
+			merged[i*sparklineWidth/len(counts)] += c
+		}
+		counts = merged
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var max uint64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", len(counts))
+	}
+	var b strings.Builder
+	for _, c := range counts {
+		idx := int(uint64(len(levels)-1) * c / max)
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+func (ts *TimeSeries) String() string {
+	return fmt.Sprintf("timeseries{%d buckets of %v}", len(ts.counts), ts.bucket)
+}

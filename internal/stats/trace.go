@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// Stage marks where in the stack a trace event happened.
+type Stage int
+
+const (
+	StageSubmitted  Stage = iota // thread -> OS
+	StageIssued                  // OS -> SSD
+	StageDispatched              // SSD scheduler -> flash array
+	StageCompleted               // result delivered
+	StageGCStart                 // collection began on a LUN
+	StageGCEnd                   // collection finished (victim erased)
+	StageWLStart                 // static wear-leveling migration began
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageSubmitted:
+		return "submitted"
+	case StageIssued:
+		return "issued"
+	case StageDispatched:
+		return "dispatched"
+	case StageCompleted:
+		return "completed"
+	case StageGCStart:
+		return "gc-start"
+	case StageGCEnd:
+		return "gc-end"
+	case StageWLStart:
+		return "wl-start"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Event is one trace record: enough to reconstruct exactly how an IO was
+// handled throughout the simulator components.
+type Event struct {
+	At    sim.Time
+	ReqID uint64
+	Stage Stage
+	Type  iface.ReqType
+	Src   iface.Source
+	LPN   iface.LPN
+}
+
+// Trace is a bounded ring of events; once full, the oldest are overwritten.
+// Massive visual traces come from dumping it.
+type Trace struct {
+	events  []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewTrace allocates a trace holding up to capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		panic("stats: trace capacity must be positive")
+	}
+	return &Trace{events: make([]Event, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (t *Trace) Cap() int { return len(t.events) }
+
+// Total returns how many events were recorded overall, including ones the
+// ring has since overwritten.
+func (t *Trace) Total() uint64 { return t.total }
+
+// Record appends an event derived from a request, or a bare event when r is
+// nil (GC/WL markers).
+func (t *Trace) Record(at sim.Time, reqID uint64, stage Stage, r *iface.Request) {
+	e := Event{At: at, ReqID: reqID, Stage: stage}
+	if r != nil {
+		e.Type = r.Type
+		e.Src = r.Source
+		e.LPN = r.LPN
+	}
+	t.events[t.next] = e
+	t.next++
+	t.total++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Events returns the retained events in chronological order.
+func (t *Trace) Events() []Event {
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.events[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (t *Trace) Dump() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%12v req%-6d %-10v %v %v lpn=%d\n", e.At, e.ReqID, e.Stage, e.Src, e.Type, e.LPN)
+	}
+	return b.String()
+}

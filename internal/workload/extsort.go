@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"eagletree/internal/iface"
+)
+
+// ExternalSort follows the IO pattern of a two-phase external merge sort
+// over InputPages pages of input at [From, From+InputPages), using the
+// scratch area at [ScratchFrom, ScratchFrom+InputPages).
+//
+// Run formation reads the input sequentially in memory-sized chunks of
+// RunPages and writes each sorted run to scratch. The merge phase then reads
+// one page at a time from each run in round-robin (the block-granular
+// approximation of a multi-way merge's consumption order) and writes the
+// output sequentially back over the input area.
+type ExternalSort struct {
+	From        iface.LPN
+	InputPages  int64
+	ScratchFrom iface.LPN
+	// RunPages is the in-memory chunk size. Zero means 64.
+	RunPages int64
+	Depth    int
+
+	phase   int // 0: run formation, 1: merge, 2: done
+	pending []pendingIO
+	runPos  int64 // run formation progress (input pages consumed)
+	merged  int64 // merge progress (pages written out)
+	heads   []int64
+}
+
+func (e *ExternalSort) defaults() {
+	if e.RunPages == 0 {
+		e.RunPages = 64
+	}
+}
+
+// Init implements Thread.
+func (e *ExternalSort) Init(ctx *Ctx) {
+	e.defaults()
+	d := e.Depth
+	if d <= 0 {
+		d = 1
+	}
+	for i := 0; i < d; i++ {
+		if !e.emit(ctx) {
+			break
+		}
+	}
+	e.settle(ctx)
+}
+
+// OnComplete implements Thread.
+func (e *ExternalSort) OnComplete(ctx *Ctx, _ *iface.Request) {
+	e.emit(ctx)
+	e.settle(ctx)
+}
+
+func (e *ExternalSort) settle(ctx *Ctx) {
+	if e.phase == 2 && len(e.pending) == 0 && ctx.InFlight() == 0 {
+		ctx.Finish()
+	}
+}
+
+func (e *ExternalSort) emit(ctx *Ctx) bool {
+	for len(e.pending) == 0 {
+		if !e.plan() {
+			return false
+		}
+	}
+	io := e.pending[0]
+	e.pending = e.pending[1:]
+	ctx.Submit(io.t, io.lpn, io.tags)
+	return true
+}
+
+// plan queues the next batch of IOs, returning false when the sort is done.
+func (e *ExternalSort) plan() bool {
+	switch e.phase {
+	case 0:
+		if e.runPos >= e.InputPages {
+			e.phase = 1
+			nRuns := (e.InputPages + e.RunPages - 1) / e.RunPages
+			e.heads = make([]int64, nRuns)
+			for i := range e.heads {
+				e.heads[i] = int64(i) * e.RunPages
+			}
+			return e.plan()
+		}
+		// One chunk: read RunPages in, write the sorted run out.
+		n := e.RunPages
+		if e.runPos+n > e.InputPages {
+			n = e.InputPages - e.runPos
+		}
+		for i := int64(0); i < n; i++ {
+			e.pending = append(e.pending, pendingIO{t: iface.Read, lpn: e.From + iface.LPN(e.runPos+i)})
+		}
+		for i := int64(0); i < n; i++ {
+			e.pending = append(e.pending, pendingIO{t: iface.Write, lpn: e.ScratchFrom + iface.LPN(e.runPos+i)})
+		}
+		e.runPos += n
+		return true
+	case 1:
+		if e.merged >= e.InputPages {
+			e.phase = 2
+			return false
+		}
+		// Round-robin one page from each non-exhausted run, then write the
+		// same number of output pages.
+		var batch int64
+		for i := range e.heads {
+			limit := int64(i)*e.RunPages + e.RunPages
+			if limit > e.InputPages {
+				limit = e.InputPages
+			}
+			if e.heads[i] < limit {
+				e.pending = append(e.pending, pendingIO{t: iface.Read, lpn: e.ScratchFrom + iface.LPN(e.heads[i])})
+				e.heads[i]++
+				batch++
+			}
+		}
+		for i := int64(0); i < batch; i++ {
+			e.pending = append(e.pending, pendingIO{t: iface.Write, lpn: e.From + iface.LPN(e.merged+i)})
+		}
+		e.merged += batch
+		return batch > 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"sort"
+
+	"eagletree/internal/iface"
+)
+
+// FileSystem simulates the IO behavior of a file system over the logical
+// address space [From, From+Space): files are created as extents of
+// consecutive LPNs taken from a first-fit free-space allocator, overwritten
+// in place at random offsets, and deleted (trimming their extents back to
+// free space). The operation mix follows the configured weights; the paper
+// names a file-system-model thread as one of its built-in workloads.
+//
+// Because extents are reused after deletion and file lifetimes vary, pages
+// of long-lived and short-lived files end up physically mixed whenever
+// several FileSystem threads (or one thread's interleaved operations) share
+// the SSD's write frontier — precisely the fragmentation that update-locality
+// hints exist to prevent.
+type FileSystem struct {
+	From  iface.LPN
+	Space int64
+	Ops   int64 // total file operations to perform
+	Depth int
+
+	// MeanFilePages is the average file size in pages (uniform around this;
+	// at least 1). Zero means 16.
+	MeanFilePages int
+	// CreateWeight, OverwriteWeight, DeleteWeight bias the op mix; all zero
+	// means 4/4/1 (a file set that grows to capacity and then churns).
+	CreateWeight, OverwriteWeight, DeleteWeight int
+
+	// TagLocality publishes update-locality hints: each file is its own
+	// locality group, so the SSD co-locates a file's pages (the paper's
+	// "Update-locality" open-interface extension).
+	TagLocality bool
+
+	pump    pump
+	files   []extent // live files
+	free    []span   // free extents, sorted by from, coalesced
+	opsDone int64
+	pending []pendingIO // IO plan for the current operation
+	group   int         // next locality group id
+}
+
+type extent struct {
+	from  iface.LPN
+	pages int64
+	group int
+}
+
+type span struct {
+	from  int64 // offset within the FS space
+	pages int64
+}
+
+type pendingIO struct {
+	t    iface.ReqType
+	lpn  iface.LPN
+	tags iface.Tags
+}
+
+// Init implements Thread.
+func (f *FileSystem) Init(ctx *Ctx) {
+	if f.MeanFilePages == 0 {
+		f.MeanFilePages = 16
+	}
+	if f.CreateWeight == 0 && f.OverwriteWeight == 0 && f.DeleteWeight == 0 {
+		f.CreateWeight, f.OverwriteWeight, f.DeleteWeight = 4, 4, 1
+	}
+	f.free = []span{{from: 0, pages: f.Space}}
+	// Locality groups are file identities; namespace them by thread so
+	// concurrent FileSystem instances never share a group.
+	f.group = (ctx.ID() + 1) << 20
+	f.pump.depth = f.Depth
+	f.pump.start(ctx, f.emit)
+}
+
+// OnComplete implements Thread.
+func (f *FileSystem) OnComplete(ctx *Ctx, _ *iface.Request) { f.pump.completed(ctx, f.emit) }
+
+// emit issues the next IO of the current operation, planning a new operation
+// when the current one is exhausted.
+func (f *FileSystem) emit(ctx *Ctx) bool {
+	for len(f.pending) == 0 {
+		if f.opsDone >= f.Ops {
+			return false
+		}
+		f.opsDone++
+		f.planOp(ctx)
+	}
+	io := f.pending[0]
+	f.pending = f.pending[1:]
+	ctx.Submit(io.t, io.lpn, io.tags)
+	return true
+}
+
+func (f *FileSystem) planOp(ctx *Ctx) {
+	rng := ctx.RNG()
+	total := f.CreateWeight + f.OverwriteWeight + f.DeleteWeight
+	roll := rng.Intn(total)
+	switch {
+	case roll < f.CreateWeight || len(f.files) == 0:
+		f.planCreate(ctx)
+	case roll < f.CreateWeight+f.OverwriteWeight:
+		f.planOverwrite(ctx)
+	default:
+		f.planDelete(ctx)
+	}
+}
+
+// alloc takes a first-fit extent from free space.
+func (f *FileSystem) alloc(pages int64) (int64, bool) {
+	for i := range f.free {
+		if f.free[i].pages >= pages {
+			from := f.free[i].from
+			f.free[i].from += pages
+			f.free[i].pages -= pages
+			if f.free[i].pages == 0 {
+				f.free = append(f.free[:i], f.free[i+1:]...)
+			}
+			return from, true
+		}
+	}
+	return 0, false
+}
+
+// release returns an extent to free space, coalescing neighbors.
+func (f *FileSystem) release(from, pages int64) {
+	i := sort.Search(len(f.free), func(i int) bool { return f.free[i].from >= from })
+	f.free = append(f.free, span{})
+	copy(f.free[i+1:], f.free[i:])
+	f.free[i] = span{from: from, pages: pages}
+	// Coalesce with the successor, then the predecessor.
+	if i+1 < len(f.free) && f.free[i].from+f.free[i].pages == f.free[i+1].from {
+		f.free[i].pages += f.free[i+1].pages
+		f.free = append(f.free[:i+1], f.free[i+2:]...)
+	}
+	if i > 0 && f.free[i-1].from+f.free[i-1].pages == f.free[i].from {
+		f.free[i-1].pages += f.free[i].pages
+		f.free = append(f.free[:i], f.free[i+1:]...)
+	}
+}
+
+func (f *FileSystem) planCreate(ctx *Ctx) {
+	rng := ctx.RNG()
+	pages := int64(1 + rng.Intn(2*f.MeanFilePages-1)) // mean ~= MeanFilePages
+	if pages > f.Space {
+		pages = f.Space
+	}
+	from, ok := f.alloc(pages)
+	if !ok {
+		// Space exhausted (or too fragmented): the file system is full, so
+		// this create becomes a delete — exactly what keeps a full FS
+		// hovering at capacity and the SSD in churn.
+		if len(f.files) > 0 {
+			f.planDelete(ctx)
+		}
+		return
+	}
+	ext := extent{from: f.From + iface.LPN(from), pages: pages, group: f.group}
+	f.group++
+
+	var tags iface.Tags
+	if f.TagLocality {
+		lpns := make([]iface.LPN, pages)
+		for i := range lpns {
+			lpns[i] = ext.from + iface.LPN(i)
+		}
+		ctx.Publish(iface.LocalityHint{Group: ext.group, Pages: lpns})
+		tags.Locality = ext.group
+	}
+	for i := int64(0); i < pages; i++ {
+		f.pending = append(f.pending, pendingIO{t: iface.Write, lpn: ext.from + iface.LPN(i), tags: tags})
+	}
+	f.files = append(f.files, ext)
+}
+
+func (f *FileSystem) planOverwrite(ctx *Ctx) {
+	rng := ctx.RNG()
+	ext := f.files[rng.Intn(len(f.files))]
+	// Overwrite a random run of up to 4 pages within the file (read-modify-
+	// write: metadata read, then the data writes).
+	off := int64(rng.Intn(int(ext.pages)))
+	n := int64(1 + rng.Intn(4))
+	if off+n > ext.pages {
+		n = ext.pages - off
+	}
+	var tags iface.Tags
+	if f.TagLocality {
+		tags.Locality = ext.group
+	}
+	f.pending = append(f.pending, pendingIO{t: iface.Read, lpn: ext.from + iface.LPN(off)})
+	for i := int64(0); i < n; i++ {
+		f.pending = append(f.pending, pendingIO{t: iface.Write, lpn: ext.from + iface.LPN(off+i), tags: tags})
+	}
+}
+
+func (f *FileSystem) planDelete(ctx *Ctx) {
+	rng := ctx.RNG()
+	idx := rng.Intn(len(f.files))
+	ext := f.files[idx]
+	f.files = append(f.files[:idx], f.files[idx+1:]...)
+	f.release(int64(ext.from-f.From), ext.pages)
+	for i := int64(0); i < ext.pages; i++ {
+		f.pending = append(f.pending, pendingIO{t: iface.Trim, lpn: ext.from + iface.LPN(i)})
+	}
+}
+
+// LiveFiles returns the current number of live files (for tests).
+func (f *FileSystem) LiveFiles() int { return len(f.files) }
+
+// FreeExtents returns the current number of free-space extents (for tests).
+func (f *FileSystem) FreeExtents() int { return len(f.free) }

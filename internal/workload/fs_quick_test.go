@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFSAllocatorConservation: under any alloc/release sequence, free spans
+// stay sorted, coalesced, in-bounds, and account (with live extents) for
+// exactly the whole space.
+func TestFSAllocatorConservation(t *testing.T) {
+	const space = 1 << 12
+	f := func(ops []struct {
+		Alloc bool
+		Size  uint8
+		Pick  uint8
+	}) bool {
+		fs := &FileSystem{Space: space}
+		fs.free = []span{{from: 0, pages: space}}
+		type live struct{ from, pages int64 }
+		var lives []live
+
+		for _, op := range ops {
+			if op.Alloc {
+				size := int64(op.Size) + 1
+				from, ok := fs.alloc(size)
+				if ok {
+					lives = append(lives, live{from, size})
+				}
+			} else if len(lives) > 0 {
+				i := int(op.Pick) % len(lives)
+				fs.release(lives[i].from, lives[i].pages)
+				lives = append(lives[:i], lives[i+1:]...)
+			}
+		}
+
+		// Invariant 1: sorted, coalesced, in bounds.
+		var freeTotal int64
+		for i, sp := range fs.free {
+			if sp.pages <= 0 || sp.from < 0 || sp.from+sp.pages > space {
+				t.Logf("bad span %+v", sp)
+				return false
+			}
+			if i > 0 {
+				prev := fs.free[i-1]
+				if prev.from+prev.pages >= sp.from {
+					t.Logf("uncoalesced or unsorted: %+v then %+v", prev, sp)
+					return false
+				}
+			}
+			freeTotal += sp.pages
+		}
+		// Invariant 2: conservation.
+		var liveTotal int64
+		for _, l := range lives {
+			liveTotal += l.pages
+		}
+		if freeTotal+liveTotal != space {
+			t.Logf("free %d + live %d != %d", freeTotal, liveTotal, space)
+			return false
+		}
+		// Invariant 3: live extents are disjoint from free spans.
+		for _, l := range lives {
+			for _, sp := range fs.free {
+				if l.from < sp.from+sp.pages && sp.from < l.from+l.pages {
+					t.Logf("live %+v overlaps free %+v", l, sp)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSAllocatorFirstFit: allocation returns the lowest-addressed fit.
+func TestFSAllocatorFirstFit(t *testing.T) {
+	fs := &FileSystem{Space: 100}
+	fs.free = []span{{from: 0, pages: 100}}
+	a, _ := fs.alloc(10) // [0,10)
+	b, _ := fs.alloc(10) // [10,20)
+	c, _ := fs.alloc(10) // [20,30)
+	_ = c
+	fs.release(a, 10)
+	fs.release(b, 10) // coalesces to [0,20)
+	if got := len(fs.free); got != 2 {
+		t.Fatalf("free spans = %d, want 2 ([0,20) and tail)", got)
+	}
+	d, ok := fs.alloc(15)
+	if !ok || d != 0 {
+		t.Fatalf("first fit returned %d, want 0", d)
+	}
+}

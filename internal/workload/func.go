@@ -1,0 +1,31 @@
+package workload
+
+import "eagletree/internal/iface"
+
+// Func is a thread defined by plain functions: F runs at Init (and may issue
+// IOs), and OnDone, if set, handles completions. A Func that issues nothing
+// finishes immediately, which makes it the natural barrier between
+// preparation and measurement: register it dependent on the preparation
+// threads and reset statistics inside F.
+type Func struct {
+	F      func(ctx *Ctx)
+	OnDone func(ctx *Ctx, r *iface.Request)
+}
+
+// Init implements Thread.
+func (f *Func) Init(ctx *Ctx) {
+	if f.F != nil {
+		f.F(ctx)
+	}
+}
+
+// OnComplete implements Thread.
+func (f *Func) OnComplete(ctx *Ctx, r *iface.Request) {
+	if f.OnDone != nil {
+		f.OnDone(ctx, r)
+		return
+	}
+	if ctx.InFlight() == 0 {
+		ctx.Finish()
+	}
+}

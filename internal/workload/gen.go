@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// pump paces a generator at a fixed IO depth: it keeps up to depth IOs in
+// flight, issuing one replacement per completion, and finishes the thread
+// when the generator runs dry and the last IO drains.
+type pump struct {
+	depth int
+	dry   bool
+}
+
+func (p *pump) start(ctx *Ctx, emit func(*Ctx) bool) {
+	d := p.depth
+	if d <= 0 {
+		d = 1
+	}
+	for i := 0; i < d; i++ {
+		if !emit(ctx) {
+			p.dry = true
+			break
+		}
+	}
+	p.settle(ctx)
+}
+
+func (p *pump) completed(ctx *Ctx, emit func(*Ctx) bool) {
+	if !p.dry && !emit(ctx) {
+		p.dry = true
+	}
+	p.settle(ctx)
+}
+
+func (p *pump) settle(ctx *Ctx) {
+	if p.dry && ctx.InFlight() == 0 {
+		ctx.Finish()
+	}
+}
+
+// SequentialWriter writes the LPN range [From, From+Count) in ascending
+// order, Loops times over (at least once), keeping Depth IOs in flight. It
+// is the canonical device-preparation thread: one sequential pass over the
+// whole logical space brings the SSD to a well-defined state.
+type SequentialWriter struct {
+	From  iface.LPN
+	Count int64
+	Loops int
+	Depth int
+	Tags  iface.Tags
+
+	pump pump
+	pos  int64
+}
+
+// Init implements Thread.
+func (w *SequentialWriter) Init(ctx *Ctx) {
+	w.pump.depth = w.Depth
+	w.pump.start(ctx, w.emit)
+}
+
+// OnComplete implements Thread.
+func (w *SequentialWriter) OnComplete(ctx *Ctx, _ *iface.Request) { w.pump.completed(ctx, w.emit) }
+
+func (w *SequentialWriter) emit(ctx *Ctx) bool {
+	loops := w.Loops
+	if loops < 1 {
+		loops = 1
+	}
+	if w.pos >= w.Count*int64(loops) {
+		return false
+	}
+	ctx.Submit(iface.Write, w.From+iface.LPN(w.pos%w.Count), w.Tags)
+	w.pos++
+	return true
+}
+
+// SequentialReader reads the LPN range [From, From+Count) in ascending
+// order, Loops times over, keeping Depth IOs in flight.
+type SequentialReader struct {
+	From  iface.LPN
+	Count int64
+	Loops int
+	Depth int
+	Tags  iface.Tags
+
+	pump pump
+	pos  int64
+}
+
+// Init implements Thread.
+func (r *SequentialReader) Init(ctx *Ctx) {
+	r.pump.depth = r.Depth
+	r.pump.start(ctx, r.emit)
+}
+
+// OnComplete implements Thread.
+func (r *SequentialReader) OnComplete(ctx *Ctx, _ *iface.Request) { r.pump.completed(ctx, r.emit) }
+
+func (r *SequentialReader) emit(ctx *Ctx) bool {
+	loops := r.Loops
+	if loops < 1 {
+		loops = 1
+	}
+	if r.pos >= r.Count*int64(loops) {
+		return false
+	}
+	ctx.Submit(iface.Read, r.From+iface.LPN(r.pos%r.Count), r.Tags)
+	r.pos++
+	return true
+}
+
+// RandomWriter issues Count writes uniformly distributed over the LPN range
+// [From, From+Space), keeping Depth IOs in flight — the paper's random
+// preparation/aging thread and the standard overwrite stress workload.
+type RandomWriter struct {
+	From  iface.LPN
+	Space int64
+	Count int64
+	Depth int
+	Tags  iface.Tags
+
+	pump pump
+	done int64
+}
+
+// Init implements Thread.
+func (w *RandomWriter) Init(ctx *Ctx) {
+	w.pump.depth = w.Depth
+	w.pump.start(ctx, w.emit)
+}
+
+// OnComplete implements Thread.
+func (w *RandomWriter) OnComplete(ctx *Ctx, _ *iface.Request) { w.pump.completed(ctx, w.emit) }
+
+func (w *RandomWriter) emit(ctx *Ctx) bool {
+	if w.done >= w.Count {
+		return false
+	}
+	w.done++
+	lpn := w.From + iface.LPN(ctx.RNG().Int63()%w.Space)
+	ctx.Submit(iface.Write, lpn, w.Tags)
+	return true
+}
+
+// RandomReader issues Count reads uniformly distributed over the LPN range
+// [From, From+Space), keeping Depth IOs in flight.
+type RandomReader struct {
+	From  iface.LPN
+	Space int64
+	Count int64
+	Depth int
+	Tags  iface.Tags
+
+	pump pump
+	done int64
+}
+
+// Init implements Thread.
+func (r *RandomReader) Init(ctx *Ctx) {
+	r.pump.depth = r.Depth
+	r.pump.start(ctx, r.emit)
+}
+
+// OnComplete implements Thread.
+func (r *RandomReader) OnComplete(ctx *Ctx, _ *iface.Request) { r.pump.completed(ctx, r.emit) }
+
+func (r *RandomReader) emit(ctx *Ctx) bool {
+	if r.done >= r.Count {
+		return false
+	}
+	r.done++
+	lpn := r.From + iface.LPN(ctx.RNG().Int63()%r.Space)
+	ctx.Submit(iface.Read, lpn, r.Tags)
+	return true
+}
+
+// ZipfWriter issues Count writes over [From, From+Space) with Zipf-skewed
+// popularity: rank 0 (LPN From) is hottest. It is the hot/cold workload the
+// temperature-detection and wear-leveling experiments use.
+type ZipfWriter struct {
+	From     iface.LPN
+	Space    int64
+	Count    int64
+	Exponent float64 // Zipf exponent; 0 means 1.1 (strongly skewed)
+	Depth    int
+	Tags     iface.Tags
+
+	// TagTemperature publishes oracle temperature tags: writes to the
+	// hottest HotFraction of the space carry TempHot, the rest TempCold.
+	// This is the open-interface "Temperatures" extension.
+	TagTemperature bool
+	HotFraction    float64 // 0 means 0.2
+
+	// Scramble maps popularity ranks onto LPNs through a deterministic
+	// permutation, scattering the hot set over the whole address space the
+	// way real workloads do. Without it rank == offset, so hot pages are
+	// contiguous — and any sequential fill has already segregated them
+	// physically, hiding what temperature separation buys.
+	Scramble bool
+
+	pump pump
+	zipf *sim.Zipf
+	perm []int
+	done int64
+}
+
+// Init implements Thread.
+func (w *ZipfWriter) Init(ctx *Ctx) {
+	exp := w.Exponent
+	if exp == 0 {
+		exp = 1.1
+	}
+	w.zipf = sim.NewZipf(ctx.RNG(), int(w.Space), exp)
+	if w.Scramble {
+		w.perm = ctx.RNG().Perm(int(w.Space))
+	}
+	w.pump.depth = w.Depth
+	w.pump.start(ctx, w.emit)
+}
+
+// OnComplete implements Thread.
+func (w *ZipfWriter) OnComplete(ctx *Ctx, _ *iface.Request) { w.pump.completed(ctx, w.emit) }
+
+func (w *ZipfWriter) emit(ctx *Ctx) bool {
+	if w.done >= w.Count {
+		return false
+	}
+	w.done++
+	rank := w.zipf.Next()
+	tags := w.Tags
+	if w.TagTemperature {
+		hot := w.HotFraction
+		if hot == 0 {
+			hot = 0.2
+		}
+		if float64(rank) < hot*float64(w.Space) {
+			tags.Temperature = iface.TempHot
+		} else {
+			tags.Temperature = iface.TempCold
+		}
+	}
+	off := rank
+	if w.perm != nil {
+		off = int64(w.perm[rank])
+	}
+	ctx.Submit(iface.Write, w.From+iface.LPN(off), tags)
+	return true
+}
+
+// ReadWriteMix issues Count IOs over [From, From+Space), each a read with
+// probability ReadFraction and a write otherwise, uniformly addressed. It is
+// the mixed workload of the scheduling experiments.
+type ReadWriteMix struct {
+	From         iface.LPN
+	Space        int64
+	Count        int64
+	ReadFraction float64
+	Depth        int
+	ReadTags     iface.Tags
+	WriteTags    iface.Tags
+
+	pump pump
+	done int64
+}
+
+// Init implements Thread.
+func (m *ReadWriteMix) Init(ctx *Ctx) {
+	m.pump.depth = m.Depth
+	m.pump.start(ctx, m.emit)
+}
+
+// OnComplete implements Thread.
+func (m *ReadWriteMix) OnComplete(ctx *Ctx, _ *iface.Request) { m.pump.completed(ctx, m.emit) }
+
+func (m *ReadWriteMix) emit(ctx *Ctx) bool {
+	if m.done >= m.Count {
+		return false
+	}
+	m.done++
+	lpn := m.From + iface.LPN(ctx.RNG().Int63()%m.Space)
+	if ctx.RNG().Float64() < m.ReadFraction {
+		ctx.Submit(iface.Read, lpn, m.ReadTags)
+	} else {
+		ctx.Submit(iface.Write, lpn, m.WriteTags)
+	}
+	return true
+}
+
+// Trimmer trims the LPN range [From, From+Count) sequentially.
+type Trimmer struct {
+	From  iface.LPN
+	Count int64
+	Depth int
+
+	pump pump
+	pos  int64
+}
+
+// Init implements Thread.
+func (t *Trimmer) Init(ctx *Ctx) {
+	t.pump.depth = t.Depth
+	t.pump.start(ctx, t.emit)
+}
+
+// OnComplete implements Thread.
+func (t *Trimmer) OnComplete(ctx *Ctx, _ *iface.Request) { t.pump.completed(ctx, t.emit) }
+
+func (t *Trimmer) emit(ctx *Ctx) bool {
+	if t.pos >= t.Count {
+		return false
+	}
+	ctx.Trim(t.From + iface.LPN(t.pos))
+	t.pos++
+	return true
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"eagletree/internal/iface"
+)
+
+// GraceJoin follows the IO pattern of a Grace hash join between relation R
+// at [RFrom, RFrom+RPages) and relation S at [SFrom, SFrom+SPages), with the
+// partition area at [PartFrom, PartFrom+RPages+SPages).
+//
+// Phase 1 (partition R): read R sequentially; every read completion hashes
+// the tuple block to one of Partitions output buckets and writes it there.
+// Phase 2 (partition S): the same over S. Phase 3 (probe): for each
+// partition, read the R bucket then the S bucket sequentially.
+//
+// Each phase keeps Depth reads in flight, and partition writes ride on read
+// completions — so deeper queues expose more of the SSD's parallelism, which
+// is exactly the application-level question the paper poses ("how can an
+// algorithm leverage SSD internal parallelism?").
+type GraceJoin struct {
+	RFrom, SFrom iface.LPN
+	RPages       int64
+	SPages       int64
+	PartFrom     iface.LPN
+	Partitions   int
+	Depth        int
+
+	phase    int // 0: partition R, 1: partition S, 2: probe, 3: done
+	readPos  int64
+	bucketW  []int64 // written pages per bucket
+	bucketR  int     // probe: current bucket
+	probePos int64   // probe: page within current bucket region
+	inPhase  int     // IOs in flight belonging to the current phase
+}
+
+// Init implements Thread.
+func (g *GraceJoin) Init(ctx *Ctx) {
+	if g.Partitions <= 0 {
+		g.Partitions = 4
+	}
+	g.bucketW = make([]int64, g.Partitions)
+	g.refill(ctx)
+}
+
+// OnComplete implements Thread.
+func (g *GraceJoin) OnComplete(ctx *Ctx, r *iface.Request) {
+	if r.Type == iface.Read && g.phase < 2 {
+		// A partition-phase read completed: write its block to a bucket.
+		// The write inherits the read's in-phase slot.
+		bucket := int(uint64(r.LPN) % uint64(g.Partitions))
+		g.bucketW[bucket]++
+		g.inPhase--
+		g.writeBucket(ctx, bucket)
+		return
+	}
+	// A partition write or a probe read completed.
+	g.inPhase--
+	g.refill(ctx)
+	if g.phase == 3 && ctx.InFlight() == 0 {
+		ctx.Finish()
+	}
+}
+
+// refill tops the current phase back up to the configured depth — in
+// particular re-priming full depth after a phase transition, so the probe
+// phase runs as parallel as the partitioning phases.
+func (g *GraceJoin) refill(ctx *Ctx) {
+	d := g.Depth
+	if d <= 0 {
+		d = 1
+	}
+	for g.inPhase < d {
+		if !g.emitRead(ctx) {
+			break
+		}
+	}
+}
+
+// bucketBase returns the partition area offset of one bucket. Each bucket
+// gets a contiguous region of ceil((RPages+SPages)/Partitions) pages, so the
+// partition area must be at least Partitions times that; consecutive-LPN
+// hashing keeps buckets within one page of even.
+func (g *GraceJoin) bucketBase(bucket int) iface.LPN {
+	per := (g.RPages + g.SPages + int64(g.Partitions) - 1) / int64(g.Partitions)
+	return g.PartFrom + iface.LPN(int64(bucket)*per)
+}
+
+func (g *GraceJoin) writeBucket(ctx *Ctx, bucket int) {
+	off := g.bucketW[bucket] - 1
+	ctx.Write(g.bucketBase(bucket) + iface.LPN(off))
+	g.inPhase++
+}
+
+// emitRead issues the next read of the current phase, advancing phases as
+// they exhaust. It returns false when the join is complete.
+func (g *GraceJoin) emitRead(ctx *Ctx) bool {
+	for {
+		switch g.phase {
+		case 0:
+			if g.readPos < g.RPages {
+				ctx.Read(g.RFrom + iface.LPN(g.readPos))
+				g.readPos++
+				g.inPhase++
+				return true
+			}
+			if g.inPhase > 0 {
+				return false // drain phase 0 writes before S
+			}
+			g.phase, g.readPos = 1, 0
+		case 1:
+			if g.readPos < g.SPages {
+				ctx.Read(g.SFrom + iface.LPN(g.readPos))
+				g.readPos++
+				g.inPhase++
+				return true
+			}
+			if g.inPhase > 0 {
+				return false
+			}
+			g.phase = 2
+			g.bucketR, g.probePos = 0, 0
+		case 2:
+			for g.bucketR < g.Partitions && g.probePos >= g.bucketW[g.bucketR] {
+				g.bucketR++
+				g.probePos = 0
+			}
+			if g.bucketR >= g.Partitions {
+				g.phase = 3
+				return false
+			}
+			ctx.Read(g.bucketBase(g.bucketR) + iface.LPN(g.probePos))
+			g.probePos++
+			g.inPhase++
+			return true
+		default:
+			return false
+		}
+	}
+}

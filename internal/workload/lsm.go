@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"eagletree/internal/iface"
+)
+
+// LSMInsert follows the IO pattern of LSM-tree insertions — the workload the
+// paper's abstract names. Every insert appends one page to the write-ahead
+// log (a circular region); every MemtablePages inserts the memtable flushes
+// as one sorted run written sequentially to level 0; every Fanout flushes
+// the level-0 runs are compacted: read them all back, write the merged run
+// to level 1, and trim the dead level-0 runs.
+//
+// The layout carves the region [From, From+Space) into WAL, level-0 and
+// level-1 areas. Compactions interleave with foreground inserts exactly like
+// a real LSM engine's background work, making this thread a natural probe of
+// how internal SSD operations (GC) stack with application-internal ones
+// (compaction).
+type LSMInsert struct {
+	From  iface.LPN
+	Space int64
+	// Inserts is the total number of inserted pages.
+	Inserts int64
+	// MemtablePages is the flush threshold (run size). Zero means 64.
+	MemtablePages int64
+	// Fanout is how many level-0 runs trigger a compaction. Zero means 4.
+	Fanout int
+	Depth  int
+
+	// TagPriority marks WAL appends high-priority through the open
+	// interface: commit latency matters, background IO does not.
+	TagPriority bool
+
+	pump     pump
+	inserted int64
+	walPos   int64
+	l0Runs   []int64 // start offsets (within L0 area) of live runs
+	l0Next   int64   // bump pointer within the L0 area
+	l1Next   int64   // bump pointer within the L1 area
+	pending  []pendingIO
+}
+
+func (l *LSMInsert) walSize() int64 { return l.Space / 8 }
+func (l *LSMInsert) l0Size() int64  { return l.Space / 4 }
+
+func (l *LSMInsert) defaults() {
+	if l.MemtablePages == 0 {
+		l.MemtablePages = 64
+	}
+	if l.Fanout == 0 {
+		l.Fanout = 4
+	}
+}
+
+// Init implements Thread.
+func (l *LSMInsert) Init(ctx *Ctx) {
+	l.defaults()
+	l.pump.depth = l.Depth
+	l.pump.start(ctx, l.emit)
+}
+
+// OnComplete implements Thread.
+func (l *LSMInsert) OnComplete(ctx *Ctx, _ *iface.Request) { l.pump.completed(ctx, l.emit) }
+
+func (l *LSMInsert) emit(ctx *Ctx) bool {
+	for len(l.pending) == 0 {
+		if l.inserted >= l.Inserts {
+			return false
+		}
+		l.planInsert()
+	}
+	io := l.pending[0]
+	l.pending = l.pending[1:]
+	ctx.Submit(io.t, io.lpn, io.tags)
+	return true
+}
+
+// planInsert queues the IOs for one insert: the WAL append, plus any flush
+// and compaction it triggers.
+func (l *LSMInsert) planInsert() {
+	l.inserted++
+	var walTags iface.Tags
+	if l.TagPriority {
+		walTags.Priority = iface.PriorityHigh
+	}
+	l.pending = append(l.pending, pendingIO{
+		t:    iface.Write,
+		lpn:  l.From + iface.LPN(l.walPos%l.walSize()),
+		tags: walTags,
+	})
+	l.walPos++
+	if l.inserted%l.MemtablePages == 0 {
+		l.planFlush()
+	}
+}
+
+// planFlush writes one run sequentially into the level-0 area and triggers
+// compaction at the fanout threshold.
+func (l *LSMInsert) planFlush() {
+	if l.l0Next+l.MemtablePages > l.l0Size() {
+		l.l0Next = 0
+	}
+	base := l.From + iface.LPN(l.walSize()+l.l0Next)
+	for i := int64(0); i < l.MemtablePages; i++ {
+		l.pending = append(l.pending, pendingIO{t: iface.Write, lpn: base + iface.LPN(i)})
+	}
+	l.l0Runs = append(l.l0Runs, l.l0Next)
+	l.l0Next += l.MemtablePages
+	if len(l.l0Runs) >= l.Fanout {
+		l.planCompaction()
+	}
+}
+
+// planCompaction reads every level-0 run, writes the merged run to level 1,
+// and trims the dead level-0 pages.
+func (l *LSMInsert) planCompaction() {
+	l0Base := l.From + iface.LPN(l.walSize())
+	l1Base := l.From + iface.LPN(l.walSize()+l.l0Size())
+	l1Size := l.Space - l.walSize() - l.l0Size()
+
+	merged := int64(len(l.l0Runs)) * l.MemtablePages
+	for _, run := range l.l0Runs {
+		for i := int64(0); i < l.MemtablePages; i++ {
+			l.pending = append(l.pending, pendingIO{t: iface.Read, lpn: l0Base + iface.LPN(run+i)})
+		}
+	}
+	if l.l1Next+merged > l1Size {
+		l.l1Next = 0
+	}
+	for i := int64(0); i < merged; i++ {
+		l.pending = append(l.pending, pendingIO{t: iface.Write, lpn: l1Base + iface.LPN(l.l1Next+i)})
+	}
+	l.l1Next += merged
+	for _, run := range l.l0Runs {
+		for i := int64(0); i < l.MemtablePages; i++ {
+			l.pending = append(l.pending, pendingIO{t: iface.Trim, lpn: l0Base + iface.LPN(run+i)})
+		}
+	}
+	l.l0Runs = l.l0Runs[:0]
+}

@@ -1,0 +1,218 @@
+// Package workload is the application layer of the simulated IO stack: a
+// programming framework giving users absolute control over the workload.
+//
+// A Thread provides two methods, Init and OnComplete — the paper's init() and
+// call_back() — and may issue any number of IOs from either. The Runner owns
+// thread lifecycle: threads can depend on other threads, so device
+// preparation (writing the whole logical space sequentially and/or randomly
+// before measuring, as uFLIP prescribes) is expressed as dependencies, and
+// measurement starts only when preparation finishes.
+package workload
+
+import (
+	"fmt"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/osched"
+	"eagletree/internal/sim"
+)
+
+// Thread is one simulated concurrent application. Init is called by the OS
+// when the thread starts; OnComplete is triggered every time an IO
+// originating from the thread completes. Within both, the thread may issue
+// any number of new IOs through the Ctx.
+type Thread interface {
+	Init(ctx *Ctx)
+	OnComplete(ctx *Ctx, r *iface.Request)
+}
+
+// Ctx is a thread's window onto the stack: it issues IOs to the OS,
+// publishes open-interface messages, draws deterministic randomness, and
+// declares the thread finished.
+type Ctx struct {
+	runner *Runner
+	entry  *entry
+	rng    *sim.RNG
+}
+
+// ID returns the thread's identifier (stamped on every request it issues).
+func (c *Ctx) ID() int { return c.entry.id }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.runner.eng.Now() }
+
+// RNG returns the thread's private deterministic random source.
+func (c *Ctx) RNG() *sim.RNG { return c.rng }
+
+// InFlight returns how many of this thread's IOs are not yet completed.
+func (c *Ctx) InFlight() int { return c.entry.inFlight }
+
+// Issued returns how many IOs the thread has submitted so far.
+func (c *Ctx) Issued() uint64 { return c.entry.issued }
+
+// Submit issues one IO with explicit tags and returns the request.
+func (c *Ctx) Submit(t iface.ReqType, lpn iface.LPN, tags iface.Tags) *iface.Request {
+	if c.entry.finished {
+		panic(fmt.Sprintf("workload: thread %d submitted an IO after finishing", c.entry.id))
+	}
+	c.runner.nextID++
+	r := &iface.Request{
+		ID:        c.runner.nextID,
+		Type:      t,
+		LPN:       lpn,
+		Source:    iface.SourceApp,
+		Thread:    c.entry.id,
+		Tags:      tags,
+		Submitted: c.runner.eng.Now(),
+	}
+	c.entry.inFlight++
+	c.entry.issued++
+	c.runner.os.Submit(r)
+	return r
+}
+
+// Read issues an untagged read.
+func (c *Ctx) Read(lpn iface.LPN) *iface.Request { return c.Submit(iface.Read, lpn, iface.Tags{}) }
+
+// Write issues an untagged write.
+func (c *Ctx) Write(lpn iface.LPN) *iface.Request { return c.Submit(iface.Write, lpn, iface.Tags{}) }
+
+// Trim issues a deallocation hint.
+func (c *Ctx) Trim(lpn iface.LPN) *iface.Request { return c.Submit(iface.Trim, lpn, iface.Tags{}) }
+
+// Publish sends a message on the open-interface bus. It reports false when
+// the bus is locked (block-device mode) or nothing subscribed.
+func (c *Ctx) Publish(m iface.Message) bool { return c.runner.bus.Publish(m) }
+
+// Finish declares the thread done. Pending IOs still complete (and still
+// reach OnComplete); once the last one drains, dependent threads start.
+// Finishing twice is a no-op.
+func (c *Ctx) Finish() {
+	if c.entry.finishReq {
+		return
+	}
+	c.entry.finishReq = true
+	c.runner.maybeFinalize(c.entry)
+}
+
+// Handle names a registered thread, primarily for expressing dependencies.
+type Handle struct {
+	entry *entry
+}
+
+// ID returns the thread id the handle refers to.
+func (h *Handle) ID() int { return h.entry.id }
+
+// Done reports whether the thread has finished and drained.
+func (h *Handle) Done() bool { return h.entry.finished }
+
+type entry struct {
+	id         int
+	t          Thread
+	ctx        *Ctx
+	deps       int // unfinished dependencies
+	dependents []*entry
+	started    bool
+	finishReq  bool
+	finished   bool
+	inFlight   int
+	issued     uint64
+}
+
+// Runner owns the thread layer: registration, dependency-ordered startup,
+// and completion routing from the OS back to threads.
+type Runner struct {
+	eng    *sim.Engine
+	os     *osched.OS
+	bus    *iface.Bus
+	rng    *sim.RNG
+	nextID uint64
+
+	entries []*entry
+	active  int
+
+	// OnAllDone, if set, fires when the last registered thread finishes.
+	OnAllDone func()
+}
+
+// NewRunner builds a thread runner over the OS layer. The seed determines
+// every thread's private RNG, so (workload, seed) fully fixes the IO trace.
+func NewRunner(eng *sim.Engine, os *osched.OS, bus *iface.Bus, seed uint64) *Runner {
+	return &Runner{eng: eng, os: os, bus: bus, rng: sim.NewRNG(seed)}
+}
+
+// Add registers a thread that starts when every dependency has finished
+// (immediately at Start when none are given). Nil handles are ignored, so a
+// possibly-absent barrier can be passed through unconditionally.
+func (r *Runner) Add(t Thread, deps ...*Handle) *Handle {
+	e := &entry{id: len(r.entries), t: t}
+	e.ctx = &Ctx{runner: r, entry: e, rng: r.rng.Split()}
+	for _, d := range deps {
+		if d == nil || d.entry.finished {
+			continue
+		}
+		e.deps++
+		d.entry.dependents = append(d.entry.dependents, e)
+	}
+	r.entries = append(r.entries, e)
+	r.active++
+	return &Handle{entry: e}
+}
+
+// Start launches every dependency-free thread. Call once, before running the
+// engine.
+func (r *Runner) Start() {
+	for _, e := range r.entries {
+		if e.deps == 0 && !e.started {
+			r.launch(e)
+		}
+	}
+}
+
+// Active returns how many registered threads have not finished.
+func (r *Runner) Active() int { return r.active }
+
+// Done reports whether every registered thread has finished.
+func (r *Runner) Done() bool { return r.active == 0 }
+
+func (r *Runner) launch(e *entry) {
+	e.started = true
+	r.os.SetCallback(e.id, func(req *iface.Request) { r.deliver(e, req) })
+	// Init runs inside the event loop so threads observe a consistent clock
+	// and so Start can be called before the engine runs.
+	r.eng.Schedule(r.eng.Now(), func() {
+		e.t.Init(e.ctx)
+		// A thread that issues nothing from Init and never calls Finish
+		// would hang its dependents; treat "no IOs, no finish request" as
+		// finished, matching an empty init() body.
+		if e.inFlight == 0 && !e.finishReq {
+			e.ctx.Finish()
+		}
+	})
+}
+
+func (r *Runner) deliver(e *entry, req *iface.Request) {
+	e.inFlight--
+	if !e.finished {
+		e.t.OnComplete(e.ctx, req)
+	}
+	r.maybeFinalize(e)
+}
+
+func (r *Runner) maybeFinalize(e *entry) {
+	if !e.finishReq || e.finished || e.inFlight > 0 {
+		return
+	}
+	e.finished = true
+	r.active--
+	r.os.RemoveCallback(e.id)
+	for _, dep := range e.dependents {
+		dep.deps--
+		if dep.deps == 0 && !dep.started {
+			r.launch(dep)
+		}
+	}
+	if r.active == 0 && r.OnAllDone != nil {
+		r.OnAllDone()
+	}
+}

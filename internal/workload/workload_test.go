@@ -1,0 +1,469 @@
+package workload
+
+import (
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/osched"
+	"eagletree/internal/sim"
+)
+
+// memDevice is an instant-ish fake SSD: every request completes after a
+// fixed latency, and the device records everything it saw.
+type memDevice struct {
+	eng     *sim.Engine
+	latency sim.Duration
+	done    func(*iface.Request)
+
+	reads, writes, trims int
+	byType               map[iface.ReqType][]iface.LPN
+}
+
+func (d *memDevice) Submit(r *iface.Request) {
+	if d.byType == nil {
+		d.byType = make(map[iface.ReqType][]iface.LPN)
+	}
+	switch r.Type {
+	case iface.Read:
+		d.reads++
+	case iface.Write:
+		d.writes++
+	case iface.Trim:
+		d.trims++
+	}
+	d.byType[r.Type] = append(d.byType[r.Type], r.LPN)
+	at := d.eng.Now().Add(d.latency)
+	d.eng.Schedule(at, func() {
+		r.Completed = at
+		d.done(r)
+	})
+}
+
+type wlRig struct {
+	eng    *sim.Engine
+	dev    *memDevice
+	os     *osched.OS
+	bus    *iface.Bus
+	runner *Runner
+}
+
+func newWLRig(t *testing.T, depth int) *wlRig {
+	t.Helper()
+	r := &wlRig{eng: sim.NewEngine(), bus: iface.NewBus()}
+	r.dev = &memDevice{eng: r.eng, latency: 50 * sim.Microsecond}
+	os, err := osched.New(r.eng, r.dev, osched.Config{QueueDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev.done = os.Completed
+	r.os = os
+	r.runner = NewRunner(r.eng, os, r.bus, 1)
+	return r
+}
+
+func (r *wlRig) run(t *testing.T) {
+	t.Helper()
+	r.runner.Start()
+	r.eng.RunUntilIdle()
+	if !r.runner.Done() {
+		t.Fatalf("%d threads never finished", r.runner.Active())
+	}
+}
+
+func TestSequentialWriterCoversRangeInOrder(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&SequentialWriter{From: 10, Count: 20, Depth: 4})
+	r.run(t)
+	if r.dev.writes != 20 {
+		t.Fatalf("wrote %d pages, want 20", r.dev.writes)
+	}
+	for i, lpn := range r.dev.byType[iface.Write] {
+		if lpn != iface.LPN(10+i) {
+			t.Fatalf("write %d hit lpn %d, want %d", i, lpn, 10+i)
+		}
+	}
+}
+
+func TestSequentialWriterLoops(t *testing.T) {
+	r := newWLRig(t, 4)
+	r.runner.Add(&SequentialWriter{From: 0, Count: 5, Loops: 3, Depth: 2})
+	r.run(t)
+	if r.dev.writes != 15 {
+		t.Fatalf("wrote %d pages, want 15 (5 x 3 loops)", r.dev.writes)
+	}
+}
+
+func TestSequentialReaderCoversRange(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&SequentialReader{From: 0, Count: 12, Depth: 3})
+	r.run(t)
+	if r.dev.reads != 12 {
+		t.Fatalf("read %d pages, want 12", r.dev.reads)
+	}
+}
+
+func TestRandomWriterStaysInSpace(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&RandomWriter{From: 100, Space: 50, Count: 200, Depth: 8})
+	r.run(t)
+	if r.dev.writes != 200 {
+		t.Fatalf("wrote %d, want 200", r.dev.writes)
+	}
+	for _, lpn := range r.dev.byType[iface.Write] {
+		if lpn < 100 || lpn >= 150 {
+			t.Fatalf("write outside [100,150): %d", lpn)
+		}
+	}
+}
+
+func TestRandomReaderStaysInSpace(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&RandomReader{From: 0, Space: 64, Count: 100, Depth: 8})
+	r.run(t)
+	if r.dev.reads != 100 {
+		t.Fatalf("read %d, want 100", r.dev.reads)
+	}
+	for _, lpn := range r.dev.byType[iface.Read] {
+		if lpn < 0 || lpn >= 64 {
+			t.Fatalf("read outside space: %d", lpn)
+		}
+	}
+}
+
+func TestZipfWriterIsSkewed(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&ZipfWriter{From: 0, Space: 1000, Count: 2000, Exponent: 1.2, Depth: 8})
+	r.run(t)
+	if r.dev.writes != 2000 {
+		t.Fatalf("wrote %d, want 2000", r.dev.writes)
+	}
+	// The hottest 10% of the space must absorb well over 10% of writes.
+	hot := 0
+	for _, lpn := range r.dev.byType[iface.Write] {
+		if lpn < 100 {
+			hot++
+		}
+	}
+	if hot < 800 {
+		t.Fatalf("hottest 10%% got %d of 2000 writes; zipf skew missing", hot)
+	}
+}
+
+// tagCountingDevice counts request temperatures.
+type tagCountingDevice struct {
+	memDevice
+	hot, cold int
+}
+
+func (d *tagCountingDevice) Submit(r *iface.Request) {
+	switch r.Tags.Temperature {
+	case iface.TempHot:
+		d.hot++
+	case iface.TempCold:
+		d.cold++
+	}
+	d.memDevice.Submit(r)
+}
+
+func TestZipfWriterTemperatureTagging(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &tagCountingDevice{memDevice: memDevice{eng: eng, latency: 10 * sim.Microsecond}}
+	os, err := osched.New(eng, dev, osched.Config{QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.done = os.Completed
+	runner := NewRunner(eng, os, iface.NewBus(), 7)
+	runner.Add(&ZipfWriter{From: 0, Space: 100, Count: 500, Depth: 4,
+		TagTemperature: true, HotFraction: 0.2})
+	runner.Start()
+	eng.RunUntilIdle()
+	if dev.hot+dev.cold != 500 {
+		t.Fatalf("tagged %d+%d of 500 writes", dev.hot, dev.cold)
+	}
+	if dev.hot <= dev.cold {
+		t.Fatalf("hot=%d cold=%d: zipf should concentrate writes on the hot fraction", dev.hot, dev.cold)
+	}
+}
+
+func TestReadWriteMixRatio(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&ReadWriteMix{From: 0, Space: 100, Count: 1000, ReadFraction: 0.7, Depth: 8})
+	r.run(t)
+	if r.dev.reads+r.dev.writes != 1000 {
+		t.Fatalf("%d+%d IOs, want 1000", r.dev.reads, r.dev.writes)
+	}
+	frac := float64(r.dev.reads) / 1000
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("read fraction %.2f, want ~0.7", frac)
+	}
+}
+
+func TestTrimmerTrims(t *testing.T) {
+	r := newWLRig(t, 4)
+	r.runner.Add(&Trimmer{From: 5, Count: 10, Depth: 2})
+	r.run(t)
+	if r.dev.trims != 10 {
+		t.Fatalf("trimmed %d, want 10", r.dev.trims)
+	}
+}
+
+func TestDependenciesOrderThreads(t *testing.T) {
+	r := newWLRig(t, 4)
+	// Writer must fully finish before the reader starts: every read must be
+	// submitted after the last write completes.
+	w := r.runner.Add(&SequentialWriter{From: 0, Count: 10, Depth: 4})
+	r.runner.Add(&SequentialReader{From: 0, Count: 10, Depth: 4}, w)
+	r.run(t)
+	if r.dev.writes != 10 || r.dev.reads != 10 {
+		t.Fatalf("writes=%d reads=%d", r.dev.writes, r.dev.reads)
+	}
+	// Device records arrival order: all writes must precede all reads.
+	order := append([]iface.LPN{}, r.dev.byType[iface.Write]...)
+	_ = order
+	// Stronger check: thread 1 (reader) saw its first submission only after
+	// thread 0 finished — verified by osched stats being sequential; the
+	// reads arrived after the writes because the device log for writes was
+	// complete before any read. memDevice appends per type, so compare via
+	// counts at first read instead:
+	if !w.Done() {
+		t.Fatal("dependency handle not marked done")
+	}
+}
+
+// orderDevice records the global arrival order of request types.
+type orderDevice struct {
+	memDevice
+	arrival []iface.ReqType
+}
+
+func (d *orderDevice) Submit(r *iface.Request) {
+	d.arrival = append(d.arrival, r.Type)
+	d.memDevice.Submit(r)
+}
+
+func TestDependencyStrictOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &orderDevice{memDevice: memDevice{eng: eng, latency: 10 * sim.Microsecond}}
+	os, err := osched.New(eng, dev, osched.Config{QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.done = os.Completed
+	runner := NewRunner(eng, os, iface.NewBus(), 1)
+	w := runner.Add(&SequentialWriter{From: 0, Count: 10, Depth: 4})
+	runner.Add(&SequentialReader{From: 0, Count: 10, Depth: 4}, w)
+	runner.Start()
+	eng.RunUntilIdle()
+	lastWrite, firstRead := -1, -1
+	for i, t2 := range dev.arrival {
+		if t2 == iface.Write {
+			lastWrite = i
+		}
+		if t2 == iface.Read && firstRead == -1 {
+			firstRead = i
+		}
+	}
+	if firstRead < lastWrite {
+		t.Fatalf("read arrived at %d before last write at %d: dependency violated", firstRead, lastWrite)
+	}
+}
+
+func TestDiamondDependencies(t *testing.T) {
+	r := newWLRig(t, 8)
+	a := r.runner.Add(&SequentialWriter{From: 0, Count: 4, Depth: 2})
+	b := r.runner.Add(&SequentialWriter{From: 10, Count: 4, Depth: 2}, a)
+	c := r.runner.Add(&SequentialWriter{From: 20, Count: 4, Depth: 2}, a)
+	r.runner.Add(&SequentialReader{From: 0, Count: 4, Depth: 2}, b, c)
+	r.run(t)
+	if r.dev.writes != 12 || r.dev.reads != 4 {
+		t.Fatalf("writes=%d reads=%d", r.dev.writes, r.dev.reads)
+	}
+}
+
+func TestOnAllDoneFires(t *testing.T) {
+	r := newWLRig(t, 4)
+	fired := false
+	r.runner.OnAllDone = func() { fired = true }
+	r.runner.Add(&SequentialWriter{From: 0, Count: 4, Depth: 2})
+	r.run(t)
+	if !fired {
+		t.Fatal("OnAllDone never fired")
+	}
+}
+
+func TestEmptyThreadFinishesImmediately(t *testing.T) {
+	r := newWLRig(t, 4)
+	r.runner.Add(&SequentialWriter{From: 0, Count: 0, Depth: 2})
+	r.run(t)
+	if !r.runner.Done() {
+		t.Fatal("zero-IO thread hung the runner")
+	}
+}
+
+func TestFileSystemLifecycle(t *testing.T) {
+	r := newWLRig(t, 8)
+	fs := &FileSystem{From: 0, Space: 4096, Ops: 200, Depth: 8, MeanFilePages: 8}
+	r.runner.Add(fs)
+	r.run(t)
+	if r.dev.writes == 0 {
+		t.Fatal("file system never wrote")
+	}
+	if r.dev.reads == 0 {
+		t.Fatal("file system never read (overwrites do read-modify-write)")
+	}
+	if r.dev.trims == 0 {
+		t.Fatal("file system never deleted a file")
+	}
+	for _, lpn := range r.dev.byType[iface.Write] {
+		if lpn < 0 || lpn >= 4096 {
+			t.Fatalf("write outside fs space: %d", lpn)
+		}
+	}
+}
+
+func TestFileSystemLocalityHints(t *testing.T) {
+	r := newWLRig(t, 8)
+	var hints int
+	r.bus.Subscribe("locality", func(iface.Message) { hints++ })
+	r.runner.Add(&FileSystem{From: 0, Space: 4096, Ops: 50, Depth: 4, TagLocality: true})
+	r.run(t)
+	if hints == 0 {
+		t.Fatal("no locality hints published")
+	}
+}
+
+func TestGraceJoinIOCounts(t *testing.T) {
+	r := newWLRig(t, 8)
+	g := &GraceJoin{
+		RFrom: 0, RPages: 64,
+		SFrom: 100, SPages: 128,
+		PartFrom: 300, Partitions: 4, Depth: 8,
+	}
+	r.runner.Add(g)
+	r.run(t)
+	// Partitioning reads R+S and writes R+S; probe reads R+S again.
+	wantReads := int(64 + 128 + 64 + 128)
+	if r.dev.reads != wantReads {
+		t.Fatalf("reads=%d, want %d", r.dev.reads, wantReads)
+	}
+	if r.dev.writes != 64+128 {
+		t.Fatalf("writes=%d, want %d", r.dev.writes, 64+128)
+	}
+}
+
+func TestGraceJoinPhaseOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &orderDevice{memDevice: memDevice{eng: eng, latency: 10 * sim.Microsecond}}
+	os, err := osched.New(eng, dev, osched.Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.done = os.Completed
+	runner := NewRunner(eng, os, iface.NewBus(), 1)
+	runner.Add(&GraceJoin{RFrom: 0, RPages: 16, SFrom: 50, SPages: 16, PartFrom: 100, Partitions: 2, Depth: 4})
+	runner.Start()
+	eng.RunUntilIdle()
+	// After the last write, only probe reads may follow.
+	lastWrite := -1
+	for i, t2 := range dev.arrival {
+		if t2 == iface.Write {
+			lastWrite = i
+		}
+	}
+	for i := lastWrite + 1; i < len(dev.arrival); i++ {
+		if dev.arrival[i] != iface.Read {
+			t.Fatalf("non-read after final partition write at %d", i)
+		}
+	}
+	if lastWrite == -1 || lastWrite == len(dev.arrival)-1 {
+		t.Fatal("no probe phase observed")
+	}
+}
+
+func TestLSMInsertCompactionHappens(t *testing.T) {
+	r := newWLRig(t, 8)
+	lsm := &LSMInsert{From: 0, Space: 8192, Inserts: 1024, MemtablePages: 32, Fanout: 4, Depth: 8}
+	r.runner.Add(lsm)
+	r.run(t)
+	// 1024 WAL writes + 32 flushes x 32 pages + compactions.
+	if r.dev.writes <= 1024+1024 {
+		t.Fatalf("writes=%d: compaction writes missing (WAL+flush alone = 2048)", r.dev.writes)
+	}
+	if r.dev.reads == 0 {
+		t.Fatal("no compaction reads")
+	}
+	if r.dev.trims == 0 {
+		t.Fatal("compaction never trimmed dead runs")
+	}
+}
+
+func TestLSMPriorityTags(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &prioCountingDevice{memDevice: memDevice{eng: eng, latency: 10 * sim.Microsecond}}
+	os, err := osched.New(eng, dev, osched.Config{QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.done = os.Completed
+	runner := NewRunner(eng, os, iface.NewBus(), 1)
+	runner.Add(&LSMInsert{From: 0, Space: 4096, Inserts: 128, MemtablePages: 32, Depth: 4, TagPriority: true})
+	runner.Start()
+	eng.RunUntilIdle()
+	if dev.high != 128 {
+		t.Fatalf("high-priority writes=%d, want 128 WAL appends", dev.high)
+	}
+}
+
+type prioCountingDevice struct {
+	memDevice
+	high int
+}
+
+func (d *prioCountingDevice) Submit(r *iface.Request) {
+	if r.Tags.Priority == iface.PriorityHigh {
+		d.high++
+	}
+	d.memDevice.Submit(r)
+}
+
+func TestExternalSortIOCounts(t *testing.T) {
+	r := newWLRig(t, 8)
+	r.runner.Add(&ExternalSort{From: 0, InputPages: 256, ScratchFrom: 1000, RunPages: 64, Depth: 8})
+	r.run(t)
+	// Run formation: 256 reads + 256 writes. Merge: 256 reads + 256 writes.
+	if r.dev.reads != 512 {
+		t.Fatalf("reads=%d, want 512", r.dev.reads)
+	}
+	if r.dev.writes != 512 {
+		t.Fatalf("writes=%d, want 512", r.dev.writes)
+	}
+}
+
+func TestExternalSortUnevenLastRun(t *testing.T) {
+	r := newWLRig(t, 4)
+	r.runner.Add(&ExternalSort{From: 0, InputPages: 100, ScratchFrom: 500, RunPages: 32, Depth: 4})
+	r.run(t)
+	if r.dev.reads != 200 || r.dev.writes != 200 {
+		t.Fatalf("reads=%d writes=%d, want 200/200", r.dev.reads, r.dev.writes)
+	}
+}
+
+func TestDeterministicWorkloads(t *testing.T) {
+	trace := func() []iface.LPN {
+		r := newWLRig(t, 8)
+		r.runner.Add(&RandomWriter{From: 0, Space: 500, Count: 300, Depth: 8})
+		r.runner.Add(&ZipfWriter{From: 500, Space: 500, Count: 300, Depth: 8})
+		r.run(t)
+		return r.dev.byType[iface.Write]
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
