@@ -28,6 +28,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "also print CSV")
 		chart    = flag.Bool("chart", true, "print throughput chart per experiment")
 		timeline = flag.Bool("timeline", false, "record and print completions-over-time sparklines")
+		workers  = flag.Int("workers", 0, "parallel variant workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 		if *timeline {
 			def.SeriesBucket = 20 * sim.Millisecond
 		}
-		res, err := experiment.Run(def)
+		res, err := experiment.RunWorkers(def, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)

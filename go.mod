@@ -1,0 +1,3 @@
+module eagletree
+
+go 1.22

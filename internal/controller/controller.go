@@ -13,6 +13,8 @@ package controller
 import (
 	"fmt"
 
+	"unsafe"
+
 	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
 	"eagletree/internal/gc"
@@ -193,18 +195,39 @@ const (
 	opWLWrite
 )
 
-// reqState is the controller-private state of a queued request.
+// reqState is the controller-private state of a queued request. It lives in
+// the request's opaque Ctl slot — not in a lookup table — so the dispatch hot
+// path reaches it with one pointer load. States are pooled: finish returns
+// them to the controller's freelist and Submit/newInternal reuse them.
 type reqState struct {
 	kind     opKind
-	blocked  bool             // waiting on a predecessor in a dependency chain
-	next     []*iface.Request // unblocked when this request completes
-	trans    ftl.TransOp      // payload for opTrans*
-	src      flash.PPA        // explicit source page (GC/WL migrations)
-	dst      flash.PPA        // destination (copyback)
-	run      *gcRun           // owning GC/WL run, if any
-	accessd  bool             // mapper.Access already performed
-	errored  bool             // completed without touching flash (unmapped read)
-	buffered bool             // write absorbed by the battery-backed buffer
+	blocked  bool // waiting on a predecessor in a dependency chain
+	accessd  bool // mapper.Access already performed
+	errored  bool // completed without touching flash (unmapped read)
+	buffered bool // write absorbed by the battery-backed buffer
+	busyLUN  int  // LUN whose inflight slot this request holds; -1 when none
+
+	// Readiness caches, validated against the controller epochs. canRun is
+	// invoked once per queued request per dispatch scan, so it must not
+	// repeat mapping lookups or temperature classification whose inputs
+	// cannot have changed since the last scan.
+	ppaEpoch    uint64 // mapEpoch when ppa/mapped were cached
+	mapped      bool
+	ppa         flash.PPA
+	streamEpoch uint64 // tempEpoch when stream was cached
+	stream      ftl.Stream
+
+	next  []*iface.Request // unblocked when this request completes
+	trans ftl.TransOp      // payload for opTrans*
+	src   flash.PPA        // explicit source page (GC/WL migrations)
+	run   *gcRun           // owning GC/WL run, if any
+}
+
+// writeMemoEntry caches "some idle LUN can allocate for this stream" per
+// write stream, valid for one writeEpoch.
+type writeMemoEntry struct {
+	epoch uint64
+	ok    bool
 }
 
 // gcRun tracks one in-flight collection or wear-leveling migration.
@@ -244,7 +267,6 @@ type Controller struct {
 	mem    *MemoryManager
 
 	inflight     []bool // one operation per LUN at a time
-	state        map[*iface.Request]*reqState
 	gcActive     []bool // per LUN: a GC/WL run owns the LUN's migration budget
 	nextID       uint64
 	dispPend     bool
@@ -255,6 +277,26 @@ type Controller struct {
 	wlScanArmed  bool
 	deferred     []*iface.Request // writes an allocator refused; retried after the next completion
 	lastTrans    *iface.Request   // tail of the most recently planned translation chain
+
+	// Hot-path machinery: pooled request states, a scratch allocator view,
+	// and callbacks bound once so per-IO scheduling allocates nothing.
+	statePool    []*reqState
+	reqPool      []*iface.Request // recycled controller-internal requests
+	views        []sched.LUNView
+	detectorLive bool // detector state can change classifications (not hotcold.None)
+	canRunFn     func(*iface.Request) bool
+	dispatchFn   func(any)
+	ioDoneFn     func(any)
+	flushFn      func(any)
+
+	// Readiness epochs. Every mutation of a readiness input bumps the
+	// matching epoch, so cached canRun inputs are reused exactly while
+	// nothing they depend on has changed — dispatch order is identical to
+	// recomputing from scratch, without the per-scan map and LUN traffic.
+	mapEpoch   uint64           // mapper.Map/Unmap calls
+	tempEpoch  uint64           // temperature hints, WL-cold set, detector state
+	writeEpoch uint64           // inflight toggles and block alloc/release
+	writeMemo  []writeMemoEntry // per-stream write readiness, one writeEpoch long
 
 	// Open-interface state fed by bus hints.
 	threadPrio map[int]iface.Priority
@@ -309,14 +351,26 @@ func New(eng *sim.Engine, bus *iface.Bus, col *stats.Collector, cfg Config) (*Co
 		bus:        bus,
 		stats:      col,
 		inflight:   make([]bool, cfg.Geometry.LUNs()),
-		state:      make(map[*iface.Request]*reqState),
 		gcActive:   make([]bool, cfg.Geometry.LUNs()),
 		logical:    logical,
 		threadPrio: make(map[int]iface.Priority),
 		locality:   make(map[iface.LPN]int),
 		tempHints:  make(map[iface.LPN]iface.Temperature),
 		wlCold:     make(map[iface.LPN]struct{}),
+
+		views:      make([]sched.LUNView, cfg.Geometry.LUNs()),
+		writeMemo:  make([]writeMemoEntry, ftl.NumStreams),
+		mapEpoch:   1,
+		tempEpoch:  1,
+		writeEpoch: 1,
 	}
+	if _, none := cfg.Detector.(hotcold.None); !none {
+		c.detectorLive = true
+	}
+	c.canRunFn = c.canRun
+	c.dispatchFn = func(any) { c.dispPend = false; c.dispatch() }
+	c.ioDoneFn = c.ioDone
+	c.flushFn = c.flushDone
 	c.mem = NewMemoryManager(cfg.RAMBytes, cfg.SafeRAMBytes)
 	if err := c.mem.Reserve("mapping", mapper.RAMBytes(), false); err != nil {
 		return nil, err
@@ -391,6 +445,7 @@ func (c *Controller) subscribe() {
 		for lpn := h.From; lpn < h.To; lpn++ {
 			c.tempHints[lpn] = h.Temperature
 		}
+		c.tempEpoch++
 	})
 }
 
@@ -406,8 +461,12 @@ func (c *Controller) Submit(r *iface.Request) {
 		c.applyHints(r)
 		if r.Tags.Temperature != iface.TempUnknown {
 			// Remember per-page temperature: GC consults it when choosing a
-			// migration stream long after the tagged write completed.
-			c.tempHints[r.LPN] = r.Tags.Temperature
+			// migration stream long after the tagged write completed. Cached
+			// streams stay valid unless the hint actually changes.
+			if old, ok := c.tempHints[r.LPN]; !ok || old != r.Tags.Temperature {
+				c.tempHints[r.LPN] = r.Tags.Temperature
+				c.tempEpoch++
+			}
 		}
 	}
 	if r.Source == iface.SourceApp {
@@ -421,7 +480,7 @@ func (c *Controller) Submit(r *iface.Request) {
 		}
 	}
 	c.scheduleWLScan() // re-arm the static WL scan if it went quiet
-	c.state[r] = &reqState{kind: opData}
+	attach(r, c.newState(opData))
 	if r.Type == iface.Write && r.Source == iface.SourceApp && c.buffer != nil {
 		c.counters.BufferedWrites++
 		c.bufferWrite(r)
@@ -451,22 +510,56 @@ func (c *Controller) applyHints(r *iface.Request) {
 	}
 }
 
+// newState takes a request state from the pool (or allocates one) and
+// initializes it for the given operation kind.
+func (c *Controller) newState(kind opKind) *reqState {
+	var st *reqState
+	if n := len(c.statePool); n > 0 {
+		st = c.statePool[n-1]
+		c.statePool = c.statePool[:n-1]
+		next := st.next[:0]
+		*st = reqState{next: next}
+	} else {
+		st = &reqState{}
+	}
+	st.kind = kind
+	st.busyLUN = -1
+	return st
+}
+
+// freeState returns a state to the pool. The caller must have detached it
+// from its request (r.Ctl = nil) first.
+func (c *Controller) freeState(st *reqState) {
+	for i := range st.next {
+		st.next[i] = nil // do not retain completed requests
+	}
+	st.run = nil
+	c.statePool = append(c.statePool, st)
+}
+
+// stateOf returns the controller state attached to a request, or nil.
+func stateOf(r *iface.Request) *reqState {
+	return (*reqState)(r.Ctl)
+}
+
+// attach binds a state to a request.
+func attach(r *iface.Request, st *reqState) {
+	r.Ctl = unsafe.Pointer(st)
+}
+
 // scheduleDispatch coalesces dispatch work to the tail of the current event.
 func (c *Controller) scheduleDispatch() {
 	if c.dispPend {
 		return
 	}
 	c.dispPend = true
-	c.eng.Schedule(c.eng.Now(), func() {
-		c.dispPend = false
-		c.dispatch()
-	})
+	c.eng.ScheduleCall(c.eng.Now(), c.dispatchFn, nil)
 }
 
 // dispatch drains the policy queue as far as hardware and space allow.
 func (c *Controller) dispatch() {
 	for {
-		r := c.cfg.Policy.Pop(c.eng.Now(), c.canRun)
+		r := c.cfg.Policy.Pop(c.eng.Now(), c.canRunFn)
 		if r == nil {
 			return
 		}
@@ -474,9 +567,41 @@ func (c *Controller) dispatch() {
 	}
 }
 
+// lookup returns the request's current physical page, caching the mapper
+// lookup until the next mapping mutation.
+func (c *Controller) lookup(r *iface.Request, st *reqState) (flash.PPA, bool) {
+	if st.ppaEpoch != c.mapEpoch {
+		st.ppa, st.mapped = c.mapper.Lookup(r.LPN)
+		st.ppaEpoch = c.mapEpoch
+	}
+	return st.ppa, st.mapped
+}
+
+// canRunWrite reports whether some idle LUN could take a write on the
+// stream. The scan result is memoized per stream for the current writeEpoch:
+// with many writes queued, one dispatch scan pays the LUN loop once per
+// stream instead of once per request.
+func (c *Controller) canRunWrite(stream ftl.Stream) bool {
+	// writeMemo is sized ftl.NumStreams and LocalityStream clamps groups
+	// into range, so the index cannot overflow.
+	m := &c.writeMemo[stream]
+	if m.epoch == c.writeEpoch {
+		return m.ok
+	}
+	ok := false
+	for lun := range c.inflight {
+		if !c.inflight[lun] && c.bm.CanAlloc(lun, stream) {
+			ok = true
+			break
+		}
+	}
+	*m = writeMemoEntry{epoch: c.writeEpoch, ok: ok}
+	return ok
+}
+
 // canRun reports whether a request could be dispatched right now.
 func (c *Controller) canRun(r *iface.Request) bool {
-	st := c.state[r]
+	st := stateOf(r)
 	if st == nil || st.blocked {
 		return false
 	}
@@ -491,24 +616,19 @@ func (c *Controller) canRun(r *iface.Request) bool {
 		// Migration writes stay on the victim's LUN: the read already
 		// landed there and cross-LUN migration would need a channel hop the
 		// paper's GC does not model.
-		return !c.inflight[st.src.LUN] && c.bm.CanAlloc(st.src.LUN, c.streamFor(r))
+		return !c.inflight[st.src.LUN] && c.bm.CanAlloc(st.src.LUN, c.streamOf(r, st))
 	case opGCErase:
 		return !c.inflight[st.src.LUN]
 	}
 	switch r.Type {
 	case iface.Read:
-		ppa, ok := c.mapper.Lookup(r.LPN)
+		ppa, ok := c.lookup(r, st)
 		if !ok {
 			return true // completes immediately as an unmapped read
 		}
 		return !c.inflight[ppa.LUN]
 	case iface.Write:
-		for lun := range c.inflight {
-			if !c.inflight[lun] && c.bm.CanAlloc(lun, c.streamFor(r)) {
-				return true
-			}
-		}
-		return false
+		return c.canRunWrite(c.streamOf(r, st))
 	default: // Trim
 		return true
 	}

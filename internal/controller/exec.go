@@ -2,7 +2,9 @@ package controller
 
 import (
 	"fmt"
+	"unsafe"
 
+	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
 	"eagletree/internal/iface"
 	"eagletree/internal/sched"
@@ -14,9 +16,18 @@ import (
 // flash array drops intervals that ended in the past.
 const pruneEvery = 2048
 
-// streamFor maps a request onto the block-manager write stream it fills.
-func (c *Controller) streamFor(r *iface.Request) ftl.Stream {
-	st := c.state[r]
+// streamOf returns the block-manager write stream the request fills, cached
+// on the request state until the next temperature-affecting mutation.
+func (c *Controller) streamOf(r *iface.Request, st *reqState) ftl.Stream {
+	if st.streamEpoch != c.tempEpoch {
+		st.stream = c.computeStream(r, st)
+		st.streamEpoch = c.tempEpoch
+	}
+	return st.stream
+}
+
+// computeStream maps a request onto the block-manager write stream it fills.
+func (c *Controller) computeStream(r *iface.Request, st *reqState) ftl.Stream {
 	switch st.kind {
 	case opGCWrite, opGCCopyback:
 		// Temperature-aware GC: migrating live pages back into a shared GC
@@ -68,27 +79,68 @@ func (c *Controller) tempOf(lpn iface.LPN) iface.Temperature {
 	return c.cfg.Detector.Classify(lpn)
 }
 
-// newInternal creates a controller-generated request.
+// alloc allocates a physical page and invalidates the write-readiness memo:
+// the allocation may have consumed a LUN's last available block or opened a
+// fresh frontier.
+func (c *Controller) alloc(lun int, stream ftl.Stream) (flash.PPA, error) {
+	c.writeEpoch++
+	return c.bm.Alloc(lun, stream)
+}
+
+// remap updates the forward mapping and invalidates cached lookups.
+func (c *Controller) remap(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
+	c.mapEpoch++
+	return c.mapper.Map(lpn, ppa)
+}
+
+// unmap drops the forward mapping and invalidates cached lookups.
+func (c *Controller) unmap(lpn iface.LPN) (flash.PPA, bool) {
+	c.mapEpoch++
+	return c.mapper.Unmap(lpn)
+}
+
+// newInternal creates a controller-generated request carrying the state,
+// reusing a recycled request when possible.
 func (c *Controller) newInternal(t iface.ReqType, src iface.Source, lpn iface.LPN, st *reqState) *iface.Request {
 	c.nextID++
-	r := &iface.Request{
+	var r *iface.Request
+	if n := len(c.reqPool); n > 0 {
+		r = c.reqPool[n-1]
+		c.reqPool = c.reqPool[:n-1]
+	} else {
+		r = &iface.Request{}
+	}
+	*r = iface.Request{
 		ID:        1<<63 | c.nextID, // high bit marks internal IDs in traces
 		Type:      t,
 		LPN:       lpn,
 		Source:    src,
 		Submitted: c.eng.Now(),
 		Issued:    c.eng.Now(),
+		Ctl:       unsafe.Pointer(st),
 	}
-	c.state[r] = st
 	return r
+}
+
+// recycleRequest returns a finished controller-owned request to the pool.
+// Callers must only pass requests that are invisible outside the controller
+// — internal sources (GC/WL/Map) and buffered-write flushes — whose
+// completions are delivered nowhere. Traces are pointer-free (they copy
+// value fields), so reuse is safe even while recording.
+func (c *Controller) recycleRequest(r *iface.Request) {
+	if c.lastTrans == r {
+		// A finished chain tail imposes no ordering on future chains; the
+		// nil check in enqueueTransChain would have skipped it anyway.
+		c.lastTrans = nil
+	}
+	c.reqPool = append(c.reqPool, r)
 }
 
 // ensureAccess runs the mapping scheme's Access step once per request. When
 // the scheme needs translation IOs first, they are enqueued as a dependency
 // chain ahead of r (which is re-queued blocked) and ensureAccess reports
 // false: the caller must stop and wait for the chain.
-func (c *Controller) ensureAccess(r *iface.Request, write bool) bool {
-	st := c.state[r]
+func (c *Controller) ensureAccess(r *iface.Request, st *reqState, write bool) bool {
 	if st.accessd {
 		return true
 	}
@@ -122,25 +174,34 @@ func (c *Controller) enqueueTransChain(ops []ftl.TransOp, final *iface.Request) 
 		default:
 			t, kind = iface.Erase, opTransErase
 		}
-		st := &reqState{kind: kind, trans: op, blocked: i > 0}
+		st := c.newState(kind)
+		st.trans = op
+		st.blocked = i > 0
 		req := c.newInternal(t, iface.SourceMap, final.LPN, st)
 		if i == 0 {
-			if lt := c.lastTrans; lt != nil && c.state[lt] != nil {
-				st.blocked = true
-				c.state[lt].next = append(c.state[lt].next, req)
+			if lt := c.lastTrans; lt != nil {
+				if ls := stateOf(lt); ls != nil {
+					st.blocked = true
+					ls.next = append(ls.next, req)
+				}
 			}
 		}
 		if prev != nil {
-			c.state[prev].next = append(c.state[prev].next, req)
+			ps := stateOf(prev)
+			ps.next = append(ps.next, req)
 		}
 		prev = req
-		c.cfg.Policy.Push(req)
+		if st.blocked {
+			c.cfg.Policy.PushBlocked(req)
+		} else {
+			c.cfg.Policy.Push(req)
+		}
 	}
 	c.lastTrans = prev
-	fs := c.state[final]
+	fs := stateOf(final)
 	fs.blocked = true
-	c.state[prev].next = append(c.state[prev].next, final)
-	c.cfg.Policy.Push(final)
+	stateOf(prev).next = append(stateOf(prev).next, final)
+	c.cfg.Policy.PushBlocked(final)
 }
 
 // execute dispatches one popped request to the flash array (or completes it
@@ -151,23 +212,23 @@ func (c *Controller) execute(r *iface.Request) {
 	if tr := c.stats.Trace(); tr != nil {
 		tr.Record(now, r.ID, stats.StageDispatched, r)
 	}
-	st := c.state[r]
+	st := stateOf(r)
 	switch st.kind {
 	case opTransRead:
 		sched, err := c.array.ScheduleRead(st.trans.PPA, now)
 		c.must(err, r)
-		c.busyUntil(st.trans.PPA.LUN, sched.Done, r)
+		c.busyUntil(st.trans.PPA.LUN, sched.Done, r, st)
 	case opTransWrite:
 		sched, err := c.array.ScheduleWrite(st.trans.PPA, now)
 		c.must(err, r)
 		if st.trans.HasStale {
 			c.must(c.array.Invalidate(st.trans.Stale), r)
 		}
-		c.busyUntil(st.trans.PPA.LUN, sched.Done, r)
+		c.busyUntil(st.trans.PPA.LUN, sched.Done, r, st)
 	case opTransErase:
 		sched, err := c.array.ScheduleErase(st.trans.Block, now)
 		c.must(err, r)
-		c.busyUntil(st.trans.Block.LUN, sched.Done, r)
+		c.busyUntil(st.trans.Block.LUN, sched.Done, r, st)
 	case opGCRead, opWLRead:
 		c.executeMigrationRead(r, st)
 	case opGCWrite, opWLWrite:
@@ -177,7 +238,7 @@ func (c *Controller) execute(r *iface.Request) {
 	case opGCErase:
 		sched, err := c.array.ScheduleErase(st.run.victim, now)
 		c.must(err, r)
-		c.busyUntil(st.run.victim.LUN, sched.Done, r)
+		c.busyUntil(st.run.victim.LUN, sched.Done, r, st)
 	default:
 		c.executeData(r, st)
 	}
@@ -187,28 +248,27 @@ func (c *Controller) executeData(r *iface.Request, st *reqState) {
 	now := c.eng.Now()
 	switch r.Type {
 	case iface.Read:
-		ppa, ok := c.mapper.Lookup(r.LPN)
+		ppa, ok := c.lookup(r, st)
 		if !ok {
 			// Reading a never-written page: nothing on flash. Complete after
 			// the command-handling latency only, as a real device returning
 			// zeroes without touching a chip.
 			c.counters.UnmappedReads++
 			st.errored = true
-			done := now.Add(c.cfg.Timing.Cmd)
-			c.eng.Schedule(done, func() { c.finish(r, done) })
+			c.eng.ScheduleCall(now.Add(c.cfg.Timing.Cmd), c.ioDoneFn, r)
 			return
 		}
-		if !c.ensureAccess(r, false) {
+		if !c.ensureAccess(r, st, false) {
 			return // waiting on translation chain
 		}
 		sched, err := c.array.ScheduleRead(ppa, now)
 		c.must(err, r)
-		c.busyUntil(ppa.LUN, sched.Done, r)
+		c.busyUntil(ppa.LUN, sched.Done, r, st)
 	case iface.Write:
-		if !c.ensureAccess(r, true) {
+		if !c.ensureAccess(r, st, true) {
 			return
 		}
-		stream := c.streamFor(r)
+		stream := c.streamOf(r, st)
 		views := c.lunViews(stream)
 		lun, ok := c.cfg.Alloc.PickLUN(r, views)
 		if !ok {
@@ -217,23 +277,32 @@ func (c *Controller) executeData(r *iface.Request, st *reqState) {
 			// changes the picture; re-popping immediately would livelock.
 			st.blocked = true
 			c.deferred = append(c.deferred, r)
-			c.cfg.Policy.Push(r)
+			c.cfg.Policy.PushBlocked(r)
 			return
 		}
-		ppa, err := c.bm.Alloc(lun, stream)
+		ppa, err := c.alloc(lun, stream)
 		c.must(err, r)
 		sched, err := c.array.ScheduleWrite(ppa, now)
 		c.must(err, r)
-		if old, had := c.mapper.Map(r.LPN, ppa); had {
+		if old, had := c.remap(r.LPN, ppa); had {
 			c.must(c.array.Invalidate(old), r)
 		}
 		if r.Source == iface.SourceApp {
-			delete(c.wlCold, r.LPN) // the page proved itself non-cold
+			if _, had := c.wlCold[r.LPN]; had {
+				delete(c.wlCold, r.LPN) // the page proved itself non-cold
+				c.tempEpoch++
+			}
 			c.cfg.Detector.RecordWrite(r.LPN)
+			if c.detectorLive {
+				// Only a live detector can change a future classification;
+				// the default hotcold.None never does, so cached streams
+				// stay valid across app writes.
+				c.tempEpoch++
+			}
 		}
-		c.busyUntil(lun, sched.Done, r)
+		c.busyUntil(lun, sched.Done, r, st)
 	case iface.Trim:
-		if old, had := c.mapper.Unmap(r.LPN); had {
+		if old, had := c.unmap(r.LPN); had {
 			c.must(c.array.Invalidate(old), r)
 		}
 		c.finish(r, now)
@@ -242,9 +311,10 @@ func (c *Controller) executeData(r *iface.Request, st *reqState) {
 	}
 }
 
-// lunViews snapshots per-LUN state for the write allocator.
+// lunViews snapshots per-LUN state for the write allocator. The slice is a
+// reused scratch buffer, valid only until the next call.
 func (c *Controller) lunViews(stream ftl.Stream) []sched.LUNView {
-	views := make([]sched.LUNView, len(c.inflight))
+	views := c.views
 	for lun := range views {
 		views[lun] = sched.LUNView{
 			Busy:     c.inflight[lun],
@@ -266,29 +336,40 @@ func (c *Controller) must(err error, r *iface.Request) {
 }
 
 // busyUntil marks the LUN occupied and schedules the request's completion.
-func (c *Controller) busyUntil(lun int, done sim.Time, r *iface.Request) {
+func (c *Controller) busyUntil(lun int, done sim.Time, r *iface.Request, st *reqState) {
 	c.inflight[lun] = true
-	c.eng.Schedule(done, func() {
-		c.inflight[lun] = false
-		c.finish(r, done)
-	})
+	c.writeEpoch++
+	st.busyLUN = lun
+	c.eng.ScheduleCall(done, c.ioDoneFn, r)
+}
+
+// ioDone is the engine callback for every flash completion: it releases the
+// LUN the request occupied (if any) and finishes the request. Bound once in
+// New so per-IO scheduling carries only the request pointer.
+func (c *Controller) ioDone(arg any) {
+	r := arg.(*iface.Request)
+	st := stateOf(r)
+	if st.busyLUN >= 0 {
+		c.inflight[st.busyLUN] = false
+		c.writeEpoch++
+		st.busyLUN = -1
+	}
+	c.finish(r, c.eng.Now())
 }
 
 // finish completes a request: stamps it, records statistics, unblocks any
 // dependency chain successor, notifies GC/WL bookkeeping, delivers external
-// completions to the OS, and re-arms dispatch.
+// completions to the OS, re-arms dispatch, and recycles the request state.
 func (c *Controller) finish(r *iface.Request, at sim.Time) {
-	st := c.state[r]
+	st := stateOf(r)
 	r.Completed = at
 	if !st.buffered {
 		c.stats.RecordCompletion(r)
 	}
-	for _, succ := range st.next {
-		if ss := c.state[succ]; ss != nil {
-			ss.blocked = false
-		}
-	}
-	delete(c.state, r)
+	c.unblockSuccessors(st)
+	// Detach before any callback below: OnComplete may synchronously submit
+	// new IOs, possibly reusing this very request object.
+	r.Ctl = nil
 
 	switch st.kind {
 	case opGCWrite, opGCCopyback:
@@ -321,8 +402,9 @@ func (c *Controller) finish(r *iface.Request, at sim.Time) {
 
 	if len(c.deferred) > 0 {
 		for _, d := range c.deferred {
-			if ds := c.state[d]; ds != nil {
+			if ds := stateOf(d); ds != nil {
 				ds.blocked = false
+				c.cfg.Policy.Unblock(d)
 			}
 		}
 		c.deferred = c.deferred[:0]
@@ -332,24 +414,38 @@ func (c *Controller) finish(r *iface.Request, at sim.Time) {
 		c.array.Prune(c.eng.Now())
 	}
 	c.scheduleDispatch()
+	ownReq := st.buffered || r.Source != iface.SourceApp
+	c.freeState(st)
+	if ownReq {
+		c.recycleRequest(r)
+	}
+}
+
+// unblockSuccessors releases every dependency-chain successor of a request
+// that is completing or being skipped, making them visible to dispatch again.
+func (c *Controller) unblockSuccessors(st *reqState) {
+	for _, succ := range st.next {
+		if ss := stateOf(succ); ss != nil {
+			ss.blocked = false
+			c.cfg.Policy.Unblock(succ)
+		}
+	}
 }
 
 // skipMigration accounts for a migration pair whose page died (the
-// application overwrote it) before the pair ran.
+// application overwrote it) before the pair ran. Successors' own liveness
+// re-check will skip them the same way; accounting happens on the write
+// half only.
 func (c *Controller) skipMigration(r *iface.Request, st *reqState) {
-	// Unblock the successors (if any); their own liveness re-check will skip
-	// them the same way. Accounting happens on the write half only.
-	for _, succ := range st.next {
-		if ss := c.state[succ]; ss != nil {
-			ss.blocked = false
-		}
-	}
-	delete(c.state, r)
+	c.unblockSuccessors(st)
+	r.Ctl = nil
 	if st.kind == opGCWrite || st.kind == opWLWrite || st.kind == opGCCopyback {
 		st.run.pending--
 		c.checkRunDone(st.run)
 	}
 	c.scheduleDispatch()
+	c.freeState(st)
+	c.recycleRequest(r) // migration requests are always internal
 }
 
 func (c *Controller) executeMigrationRead(r *iface.Request, st *reqState) {
@@ -359,7 +455,7 @@ func (c *Controller) executeMigrationRead(r *iface.Request, st *reqState) {
 	}
 	sched, err := c.array.ScheduleRead(st.src, c.eng.Now())
 	c.must(err, r)
-	c.busyUntil(st.src.LUN, sched.Done, r)
+	c.busyUntil(st.src.LUN, sched.Done, r, st)
 }
 
 func (c *Controller) executeMigrationWrite(r *iface.Request, st *reqState) {
@@ -367,21 +463,22 @@ func (c *Controller) executeMigrationWrite(r *iface.Request, st *reqState) {
 		c.skipMigration(r, st)
 		return
 	}
-	if !c.ensureAccess(r, true) {
+	if !c.ensureAccess(r, st, true) {
 		return
 	}
-	stream := c.streamFor(r)
-	ppa, err := c.bm.Alloc(st.src.LUN, stream)
+	stream := c.streamOf(r, st)
+	ppa, err := c.alloc(st.src.LUN, stream)
 	c.must(err, r)
 	sched, err := c.array.ScheduleWrite(ppa, c.eng.Now())
 	c.must(err, r)
-	if old, had := c.mapper.Map(r.LPN, ppa); had {
+	if old, had := c.remap(r.LPN, ppa); had {
 		c.must(c.array.Invalidate(old), r)
 	}
 	if st.kind == opWLWrite {
 		c.wlCold[r.LPN] = struct{}{}
+		c.tempEpoch++
 	}
-	c.busyUntil(st.src.LUN, sched.Done, r)
+	c.busyUntil(st.src.LUN, sched.Done, r, st)
 }
 
 func (c *Controller) executeCopyback(r *iface.Request, st *reqState) {
@@ -389,15 +486,15 @@ func (c *Controller) executeCopyback(r *iface.Request, st *reqState) {
 		c.skipMigration(r, st)
 		return
 	}
-	if !c.ensureAccess(r, true) {
+	if !c.ensureAccess(r, st, true) {
 		return
 	}
-	dst, err := c.bm.Alloc(st.src.LUN, ftl.StreamGC)
+	dst, err := c.alloc(st.src.LUN, ftl.StreamGC)
 	c.must(err, r)
 	sched, err := c.array.ScheduleCopyback(st.src, dst, c.eng.Now())
 	c.must(err, r)
-	if old, had := c.mapper.Map(r.LPN, dst); had {
+	if old, had := c.remap(r.LPN, dst); had {
 		c.must(c.array.Invalidate(old), r)
 	}
-	c.busyUntil(st.src.LUN, sched.Done, r)
+	c.busyUntil(st.src.LUN, sched.Done, r, st)
 }

@@ -53,17 +53,21 @@ func (c *Controller) startRun(victim flash.BlockID, isWL bool) {
 		}
 		run.pending++
 		if useCopyback {
-			st := &reqState{kind: opGCCopyback, src: ppa, run: run}
+			st := c.newState(opGCCopyback)
+			st.src, st.run = ppa, run
 			c.cfg.Policy.Push(c.newInternal(iface.Write, src, lpn, st))
 			continue
 		}
-		rst := &reqState{kind: readKind, src: ppa, run: run}
+		rst := c.newState(readKind)
+		rst.src, rst.run = ppa, run
 		read := c.newInternal(iface.Read, src, lpn, rst)
-		wst := &reqState{kind: writeKind, src: ppa, run: run, blocked: true}
+		wst := c.newState(writeKind)
+		wst.src, wst.run = ppa, run
+		wst.blocked = true
 		write := c.newInternal(iface.Write, src, lpn, wst)
 		rst.next = append(rst.next, write)
 		c.cfg.Policy.Push(read)
-		c.cfg.Policy.Push(write)
+		c.cfg.Policy.PushBlocked(write)
 	}
 	if run.pending == 0 {
 		c.issueErase(run)
@@ -84,7 +88,9 @@ func (c *Controller) issueErase(run *gcRun) {
 	if run.isWL {
 		src = iface.SourceWL
 	}
-	st := &reqState{kind: opGCErase, run: run, src: flash.PPA{LUN: run.victim.LUN, Block: run.victim.Block}}
+	st := c.newState(opGCErase)
+	st.run = run
+	st.src = flash.PPA{LUN: run.victim.LUN, Block: run.victim.Block}
 	c.cfg.Policy.Push(c.newInternal(iface.Erase, src, 0, st))
 	c.scheduleDispatch()
 }
@@ -92,6 +98,7 @@ func (c *Controller) issueErase(run *gcRun) {
 // finishErase returns the reclaimed block to the free pool and re-arms GC.
 func (c *Controller) finishErase(run *gcRun) {
 	c.bm.Release(run.victim)
+	c.writeEpoch++ // a freed block may flip write readiness
 	c.gcActive[run.victim.LUN] = false
 	if !run.isWL {
 		c.counters.GCErases++

@@ -33,29 +33,36 @@ func (c *Controller) absorb(r *iface.Request) {
 	c.buffer.used++
 	now := c.eng.Now()
 	r.Dispatched = now
-	done := now.Add(c.cfg.WriteBufferLatency)
 
 	// The flush inherits the data's identity (LPN, tags, thread) so stream
 	// separation and mapping behave exactly as for an unbuffered write, but
 	// it is invisible to per-request statistics: the application-visible
 	// latency is the RAM store, already recorded on r.
-	fst := &reqState{kind: opData, buffered: true}
+	fst := c.newState(opData)
+	fst.buffered = true
 	flush := c.newInternal(iface.Write, iface.SourceApp, r.LPN, fst)
 	flush.Thread = r.Thread
 	flush.Tags = r.Tags
 
-	c.eng.Schedule(done, func() {
-		r.Completed = done
-		c.stats.RecordCompletion(r)
-		st := c.state[r]
-		delete(c.state, r)
-		_ = st
-		if c.cfg.OnComplete != nil {
-			c.cfg.OnComplete(r)
-		}
-	})
+	c.eng.ScheduleCall(now.Add(c.cfg.WriteBufferLatency), c.flushFn, r)
 	c.cfg.Policy.Push(flush)
 	c.scheduleDispatch()
+}
+
+// flushDone is the engine callback completing a buffered write at RAM
+// latency: the application sees the store finish while the background flush
+// still heads for flash.
+func (c *Controller) flushDone(arg any) {
+	r := arg.(*iface.Request)
+	r.Completed = c.eng.Now()
+	c.stats.RecordCompletion(r)
+	if st := stateOf(r); st != nil {
+		r.Ctl = nil
+		c.freeState(st)
+	}
+	if c.cfg.OnComplete != nil {
+		c.cfg.OnComplete(r)
+	}
 }
 
 // onFlushDone frees a buffer slot and admits a stalled write, if any.

@@ -12,6 +12,9 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"eagletree/internal/core"
 	"eagletree/internal/sim"
@@ -73,50 +76,101 @@ type Results struct {
 	Rows []Row
 }
 
-// Run executes the experiment: one independent simulation per variant.
-func Run(def Definition) (Results, error) {
+// Run executes the experiment: one independent simulation per variant,
+// fanned out over up to GOMAXPROCS workers. Every variant stack is fully
+// isolated (own engine, own RNG), so the result rows are identical — bit for
+// bit — to a sequential run; only wall-clock time changes.
+func Run(def Definition) (Results, error) { return RunWorkers(def, 0) }
+
+// RunWorkers runs the experiment on at most workers goroutines; workers <= 0
+// means GOMAXPROCS and workers == 1 degenerates to the plain sequential
+// loop. Variant order in the results is always definition order.
+func RunWorkers(def Definition, workers int) (Results, error) {
 	res := Results{Name: def.Name}
 	if len(def.Variants) == 0 {
 		return res, fmt.Errorf("experiment %q: no variants", def.Name)
 	}
-	for _, v := range def.Variants {
-		cfg := def.Base()
-		if def.SeriesBucket > 0 {
-			cfg.SeriesBucket = def.SeriesBucket
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(def.Variants) {
+		workers = len(def.Variants)
+	}
+	rows := make([]Row, len(def.Variants))
+	errs := make([]error, len(def.Variants))
+	if workers == 1 {
+		for i, v := range def.Variants {
+			rows[i], errs[i] = runVariant(def, v)
+			if errs[i] != nil {
+				break // sequential semantics: stop at the first failure
+			}
 		}
-		if v.Mutate != nil {
-			v.Mutate(&cfg)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(def.Variants) {
+						return
+					}
+					rows[i], errs[i] = runVariant(def, def.Variants[i])
+				}
+			}()
 		}
-		stack, err := core.New(cfg)
-		if err != nil {
-			return res, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+		wg.Wait()
+	}
+	// Assemble in definition order, reporting the earliest failure exactly as
+	// the sequential loop would: rows before it, nothing after.
+	for i := range def.Variants {
+		if errs[i] != nil {
+			return res, errs[i]
 		}
-		prepare := def.Prepare
-		if v.Prepare != nil {
-			prepare = v.Prepare
-		}
-		var barrier *workload.Handle
-		if prepare != nil {
-			prep := prepare(stack)
-			barrier = stack.AddBarrier(prep...)
-		}
-		wload := def.Workload
-		if v.Workload != nil {
-			wload = v.Workload
-		}
-		wload(stack, barrier)
-		stack.Run()
-		if !stack.Runner.Done() {
-			return res, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
-				def.Name, v.Label, stack.Runner.Active())
-		}
-		row := Row{Label: v.Label, X: v.X, Report: stack.Report()}
-		if ts := stack.Stats.Series(); ts != nil {
-			row.Timeline = ts.Sparkline()
-		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, rows[i])
 	}
 	return res, nil
+}
+
+// runVariant builds and drives one variant's stack to completion.
+func runVariant(def Definition, v Variant) (Row, error) {
+	cfg := def.Base()
+	if def.SeriesBucket > 0 {
+		cfg.SeriesBucket = def.SeriesBucket
+	}
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	stack, err := core.New(cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+	}
+	prepare := def.Prepare
+	if v.Prepare != nil {
+		prepare = v.Prepare
+	}
+	var barrier *workload.Handle
+	if prepare != nil {
+		prep := prepare(stack)
+		barrier = stack.AddBarrier(prep...)
+	}
+	wload := def.Workload
+	if v.Workload != nil {
+		wload = v.Workload
+	}
+	wload(stack, barrier)
+	stack.Run()
+	if !stack.Runner.Done() {
+		return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
+			def.Name, v.Label, stack.Runner.Active())
+	}
+	row := Row{Label: v.Label, X: v.X, Report: stack.Report()}
+	if ts := stack.Stats.Series(); ts != nil {
+		row.Timeline = ts.Sparkline()
+	}
+	return row, nil
 }
 
 // Metric extracts one scalar from a report, for charts and CSV columns.

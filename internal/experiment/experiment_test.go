@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -136,5 +137,56 @@ func TestCSVEscape(t *testing.T) {
 	}
 	if got := csvEscape("plain"); got != "plain" {
 		t.Errorf("csvEscape(plain) = %s", got)
+	}
+}
+
+// TestRunWorkersDeterministic asserts the parallel runner's contract: for
+// any worker count, result rows are identical — bit for bit — to the
+// sequential loop, across seeds.
+func TestRunWorkersDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 99} {
+		def := sweepChannels()
+		base := def.Base
+		def.Base = func() core.Config {
+			cfg := base()
+			cfg.Seed = seed
+			return cfg
+		}
+		seq, err := RunWorkers(def, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := RunWorkers(def, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("seed %d: %d-worker results differ from sequential:\nseq: %+v\npar: %+v",
+					seed, workers, seq, par)
+			}
+		}
+	}
+}
+
+// TestRunWorkersErrorMatchesSequential asserts the parallel runner reports
+// the earliest failing variant with the rows before it, like the sequential
+// loop.
+func TestRunWorkersErrorMatchesSequential(t *testing.T) {
+	def := sweepChannels()
+	def.Variants = append(def.Variants[:1:1], Variant{
+		Label:  "broken",
+		Mutate: func(c *core.Config) { c.Controller.Geometry.Channels = -1 },
+	}, def.Variants[1])
+	seq, errSeq := RunWorkers(def, 1)
+	par, errPar := RunWorkers(def, 3)
+	if errSeq == nil || errPar == nil {
+		t.Fatal("broken variant did not fail")
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("error mismatch:\nseq: %v\npar: %v", errSeq, errPar)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("partial results mismatch:\nseq: %+v\npar: %+v", seq, par)
 	}
 }

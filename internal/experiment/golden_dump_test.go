@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"eagletree/internal/core"
+)
+
+// TestDumpGolden serializes every Small-scale suite report for two seeds so
+// that hot-path rework can be checked for bit-identical results. Run with
+// EAGLETREE_GOLDEN=/path/to/file to produce the dump; skipped otherwise.
+func TestDumpGolden(t *testing.T) {
+	path := os.Getenv("EAGLETREE_GOLDEN")
+	if path == "" {
+		t.Skip("set EAGLETREE_GOLDEN to dump")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, seed := range []uint64{7, 12345} {
+		for _, def := range Suite(Small) {
+			def := def
+			base := def.Base
+			def.Base = func() core.Config {
+				cfg := base()
+				cfg.Seed = seed
+				return cfg
+			}
+			res, err := Run(def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range res.Rows {
+				fmt.Fprintf(f, "seed=%d %s %s %#v\n", seed, res.Name, row.Label, row.Report)
+			}
+		}
+	}
+}

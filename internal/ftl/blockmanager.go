@@ -29,6 +29,10 @@ const (
 // their own write frontier; groups hash onto these.
 const MaxLocalityStreams = 8
 
+// NumStreams is the total number of distinct stream values (base streams
+// plus locality streams) — the size of dense per-stream arrays.
+const NumStreams = int(numBaseStreams) + MaxLocalityStreams
+
 // LocalityStream returns the stream for an update-locality group.
 func LocalityStream(group int) Stream {
 	if group < 0 {
@@ -76,7 +80,11 @@ type openBlock struct {
 
 type lunState struct {
 	free []int // free data-region block indices, sorted young -> old when ageAware
-	open map[Stream]*openBlock
+	// open is indexed by Stream: a dense array instead of a map, because
+	// CanAlloc probes it on every write-readiness check in the dispatch
+	// hot path.
+	open      [NumStreams]*openBlock
+	openCount int
 }
 
 // BlockManager owns physical space allocation for the data region: per-LUN
@@ -114,7 +122,6 @@ func NewBlockManager(array *flash.Array, reservedTrans, gcReserve int, ageAware 
 	}
 	for lun := range bm.luns {
 		st := &bm.luns[lun]
-		st.open = make(map[Stream]*openBlock)
 		st.free = make([]int, 0, geo.BlocksPerLUN-reservedTrans)
 		for b := reservedTrans; b < geo.BlocksPerLUN; b++ {
 			if array.Block(flash.BlockID{LUN: lun, Block: b}).Bad {
@@ -177,11 +184,13 @@ func (bm *BlockManager) Alloc(lun int, stream Stream) (flash.PPA, error) {
 		}
 		ob = &openBlock{block: b}
 		st.open[stream] = ob
+		st.openCount++
 	}
 	ppa := flash.PPA{LUN: lun, Block: ob.block, Page: ob.next}
 	ob.next++
 	if ob.next >= bm.geo.PagesPerBlock {
-		delete(st.open, stream)
+		st.open[stream] = nil
+		st.openCount--
 	}
 	return ppa, nil
 }
@@ -237,7 +246,7 @@ func (bm *BlockManager) Release(b flash.BlockID) {
 // IsOpen reports whether the block is currently an open write frontier.
 func (bm *BlockManager) IsOpen(b flash.BlockID) bool {
 	for _, ob := range bm.luns[b.LUN].open {
-		if ob.block == b.Block {
+		if ob != nil && ob.block == b.Block {
 			return true
 		}
 	}
@@ -245,7 +254,7 @@ func (bm *BlockManager) IsOpen(b flash.BlockID) bool {
 }
 
 // OpenStreams returns how many streams have an open block on the LUN.
-func (bm *BlockManager) OpenStreams(lun int) int { return len(bm.luns[lun].open) }
+func (bm *BlockManager) OpenStreams(lun int) int { return bm.luns[lun].openCount }
 
 // DataBlocks calls fn for every non-bad data-region block in the LUN,
 // including free ones. Wear statistics are computed over this set: free

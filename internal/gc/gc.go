@@ -29,7 +29,9 @@ type Candidate struct {
 }
 
 // VictimPolicy ranks victim candidates. Pick returns the index of the chosen
-// candidate, or false if none is worth collecting.
+// candidate, or false if none is worth collecting. The cands slice is a
+// scratch buffer owned by the caller, valid only for the duration of the
+// call: implementations must not retain it.
 type VictimPolicy interface {
 	Name() string
 	Pick(cands []Candidate, now sim.Time, pagesPerBlock int) (int, bool)
@@ -130,6 +132,8 @@ type Collector struct {
 
 	// Triggered counts collections started, per LUN, for reports.
 	triggered []uint64
+
+	scratch []Candidate // reused candidate buffer; SelectVictim runs per write completion at the free-space floor
 }
 
 // NewCollector builds a collector keeping `greediness` blocks free per LUN.
@@ -166,10 +170,11 @@ func (c *Collector) ShouldCollect(lun int) bool {
 // is worth collecting. A successful selection is counted as a triggered
 // collection.
 func (c *Collector) SelectVictim(lun int, now sim.Time) (flash.BlockID, bool) {
-	var cands []Candidate
+	cands := c.scratch[:0]
 	c.bm.VictimCandidates(lun, func(b flash.BlockID, meta flash.BlockMeta) {
 		cands = append(cands, Candidate{Block: b, Meta: meta})
 	})
+	c.scratch = cands[:0]
 	if len(cands) == 0 {
 		return flash.BlockID{}, false
 	}

@@ -11,6 +11,7 @@ package iface
 
 import (
 	"fmt"
+	"unsafe"
 
 	"eagletree/internal/sim"
 )
@@ -157,6 +158,15 @@ type Request struct {
 	Issued     sim.Time // OS dispatched it to the SSD
 	Dispatched sim.Time // SSD scheduler sent it to the flash array
 	Completed  sim.Time // result available
+
+	// Ctl is an opaque per-request slot owned by the device controller: it
+	// attaches its scheduling state here so the dispatch hot path needs no
+	// request-keyed lookup table and no interface type assertion — the
+	// readiness check runs once per queued request per dispatch scan, which
+	// makes this one of the hottest loads in the simulator. Layers other
+	// than the device must neither read nor write it. It is nil before
+	// submission and after completion.
+	Ctl unsafe.Pointer
 }
 
 func (r *Request) String() string {

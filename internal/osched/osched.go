@@ -72,6 +72,7 @@ type OS struct {
 	inFlight  int
 	callbacks map[int]func(*iface.Request)
 	pumpPend  bool
+	pumpFn    func(any) // bound once so pumping never allocates
 	stats     Stats
 }
 
@@ -82,12 +83,17 @@ func New(eng *sim.Engine, dev Device, cfg Config) (*OS, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &OS{
+	o := &OS{
 		eng:       eng,
 		dev:       dev,
 		cfg:       cfg,
 		callbacks: make(map[int]func(*iface.Request)),
-	}, nil
+	}
+	o.pumpFn = func(any) {
+		o.pumpPend = false
+		o.dispatch()
+	}
+	return o, nil
 }
 
 // Policy returns the active scheduling policy.
@@ -150,10 +156,7 @@ func (o *OS) pump() {
 		return
 	}
 	o.pumpPend = true
-	o.eng.Schedule(o.eng.Now(), func() {
-		o.pumpPend = false
-		o.dispatch()
-	})
+	o.eng.ScheduleCall(o.eng.Now(), o.pumpFn, nil)
 }
 
 func (o *OS) dispatch() {

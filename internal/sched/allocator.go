@@ -22,7 +22,9 @@ type LUNView struct {
 type Allocator interface {
 	Name() string
 	// PickLUN returns the chosen LUN for the request, or ok=false if no LUN
-	// can take it now.
+	// can take it now. The views slice is a scratch buffer owned by the
+	// caller, valid only for the duration of the call: implementations must
+	// not retain it.
 	PickLUN(r *iface.Request, views []LUNView) (lun int, ok bool)
 }
 

@@ -26,24 +26,111 @@ import (
 type Policy interface {
 	Name() string
 	Push(r *iface.Request)
+	// PushBlocked enqueues a request that is known to be undispatchable
+	// until Unblock is called (a dependency-chain successor, a deferred
+	// write). It keeps its arrival position but is invisible to Pop scans,
+	// so long dependency chains cost nothing per dispatch tick.
+	PushBlocked(r *iface.Request)
+	// Unblock makes a previously PushBlocked request visible to Pop again,
+	// at its original arrival position. Unknown requests are ignored.
+	Unblock(r *iface.Request)
 	Pop(now sim.Time, canRun func(*iface.Request) bool) *iface.Request
 	Len() int
 }
 
-// queue is the shared backing store: arrival-ordered with stable removal.
-type queue struct {
-	items []*iface.Request
+// qent is one queued request with its arrival sequence number.
+type qent struct {
+	r   *iface.Request
+	seq uint64
 }
 
-func (q *queue) push(r *iface.Request) { q.items = append(q.items, r) }
+// queue is the shared backing store: arrival-ordered with stable removal.
+// The head index makes removal at the front — the overwhelmingly common case
+// for arrival-ordered dispatch — O(1) instead of a full memmove. Blocked
+// requests are parked outside the scanned slice and re-enter at their
+// arrival position (by sequence number) when released.
+type queue struct {
+	items  []qent
+	head   int
+	seq    uint64
+	parked map[*iface.Request]uint64
+}
 
+func (q *queue) push(r *iface.Request) {
+	q.items = append(q.items, qent{r, q.seq})
+	q.seq++
+}
+
+// pushParked reserves an arrival position for a request that cannot run yet
+// without exposing it to scans.
+func (q *queue) pushParked(r *iface.Request) {
+	if q.parked == nil {
+		q.parked = make(map[*iface.Request]uint64)
+	}
+	q.parked[r] = q.seq
+	q.seq++
+}
+
+// release re-inserts a parked request at its original arrival position.
+// Unknown requests are ignored, so double-release is harmless.
+func (q *queue) release(r *iface.Request) {
+	seq, ok := q.parked[r]
+	if !ok {
+		return
+	}
+	delete(q.parked, r)
+	lo, hi := q.head, len(q.items)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.items[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(q.items) {
+		q.items = append(q.items, qent{r, seq})
+		return
+	}
+	q.items = append(q.items, qent{})
+	copy(q.items[lo+1:], q.items[lo:])
+	q.items[lo] = qent{r, seq}
+}
+
+// view returns the scannable requests in arrival order. The slice aliases
+// the queue's storage and is only valid until the next mutation.
+func (q *queue) view() []qent { return q.items[q.head:] }
+
+// removeAt removes and returns the i-th scannable request (an index into
+// view()).
 func (q *queue) removeAt(i int) *iface.Request {
-	r := q.items[i]
-	q.items = append(q.items[:i], q.items[i+1:]...)
+	i += q.head
+	r := q.items[i].r
+	if i == q.head {
+		q.items[i] = qent{}
+		q.head++
+		if q.head == len(q.items) {
+			q.items = q.items[:0]
+			q.head = 0
+		} else if q.head > 64 && q.head*2 >= len(q.items) {
+			// Reclaim the dead prefix once it dominates the backing array.
+			n := copy(q.items, q.items[q.head:])
+			clearTail := q.items[n:]
+			for j := range clearTail {
+				clearTail[j] = qent{}
+			}
+			q.items = q.items[:n]
+			q.head = 0
+		}
+		return r
+	}
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = qent{}
+	q.items = q.items[:len(q.items)-1]
 	return r
 }
 
-func (q *queue) len() int { return len(q.items) }
+func (q *queue) len() int { return len(q.items) - q.head + len(q.parked) }
 
 // FIFO dispatches strictly in arrival order, skipping requests that cannot
 // run yet. It is the baseline every other policy is measured against.
@@ -57,13 +144,19 @@ func (*FIFO) Name() string { return "fifo" }
 // Push implements Policy.
 func (f *FIFO) Push(r *iface.Request) { f.q.push(r) }
 
+// PushBlocked implements Policy.
+func (f *FIFO) PushBlocked(r *iface.Request) { f.q.pushParked(r) }
+
+// Unblock implements Policy.
+func (f *FIFO) Unblock(r *iface.Request) { f.q.release(r) }
+
 // Len implements Policy.
 func (f *FIFO) Len() int { return f.q.len() }
 
 // Pop implements Policy.
 func (f *FIFO) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
-	for i, r := range f.q.items {
-		if canRun(r) {
+	for i, e := range f.q.view() {
+		if canRun(e.r) {
 			return f.q.removeAt(i)
 		}
 	}
@@ -119,6 +212,13 @@ func (o InternalOrder) String() string {
 // Priority dispatches the highest-scoring runnable request; ties break in
 // arrival order. The score combines the open-interface priority tag, the
 // read/write preference, and the internal-vs-application ordering.
+//
+// Internally the queue is bucketed by score (scores are fixed per request at
+// push time, and only a handful of distinct values exist), kept in
+// descending score order. Pop walks buckets from the top and returns the
+// first runnable request — identical selection to scanning one arrival-
+// ordered queue for the best score, but with an early exit instead of an
+// O(queue) scan per dispatch.
 type Priority struct {
 	// Prefer biases between reads and writes.
 	Prefer Preference
@@ -128,17 +228,57 @@ type Priority struct {
 	// configurations leave it false.
 	UseTags bool
 
-	q queue
+	buckets []prioBucket // descending score
+	n       int
+}
+
+// prioBucket holds the arrival-ordered requests of one score value.
+type prioBucket struct {
+	score int
+	q     queue
 }
 
 // Name implements Policy.
 func (p *Priority) Name() string { return "priority/" + p.Prefer.String() + "/" + p.Internal.String() }
 
+// bucketFor returns the queue holding the given score, creating it in
+// descending score order if needed.
+func (p *Priority) bucketFor(s int) *queue {
+	i := 0
+	for ; i < len(p.buckets); i++ {
+		if p.buckets[i].score == s {
+			return &p.buckets[i].q
+		}
+		if p.buckets[i].score < s {
+			break
+		}
+	}
+	p.buckets = append(p.buckets, prioBucket{})
+	copy(p.buckets[i+1:], p.buckets[i:])
+	p.buckets[i] = prioBucket{score: s}
+	return &p.buckets[i].q
+}
+
 // Push implements Policy.
-func (p *Priority) Push(r *iface.Request) { p.q.push(r) }
+func (p *Priority) Push(r *iface.Request) {
+	p.bucketFor(p.score(r)).push(r)
+	p.n++
+}
+
+// PushBlocked implements Policy.
+func (p *Priority) PushBlocked(r *iface.Request) {
+	p.bucketFor(p.score(r)).pushParked(r)
+	p.n++
+}
+
+// Unblock implements Policy. The score is a pure function of immutable
+// request fields, so it finds the same bucket PushBlocked used.
+func (p *Priority) Unblock(r *iface.Request) {
+	p.bucketFor(p.score(r)).release(r)
+}
 
 // Len implements Policy.
-func (p *Priority) Len() int { return p.q.len() }
+func (p *Priority) Len() int { return p.n }
 
 func (p *Priority) score(r *iface.Request) int {
 	s := 0
@@ -171,20 +311,15 @@ func (p *Priority) score(r *iface.Request) int {
 
 // Pop implements Policy.
 func (p *Priority) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
-	best, bestScore := -1, 0
-	for i, r := range p.q.items {
-		if !canRun(r) {
-			continue
-		}
-		s := p.score(r)
-		if best < 0 || s > bestScore {
-			best, bestScore = i, s
+	for b := range p.buckets {
+		for i, e := range p.buckets[b].q.view() {
+			if canRun(e.r) {
+				p.n--
+				return p.buckets[b].q.removeAt(i)
+			}
 		}
 	}
-	if best < 0 {
-		return nil
-	}
-	return p.q.removeAt(best)
+	return nil
 }
 
 // Deadline gives each request a deadline from its submission time, by type.
@@ -218,6 +353,12 @@ func (d *Deadline) Name() string { return "deadline" }
 // Pop; it never stores requests across calls.
 func (d *Deadline) Push(r *iface.Request) { d.q.push(r) }
 
+// PushBlocked implements Policy.
+func (d *Deadline) PushBlocked(r *iface.Request) { d.q.pushParked(r) }
+
+// Unblock implements Policy.
+func (d *Deadline) Unblock(r *iface.Request) { d.q.release(r) }
+
 // Len implements Policy.
 func (d *Deadline) Len() int { return d.q.len() }
 
@@ -244,9 +385,9 @@ func (d *Deadline) Pop(now sim.Time, canRun func(*iface.Request) bool) *iface.Re
 	preempt := d.MaxConsecutiveOverdue <= 0 || d.overdueRun < d.MaxConsecutiveOverdue
 	if preempt {
 		best, bestDL := -1, sim.Never
-		for i, r := range d.q.items {
-			dl := d.deadlineFor(r)
-			if dl <= now && canRun(r) && dl < bestDL {
+		for i, e := range d.q.view() {
+			dl := d.deadlineFor(e.r)
+			if dl <= now && canRun(e.r) && dl < bestDL {
 				best, bestDL = i, dl
 			}
 		}
@@ -265,9 +406,9 @@ func (d *Deadline) Pop(now sim.Time, canRun func(*iface.Request) bool) *iface.Re
 	// The cap demanded a non-overdue request but none is runnable; serve
 	// the overdue backlog rather than idling the device.
 	best, bestDL := -1, sim.Never
-	for i, r := range d.q.items {
-		dl := d.deadlineFor(r)
-		if dl <= now && canRun(r) && dl < bestDL {
+	for i, e := range d.q.view() {
+		dl := d.deadlineFor(e.r)
+		if dl <= now && canRun(e.r) && dl < bestDL {
 			best, bestDL = i, dl
 		}
 	}
@@ -287,8 +428,8 @@ func (d *Deadline) popFresh(now sim.Time, canRun func(*iface.Request) bool) *ifa
 		// Delegate ordering to the fallback by lending it our queue.
 		return d.popViaFallback(now, freshRunnable)
 	}
-	for i, r := range d.q.items {
-		if freshRunnable(r) {
+	for i, e := range d.q.view() {
+		if freshRunnable(e.r) {
 			return d.q.removeAt(i)
 		}
 	}
@@ -299,8 +440,8 @@ func (d *Deadline) popViaFallback(now sim.Time, canRun func(*iface.Request) bool
 	// Feed the fallback a fresh view of our pending items, pop one, and
 	// remove it from our queue. Fallback policies are stateless between
 	// calls except for their queue, so this stays cheap at simulator scale.
-	for _, r := range d.q.items {
-		d.Fallback.Push(r)
+	for _, e := range d.q.view() {
+		d.Fallback.Push(e.r)
 	}
 	picked := d.Fallback.Pop(now, canRun)
 	// Drain the fallback completely so the next call starts clean.
@@ -312,8 +453,8 @@ func (d *Deadline) popViaFallback(now sim.Time, canRun func(*iface.Request) bool
 	if picked == nil {
 		return nil
 	}
-	for i, r := range d.q.items {
-		if r == picked {
+	for i, e := range d.q.view() {
+		if e.r == picked {
 			return d.q.removeAt(i)
 		}
 	}
@@ -337,6 +478,12 @@ func (f *Fair) Name() string { return "fair" }
 // Push implements Policy.
 func (f *Fair) Push(r *iface.Request) { f.q.push(r) }
 
+// PushBlocked implements Policy.
+func (f *Fair) PushBlocked(r *iface.Request) { f.q.pushParked(r) }
+
+// Unblock implements Policy.
+func (f *Fair) Unblock(r *iface.Request) { f.q.release(r) }
+
 // Len implements Policy.
 func (f *Fair) Len() int { return f.q.len() }
 
@@ -353,7 +500,8 @@ func (f *Fair) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request 
 	// arrival order. A source with remaining credits keeps the turn.
 	for tried := 0; tried < int(iface.NumSources); tried++ {
 		src := iface.Source((int(f.turn) + tried) % iface.NumSources)
-		for i, r := range f.q.items {
+		for i, e := range f.q.view() {
+			r := e.r
 			if r.Source != src || !canRun(r) {
 				continue
 			}

@@ -1,74 +1,64 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a callback scheduled to fire at a virtual instant. Events with the
 // same timestamp fire in scheduling order (FIFO), which keeps simulations
 // deterministic.
+//
+// Events returned by Schedule/ScheduleAfter are owned by the caller until
+// they fire and are never reused, so a held handle stays valid. Events
+// created by ScheduleCall are engine-owned and recycled through a freelist
+// after firing — that is what keeps the hot dispatch path allocation-free.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	at  Time
+	seq uint64
+
+	// Exactly one of fn and afn is set. afn events carry their argument in
+	// arg, so hot-path callers can use one pre-bound callback for every IO
+	// instead of allocating a fresh closure per event.
+	fn  func()
+	afn func(any)
+	arg any
+
+	eng    *Engine
+	dead   bool
+	pooled bool // recycle into the engine freelist after firing
+	queued bool // currently in the heap
 }
 
 // At returns the virtual instant the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel prevents a still-pending event from firing. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e.dead || !e.queued {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e.dead = true
+	e.eng.dead++
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
+// Cancelled reports whether the event was cancelled while still pending.
+// An event that already fired reports false even if Cancel was called
+// afterwards (such a Cancel is a no-op).
+func (e *Event) Cancelled() bool { return e.dead }
 
 // Engine is the discrete-event simulation loop. It is not safe for concurrent
 // use: all EagleTree components run inside the single event loop, by design.
+// Distinct engines are fully independent, so whole simulations may run in
+// parallel with one engine each.
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event // binary min-heap on (at, seq)
 	seq     uint64
 	stopped bool
 	fired   uint64
+	dead    int      // cancelled events still in the heap
+	free    []*Event // recycled pooled events
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -83,20 +73,57 @@ func (e *Engine) Now() Time { return e.now }
 // for detecting runaway simulations.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events scheduled but not yet fired
-// (including cancelled events that have not been reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events scheduled but not yet fired.
+// Cancelled events awaiting removal from the queue are excluded.
+func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 
-// Schedule runs fn at virtual time at. Scheduling in the past panics: that is
-// always a simulation bug, and silently reordering time would corrupt every
-// metric downstream.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// QueueLen returns the raw queue length, including cancelled events that
+// have not been reaped yet. Pending is usually what callers want.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// newEvent takes an event from the freelist or allocates one.
+func (e *Engine) newEvent(at Time) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{}
+	} else {
+		ev = &Event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.eng = e
+	e.seq++
+	return ev
+}
+
+// recycle returns a fired or reaped pooled event to the freelist.
+func (e *Engine) recycle(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil // do not retain the argument past the callback
+	e.free = append(e.free, ev)
+}
+
+// checkFuture panics on scheduling in the past: that is always a simulation
+// bug, and silently reordering time would corrupt every metric downstream.
+func (e *Engine) checkFuture(at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+}
+
+// Schedule runs fn at virtual time at and returns a cancellable handle.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	e.checkFuture(at)
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -108,8 +135,93 @@ func (e *Engine) ScheduleAfter(d Duration, fn func()) *Event {
 	return e.Schedule(e.now.Add(d), fn)
 }
 
+// ScheduleCall runs fn(arg) at virtual time at. The backing event comes from
+// a freelist and is recycled after firing, so a steady-state simulation
+// schedules without allocating — callers pass one long-lived callback (for
+// example a bound method stored in a struct field) and vary only arg. No
+// handle is returned; ScheduleCall events cannot be cancelled.
+func (e *Engine) ScheduleCall(at Time, fn func(any), arg any) {
+	e.checkFuture(at)
+	ev := e.newEvent(at)
+	ev.afn = fn
+	ev.arg = arg
+	ev.pooled = true
+	e.push(ev)
+}
+
 // Stop makes Run return after the currently firing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// push inserts the event into the heap.
+func (e *Engine) push(ev *Event) {
+	ev.queued = true
+	q := append(e.queue, ev)
+	// Sift up. Hand-rolled (rather than container/heap) so the hot loop pays
+	// no interface dispatch.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
+			break
+		}
+		q[i] = p
+		i = parent
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *Event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	if n > 0 {
+		// Sift the former tail down from the root.
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			child := q[l]
+			if r := l + 1; r < n {
+				rc := q[r]
+				if rc.at < child.at || (rc.at == child.at && rc.seq < child.seq) {
+					l, child = r, rc
+				}
+			}
+			if last.at < child.at || (last.at == child.at && last.seq < child.seq) {
+				break
+			}
+			q[i] = child
+			i = l
+		}
+		q[i] = last
+	}
+	e.queue = q
+	top.queued = false
+	return top
+}
+
+// fire executes one event that has already been removed from the heap.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	e.fired++
+	if ev.afn != nil {
+		fn, arg := ev.afn, ev.arg
+		e.recycle(ev)
+		fn(arg)
+		return
+	}
+	fn := ev.fn
+	ev.fn = nil // a fired handle keeps At/Cancelled but drops the closure
+	fn()
+}
 
 // Run fires events in timestamp order until the queue empties, the horizon is
 // passed, or Stop is called. It returns the final virtual time. Events
@@ -117,17 +229,16 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > horizon {
+		if e.queue[0].at > horizon {
 			break
 		}
-		heap.Pop(&e.queue)
+		next := e.pop()
 		if next.dead {
+			e.dead--
+			e.recycle(next)
 			continue
 		}
-		e.now = next.at
-		e.fired++
-		next.fn()
+		e.fire(next)
 	}
 	if e.now < horizon && horizon != Never && len(e.queue) == 0 {
 		// The simulation went quiet before the horizon; advance the clock so
@@ -147,13 +258,13 @@ func (e *Engine) RunUntilIdle() Time { return e.Run(Never) }
 // event fired. Cancelled events are skipped silently.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
+		next := e.pop()
 		if next.dead {
+			e.dead--
+			e.recycle(next)
 			continue
 		}
-		e.now = next.at
-		e.fired++
-		next.fn()
+		e.fire(next)
 		return true
 	}
 	return false

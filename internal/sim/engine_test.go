@@ -227,3 +227,89 @@ func TestTimeAndDurationStrings(t *testing.T) {
 		t.Fatalf("duration string %q", Duration(2500).String())
 	}
 }
+
+func TestEnginePendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	kept := e.Schedule(100, func() {})
+	doomed := e.Schedule(200, func() {})
+	if e.Pending() != 2 || e.QueueLen() != 2 {
+		t.Fatalf("Pending=%d QueueLen=%d before cancel, want 2/2", e.Pending(), e.QueueLen())
+	}
+	doomed.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending=%d after cancel, want 1 (cancelled events are not pending)", e.Pending())
+	}
+	if e.QueueLen() != 2 {
+		t.Fatalf("QueueLen=%d after cancel, want 2 (unreaped event still queued)", e.QueueLen())
+	}
+	doomed.Cancel() // double-cancel must not double-count
+	if e.Pending() != 1 {
+		t.Fatalf("Pending=%d after double cancel, want 1", e.Pending())
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 || e.QueueLen() != 0 {
+		t.Fatalf("Pending=%d QueueLen=%d after run, want 0/0", e.Pending(), e.QueueLen())
+	}
+	_ = kept
+}
+
+func TestEngineScheduleCall(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	fn := func(arg any) { got = append(got, arg.(int)) }
+	e.ScheduleCall(30, fn, 3)
+	e.ScheduleCall(10, fn, 1)
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunUntilIdle()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("ScheduleCall order/args wrong: %v", got)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineScheduleCallReusesEvents(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	fn := func(any) { fired++ }
+	// Steady-state schedule/fire cycles must not grow the heap: after the
+	// first batch, every event comes from the freelist.
+	for i := 0; i < 3; i++ {
+		e.ScheduleCall(e.Now(), fn, nil)
+		e.RunUntilIdle()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleCall(e.Now(), fn, nil)
+		e.RunUntilIdle()
+	})
+	if allocs > 0 {
+		t.Fatalf("ScheduleCall allocates %.1f objects per schedule/fire cycle, want 0", allocs)
+	}
+	if fired < 103 {
+		t.Fatalf("fired %d events", fired)
+	}
+}
+
+// BenchmarkEngineSchedule measures the hot event path: one pooled event
+// scheduled and fired per iteration.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleCall(e.Now(), fn, nil)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleClosure is the allocating legacy path, for
+// comparison with BenchmarkEngineSchedule.
+func BenchmarkEngineScheduleClosure(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now(), func() {})
+		e.Step()
+	}
+}
