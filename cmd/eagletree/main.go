@@ -9,6 +9,8 @@
 //	eagletree -mapping dftl -cmt 1024 -workload mix -read-frac 0.7
 //	eagletree -policy reads-first -workload mix -prepare
 //	eagletree -workload zipf -open -oracle-temp -series
+//	eagletree -workload fs -prepare -record fs.etb
+//	eagletree -replay fs.etb -replay-mode open -policy deadline
 package main
 
 import (
@@ -54,6 +56,11 @@ func main() {
 		series   = flag.Bool("series", false, "print the completion time series sparkline")
 		memrep   = flag.Bool("mem", false, "print the controller memory report")
 		trace    = flag.Int("trace", 0, "record an IO trace and print its last N events")
+
+		record      = flag.String("record", "", "capture the app-level IO stream to this trace file (.etb = binary); with -prepare, capture starts after preparation")
+		replay      = flag.String("replay", "", "replay a block trace file instead of -workload")
+		replayMode  = flag.String("replay-mode", "closed", "trace replay pacing: closed | open | dependent")
+		replayScale = flag.Float64("replay-scale", 1, "trace time scale for open/dependent replay (2 = half rate, 0.5 = double rate)")
 	)
 	flag.Parse()
 
@@ -135,6 +142,14 @@ func main() {
 	if *trace > 0 {
 		cfg.TraceCap = *trace
 	}
+	var capture *eagletree.TraceCapture
+	if *record != "" {
+		capture = eagletree.NewTraceCapture()
+		if *prepare {
+			capture.Stop() // re-armed at the measurement barrier
+		}
+		cfg.OS.Capture = capture
+	}
 
 	s, err := eagletree.New(cfg)
 	if err != nil {
@@ -148,34 +163,55 @@ func main() {
 		seq := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
 		age := s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
 		barrier = s.AddBarrier(age)
+		if capture != nil {
+			barrier = s.Add(&eagletree.FuncThread{F: func(ctx *eagletree.Ctx) {
+				capture.Start(ctx.Now())
+			}}, barrier)
+		}
 	}
 
 	var thread eagletree.Thread
-	switch *wl {
-	case "seqwrite":
-		thread = &eagletree.SequentialWriter{From: 0, Count: min64(*count, n), Depth: *depth}
-	case "seqread":
-		thread = &eagletree.SequentialReader{From: 0, Count: min64(*count, n), Depth: *depth}
-	case "randread":
-		thread = &eagletree.RandomReader{From: 0, Space: n, Count: *count, Depth: *depth}
-	case "zipf":
-		thread = &eagletree.ZipfWriter{From: 0, Space: n, Count: *count, Depth: *depth,
-			TagTemperature: *oracleTemp, HotFraction: 0.2}
-	case "mix":
-		thread = &eagletree.ReadWriteMix{From: 0, Space: n, Count: *count, ReadFraction: *readFrac, Depth: *depth}
-	case "fs":
-		thread = &eagletree.FileSystem{From: 0, Space: n, Ops: *count, Depth: *depth, TagLocality: *open == "on"}
-	case "gracejoin":
-		r := n / 8
-		thread = &eagletree.GraceJoin{RFrom: 0, RPages: r, SFrom: eagletree.LPN(r), SPages: 2 * r,
-			PartFrom: eagletree.LPN(3 * r), Partitions: 8, Depth: *depth}
-	case "lsm":
-		thread = &eagletree.LSMInsert{From: 0, Space: n, Inserts: *count, Depth: *depth, TagPriority: *open == "on"}
-	case "extsort":
-		in := n / 3
-		thread = &eagletree.ExternalSort{From: 0, InputPages: in, ScratchFrom: eagletree.LPN(in), Depth: *depth}
-	default: // randwrite
-		thread = &eagletree.RandomWriter{From: 0, Space: n, Count: *count, Depth: *depth}
+	if *replay != "" {
+		tr, err := eagletree.ReadTraceFile(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		mode, err := eagletree.ParseReplayMode(*replayMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		*wl = fmt.Sprintf("replay(%s,%v)", *replay, mode)
+		thread = &eagletree.Replay{Trace: tr, Mode: mode, TimeScale: *replayScale, Depth: *depth}
+	}
+	if thread == nil {
+		switch *wl {
+		case "seqwrite":
+			thread = &eagletree.SequentialWriter{From: 0, Count: min64(*count, n), Depth: *depth}
+		case "seqread":
+			thread = &eagletree.SequentialReader{From: 0, Count: min64(*count, n), Depth: *depth}
+		case "randread":
+			thread = &eagletree.RandomReader{From: 0, Space: n, Count: *count, Depth: *depth}
+		case "zipf":
+			thread = &eagletree.ZipfWriter{From: 0, Space: n, Count: *count, Depth: *depth,
+				TagTemperature: *oracleTemp, HotFraction: 0.2}
+		case "mix":
+			thread = &eagletree.ReadWriteMix{From: 0, Space: n, Count: *count, ReadFraction: *readFrac, Depth: *depth}
+		case "fs":
+			thread = &eagletree.FileSystem{From: 0, Space: n, Ops: *count, Depth: *depth, TagLocality: *open == "on"}
+		case "gracejoin":
+			r := n / 8
+			thread = &eagletree.GraceJoin{RFrom: 0, RPages: r, SFrom: eagletree.LPN(r), SPages: 2 * r,
+				PartFrom: eagletree.LPN(3 * r), Partitions: 8, Depth: *depth}
+		case "lsm":
+			thread = &eagletree.LSMInsert{From: 0, Space: n, Inserts: *count, Depth: *depth, TagPriority: *open == "on"}
+		case "extsort":
+			in := n / 3
+			thread = &eagletree.ExternalSort{From: 0, InputPages: in, ScratchFrom: eagletree.LPN(in), Depth: *depth}
+		default: // randwrite
+			thread = &eagletree.RandomWriter{From: 0, Space: n, Count: *count, Depth: *depth}
+		}
 	}
 	s.Add(thread, barrier)
 
@@ -195,6 +231,14 @@ func main() {
 	if *trace > 0 {
 		tr := s.Stats.Trace()
 		fmt.Printf("\nIO trace (last %d of %d events):\n%s", len(tr.Events()), tr.Total(), tr.Dump())
+	}
+	if capture != nil {
+		tr := capture.Trace()
+		if err := eagletree.WriteTraceFile(*record, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d IOs spanning %v to %s\n", tr.Len(), tr.Duration(), *record)
 	}
 }
 

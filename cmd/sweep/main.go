@@ -1,5 +1,5 @@
 // Command sweep runs the predefined design-space experiments (DESIGN.md's
-// E1–E12) and prints their result tables and charts — the experimental-suite
+// E1–E13) and prints their result tables and charts — the experimental-suite
 // API exercised end to end. EXPERIMENTS.md records its output against the
 // paper's expected shapes.
 //
@@ -7,6 +7,7 @@
 //
 //	sweep -list
 //	sweep -run e3
+//	sweep -run e3,e11,e13
 //	sweep -run all -scale full -csv
 package main
 
@@ -23,7 +24,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
-		run      = flag.String("run", "all", "experiment to run: e1..e12 | all")
+		run      = flag.String("run", "all", "experiments to run: e1..e13, comma-separated | all")
 		scale    = flag.String("scale", "small", "workload scale: small | full")
 		csv      = flag.Bool("csv", false, "also print CSV")
 		chart    = flag.Bool("chart", true, "print throughput chart per experiment")
@@ -45,11 +46,20 @@ func main() {
 		return
 	}
 
-	sel := strings.ToLower(*run)
+	sels := strings.Split(*run, ",")
+	match := func(def experiment.Definition) bool {
+		id := strings.SplitN(def.Name, "-", 2)[0] // "E3"
+		for _, sel := range sels {
+			sel = strings.TrimSpace(sel)
+			if strings.EqualFold(sel, "all") || strings.EqualFold(id, sel) || strings.EqualFold(def.Name, sel) {
+				return true
+			}
+		}
+		return false
+	}
 	ran := 0
 	for _, def := range suite {
-		id := strings.SplitN(def.Name, "-", 2)[0] // "E3"
-		if sel != "all" && !strings.EqualFold(id, sel) && !strings.EqualFold(def.Name, sel) {
+		if !match(def) {
 			continue
 		}
 		ran++
@@ -82,12 +92,18 @@ func main() {
 }
 
 func printGame(res experiment.Results) {
+	if len(res.Rows) == 0 {
+		fmt.Println("game: no result rows to score")
+		return
+	}
 	w := experiment.DefaultGameWeights()
 	best := res.Rows[0]
+	bestScore := w.Score(best.Report)
 	for _, r := range res.Rows {
-		fmt.Printf("  score %10.1f  %s\n", w.Score(r.Report), r.Label)
-		if w.Score(r.Report) > w.Score(best.Report) {
-			best = r
+		score := w.Score(r.Report)
+		fmt.Printf("  score %10.1f  %s\n", score, r.Label)
+		if score > bestScore {
+			best, bestScore = r, score
 		}
 	}
 	fmt.Printf("optimal combination: %s\n\n", best.Label)

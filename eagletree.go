@@ -46,6 +46,7 @@ import (
 	"eagletree/internal/osched"
 	"eagletree/internal/sched"
 	"eagletree/internal/sim"
+	"eagletree/internal/trace"
 	"eagletree/internal/wl"
 	"eagletree/internal/workload"
 )
@@ -269,7 +270,42 @@ type (
 	ExternalSort = workload.ExternalSort
 	// FuncThread wraps plain functions as a thread (barriers, custom logic).
 	FuncThread = workload.Func
+	// Replay replays a captured or converted block trace through the stack.
+	Replay = workload.Replay
+	// ReplayMode paces a replay: closed-loop, open-loop or dependent.
+	ReplayMode = workload.ReplayMode
 )
+
+// Replay pacing modes.
+const (
+	ReplayClosedLoop = workload.ReplayClosedLoop
+	ReplayOpenLoop   = workload.ReplayOpenLoop
+	ReplayDependent  = workload.ReplayDependent
+)
+
+// ParseReplayMode maps the command-line spellings onto replay modes.
+func ParseReplayMode(s string) (ReplayMode, error) { return workload.ParseReplayMode(s) }
+
+// Block-trace capture and codecs.
+type (
+	// IOTrace is a canonical application-level block trace.
+	IOTrace = trace.Trace
+	// TraceRecord is one traced IO.
+	TraceRecord = trace.Record
+	// TraceCapture records the app-level IO stream of a live run; wire it
+	// to Config.OS.Capture.
+	TraceCapture = trace.Capture
+)
+
+// NewTraceCapture returns an active capture with origin 0.
+func NewTraceCapture() *TraceCapture { return trace.NewCapture() }
+
+// WriteTraceFile encodes a trace to path (binary when it ends in .etb, the
+// versioned text form otherwise).
+func WriteTraceFile(path string, t *IOTrace) error { return trace.WriteFile(path, t) }
+
+// ReadTraceFile decodes a trace from path, sniffing text vs binary.
+func ReadTraceFile(path string) (*IOTrace, error) { return trace.ReadFile(path) }
 
 // Stack assembly and reports.
 type (

@@ -169,6 +169,28 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunWorkersDeterministicE13 extends TestRunWorkersDeterministic to the
+// trace-replay experiment: one captured trace replayed across variants must
+// produce bit-identical per-variant Reports sequential vs parallel, across
+// closed-loop, open-loop and dependent modes alike.
+func TestRunWorkersDeterministicE13(t *testing.T) {
+	def := E13TraceReplay(Small)
+	seq, err := RunWorkers(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := RunWorkers(def, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("%d-worker E13 results differ from sequential:\nseq: %+v\npar: %+v",
+				workers, seq, par)
+		}
+	}
+}
+
 // TestRunWorkersErrorMatchesSequential asserts the parallel runner reports
 // the earliest failing variant with the rows before it, like the sequential
 // loop.

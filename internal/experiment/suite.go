@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"eagletree/internal/controller"
 	"eagletree/internal/core"
@@ -11,6 +12,7 @@ import (
 	"eagletree/internal/osched"
 	"eagletree/internal/sched"
 	"eagletree/internal/sim"
+	"eagletree/internal/trace"
 	"eagletree/internal/wl"
 	"eagletree/internal/workload"
 )
@@ -488,6 +490,83 @@ func E12Game(s Scale) Definition {
 	}
 }
 
+// CaptureE13Trace records the E13 reference workload: a file-system churn on
+// an aged device, captured at the OS scheduler layer after the measurement
+// barrier. The result is fully determined by the scale, so every caller gets
+// the identical trace.
+func CaptureE13Trace(s Scale) *trace.Trace {
+	cap := trace.NewCapture()
+	cap.Stop() // stay silent through device preparation
+	cfg := baseConfig(s)
+	cfg.OS.Capture = cap
+	st, err := core.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: E13 capture stack: %v", err))
+	}
+	n := int64(st.LogicalPages())
+	seq := st.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: 32})
+	age := st.Add(&workload.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
+	barrier := st.AddBarrier(age)
+	arm := st.Add(&workload.Func{F: func(ctx *workload.Ctx) { cap.Start(ctx.Now()) }}, barrier)
+	ppb := cfg.Controller.Geometry.PagesPerBlock
+	st.Add(&workload.FileSystem{
+		From: 0, Space: n * 3 / 4, Ops: 1200 * s.factor(), Depth: 8,
+		MeanFilePages: ppb,
+	}, arm)
+	st.Run()
+	return cap.Trace()
+}
+
+// E13TraceReplay closes the loop on the trace subsystem: the aged
+// file-system workload above is captured once, then the identical IO stream
+// is replayed across scheduler and GC variants and across replay modes
+// (§2.3's repeatability methodology applied to real streams instead of
+// synthetic generators). Expected shape: closed-loop variants reproduce the
+// E2/E3 policy trade-offs on a realistic stream; open-loop at the captured
+// rate shows queueing when a variant falls behind; time-scale 0.5 doubles
+// the offered rate and stresses the tail.
+func E13TraceReplay(s Scale) Definition {
+	// The capture simulation runs lazily, once, on first variant execution:
+	// Suite() is also called just to list or select experiments, and must
+	// not pay for an aged-device run it never replays.
+	var once sync.Once
+	var tr *trace.Trace
+	captured := func() *trace.Trace {
+		once.Do(func() { tr = CaptureE13Trace(s) })
+		return tr
+	}
+	// Each variant builds its own Replay value; the captured trace itself is
+	// shared read-only, so parallel variant workers never interfere.
+	replay := func(mode workload.ReplayMode, scale float64) func(*core.Stack, *workload.Handle) {
+		return func(st *core.Stack, after *workload.Handle) {
+			st.Add(&workload.Replay{Trace: captured(), Mode: mode, TimeScale: scale, Depth: 16}, after)
+		}
+	}
+	policy := func(p func() sched.Policy) func(*core.Config) {
+		return func(c *core.Config) { c.Controller.Policy = p() }
+	}
+	return Definition{
+		Name: "E13-trace-replay",
+		Base: func() core.Config { return baseConfig(s) },
+		Variants: []Variant{
+			{Label: "closed,fifo"},
+			{Label: "closed,reads-first",
+				Mutate: policy(func() sched.Policy { return &sched.Priority{Prefer: sched.PreferReads} })},
+			{Label: "closed,writes-first",
+				Mutate: policy(func() sched.Policy { return &sched.Priority{Prefer: sched.PreferWrites} })},
+			{Label: "closed,gc-greediness=1",
+				Mutate: func(c *core.Config) { c.Controller.GCGreediness = 1 }},
+			{Label: "closed,gc-greediness=8",
+				Mutate: func(c *core.Config) { c.Controller.GCGreediness = 8 }},
+			{Label: "open,1x", Workload: replay(workload.ReplayOpenLoop, 1)},
+			{Label: "open,0.5x", Workload: replay(workload.ReplayOpenLoop, 0.5)},
+			{Label: "dependent", Workload: replay(workload.ReplayDependent, 1)},
+		},
+		Prepare:  fillAndAge(32, 1),
+		Workload: replay(workload.ReplayClosedLoop, 1),
+	}
+}
+
 // Suite returns every predefined experiment at the given scale, in paper
 // order.
 func Suite(s Scale) []Definition {
@@ -495,5 +574,6 @@ func Suite(s Scale) []Definition {
 		E1Parallelism(s), E2SchedPolicy(s), E3GCGreediness(s), E4WearLeveling(s),
 		E5Mapping(s), E6PriorityTag(s), E7UpdateLocality(s), E8Temperature(s),
 		E9QueueDepth(s), E10AdvancedCmds(s), E11Aging(s), E12Game(s),
+		E13TraceReplay(s),
 	}
 }

@@ -1,0 +1,87 @@
+package osched
+
+import (
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// recordingCapture is a minimal Capture for tests; the real implementation
+// lives in internal/trace.
+type recordingCapture struct {
+	at  []sim.Time
+	lpn []iface.LPN
+}
+
+func (c *recordingCapture) Submitted(at sim.Time, r *iface.Request) {
+	c.at = append(c.at, at)
+	c.lpn = append(c.lpn, r.LPN)
+}
+
+func TestOSCaptureSeesEverySubmission(t *testing.T) {
+	cap := &recordingCapture{}
+	r := newOSRig(t, Config{QueueDepth: 2, Capture: cap})
+	for i := 0; i < 8; i++ {
+		r.submit(uint64(i+1), iface.Write, 0, iface.Tags{})
+	}
+	r.eng.RunUntilIdle()
+	if len(cap.at) != 8 {
+		t.Fatalf("capture saw %d submissions, want 8", len(cap.at))
+	}
+	for i, lpn := range cap.lpn {
+		if lpn != iface.LPN(i+1) {
+			t.Fatalf("capture position %d saw lpn %d, want %d", i, lpn, i+1)
+		}
+	}
+}
+
+// TestOSSubmitNilCaptureAllocs guards the capture hook's cost when disabled:
+// the submit path must not allocate beyond amortized pool growth, so trace
+// recording stays off the zero-alloc dispatch path.
+func TestOSSubmitNilCaptureAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &quietDevice{eng: eng, latency: 10 * sim.Microsecond}
+	dev.completeFn = func(a any) {
+		r := a.(*iface.Request)
+		r.Completed = eng.Now()
+		dev.onComplete(r)
+	}
+	os, err := New(eng, dev, Config{QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.onComplete = os.Completed
+	const batch = 128
+	reqs := make([]*iface.Request, batch)
+	for i := range reqs {
+		reqs[i] = &iface.Request{}
+	}
+	var id uint64
+	runBatch := func() {
+		for _, req := range reqs {
+			id++
+			*req = iface.Request{ID: id, Type: iface.Read, LPN: iface.LPN(id % 64), Source: iface.SourceApp}
+			os.Submit(req)
+		}
+		eng.RunUntilIdle()
+	}
+	runBatch() // warm the policy queue and event pool
+	allocs := testing.AllocsPerRun(10, runBatch)
+	if perIO := allocs / batch; perIO > 0.05 {
+		t.Fatalf("OS submit path allocates %.3f objects per IO with capture off", perIO)
+	}
+}
+
+// quietDevice completes requests through the pooled ScheduleCall path so the
+// alloc guard above measures only the OS layer.
+type quietDevice struct {
+	eng        *sim.Engine
+	latency    sim.Duration
+	onComplete func(*iface.Request)
+	completeFn func(any)
+}
+
+func (d *quietDevice) Submit(r *iface.Request) {
+	d.eng.ScheduleCall(d.eng.Now().Add(d.latency), d.completeFn, r)
+}

@@ -24,6 +24,14 @@ type Device interface {
 	Submit(r *iface.Request)
 }
 
+// Capture observes every request submitted to the OS layer — the app-level
+// IO stream, since only application threads submit here; the controller's
+// internal traffic never crosses this boundary. trace.Capture implements it
+// to record replayable block traces.
+type Capture interface {
+	Submitted(at sim.Time, r *iface.Request)
+}
+
 // Config parameterizes the OS layer.
 type Config struct {
 	// Policy orders the pending pool. Nil means FIFO.
@@ -34,6 +42,9 @@ type Config struct {
 	// Trace, when non-nil, records submission and issue events for every
 	// request passing through the OS layer.
 	Trace *stats.Trace
+	// Capture, when non-nil, observes every submission (block-trace
+	// recording). Nil costs a single pointer check per IO.
+	Capture Capture
 }
 
 func (c *Config) withDefaults() {
@@ -129,6 +140,9 @@ func (o *OS) Submit(r *iface.Request) {
 	o.stats.Submitted++
 	if o.cfg.Trace != nil {
 		o.cfg.Trace.Record(o.eng.Now(), r.ID, stats.StageSubmitted, r)
+	}
+	if o.cfg.Capture != nil {
+		o.cfg.Capture.Submitted(o.eng.Now(), r)
 	}
 	o.cfg.Policy.Push(r)
 	if p := o.cfg.Policy.Len(); p > o.stats.MaxPending {

@@ -93,9 +93,18 @@ func (d *Dist) Percentile(p float64) sim.Duration {
 	if p >= 1 {
 		return d.max
 	}
-	target := uint64(p * float64(d.count))
+	// Ceiling rank: the p-quantile is the smallest sample with at least
+	// ceil(p*n) samples at or below it. Flooring here would resolve e.g.
+	// p=0.999 over 100 samples to rank 99 of 100 — one bucket low at small
+	// counts, exactly where tail percentiles are decided. The epsilon keeps
+	// float artifacts (0.07*100 = 7.000000000000001) from bumping an exact
+	// product to the next rank.
+	target := uint64(math.Ceil(p*float64(d.count) - 1e-9))
 	if target == 0 {
 		target = 1
+	}
+	if target > d.count {
+		target = d.count
 	}
 	var cum uint64
 	for i, c := range d.buckets {

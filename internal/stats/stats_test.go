@@ -65,6 +65,45 @@ func TestDistPercentileApproximation(t *testing.T) {
 	}
 }
 
+// TestDistPercentileCeilingRank is the regression test for the floored
+// quantile rank: with 100 samples, p=0.999 must resolve to rank 100 (the
+// maximum), not rank 99 — flooring made tail percentiles land one bucket
+// low at small counts.
+func TestDistPercentileCeilingRank(t *testing.T) {
+	var d Dist
+	for i := 0; i < 99; i++ {
+		d.Add(1000) // ~1us
+	}
+	d.Add(1 << 30) // one ~1s outlier: the true p99.9 sample
+	if got := d.Percentile(0.999); got < 1_000_000 {
+		t.Fatalf("p99.9 = %v, floored rank missed the tail bucket", got)
+	}
+	// The max must bound every percentile, including the top one.
+	if got := d.Percentile(0.999); got > d.Max() {
+		t.Fatalf("p99.9 = %v above max %v", got, d.Max())
+	}
+	// Sanity at the other end: a tiny p still returns the low bucket.
+	if got := d.Percentile(0.5); got > 2000 {
+		t.Fatalf("p50 = %v, want ~1us", got)
+	}
+}
+
+// TestDistPercentileExactRankBoundary guards the ceiling against float
+// artifacts: 0.07*100 evaluates to 7.000000000000001, which must still
+// resolve to rank 7, not 8.
+func TestDistPercentileExactRankBoundary(t *testing.T) {
+	var d Dist
+	for i := 0; i < 7; i++ {
+		d.Add(10) // ranks 1..7: low bucket
+	}
+	for i := 0; i < 93; i++ {
+		d.Add(1_000_000) // ranks 8..100: high bucket
+	}
+	if got := d.Percentile(0.07); got > 1000 {
+		t.Fatalf("p7 = %v, float ceil overshot into the high bucket", got)
+	}
+}
+
 func TestDistPercentileMonotoneProperty(t *testing.T) {
 	f := func(raw []uint32) bool {
 		var d Dist
@@ -269,12 +308,35 @@ func TestTimeSeriesOrigin(t *testing.T) {
 	ts := NewTimeSeriesAt(100, 1000)
 	ts.Add(1000, 5) // first bucket
 	ts.Add(1150, 5) // second bucket
-	ts.Add(500, 5)  // before origin: clamped into first bucket
+	ts.Add(500, 5)  // before origin: dropped, tallied separately
 	if ts.Len() != 2 {
 		t.Fatalf("len %d, want 2", ts.Len())
 	}
-	if ts.Count(0) != 2 || ts.Count(1) != 1 {
-		t.Fatalf("counts %d/%d, want 2/1", ts.Count(0), ts.Count(1))
+	if ts.Count(0) != 1 || ts.Count(1) != 1 {
+		t.Fatalf("counts %d/%d, want 1/1", ts.Count(0), ts.Count(1))
+	}
+	if ts.PreOrigin() != 1 {
+		t.Fatalf("preOrigin %d, want 1", ts.PreOrigin())
+	}
+}
+
+// TestTimeSeriesDropsPreOriginCompletions is the regression test for the
+// warmup-pollution bug: after a measurement reset, in-flight warmup IOs
+// complete before the new origin and used to be clamped into bucket 0,
+// inflating its count and corrupting its mean latency.
+func TestTimeSeriesDropsPreOriginCompletions(t *testing.T) {
+	ts := NewTimeSeriesAt(100, 1000)
+	ts.Add(900, 1_000_000) // warmup straggler with a huge latency
+	ts.Add(1010, 40)
+	ts.Add(1020, 60)
+	if ts.Count(0) != 2 {
+		t.Fatalf("bucket 0 count %d, want 2 (straggler leaked in)", ts.Count(0))
+	}
+	if got := ts.MeanLatency(0); got != 50 {
+		t.Fatalf("bucket 0 mean %v, want 50 (straggler polluted the mean)", got)
+	}
+	if ts.PreOrigin() != 1 {
+		t.Fatalf("preOrigin %d, want 1", ts.PreOrigin())
 	}
 }
 

@@ -12,10 +12,11 @@ import (
 // time" graphs of the experimental suite. Buckets are relative to the
 // series origin, so a measurement reset restarts the x axis.
 type TimeSeries struct {
-	bucket  sim.Duration
-	origin  sim.Time
-	counts  []uint64
-	latSums []float64
+	bucket    sim.Duration
+	origin    sim.Time
+	counts    []uint64
+	latSums   []float64
+	preOrigin uint64
 }
 
 // NewTimeSeries creates a series with the given bucket width and origin 0.
@@ -34,12 +35,15 @@ func NewTimeSeriesAt(bucket sim.Duration, origin sim.Time) *TimeSeries {
 // Bucket returns the bucket width.
 func (ts *TimeSeries) Bucket() sim.Duration { return ts.bucket }
 
-// Add records one completion at time t with the given latency. Times before
-// the origin land in the first bucket.
+// Add records one completion at time t with the given latency. Completions
+// before the origin — warmup IOs still in flight across a measurement reset
+// — are dropped from the buckets and tallied separately, so they cannot
+// pollute the first measured bucket's count and mean latency.
 func (ts *TimeSeries) Add(t sim.Time, latency sim.Duration) {
 	rel := int64(t - ts.origin)
 	if rel < 0 {
-		rel = 0
+		ts.preOrigin++
+		return
 	}
 	idx := int(rel / int64(ts.bucket))
 	for len(ts.counts) <= idx {
@@ -52,6 +56,10 @@ func (ts *TimeSeries) Add(t sim.Time, latency sim.Duration) {
 
 // Len returns the number of buckets so far.
 func (ts *TimeSeries) Len() int { return len(ts.counts) }
+
+// PreOrigin returns how many completions arrived before the series origin
+// and were therefore excluded from the buckets.
+func (ts *TimeSeries) PreOrigin() uint64 { return ts.preOrigin }
 
 // Count returns the completions in bucket i.
 func (ts *TimeSeries) Count(i int) uint64 { return ts.counts[i] }

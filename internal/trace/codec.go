@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// textHeader is the first line of the versioned text form.
+const textHeader = "eagletree-trace v1"
+
+// binaryMagic opens the binary form, followed by one version byte.
+var binaryMagic = []byte("ETRC")
+
+// binaryVersion is the current binary codec version.
+const binaryVersion = 1
+
+// opLetter maps request types to their single-letter text encoding.
+func opLetter(t iface.ReqType) byte {
+	switch t {
+	case iface.Read:
+		return 'R'
+	case iface.Write:
+		return 'W'
+	default:
+		return 'T'
+	}
+}
+
+// opFromLetter is the inverse of opLetter.
+func opFromLetter(b byte) (iface.ReqType, bool) {
+	switch b {
+	case 'R':
+		return iface.Read, true
+	case 'W':
+		return iface.Write, true
+	case 'T':
+		return iface.Trim, true
+	default:
+		return 0, false
+	}
+}
+
+// EncodeText writes the trace in the versioned text form: a header line, a
+// column comment, then one record per line as
+// "at_ns thread op lpn size prio locality temp".
+func EncodeText(w io.Writer, t *Trace) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, textHeader)
+	fmt.Fprintln(bw, "# at_ns thread op lpn size prio locality temp")
+	for _, r := range t.Records {
+		fmt.Fprintf(bw, "%d %d %c %d %d %d %d %d\n",
+			int64(r.At), r.Thread, opLetter(r.Op), int64(r.LPN), r.Size,
+			int(r.Tags.Priority), r.Tags.Locality, int(r.Tags.Temperature))
+	}
+	return bw.Flush()
+}
+
+// DecodeText parses the versioned text form. Blank lines and # comments are
+// skipped; any malformed line is an error naming its line number.
+func DecodeText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	sawHeader := false
+	t := &Trace{}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !sawHeader {
+			if text != textHeader {
+				return nil, fmt.Errorf("trace: line %d: bad header %q, want %q", line, text, textHeader)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 8", line, len(fields))
+		}
+		ints := make([]int64, 8)
+		for i, f := range fields {
+			if i == 2 {
+				continue // op letter
+			}
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: field %d: %v", line, i+1, err)
+			}
+			ints[i] = v
+		}
+		if len(fields[2]) != 1 {
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, fields[2])
+		}
+		op, ok := opFromLetter(fields[2][0])
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, fields[2])
+		}
+		t.Records = append(t.Records, Record{
+			At:     sim.Time(ints[0]),
+			Thread: int(ints[1]),
+			Op:     op,
+			LPN:    iface.LPN(ints[3]),
+			Size:   int(ints[4]),
+			Tags: iface.Tags{
+				Priority:    iface.Priority(ints[5]),
+				Locality:    int(ints[6]),
+				Temperature: iface.Temperature(ints[7]),
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: missing %q header", textHeader)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// zigzag folds a signed value into an unsigned varint-friendly one.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeBinary writes the compact binary form: magic, version, record count,
+// then per record delta-encoded varints (timestamp deltas are monotone, LPN
+// deltas zigzagged), the op and temperature as single bytes.
+func EncodeBinary(w io.Writer, t *Trace) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.Write(binaryMagic)
+	bw.WriteByte(binaryVersion)
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putUvarint(uint64(len(t.Records)))
+	var prevAt sim.Time
+	var prevLPN iface.LPN
+	for _, r := range t.Records {
+		putUvarint(uint64(r.At - prevAt))
+		prevAt = r.At
+		putUvarint(uint64(r.Thread))
+		bw.WriteByte(opLetter(r.Op))
+		putUvarint(zigzag(int64(r.LPN - prevLPN)))
+		prevLPN = r.LPN
+		putUvarint(uint64(r.Size))
+		putUvarint(zigzag(int64(r.Tags.Priority)))
+		putUvarint(zigzag(int64(r.Tags.Locality)))
+		bw.WriteByte(byte(r.Tags.Temperature))
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary parses the compact binary form.
+func DecodeBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(binaryMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if !bytes.Equal(head[:len(binaryMagic)], binaryMagic) {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(binaryMagic)])
+	}
+	if head[len(binaryMagic)] != binaryVersion {
+		return nil, fmt.Errorf("trace: binary version %d, want %d", head[len(binaryMagic)], binaryVersion)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: record count: %w", err)
+	}
+	const maxRecords = 1 << 30 // refuse absurd counts from corrupt input
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d too large", count)
+	}
+	t := &Trace{Records: make([]Record, 0, count)}
+	var prevAt sim.Time
+	var prevLPN iface.LPN
+	for i := uint64(0); i < count; i++ {
+		fail := func(field string, err error) (*Trace, error) {
+			return nil, fmt.Errorf("trace: record %d: %s: %w", i, field, err)
+		}
+		dAt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("timestamp", err)
+		}
+		thread, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("thread", err)
+		}
+		opb, err := br.ReadByte()
+		if err != nil {
+			return fail("op", err)
+		}
+		op, ok := opFromLetter(opb)
+		if !ok {
+			return nil, fmt.Errorf("trace: record %d: bad op byte %q", i, opb)
+		}
+		dLPN, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("lpn", err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("size", err)
+		}
+		prio, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("priority", err)
+		}
+		loc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("locality", err)
+		}
+		temp, err := br.ReadByte()
+		if err != nil {
+			return fail("temperature", err)
+		}
+		prevAt += sim.Time(dAt)
+		prevLPN += iface.LPN(unzigzag(dLPN))
+		t.Records = append(t.Records, Record{
+			At:     prevAt,
+			Thread: int(thread),
+			Op:     op,
+			LPN:    prevLPN,
+			Size:   int(size),
+			Tags: iface.Tags{
+				Priority:    iface.Priority(unzigzag(prio)),
+				Locality:    int(unzigzag(loc)),
+				Temperature: iface.Temperature(temp),
+			},
+		})
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Decode sniffs the format (binary magic vs text header) and parses either.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if bytes.Equal(head, binaryMagic) {
+		return DecodeBinary(br)
+	}
+	return DecodeText(br)
+}
+
+// WriteFile encodes the trace to path: binary when the name ends in .etb,
+// the text form otherwise.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := EncodeText
+	if strings.HasSuffix(path, ".etb") {
+		enc = EncodeBinary
+	}
+	if err := enc(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a trace from path, sniffing the format.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+	"eagletree/internal/trace"
+)
+
+// ReplayMode selects how a Replay thread paces a trace through the stack.
+type ReplayMode int
+
+const (
+	// ReplayClosedLoop ignores trace timestamps and keeps Depth IOs in
+	// flight, issuing in trace order as fast as the device allows — the mode
+	// for A/B-ing design variants on an identical IO stream.
+	ReplayClosedLoop ReplayMode = iota
+	// ReplayOpenLoop issues each record at its trace timestamp (stretched by
+	// TimeScale), regardless of completions: the arrival process is faithful
+	// and queues grow when the device falls behind.
+	ReplayOpenLoop
+	// ReplayDependent serializes the trace: each record is issued only after
+	// its predecessor completes, preserving issue order strictly and the
+	// trace's inter-arrival gaps as think time (stretched by TimeScale).
+	ReplayDependent
+)
+
+func (m ReplayMode) String() string {
+	switch m {
+	case ReplayClosedLoop:
+		return "closed"
+	case ReplayOpenLoop:
+		return "open"
+	case ReplayDependent:
+		return "dependent"
+	default:
+		return fmt.Sprintf("ReplayMode(%d)", int(m))
+	}
+}
+
+// ParseReplayMode maps the command-line spellings onto modes.
+func ParseReplayMode(s string) (ReplayMode, error) {
+	switch s {
+	case "closed", "closed-loop":
+		return ReplayClosedLoop, nil
+	case "open", "open-loop":
+		return ReplayOpenLoop, nil
+	case "dependent", "as-dependent":
+		return ReplayDependent, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown replay mode %q (closed | open | dependent)", s)
+	}
+}
+
+// Replay is a thread that replays a captured or converted block trace
+// through the stack. The trace is read-only: one Trace can back any number
+// of concurrent Replay threads (e.g. parallel experiment variants), but each
+// variant needs its own Replay value. Multi-page records are expanded into
+// consecutive single-page IOs; recorded tags are reapplied verbatim.
+type Replay struct {
+	// Trace is the stream to replay. Replay never mutates it.
+	Trace *trace.Trace
+	// Mode paces the stream; the zero value is ReplayClosedLoop.
+	Mode ReplayMode
+	// TimeScale stretches trace time in open-loop and dependent modes:
+	// 2 halves the arrival rate, 0.5 doubles it. Zero means 1 (faithful).
+	TimeScale float64
+	// Depth bounds in-flight IOs in closed-loop mode. Zero means 32.
+	Depth int
+
+	pump    pump // closed-loop pacing
+	pos     int  // next record
+	pageOff int  // next page within the current record
+	start   sim.Time
+	tickFn  func(*Ctx) // bound once: open-loop timer body
+	nextFn  func(*Ctx) // bound once: dependent-mode think-time body
+}
+
+// Init implements Thread.
+func (r *Replay) Init(ctx *Ctx) {
+	r.start = ctx.Now()
+	if r.Trace == nil || r.Trace.Len() == 0 {
+		ctx.Finish()
+		return
+	}
+	switch r.Mode {
+	case ReplayOpenLoop:
+		r.tickFn = r.tick
+		r.scheduleNext(ctx)
+	case ReplayDependent:
+		r.nextFn = r.submitCurrent
+		ctx.Schedule(sim.Duration(r.scaled(r.Trace.Records[0].At)), r.nextFn)
+	default:
+		r.pump.depth = r.Depth
+		if r.pump.depth == 0 {
+			r.pump.depth = 32
+		}
+		r.pump.start(ctx, r.emit)
+	}
+}
+
+// OnComplete implements Thread.
+func (r *Replay) OnComplete(ctx *Ctx, _ *iface.Request) {
+	switch r.Mode {
+	case ReplayOpenLoop:
+		r.maybeDone(ctx)
+	case ReplayDependent:
+		if ctx.InFlight() > 0 {
+			return // a multi-page record is still draining
+		}
+		r.pos++
+		r.pageOff = 0
+		if r.pos >= r.Trace.Len() {
+			ctx.Finish()
+			return
+		}
+		gap := r.scaled(r.Trace.Records[r.pos].At) - r.scaled(r.Trace.Records[r.pos-1].At)
+		ctx.Schedule(sim.Duration(gap), r.nextFn)
+	default:
+		r.pump.completed(ctx, r.emit)
+	}
+}
+
+// scaled maps a trace timestamp onto replay time.
+func (r *Replay) scaled(t sim.Time) sim.Time {
+	scale := r.TimeScale
+	if scale == 0 {
+		scale = 1
+	}
+	return sim.Time(float64(t) * scale)
+}
+
+// emit issues the next page of the stream (closed-loop pacing).
+func (r *Replay) emit(ctx *Ctx) bool {
+	if r.pos >= r.Trace.Len() {
+		return false
+	}
+	rec := r.Trace.Records[r.pos]
+	ctx.Submit(rec.Op, rec.LPN+iface.LPN(r.pageOff), rec.Tags)
+	r.pageOff++
+	if r.pageOff >= rec.Size {
+		r.pos++
+		r.pageOff = 0
+	}
+	return true
+}
+
+// submitCurrent issues every page of the current record (dependent mode).
+func (r *Replay) submitCurrent(ctx *Ctx) {
+	rec := r.Trace.Records[r.pos]
+	for p := 0; p < rec.Size; p++ {
+		ctx.Submit(rec.Op, rec.LPN+iface.LPN(p), rec.Tags)
+	}
+}
+
+// scheduleNext arms the open-loop timer for the next record's due time.
+func (r *Replay) scheduleNext(ctx *Ctx) {
+	if r.pos >= r.Trace.Len() {
+		r.maybeDone(ctx)
+		return
+	}
+	due := r.start.Add(sim.Duration(r.scaled(r.Trace.Records[r.pos].At)))
+	ctx.Schedule(due.Sub(ctx.Now()), r.tickFn)
+}
+
+// tick submits every record that has come due, then re-arms the timer.
+func (r *Replay) tick(ctx *Ctx) {
+	for r.pos < r.Trace.Len() {
+		rec := r.Trace.Records[r.pos]
+		if r.start.Add(sim.Duration(r.scaled(rec.At))).After(ctx.Now()) {
+			break
+		}
+		for p := 0; p < rec.Size; p++ {
+			ctx.Submit(rec.Op, rec.LPN+iface.LPN(p), rec.Tags)
+		}
+		r.pos++
+	}
+	r.scheduleNext(ctx)
+}
+
+// maybeDone finishes the open-loop replay once the stream is exhausted and
+// the last IO has drained.
+func (r *Replay) maybeDone(ctx *Ctx) {
+	if r.pos >= r.Trace.Len() && ctx.InFlight() == 0 {
+		ctx.Finish()
+	}
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/osched"
+	"eagletree/internal/sim"
+	"eagletree/internal/trace"
+)
+
+// newReplayRig is newWLRig plus a capture on the OS layer, so tests can
+// observe the replayed arrival process with timestamps.
+func newReplayRig(t *testing.T, depth int) (*wlRig, *trace.Capture) {
+	t.Helper()
+	cap := trace.NewCapture()
+	r := &wlRig{eng: sim.NewEngine(), bus: iface.NewBus()}
+	r.dev = &memDevice{eng: r.eng, latency: 50 * sim.Microsecond}
+	os, err := osched.New(r.eng, r.dev, osched.Config{QueueDepth: depth, Capture: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev.done = os.Completed
+	r.os = os
+	r.runner = NewRunner(r.eng, os, r.bus, 1)
+	return r, cap
+}
+
+func stepTrace(n int, gap sim.Duration) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		op := iface.Write
+		if i%3 == 0 {
+			op = iface.Read
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			At: sim.Time(i) * sim.Time(gap), Thread: 1, Op: op,
+			LPN: iface.LPN(i * 7 % 64), Size: 1,
+		})
+	}
+	return tr
+}
+
+func TestReplayClosedLoopPreservesOrder(t *testing.T) {
+	tr := stepTrace(40, sim.Millisecond)
+	r := newWLRig(t, 32)
+	r.runner.Add(&Replay{Trace: tr, Mode: ReplayClosedLoop, Depth: 4})
+	r.run(t)
+
+	var wantReads, wantWrites []iface.LPN
+	for _, rec := range tr.Records {
+		if rec.Op == iface.Read {
+			wantReads = append(wantReads, rec.LPN)
+		} else {
+			wantWrites = append(wantWrites, rec.LPN)
+		}
+	}
+	if !reflect.DeepEqual(r.dev.byType[iface.Read], wantReads) {
+		t.Fatalf("reads out of order:\ngot  %v\nwant %v", r.dev.byType[iface.Read], wantReads)
+	}
+	if !reflect.DeepEqual(r.dev.byType[iface.Write], wantWrites) {
+		t.Fatalf("writes out of order:\ngot  %v\nwant %v", r.dev.byType[iface.Write], wantWrites)
+	}
+	// Closed-loop ignores the 1ms trace gaps: 40 IOs at depth 4 and 50us
+	// device latency drain in ~40/4 * 50us, far under the trace's 39ms span.
+	if end := r.eng.Now(); end > sim.Time(5*sim.Millisecond) {
+		t.Fatalf("closed-loop replay took %v, should ignore trace pacing", end)
+	}
+}
+
+func TestReplayOpenLoopIsTimestampFaithful(t *testing.T) {
+	const gap = 200 * sim.Microsecond
+	tr := stepTrace(20, gap)
+	for _, scale := range []float64{1, 2} {
+		r, cap := newReplayRig(t, 32)
+		r.runner.Add(&Replay{Trace: tr, Mode: ReplayOpenLoop, TimeScale: scale})
+		r.run(t)
+		got := cap.Trace()
+		if got.Len() != tr.Len() {
+			t.Fatalf("scale %v: replayed %d IOs, want %d", scale, got.Len(), tr.Len())
+		}
+		for i, rec := range got.Records {
+			want := sim.Time(float64(tr.Records[i].At) * scale)
+			if rec.At != want {
+				t.Fatalf("scale %v: record %d submitted at %v, want %v", scale, i, rec.At, want)
+			}
+		}
+	}
+}
+
+func TestReplayDependentSerializes(t *testing.T) {
+	const gap = 300 * sim.Microsecond
+	tr := stepTrace(10, gap)
+	r, cap := newReplayRig(t, 32)
+	r.runner.Add(&Replay{Trace: tr, Mode: ReplayDependent})
+	r.run(t)
+
+	got := cap.Trace()
+	if got.Len() != tr.Len() {
+		t.Fatalf("replayed %d IOs, want %d", got.Len(), tr.Len())
+	}
+	// Each IO waits for its predecessor's completion (50us device latency)
+	// plus the trace's 300us inter-arrival think time, so successive
+	// submissions must be at least gap apart and strictly serialized.
+	for i := 1; i < got.Len(); i++ {
+		if d := got.Records[i].At.Sub(got.Records[i-1].At); d < sim.Duration(gap) {
+			t.Fatalf("records %d..%d only %v apart, want >= %v (think time)", i-1, i, d, gap)
+		}
+	}
+	if r.os.Stats().MaxInFlight != 1 {
+		t.Fatalf("dependent replay had %d IOs in flight, want 1", r.os.Stats().MaxInFlight)
+	}
+}
+
+func TestReplayExpandsMultiPageRecords(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{At: 0, Op: iface.Write, LPN: 10, Size: 3},
+		{At: 0, Op: iface.Read, LPN: 40, Size: 2},
+	}}
+	for _, mode := range []ReplayMode{ReplayClosedLoop, ReplayOpenLoop, ReplayDependent} {
+		r := newWLRig(t, 8)
+		r.runner.Add(&Replay{Trace: tr, Mode: mode, Depth: 2})
+		r.run(t)
+		if !reflect.DeepEqual(r.dev.byType[iface.Write], []iface.LPN{10, 11, 12}) {
+			t.Fatalf("%v: writes %v, want [10 11 12]", mode, r.dev.byType[iface.Write])
+		}
+		if !reflect.DeepEqual(r.dev.byType[iface.Read], []iface.LPN{40, 41}) {
+			t.Fatalf("%v: reads %v, want [40 41]", mode, r.dev.byType[iface.Read])
+		}
+	}
+}
+
+func TestReplayAppliesRecordedTags(t *testing.T) {
+	want := iface.Tags{Priority: iface.PriorityHigh, Locality: 9, Temperature: iface.TempHot}
+	tr := &trace.Trace{Records: []trace.Record{{At: 0, Op: iface.Write, LPN: 1, Size: 1, Tags: want}}}
+	r, cap := newReplayRig(t, 8)
+	r.runner.Add(&Replay{Trace: tr})
+	r.run(t)
+	if got := cap.Trace().Records[0].Tags; got != want {
+		t.Fatalf("replayed tags %+v, want %+v", got, want)
+	}
+}
+
+// TestReplayDefaultDepth pins the documented closed-loop default: Depth 0
+// means 32, not the pump's depth-1 fallback.
+func TestReplayDefaultDepth(t *testing.T) {
+	r := newWLRig(t, 64)
+	r.runner.Add(&Replay{Trace: stepTrace(200, sim.Microsecond)})
+	r.run(t)
+	if got := r.os.Stats().MaxInFlight; got != 32 {
+		t.Fatalf("default-depth replay peaked at %d in flight, want 32", got)
+	}
+}
+
+func TestReplayEmptyTraceFinishes(t *testing.T) {
+	for _, mode := range []ReplayMode{ReplayClosedLoop, ReplayOpenLoop, ReplayDependent} {
+		r := newWLRig(t, 8)
+		r.runner.Add(&Replay{Trace: &trace.Trace{}, Mode: mode})
+		r.run(t) // run fails the test if the thread never finishes
+	}
+}
+
+// TestCaptureReplayRoundTrip is the subsystem's core promise: capturing a
+// synthetic workload and replaying the trace closed-loop reproduces the
+// exact same IO stream at the device.
+func TestCaptureReplayRoundTrip(t *testing.T) {
+	orig, cap := newReplayRig(t, 16)
+	orig.runner.Add(&RandomWriter{From: 0, Space: 128, Count: 300, Depth: 8})
+	orig.runner.Add(&RandomReader{From: 0, Space: 128, Count: 200, Depth: 4})
+	orig.run(t)
+	tr := cap.Trace()
+	if tr.Len() != 500 {
+		t.Fatalf("captured %d records, want 500", tr.Len())
+	}
+
+	rep := newWLRig(t, 16)
+	rep.runner.Add(&Replay{Trace: tr, Mode: ReplayClosedLoop, Depth: 16})
+	rep.run(t)
+	if !reflect.DeepEqual(orig.dev.byType, rep.dev.byType) {
+		t.Fatal("replayed device stream differs from the captured run")
+	}
+}
+
+// TestReplayDeterministic replays one trace twice in every mode and demands
+// bit-identical device streams and end times.
+func TestReplayDeterministic(t *testing.T) {
+	tr := stepTrace(100, 80*sim.Microsecond)
+	for _, mode := range []ReplayMode{ReplayClosedLoop, ReplayOpenLoop, ReplayDependent} {
+		a := newWLRig(t, 16)
+		a.runner.Add(&Replay{Trace: tr, Mode: mode, Depth: 8, TimeScale: 1.5})
+		a.run(t)
+		b := newWLRig(t, 16)
+		b.runner.Add(&Replay{Trace: tr, Mode: mode, Depth: 8, TimeScale: 1.5})
+		b.run(t)
+		if !reflect.DeepEqual(a.dev.byType, b.dev.byType) || a.eng.Now() != b.eng.Now() {
+			t.Fatalf("%v: two replays of the same trace diverged", mode)
+		}
+	}
+}
+
+func TestCtxScheduleKeepsThreadAlive(t *testing.T) {
+	r := newWLRig(t, 8)
+	var fired sim.Time
+	r.runner.Add(&Func{F: func(ctx *Ctx) {
+		ctx.Schedule(3*sim.Millisecond, func(ctx *Ctx) {
+			fired = ctx.Now()
+			ctx.Finish()
+		})
+	}})
+	r.run(t)
+	if fired != sim.Time(3*sim.Millisecond) {
+		t.Fatalf("timer fired at %v, want 3ms", fired)
+	}
+}
+
+func TestCtxScheduleAutoFinishes(t *testing.T) {
+	r := newWLRig(t, 8)
+	ran := false
+	// The timer body neither issues IOs nor calls Finish: the runner must
+	// treat the idle thread as finished instead of hanging.
+	r.runner.Add(&Func{F: func(ctx *Ctx) {
+		ctx.Schedule(sim.Millisecond, func(*Ctx) { ran = true })
+	}})
+	r.run(t)
+	if !ran {
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestParseReplayMode(t *testing.T) {
+	for in, want := range map[string]ReplayMode{
+		"closed": ReplayClosedLoop, "closed-loop": ReplayClosedLoop,
+		"open": ReplayOpenLoop, "open-loop": ReplayOpenLoop,
+		"dependent": ReplayDependent, "as-dependent": ReplayDependent,
+	} {
+		got, err := ParseReplayMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseReplayMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseReplayMode("warp"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

@@ -84,6 +84,33 @@ func (c *Ctx) Trim(lpn iface.LPN) *iface.Request { return c.Submit(iface.Trim, l
 // the bus is locked (block-device mode) or nothing subscribed.
 func (c *Ctx) Publish(m iface.Message) bool { return c.runner.bus.Publish(m) }
 
+// Schedule runs fn after d of virtual time — the timer facility open-loop
+// workloads (trace replay, think times, periodic bursts) pace themselves
+// with. A pending timer keeps the thread alive like an in-flight IO does;
+// timers armed by a thread that has since finished are discarded.
+func (c *Ctx) Schedule(d sim.Duration, fn func(*Ctx)) {
+	if c.entry.finished {
+		panic(fmt.Sprintf("workload: thread %d scheduled a timer after finishing", c.entry.id))
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.entry.timers++
+	c.runner.eng.Schedule(c.runner.eng.Now().Add(d), func() {
+		c.entry.timers--
+		if c.entry.finished {
+			return
+		}
+		fn(c)
+		// Same rule as launch: a thread with nothing in flight, no timers
+		// pending and no finish request can never be woken again — treat it
+		// as finished rather than hanging its dependents.
+		if c.entry.inFlight == 0 && c.entry.timers == 0 && !c.entry.finishReq {
+			c.Finish()
+		}
+	})
+}
+
 // Finish declares the thread done. Pending IOs still complete (and still
 // reach OnComplete); once the last one drains, dependent threads start.
 // Finishing twice is a no-op.
@@ -116,6 +143,7 @@ type entry struct {
 	finishReq  bool
 	finished   bool
 	inFlight   int
+	timers     int // armed Ctx.Schedule timers not yet fired
 	issued     uint64
 }
 
@@ -182,10 +210,10 @@ func (r *Runner) launch(e *entry) {
 	// and so Start can be called before the engine runs.
 	r.eng.Schedule(r.eng.Now(), func() {
 		e.t.Init(e.ctx)
-		// A thread that issues nothing from Init and never calls Finish
-		// would hang its dependents; treat "no IOs, no finish request" as
-		// finished, matching an empty init() body.
-		if e.inFlight == 0 && !e.finishReq {
+		// A thread that issues nothing from Init, arms no timer and never
+		// calls Finish would hang its dependents; treat "no IOs, no timers,
+		// no finish request" as finished, matching an empty init() body.
+		if e.inFlight == 0 && e.timers == 0 && !e.finishReq {
 			e.ctx.Finish()
 		}
 	})
