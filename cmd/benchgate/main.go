@@ -1,0 +1,194 @@
+// Command benchgate turns `go test -bench` text output into machine-readable
+// JSON and gates guarded benchmarks against a committed baseline — the CI
+// bench-regression job's engine.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... > all.txt
+//	go test -run '^$' -bench 'X|Y' -benchtime 20000x -count 3 ./pkg > guard.txt
+//	benchgate -out BENCH_PR3.json -baseline BENCH_BASELINE.json \
+//	    -guard BenchmarkEngineSchedule,BenchmarkControllerDispatch \
+//	    all.txt guard.txt
+//
+// Every parsed benchmark lands in the output JSON (benchmark name → ns/op,
+// allocs/op, B/op). When the same benchmark appears several times (-count),
+// the minimum ns/op is kept: best-of-N is the noise-robust statistic for a
+// regression gate. Guarded benchmarks fail the gate when their ns/op exceeds
+// the baseline by more than -max-regress, or when allocs/op grows at all —
+// allocation counts are deterministic, so any increase is a real regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// File is the JSON document benchgate reads and writes.
+type File struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write parsed results to this JSON file")
+		baseline   = flag.String("baseline", "", "baseline JSON to gate against")
+		guard      = flag.String("guard", "", "comma-separated benchmark names that must not regress")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ns/op regression for guarded benchmarks (0.25 = +25%)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no input files (pass `go test -bench` output files)")
+		os.Exit(2)
+	}
+
+	results := make(map[string]Result)
+	for _, path := range flag.Args() {
+		if err := parseFile(path, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: inputs contained no benchmark lines")
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(File{Benchmarks: results}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), *out)
+	}
+
+	if *baseline == "" || *guard == "" {
+		return
+	}
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, name := range strings.Split(*guard, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		got, ok := results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: guarded benchmark %s missing from results\n", name)
+			failed = true
+			continue
+		}
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: guarded benchmark %s missing from baseline %s\n", name, *baseline)
+			failed = true
+			continue
+		}
+		ratio := got.NsPerOp / want.NsPerOp
+		status := "ok"
+		if ratio > 1+*maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-32s %10.1f ns/op vs baseline %10.1f (%+.1f%%) %s\n",
+			name, got.NsPerOp, want.NsPerOp, (ratio-1)*100, status)
+		if got.AllocsPerOp > want.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchgate: %s allocs/op grew %.0f -> %.0f\n",
+				name, want.AllocsPerOp, got.AllocsPerOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readBaseline(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// parseFile extracts benchmark result lines from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkEngineSchedule-8   20000   35.5 ns/op   0 B/op   0 allocs/op
+//
+// Repeated names (from -count or multiple files) keep the fastest run.
+func parseFile(path string, into map[string]Result) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so names are machine-independent.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				seen = true
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := into[name]; !ok || r.NsPerOp < prev.NsPerOp {
+			into[name] = r
+		}
+	}
+	return sc.Err()
+}

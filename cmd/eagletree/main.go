@@ -11,6 +11,9 @@
 //	eagletree -workload zipf -open -oracle-temp -series
 //	eagletree -workload fs -prepare -record fs.etb
 //	eagletree -replay fs.etb -replay-mode open -policy deadline
+//	eagletree -save-state aged.state
+//	eagletree -load-state aged.state -workload mix -policy reads-first
+//	eagletree -load-state aged.state -workload fs -record aged-fs.etb
 package main
 
 import (
@@ -56,6 +59,9 @@ func main() {
 		series   = flag.Bool("series", false, "print the completion time series sparkline")
 		memrep   = flag.Bool("mem", false, "print the controller memory report")
 		trace    = flag.Int("trace", 0, "record an IO trace and print its last N events")
+
+		saveState = flag.String("save-state", "", "prepare the device (sequential fill + random overwrite), save its state to this file and exit; restore later with -load-state")
+		loadState = flag.String("load-state", "", "restore a prepared device state saved by -save-state and run the workload on it (replaces -prepare)")
 
 		record      = flag.String("record", "", "capture the app-level IO stream to this trace file (.etb = binary); with -prepare, capture starts after preparation")
 		replay      = flag.String("replay", "", "replay a block trace file instead of -workload")
@@ -142,19 +148,76 @@ func main() {
 	if *trace > 0 {
 		cfg.TraceCap = *trace
 	}
+	if *saveState != "" && *loadState != "" {
+		fmt.Fprintln(os.Stderr, "eagletree: -save-state and -load-state are mutually exclusive")
+		os.Exit(1)
+	}
+	if *loadState != "" && *prepare {
+		fmt.Fprintln(os.Stderr, "eagletree: -load-state already provides a prepared device; drop -prepare")
+		os.Exit(1)
+	}
+	if *saveState != "" && *record != "" {
+		fmt.Fprintln(os.Stderr, "eagletree: -save-state runs preparation only and records nothing; capture against the restored device with -load-state -record instead")
+		os.Exit(1)
+	}
+
 	var capture *eagletree.TraceCapture
 	if *record != "" {
 		capture = eagletree.NewTraceCapture()
-		if *prepare {
-			capture.Stop() // re-armed at the measurement barrier
+		if *prepare || *loadState != "" {
+			capture.Stop() // re-armed once the measured window starts
 		}
 		cfg.OS.Capture = capture
 	}
 
-	s, err := eagletree.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "eagletree:", err)
-		os.Exit(1)
+	// -save-state: run preparation only, persist the drained stack, exit.
+	// Whole sweeps can then start from the identical aged device instantly.
+	if *saveState != "" {
+		s, err := eagletree.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		n := int64(s.LogicalPages())
+		seq := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
+		s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
+		end := s.Run()
+		ds, err := s.Snapshot()
+		if err == nil {
+			err = eagletree.WriteStateFile(*saveState, ds)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("eagletree: prepared device (%d logical pages, %v of device time) saved to %s\n",
+			n, end, *saveState)
+		return
+	}
+
+	var s *eagletree.Stack
+	if *loadState != "" {
+		ds, err := eagletree.ReadStateFile(*loadState)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		s, err = eagletree.RestoreStack(cfg, ds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		s.MarkMeasurement()
+		if capture != nil {
+			capture.Start(s.Engine.Now())
+		}
+	} else {
+		var err error
+		s, err = eagletree.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
 	}
 	n := int64(s.LogicalPages())
 

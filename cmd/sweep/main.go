@@ -30,6 +30,8 @@ func main() {
 		chart    = flag.Bool("chart", true, "print throughput chart per experiment")
 		timeline = flag.Bool("timeline", false, "record and print completions-over-time sparklines")
 		workers  = flag.Int("workers", 0, "parallel variant workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheDir = flag.String("state-cache", "", "persist prepared device states under this directory; repeated sweeps restore instead of re-aging")
+		fresh    = flag.Bool("fresh", false, "disable prepared-state reuse: every variant ages its own device (the slow reference path)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,13 @@ func main() {
 		}
 		return false
 	}
+	opts := experiment.Options{Workers: *workers, NoPrepareCache: *fresh}
+	if *cacheDir != "" && !*fresh {
+		// One cache across the whole invocation: experiments sharing a
+		// prepared state (same geometry, preparation and seed) reuse it, and
+		// the directory carries it to the next invocation.
+		opts.Cache = experiment.NewStateCache(*cacheDir)
+	}
 	ran := 0
 	for _, def := range suite {
 		if !match(def) {
@@ -66,7 +75,7 @@ func main() {
 		if *timeline {
 			def.SeriesBucket = 20 * sim.Millisecond
 		}
-		res, err := experiment.RunWorkers(def, *workers)
+		res, err := experiment.RunOpts(def, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)

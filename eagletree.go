@@ -46,6 +46,7 @@ import (
 	"eagletree/internal/osched"
 	"eagletree/internal/sched"
 	"eagletree/internal/sim"
+	"eagletree/internal/snapshot"
 	"eagletree/internal/trace"
 	"eagletree/internal/wl"
 	"eagletree/internal/workload"
@@ -324,6 +325,26 @@ type (
 // New assembles a simulation stack from the configuration.
 func New(cfg Config) (*Stack, error) { return core.New(cfg) }
 
+// Device-state snapshots: instant aged-device preparation.
+type (
+	// DeviceState is the complete serialized state of a quiescent stack:
+	// flash contents and wear, FTL mapping tables (CMT included), free
+	// lists, GC/WL counters, the virtual clock and thread/RNG origins.
+	DeviceState = snapshot.DeviceState
+)
+
+// RestoreStack builds a stack from the configuration and the saved device
+// state. Threads registered afterwards continue the saved run exactly, so a
+// restored run is bit-identical to one that prepared the device in-process.
+func RestoreStack(cfg Config, st *DeviceState) (*Stack, error) { return core.Restore(cfg, st) }
+
+// WriteStateFile saves a device state to path in the versioned binary
+// snapshot format (atomic write, CRC-protected).
+func WriteStateFile(path string, st *DeviceState) error { return snapshot.WriteFile(path, st) }
+
+// ReadStateFile loads a device state saved by WriteStateFile.
+func ReadStateFile(path string) (*DeviceState, error) { return snapshot.ReadFile(path) }
+
 // Experiment suite.
 type (
 	// Experiment is a template: a parameter, a strategy to vary it, and a
@@ -337,7 +358,23 @@ type (
 	ResultRow = experiment.Row
 	// Metric extracts one scalar from a report.
 	Metric = experiment.Metric
+	// PrepareSpec declares device preparation (fill + age) so the runner
+	// can snapshot-cache prepared state across variants.
+	PrepareSpec = experiment.PrepareSpec
+	// ExperimentOptions tunes experiment execution (workers, state cache).
+	ExperimentOptions = experiment.Options
+	// StateCache deduplicates device preparation across variants and runs.
+	StateCache = experiment.StateCache
 )
+
+// NewStateCache returns a snapshot cache for experiment preparation,
+// disk-backed under dir when non-empty.
+func NewStateCache(dir string) *StateCache { return experiment.NewStateCache(dir) }
+
+// RunExperimentOpts executes an experiment with explicit options.
+func RunExperimentOpts(def Experiment, opts ExperimentOptions) (Results, error) {
+	return experiment.RunOpts(def, opts)
+}
 
 // Standard chartable metrics.
 var (

@@ -275,6 +275,7 @@ type Controller struct {
 	completions  uint64
 	opsSinceScan uint64
 	wlScanArmed  bool
+	wlScanEv     *sim.Event       // armed static-WL scan timer (cancelled on restore)
 	deferred     []*iface.Request // writes an allocator refused; retried after the next completion
 	lastTrans    *iface.Request   // tail of the most recently planned translation chain
 

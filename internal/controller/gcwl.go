@@ -117,7 +117,7 @@ func (c *Controller) scheduleWLScan() {
 		return
 	}
 	c.wlScanArmed = true
-	c.eng.ScheduleAfter(c.cfg.WL.CheckInterval, func() {
+	c.wlScanEv = c.eng.ScheduleAfter(c.cfg.WL.CheckInterval, func() {
 		c.wlScanArmed = false
 		if c.opsSinceScan == 0 {
 			return // quiet device: stop scanning until traffic resumes

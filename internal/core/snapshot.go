@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"eagletree/internal/snapshot"
+)
+
+// Snapshot captures the complete state of a quiescent stack — typically one
+// that just finished its device-preparation workload. The stack must be
+// fully drained: every thread finished, no event pending, no IO anywhere in
+// the OS or controller. Snapshot fails otherwise rather than dropping
+// in-flight work.
+//
+// Restoring the returned state into a fresh stack (see Restore) and then
+// registering the same workload produces bit-identical behavior to
+// continuing this stack directly.
+func (s *Stack) Snapshot() (*snapshot.DeviceState, error) {
+	if n := s.Engine.Pending(); n != 0 {
+		return nil, fmt.Errorf("core: snapshot with %d events pending", n)
+	}
+	if !s.Runner.Done() {
+		return nil, fmt.Errorf("core: snapshot with %d threads active", s.Runner.Active())
+	}
+	if n := s.OS.InFlight(); n != 0 {
+		return nil, fmt.Errorf("core: snapshot with %d IOs in flight at the SSD", n)
+	}
+	if n := s.OS.Pending(); n != 0 {
+		return nil, fmt.Errorf("core: snapshot with %d IOs pending in the OS pool", n)
+	}
+	ctl, err := s.Controller.State()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &snapshot.DeviceState{
+		Meta: snapshot.Meta{
+			Geometry:     s.cfg.Controller.Geometry,
+			Mapping:      s.Controller.Mapper().Name(),
+			LogicalPages: s.Controller.LogicalPages(),
+			Seed:         s.cfg.Seed,
+		},
+		Engine: snapshot.EngineState{
+			Now:   s.Engine.Now(),
+			Seq:   s.Engine.Seq(),
+			Fired: s.Engine.Fired(),
+		},
+		Controller: *ctl,
+		OS:         s.OS.Stats(),
+		Runner:     s.Runner.State(),
+	}, nil
+}
+
+// Restore builds a stack from the configuration and overwrites its device
+// state with the snapshot: flash contents and wear, mapping tables, free
+// lists, counters, the virtual clock and the thread/RNG origins. The
+// configuration must be structurally compatible with the one the snapshot
+// was prepared under (same geometry, mapping scheme and logical capacity);
+// policy-level knobs — schedulers, allocators, GC greediness, queue depth —
+// may differ, which is what lets one prepared state serve a whole variant
+// sweep.
+//
+// Threads registered on the restored stack continue the original run's
+// thread-id, RNG and request-id sequences exactly, so a restored run is bit-
+// identical to one that prepared the device in-process.
+func Restore(cfg Config, ds *snapshot.DeviceState) (*Stack, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if got := s.cfg.Controller.Geometry; got != ds.Meta.Geometry {
+		return nil, fmt.Errorf("core: snapshot geometry %+v does not match config geometry %+v", ds.Meta.Geometry, got)
+	}
+	if got := s.Controller.Mapper().Name(); got != ds.Meta.Mapping {
+		return nil, fmt.Errorf("core: snapshot maps with %q, config maps with %q", ds.Meta.Mapping, got)
+	}
+	if got := s.Controller.LogicalPages(); got != ds.Meta.LogicalPages {
+		return nil, fmt.Errorf("core: snapshot exports %d logical pages, config exports %d", ds.Meta.LogicalPages, got)
+	}
+	if err := s.Controller.RestoreState(&ds.Controller); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.OS.RestoreStats(ds.OS)
+	if err := s.Runner.RestoreState(ds.Runner); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := s.Engine.Restore(ds.Engine.Now, ds.Engine.Seq, ds.Engine.Fired); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// GC targets may have tightened relative to the preparing configuration;
+	// re-evaluate them now that the clock is in place, so the first measured
+	// write cannot stall on a floor no completion will ever raise.
+	s.Controller.Kick()
+	return s, nil
+}

@@ -1,0 +1,234 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"eagletree/internal/controller"
+	"eagletree/internal/core"
+	"eagletree/internal/flash"
+	"eagletree/internal/gc"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/osched"
+	"eagletree/internal/sched"
+	"eagletree/internal/sim"
+	"eagletree/internal/snapshot"
+	"eagletree/internal/wl"
+	"eagletree/internal/workload"
+)
+
+// pagemapCfg returns a small page-mapped configuration. A fresh value per
+// call: policy, allocator and detector instances are mutable and must not be
+// shared between stacks.
+func pagemapCfg() core.Config {
+	return core.Config{
+		Controller: controller.Config{
+			Geometry:      flash.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 48, PagesPerBlock: 16, PageSize: 4096},
+			Overprovision: 0.15,
+			GCGreediness:  2,
+			WL:            controller.WLOff(),
+		},
+		OS:   osched.Config{QueueDepth: 16},
+		Seed: 11,
+	}
+}
+
+// richCfg exercises every stateful component the snapshot layer captures:
+// DFTL with its CMT and translation ring, static+dynamic wear leveling, the
+// MBF hot-data detector, a write buffer, the round-robin allocator and the
+// random GC victim policy.
+func richCfg() core.Config {
+	wlCfg := wl.DefaultConfig()
+	wlCfg.CheckInterval = 2 * sim.Millisecond
+	return core.Config{
+		Controller: controller.Config{
+			Geometry:            flash.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 48, PagesPerBlock: 16, PageSize: 4096},
+			Mapping:             controller.MapDFTL,
+			CMTEntries:          256,
+			ReservedTransBlocks: 3,
+			Overprovision:       0.15,
+			GCGreediness:        2,
+			GCPolicy:            &gc.Random{},
+			WL:                  wlCfg,
+			Alloc:               &sched.RoundRobin{},
+			Detector:            hotcold.NewMBF(hotcold.DefaultMBFConfig()),
+			WriteBufferPages:    8,
+			OpenInterface:       true,
+		},
+		OS:   osched.Config{QueueDepth: 16},
+		Seed: 23,
+	}
+}
+
+// prepare registers the fill-and-age preparation threads.
+func prepare(s *core.Stack) {
+	n := int64(s.LogicalPages())
+	seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: 16})
+	s.Add(&workload.RandomWriter{From: 0, Space: n, Count: n, Depth: 16}, seq)
+}
+
+// measured registers the measured workload threads.
+func measured(s *core.Stack) {
+	n := int64(s.LogicalPages())
+	s.Add(&workload.ReadWriteMix{From: 0, Space: n, Count: 600, ReadFraction: 0.5, Depth: 8})
+	s.Add(&workload.RandomWriter{From: 0, Space: n, Count: 300, Depth: 8})
+}
+
+// TestSnapshotContinuationMatchesDirect is the snapshot layer's core
+// contract: preparing a device, snapshotting it, restoring the snapshot into
+// a fresh stack and running the measured workload there must be bit-identical
+// to preparing and measuring in one continuous stack. Any state the snapshot
+// fails to carry — mapping tables, CMT order, free-list order, reservation
+// tails, RNG streams, engine clock or sequence counter — shows up here as a
+// report divergence.
+func TestSnapshotContinuationMatchesDirect(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"pagemap", pagemapCfg},
+		{"dftl-wl-mbf-buffer", richCfg},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Direct: prepare and measure on one stack.
+			direct, err := core.New(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepare(direct)
+			direct.Run()
+			if !direct.Runner.Done() {
+				t.Fatal("direct preparation did not drain")
+			}
+			direct.MarkMeasurement()
+			measured(direct)
+			direct.Run()
+			want := direct.Report()
+
+			// Snapshot: prepare on one stack, measure on a restored one, with
+			// an encode/decode round trip in between (what the state cache and
+			// -save-state/-load-state actually exercise).
+			prep, err := core.New(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepare(prep)
+			prep.Run()
+			ds, err := prep.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := snapshot.Decode(snapshot.Encode(ds))
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := core.Restore(tc.cfg(), decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, wantNow := restored.Engine.Now(), prep.Engine.Now(); got != wantNow {
+				t.Fatalf("restored clock %v, prepared stack at %v", got, wantNow)
+			}
+			restored.MarkMeasurement()
+			measured(restored)
+			restored.Run()
+			if !restored.Runner.Done() {
+				t.Fatal("restored run did not drain")
+			}
+			got := restored.Report()
+
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("restored report differs from direct continuation:\ndirect:   %+v\nrestored: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestSnapshotRequiresQuiescence: snapshotting a stack with undrained work
+// must fail, not silently drop the pending events or threads.
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	s, err := core.New(pagemapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(&workload.SequentialWriter{From: 0, Count: 32, Depth: 4})
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot of a stack with an unfinished thread succeeded")
+	}
+	s.Run()
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot of a drained stack failed: %v", err)
+	}
+	s.Engine.Schedule(s.Engine.Now().Add(sim.Millisecond), func() {})
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot with a pending event succeeded")
+	}
+}
+
+// TestRestoreRejectsMismatch: restoring into a structurally different
+// configuration must fail loudly.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	s, err := core.New(pagemapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepare(s)
+	s.Run()
+	ds, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	geo := pagemapCfg()
+	geo.Controller.Geometry.Channels = 4
+	if _, err := core.Restore(geo, ds); err == nil {
+		t.Fatal("restore into a different geometry succeeded")
+	}
+
+	dftl := pagemapCfg()
+	dftl.Controller.Mapping = controller.MapDFTL
+	if _, err := core.Restore(dftl, ds); err == nil {
+		t.Fatal("restore of a page-map snapshot into a DFTL stack succeeded")
+	}
+
+	op := pagemapCfg()
+	op.Controller.Overprovision = 0.4
+	if _, err := core.Restore(op, ds); err == nil {
+		t.Fatal("restore into a different logical capacity succeeded")
+	}
+}
+
+// TestRestoreWithStricterGCKicks: a snapshot prepared under a lazy GC target
+// restored under a much greedier one must not deadlock — the restore kick
+// starts collection even though no write completion will arrive to do it.
+func TestRestoreWithStricterGCKicks(t *testing.T) {
+	s, err := core.New(pagemapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepare(s)
+	s.Run()
+	ds, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	greedy := pagemapCfg()
+	greedy.Controller.GCGreediness = 4
+	restored, err := core.Restore(greedy, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.MarkMeasurement()
+	n := int64(restored.LogicalPages())
+	restored.Add(&workload.RandomWriter{From: 0, Space: n, Count: n / 2, Depth: 8})
+	restored.Run()
+	if !restored.Runner.Done() {
+		t.Fatalf("measured writes deadlocked under restored greediness: %d threads stuck", restored.Runner.Active())
+	}
+	rep := restored.Report()
+	if rep.WriteLatency.Count == 0 {
+		t.Fatal("no writes measured")
+	}
+}

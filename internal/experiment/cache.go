@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"eagletree/internal/snapshot"
+)
+
+// StateCache deduplicates device preparation: one entry per distinct
+// (preparation config, spec, seed) key, holding the encoded snapshot of the
+// prepared stack. It is safe for concurrent use and deduplicates concurrent
+// builds of the same key, so the parallel variant runner prepares each
+// distinct state exactly once.
+//
+// With a directory attached the cache persists across processes: repeated
+// sweeps over the same design space skip preparation entirely. Entries that
+// fail to decode (truncated or corrupted files) are rebuilt and overwritten,
+// never trusted.
+type StateCache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// NewStateCache returns a cache, disk-backed under dir when dir is non-empty
+// (created on first save), memory-only otherwise.
+func NewStateCache(dir string) *StateCache {
+	return &StateCache{dir: dir, entries: make(map[string]*cacheEntry)}
+}
+
+// Get returns the encoded snapshot for key, building (and memoizing) it on
+// first use. Concurrent callers of the same key share one build.
+func (c *StateCache) Get(key string, build func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		if data := c.loadDisk(key); data != nil {
+			e.data = data
+			return
+		}
+		e.data, e.err = build()
+		if e.err == nil {
+			c.saveDisk(key, e.data)
+		}
+	})
+	return e.data, e.err
+}
+
+// path maps a key to a stable filename; keys are long canonical
+// configuration strings, so they are hashed rather than sanitized.
+func (c *StateCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".state")
+}
+
+// loadDisk returns the stored bytes for key, or nil when the cache is
+// memory-only, the file is missing, or its content does not decode — a
+// corrupt cache entry silently falls back to rebuilding.
+func (c *StateCache) loadDisk(key string) []byte {
+	if c.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	if _, err := snapshot.Decode(data); err != nil {
+		return nil
+	}
+	return data
+}
+
+// saveDisk persists an entry, best-effort: an unwritable cache directory
+// costs future runs the reuse but never fails the current one.
+func (c *StateCache) saveDisk(key string, data []byte) {
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	_ = snapshot.WriteRawFile(c.path(key), data)
+}

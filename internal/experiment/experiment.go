@@ -18,6 +18,7 @@ import (
 
 	"eagletree/internal/core"
 	"eagletree/internal/sim"
+	"eagletree/internal/snapshot"
 	"eagletree/internal/workload"
 )
 
@@ -30,9 +31,13 @@ type Variant struct {
 	X float64
 	// Mutate applies the variant to the base configuration.
 	Mutate func(*core.Config)
-	// Prepare, when non-nil, overrides the definition's Prepare for this
-	// variant — used when preparation itself is what varies (fresh vs aged
-	// device, experiment E11).
+	// Prep, when non-nil, overrides the definition's Prep for this variant —
+	// used when preparation itself is what varies (fresh vs aged device,
+	// experiment E11). Point it at a zero PrepareSpec to disable preparation.
+	Prep *PrepareSpec
+	// Prepare, when non-nil, overrides the definition's preparation with a
+	// custom hook for this variant. Custom hooks run in the legacy in-stack
+	// barrier flow and are never snapshot-cached.
 	Prepare func(s *core.Stack) []*workload.Handle
 	// Workload, when non-nil, overrides the definition's Workload for this
 	// variant — used when the workload itself carries the varied behavior
@@ -48,8 +53,17 @@ type Definition struct {
 	Base func() core.Config
 	// Variants is the parameter sweep; each produces one result row.
 	Variants []Variant
-	// Prepare, if non-nil, registers device-preparation threads (aging) and
-	// returns their handles; measurement starts only after they finish.
+	// Prep declaratively describes device preparation (sequential fill plus
+	// random aging). Declared preparation runs in the prepare-once-restore-
+	// many flow: the runner prepares each distinct (preparation config, spec,
+	// seed) combination once, snapshots the drained stack, and restores the
+	// state per variant instead of re-aging the device.
+	Prep PrepareSpec
+	// Prepare is the custom-hook alternative to Prep: it registers arbitrary
+	// device-preparation threads (run before the measurement barrier) and
+	// returns their handles. Custom hooks run per variant in the legacy
+	// in-stack flow with no snapshot sharing; prefer Prep. Ignored when Prep
+	// is set.
 	Prepare func(s *core.Stack) []*workload.Handle
 	// Workload registers the measured threads. Each must depend on after
 	// (nil when there is no preparation phase).
@@ -76,31 +90,58 @@ type Results struct {
 	Rows []Row
 }
 
+// Options tunes how an experiment executes; the zero value is the default:
+// GOMAXPROCS workers and a private in-memory snapshot cache, so declared
+// preparation runs once per distinct state within the call.
+type Options struct {
+	// Workers bounds variant parallelism; <= 0 means GOMAXPROCS, 1 is the
+	// plain sequential loop.
+	Workers int
+	// Cache, when non-nil, supplies a shared (possibly disk-backed) snapshot
+	// cache — repeated sweeps then skip preparation entirely.
+	Cache *StateCache
+	// NoPrepareCache disables snapshot reuse: every variant prepares its own
+	// device state from scratch. This is the fresh baseline the determinism
+	// tests and the CI state-cache check compare restored runs against.
+	NoPrepareCache bool
+}
+
 // Run executes the experiment: one independent simulation per variant,
 // fanned out over up to GOMAXPROCS workers. Every variant stack is fully
 // isolated (own engine, own RNG), so the result rows are identical — bit for
 // bit — to a sequential run; only wall-clock time changes.
-func Run(def Definition) (Results, error) { return RunWorkers(def, 0) }
+func Run(def Definition) (Results, error) { return RunOpts(def, Options{}) }
 
-// RunWorkers runs the experiment on at most workers goroutines; workers <= 0
-// means GOMAXPROCS and workers == 1 degenerates to the plain sequential
-// loop. Variant order in the results is always definition order.
+// RunWorkers runs the experiment on at most workers goroutines. Variant
+// order in the results is always definition order.
 func RunWorkers(def Definition, workers int) (Results, error) {
+	return RunOpts(def, Options{Workers: workers})
+}
+
+// RunOpts runs the experiment with explicit execution options.
+func RunOpts(def Definition, opts Options) (Results, error) {
 	res := Results{Name: def.Name}
 	if len(def.Variants) == 0 {
 		return res, fmt.Errorf("experiment %q: no variants", def.Name)
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(def.Variants) {
 		workers = len(def.Variants)
 	}
+	cache := opts.Cache
+	if opts.NoPrepareCache {
+		cache = nil
+	} else if cache == nil {
+		cache = NewStateCache("")
+	}
 	rows := make([]Row, len(def.Variants))
 	errs := make([]error, len(def.Variants))
 	if workers == 1 {
 		for i, v := range def.Variants {
-			rows[i], errs[i] = runVariant(def, v)
+			rows[i], errs[i] = runVariant(def, v, cache)
 			if errs[i] != nil {
 				break // sequential semantics: stop at the first failure
 			}
@@ -117,7 +158,7 @@ func RunWorkers(def Definition, workers int) (Results, error) {
 					if i >= len(def.Variants) {
 						return
 					}
-					rows[i], errs[i] = runVariant(def, def.Variants[i])
+					rows[i], errs[i] = runVariant(def, def.Variants[i], cache)
 				}
 			}()
 		}
@@ -135,7 +176,15 @@ func RunWorkers(def Definition, workers int) (Results, error) {
 }
 
 // runVariant builds and drives one variant's stack to completion.
-func runVariant(def Definition, v Variant) (Row, error) {
+//
+// Variants with declared preparation run in two phases: the preparation
+// workload runs to a full drain on a stack built from the normalized
+// preparation config (shared across variants and cached as an encoded
+// snapshot), then the measured workload runs on a stack restored from that
+// snapshot under the variant's full config. Restoration carries the engine
+// clock, RNG lineage and thread/request id sequences, so a cache hit and a
+// fresh preparation produce bit-identical rows.
+func runVariant(def Definition, v Variant, cache *StateCache) (Row, error) {
 	cfg := def.Base()
 	if def.SeriesBucket > 0 {
 		cfg.SeriesBucket = def.SeriesBucket
@@ -143,19 +192,89 @@ func runVariant(def Definition, v Variant) (Row, error) {
 	if v.Mutate != nil {
 		v.Mutate(&cfg)
 	}
+	spec, custom := def.prepFor(v)
+	if custom != nil {
+		return runVariantLegacy(def, v, cfg, custom)
+	}
+	var stack *core.Stack
+	if spec.None() {
+		st, err := core.New(cfg)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+		}
+		stack = st
+	} else {
+		data, err := preparedState(def, cfg, spec, cache)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+		}
+		// Decode per variant: restoration must never mutate the cached state.
+		ds, err := snapshot.Decode(data)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+		}
+		st, err := core.Restore(cfg, ds)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
+		}
+		st.MarkMeasurement()
+		stack = st
+	}
+	return finishVariant(def, v, stack)
+}
+
+// prepFor resolves the variant's effective preparation: a declarative spec,
+// or a custom hook (legacy flow), never both.
+func (def Definition) prepFor(v Variant) (PrepareSpec, func(*core.Stack) []*workload.Handle) {
+	if v.Prep != nil {
+		return *v.Prep, nil
+	}
+	if v.Prepare != nil {
+		return PrepareSpec{}, v.Prepare
+	}
+	if !def.Prep.None() {
+		return def.Prep, nil
+	}
+	return PrepareSpec{}, def.Prepare
+}
+
+// preparedState returns the encoded snapshot of the prepared device for the
+// variant's configuration, building it (once per distinct key when a cache
+// is present) by running the preparation workload to a full drain.
+func preparedState(def Definition, cfg core.Config, spec PrepareSpec, cache *StateCache) ([]byte, error) {
+	pcfg := prepConfig(cfg, def.Base())
+	build := func() ([]byte, error) {
+		st, err := core.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		spec.register(st)
+		st.Run()
+		if !st.Runner.Done() {
+			return nil, fmt.Errorf("preparation deadlocked with %d threads active", st.Runner.Active())
+		}
+		ds, err := st.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return snapshot.Encode(ds), nil
+	}
+	if cache == nil {
+		return build()
+	}
+	return cache.Get(prepKey(pcfg, spec), build)
+}
+
+// runVariantLegacy drives a custom-Prepare variant the pre-snapshot way:
+// preparation and measurement share one stack, separated by a measurement
+// barrier thread.
+func runVariantLegacy(def Definition, v Variant, cfg core.Config, prepare func(*core.Stack) []*workload.Handle) (Row, error) {
 	stack, err := core.New(cfg)
 	if err != nil {
 		return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
 	}
-	prepare := def.Prepare
-	if v.Prepare != nil {
-		prepare = v.Prepare
-	}
-	var barrier *workload.Handle
-	if prepare != nil {
-		prep := prepare(stack)
-		barrier = stack.AddBarrier(prep...)
-	}
+	prep := prepare(stack)
+	barrier := stack.AddBarrier(prep...)
 	wload := def.Workload
 	if v.Workload != nil {
 		wload = v.Workload
@@ -166,6 +285,26 @@ func runVariant(def Definition, v Variant) (Row, error) {
 		return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
 			def.Name, v.Label, stack.Runner.Active())
 	}
+	return rowFrom(v, stack)
+}
+
+// finishVariant registers the measured workload on a ready stack (fresh or
+// restored) and drives it to completion.
+func finishVariant(def Definition, v Variant, stack *core.Stack) (Row, error) {
+	wload := def.Workload
+	if v.Workload != nil {
+		wload = v.Workload
+	}
+	wload(stack, nil)
+	stack.Run()
+	if !stack.Runner.Done() {
+		return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
+			def.Name, v.Label, stack.Runner.Active())
+	}
+	return rowFrom(v, stack)
+}
+
+func rowFrom(v Variant, stack *core.Stack) (Row, error) {
 	row := Row{Label: v.Label, X: v.X, Report: stack.Report()}
 	if ts := stack.Stats.Series(); ts != nil {
 		row.Timeline = ts.Sparkline()

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"eagletree/internal/core"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/workload"
+)
+
+// PrepareSpec declares device preparation — the uFLIP-style sequential fill
+// and random aging nearly every experiment pays before measuring. Declaring
+// it (instead of hiding it in a closure) is what lets the runner key a
+// snapshot cache on it: every variant sharing a preparation-relevant
+// configuration restores the same prepared state instead of re-aging the
+// device, which at full scale dominates sweep wall clock.
+type PrepareSpec struct {
+	// FillDepth is the IO depth of the sequential fill pass over the whole
+	// logical space. Zero disables preparation entirely.
+	FillDepth int
+	// AgePasses is how many random-overwrite passes over the logical space
+	// follow the fill (0 = fill only).
+	AgePasses int64
+	// AgeDepth is the IO depth of the aging passes; zero means FillDepth.
+	AgeDepth int
+}
+
+// None reports whether the spec declares no preparation at all.
+func (p PrepareSpec) None() bool { return p.FillDepth <= 0 }
+
+// key identifies the spec in snapshot-cache keys.
+func (p PrepareSpec) key() string {
+	if p.None() {
+		return "none"
+	}
+	return fmt.Sprintf("fill(d=%d)+age(passes=%d,d=%d)", p.FillDepth, p.AgePasses, p.ageDepth())
+}
+
+func (p PrepareSpec) ageDepth() int {
+	if p.AgeDepth > 0 {
+		return p.AgeDepth
+	}
+	return p.FillDepth
+}
+
+// register adds the preparation threads to a stack.
+func (p PrepareSpec) register(s *core.Stack) {
+	n := int64(s.LogicalPages())
+	seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: p.FillDepth})
+	if p.AgePasses > 0 {
+		s.Add(&workload.RandomWriter{From: 0, Space: n, Count: p.AgePasses * n, Depth: p.ageDepth()}, seq)
+	}
+}
+
+// prepConfig derives the configuration preparation runs under from the
+// variant's full configuration: every structural and data-path knob is kept
+// (geometry, timings, mapping scheme, overprovisioning, GC victim policy,
+// wear leveling, detector, write buffer, bad blocks — they shape the aged
+// state), while measurement-only knobs are pinned to the definition's base so
+// variants sweeping them share one prepared state. Scheduling policy, write
+// allocator, GC greediness, open-interface mode and the OS layer are
+// measurement knobs: preparing under the base values and restoring under the
+// variant's is exactly the "identical starting state, one variable changed"
+// methodology §2.3 asks for.
+func prepConfig(cfg, base core.Config) core.Config {
+	p := cfg
+	p.Controller.Policy = base.Controller.Policy
+	p.Controller.Alloc = base.Controller.Alloc
+	p.Controller.GCGreediness = base.Controller.GCGreediness
+	p.Controller.OpenInterface = base.Controller.OpenInterface
+	p.OS = base.OS
+	p.OS.Trace = nil
+	p.OS.Capture = nil
+	p.LockBus = base.LockBus
+	p.SeriesBucket = 0
+	p.TraceCap = 0
+	return p
+}
+
+// prepKey builds the snapshot-cache key for one (preparation config, spec,
+// seed) combination. The configuration is rendered by a canonical reflective
+// printer: deterministic across processes (no pointer addresses), covering
+// every exported field so two configurations that could age differently never
+// collide.
+func prepKey(pcfg core.Config, spec PrepareSpec) string {
+	var b strings.Builder
+	b.WriteString("prep1|")
+	b.WriteString(spec.key())
+	fmt.Fprintf(&b, "|seed=%d|", pcfg.Seed)
+	writeCanon(&b, reflect.ValueOf(pcfg))
+	return b.String()
+}
+
+// writeCanon renders a value deterministically: exported fields only, nested
+// pointers and interfaces followed by dynamic type (never printed as
+// addresses), functions collapsed to a marker. Components whose behavior is
+// configured through unexported state are special-cased.
+func writeCanon(b *strings.Builder, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Invalid:
+		b.WriteString("nil")
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		if m, ok := v.Interface().(*hotcold.MBF); ok {
+			fmt.Fprintf(b, "mbf%+v", m.Config())
+			return
+		}
+		if v.Kind() == reflect.Interface {
+			b.WriteString(v.Elem().Type().String())
+			b.WriteString(":")
+		}
+		writeCanon(b, v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteString(t.String())
+		b.WriteString("{")
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteString(":")
+			writeCanon(b, v.Field(i))
+			b.WriteString(",")
+		}
+		b.WriteString("}")
+	case reflect.Slice, reflect.Array:
+		b.WriteString("[")
+		for i := 0; i < v.Len(); i++ {
+			writeCanon(b, v.Index(i))
+			b.WriteString(",")
+		}
+		b.WriteString("]")
+	case reflect.Map:
+		keys := make([]string, 0, v.Len())
+		elems := make(map[string]reflect.Value, v.Len())
+		for _, k := range v.MapKeys() {
+			ks := fmt.Sprintf("%v", k)
+			keys = append(keys, ks)
+			elems[ks] = v.MapIndex(k)
+		}
+		sort.Strings(keys)
+		b.WriteString("map{")
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteString(":")
+			writeCanon(b, elems[k])
+			b.WriteString(",")
+		}
+		b.WriteString("}")
+	case reflect.Func, reflect.Chan, reflect.UnsafePointer:
+		b.WriteString("fn")
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
+}

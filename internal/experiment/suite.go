@@ -57,26 +57,22 @@ func baseConfig(s Scale) core.Config {
 	}
 }
 
-// fillSequential returns a Prepare hook writing the logical space once.
-func fillSequential(depth int) func(*core.Stack) []*workload.Handle {
-	return func(s *core.Stack) []*workload.Handle {
-		n := int64(s.LogicalPages())
-		return []*workload.Handle{
-			s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: depth}),
-		}
-	}
-}
-
-// fillAndAge returns a Prepare hook writing the space sequentially and then
-// overwriting it randomly (uFLIP-style aging into steady state).
-func fillAndAge(depth int, agePasses int64) func(*core.Stack) []*workload.Handle {
-	return func(s *core.Stack) []*workload.Handle {
-		n := int64(s.LogicalPages())
-		seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: depth})
-		age := s.Add(&workload.RandomWriter{From: 0, Space: n, Count: agePasses * n, Depth: depth}, seq)
-		return []*workload.Handle{age}
-	}
-}
+// Preparation specs shared by the suite. Declaring them (rather than
+// open-coding fill/age threads per definition) lets the runner key the
+// snapshot cache on the spec, so every variant — and every experiment —
+// sharing a preparation-relevant configuration restores one prepared state.
+var (
+	// prepFill writes the logical space once, sequentially.
+	prepFill = PrepareSpec{FillDepth: 32}
+	// prepFillAge additionally overwrites the space randomly once
+	// (uFLIP-style aging into steady state).
+	prepFillAge = PrepareSpec{FillDepth: 32, AgePasses: 1}
+	// prepFillAge2 ages harder: two random overwrite passes (E11's aged
+	// device).
+	prepFillAge2 = PrepareSpec{FillDepth: 32, AgePasses: 2}
+	// prepNone disables preparation where a variant needs a fresh device.
+	prepNone = PrepareSpec{}
+)
 
 // E1Parallelism sweeps the array shape — channels and LUNs per channel —
 // under a parallel random-write load (Figure 1's hardware design space).
@@ -132,7 +128,7 @@ func E2SchedPolicy(s Scale) Definition {
 				}
 			}),
 		},
-		Prepare: fillAndAge(32, 1),
+		Prep: prepFillAge,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			count := 1500 * s.factor()
@@ -160,7 +156,7 @@ func E3GCGreediness(s Scale) Definition {
 		Variants: []Variant{
 			level(1), level(2), level(4), level(8),
 		},
-		Prepare: fillAndAge(32, 1),
+		Prep: prepFillAge,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 32}, after)
@@ -190,7 +186,7 @@ func E4WearLeveling(s Scale) Definition {
 			mode("wl=dynamic", false, true),
 			mode("wl=static+dynamic", true, true),
 		},
-		Prepare: fillSequential(32),
+		Prep: prepFill,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			st.Add(&workload.ZipfWriter{From: 0, Space: n, Count: 4 * n * s.factor() / 2, Exponent: 1.2, Depth: 32}, after)
@@ -221,7 +217,7 @@ func E5Mapping(s Scale) Definition {
 			{Label: "pagemap", X: 0},
 			dftl(128), dftl(512), dftl(2048), dftl(8192),
 		},
-		Prepare: fillSequential(32),
+		Prep: prepFill,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			count := 1500 * s.factor()
@@ -247,7 +243,7 @@ func E6PriorityTag(s Scale) Definition {
 			{Label: "block-device", Mutate: func(c *core.Config) { c.Controller.OpenInterface = false }},
 			{Label: "open-interface", Mutate: func(c *core.Config) { c.Controller.OpenInterface = true }},
 		},
-		Prepare: fillAndAge(32, 1),
+		Prep: prepFillAge,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			count := 800 * s.factor()
@@ -327,7 +323,7 @@ func E8Temperature(s Scale) Definition {
 			}},
 			{Label: "oracle-tags", Workload: zipf(true)},
 		},
-		Prepare:  fillSequential(32),
+		Prep:     prepFill,
 		Workload: zipf(false),
 	}
 }
@@ -350,7 +346,7 @@ func E9QueueDepth(s Scale) Definition {
 		Variants: []Variant{
 			depth(1), depth(2), depth(4), depth(8), depth(16), depth(32), depth(64),
 		},
-		Prepare: fillSequential(32),
+		Prep: prepFill,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			count := 2000 * s.factor()
@@ -383,7 +379,7 @@ func E10AdvancedCmds(s Scale) Definition {
 			feat("interleaving", false, true),
 			feat("copyback+interleaving", true, true),
 		},
-		Prepare: fillAndAge(32, 1),
+		Prep: prepFillAge,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 32}, after)
@@ -402,13 +398,11 @@ func E11Aging(s Scale) Definition {
 		Variants: []Variant{
 			{
 				Label: "fresh",
-				// Fresh still needs a barrier so both variants measure the
-				// same window; prepare nothing.
-				Prepare: func(st *core.Stack) []*workload.Handle { return nil },
+				Prep:  &prepNone,
 			},
 			{
-				Label:   "aged",
-				Prepare: fillAndAge(32, 2),
+				Label: "aged",
+				Prep:  &prepFillAge2,
 			},
 		},
 		Workload: func(st *core.Stack, after *workload.Handle) {
@@ -481,7 +475,7 @@ func E12Game(s Scale) Definition {
 		Name:     "E12-game",
 		Base:     func() core.Config { return baseConfig(s) },
 		Variants: combos,
-		Prepare:  fillAndAge(32, 1),
+		Prep:     prepFillAge,
 		Workload: func(st *core.Stack, after *workload.Handle) {
 			n := int64(st.LogicalPages())
 			count := 1000 * s.factor()
@@ -562,7 +556,7 @@ func E13TraceReplay(s Scale) Definition {
 			{Label: "open,0.5x", Workload: replay(workload.ReplayOpenLoop, 0.5)},
 			{Label: "dependent", Workload: replay(workload.ReplayDependent, 1)},
 		},
-		Prepare:  fillAndAge(32, 1),
+		Prep:     prepFillAge,
 		Workload: replay(workload.ReplayClosedLoop, 1),
 	}
 }

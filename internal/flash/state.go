@@ -52,6 +52,95 @@ func (b BlockMeta) Full(pagesPerBlock int) bool { return b.WritePtr >= pagesPerB
 // InvalidPages returns the count of stale pages given the geometry.
 func (b BlockMeta) InvalidPages() int { return b.WritePtr - b.ValidPages }
 
+// Interval is one booked busy span of a channel or LUN, exported for
+// device-state snapshots. Reservations are half-open: [Start, End).
+type Interval struct {
+	Start, End sim.Time
+}
+
+// ResourceState is the reservation list of one channel or LUN.
+type ResourceState struct {
+	Intervals []Interval
+}
+
+// ArrayState is the complete serializable state of a flash array: every
+// page's lifecycle state, every block's metadata, operation counters, free
+// counts and the channel/LUN reservation lists. Together with the geometry,
+// timing and feature configuration (which live in the owning Config, not
+// here) it fully determines all future array behavior.
+type ArrayState struct {
+	Pages      []PageState
+	Blocks     []BlockMeta
+	FreePerLUN []int
+	Counters   Counters
+	Channels   []ResourceState
+	LUNs       []ResourceState
+}
+
+// State deep-copies the array's mutable state for a snapshot.
+func (a *Array) State() ArrayState {
+	st := ArrayState{
+		Pages:      append([]PageState(nil), a.pages...),
+		Blocks:     append([]BlockMeta(nil), a.blocks...),
+		FreePerLUN: append([]int(nil), a.freePerLUN...),
+		Counters:   a.counters,
+		Channels:   make([]ResourceState, len(a.channels)),
+		LUNs:       make([]ResourceState, len(a.luns)),
+	}
+	for i := range a.channels {
+		st.Channels[i] = ResourceState{Intervals: copyIntervals(a.channels[i].intervals)}
+	}
+	for i := range a.luns {
+		st.LUNs[i] = ResourceState{Intervals: copyIntervals(a.luns[i].intervals)}
+	}
+	return st
+}
+
+func copyIntervals(ivs []interval) []Interval {
+	out := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = Interval{Start: iv.start, End: iv.end}
+	}
+	return out
+}
+
+// RestoreState overwrites the array's mutable state with a snapshot. The
+// snapshot must match the array's geometry; a shape mismatch is an error and
+// leaves the array unchanged.
+func (a *Array) RestoreState(st ArrayState) error {
+	switch {
+	case len(st.Pages) != len(a.pages):
+		return fmt.Errorf("flash: snapshot has %d pages, array has %d", len(st.Pages), len(a.pages))
+	case len(st.Blocks) != len(a.blocks):
+		return fmt.Errorf("flash: snapshot has %d blocks, array has %d", len(st.Blocks), len(a.blocks))
+	case len(st.FreePerLUN) != len(a.freePerLUN):
+		return fmt.Errorf("flash: snapshot has %d LUN free counts, array has %d", len(st.FreePerLUN), len(a.freePerLUN))
+	case len(st.Channels) != len(a.channels):
+		return fmt.Errorf("flash: snapshot has %d channels, array has %d", len(st.Channels), len(a.channels))
+	case len(st.LUNs) != len(a.luns):
+		return fmt.Errorf("flash: snapshot has %d LUNs, array has %d", len(st.LUNs), len(a.luns))
+	}
+	copy(a.pages, st.Pages)
+	copy(a.blocks, st.Blocks)
+	copy(a.freePerLUN, st.FreePerLUN)
+	a.counters = st.Counters
+	for i := range a.channels {
+		a.channels[i].intervals = restoreIntervals(st.Channels[i].Intervals)
+	}
+	for i := range a.luns {
+		a.luns[i].intervals = restoreIntervals(st.LUNs[i].Intervals)
+	}
+	return nil
+}
+
+func restoreIntervals(ivs []Interval) []interval {
+	out := make([]interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = interval{start: iv.Start, end: iv.End}
+	}
+	return out
+}
+
 // Errors returned by Array state transitions. All are programming errors in
 // the FTL or GC layer, not recoverable runtime conditions, but they are
 // returned (not panicked) so tests can assert on them.

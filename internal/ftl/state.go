@@ -1,0 +1,216 @@
+package ftl
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"eagletree/internal/flash"
+	"eagletree/internal/iface"
+)
+
+// This file implements device-state snapshots for the FTL layer: the full
+// mapping tables (page map, or DFTL with CMT contents, GTD and translation
+// ring) and the block manager's allocation state (free pools and open write
+// frontiers). Snapshots are taken at quiescent points — no translation chain
+// in flight — so no transient per-request state appears here.
+
+// PageMapState is the serializable state of a RAM page map.
+type PageMapState struct {
+	Forward []int32
+	Reverse []int64
+	Mapped  int
+}
+
+// State deep-copies the page map for a snapshot.
+func (pm *PageMap) State() PageMapState {
+	return PageMapState{
+		Forward: append([]int32(nil), pm.forward...),
+		Reverse: append([]int64(nil), pm.reverse...),
+		Mapped:  pm.mapped,
+	}
+}
+
+// RestoreState overwrites the page map with a snapshot. The snapshot's
+// logical and physical sizes must match the map's.
+func (pm *PageMap) RestoreState(st PageMapState) error {
+	if len(st.Forward) != len(pm.forward) {
+		return fmt.Errorf("ftl: snapshot page map has %d LPNs, map has %d", len(st.Forward), len(pm.forward))
+	}
+	if len(st.Reverse) != len(pm.reverse) {
+		return fmt.Errorf("ftl: snapshot page map has %d physical pages, map has %d", len(st.Reverse), len(pm.reverse))
+	}
+	copy(pm.forward, st.Forward)
+	copy(pm.reverse, st.Reverse)
+	pm.mapped = st.Mapped
+	return nil
+}
+
+// CMTEntryState is one cached mapping entry, in LRU order.
+type CMTEntryState struct {
+	LPN   iface.LPN
+	Dirty bool
+}
+
+// GTDEntryState binds one translation virtual page to its flash location.
+type GTDEntryState struct {
+	TVPN int
+	PPA  flash.PPA
+}
+
+// RingBlockState is one translation-log block's state.
+type RingBlockState struct {
+	ID       flash.BlockID
+	WritePtr int
+	Live     int
+	TVPNs    []int32
+}
+
+// DFTLState is the serializable state of a DFTL mapper: the authoritative
+// map, the CMT contents in exact LRU order (front first), the global
+// translation directory, and the translation ring.
+type DFTLState struct {
+	Truth PageMapState
+	CMT   []CMTEntryState
+	GTD   []GTDEntryState
+	Ring  []RingBlockState
+	Cur   int
+	Stats DFTLStats
+}
+
+// State deep-copies the DFTL for a snapshot. CMT entries are recorded from
+// most to least recently used; GTD entries are sorted by TVPN so snapshots of
+// identical state are byte-identical.
+func (d *DFTL) State() DFTLState {
+	st := DFTLState{
+		Truth: d.truth.State(),
+		Cur:   d.cur,
+		Stats: d.stats,
+	}
+	for el := d.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cmtEntry)
+		st.CMT = append(st.CMT, CMTEntryState{LPN: e.lpn, Dirty: e.dirty})
+	}
+	st.GTD = make([]GTDEntryState, 0, len(d.gtd))
+	for tvpn, ppa := range d.gtd {
+		st.GTD = append(st.GTD, GTDEntryState{TVPN: tvpn, PPA: ppa})
+	}
+	sort.Slice(st.GTD, func(i, j int) bool { return st.GTD[i].TVPN < st.GTD[j].TVPN })
+	st.Ring = make([]RingBlockState, len(d.ring))
+	for i := range d.ring {
+		rb := &d.ring[i]
+		st.Ring[i] = RingBlockState{
+			ID:       rb.id,
+			WritePtr: rb.writePtr,
+			Live:     rb.live,
+			TVPNs:    append([]int32(nil), rb.tvpns...),
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the DFTL with a snapshot. The snapshot must fit
+// the mapper's shape: same truth-map sizes, same ring layout, and a CMT no
+// larger than the configured capacity.
+func (d *DFTL) RestoreState(st DFTLState) error {
+	if err := d.truth.RestoreState(st.Truth); err != nil {
+		return err
+	}
+	if len(st.CMT) > d.capacity {
+		return fmt.Errorf("ftl: snapshot CMT holds %d entries, capacity is %d", len(st.CMT), d.capacity)
+	}
+	if len(st.Ring) != len(d.ring) {
+		return fmt.Errorf("ftl: snapshot has %d translation blocks, ring has %d", len(st.Ring), len(d.ring))
+	}
+	if st.Cur < 0 || st.Cur >= len(d.ring) {
+		return fmt.Errorf("ftl: snapshot ring frontier %d out of range", st.Cur)
+	}
+	d.lru.Init()
+	d.cmt = make(map[iface.LPN]*list.Element, len(st.CMT))
+	for i := len(st.CMT) - 1; i >= 0; i-- {
+		e := st.CMT[i]
+		d.cmt[e.LPN] = d.lru.PushFront(&cmtEntry{lpn: e.LPN, dirty: e.Dirty})
+	}
+	d.gtd = make(map[int]flash.PPA, len(st.GTD))
+	for _, e := range st.GTD {
+		d.gtd[e.TVPN] = e.PPA
+	}
+	for i := range d.ring {
+		rb := &d.ring[i]
+		src := st.Ring[i]
+		if src.ID != rb.id {
+			return fmt.Errorf("ftl: snapshot ring block %d is %v, ring has %v", i, src.ID, rb.id)
+		}
+		if len(src.TVPNs) != len(rb.tvpns) {
+			return fmt.Errorf("ftl: snapshot ring block %v has %d pages, ring has %d", src.ID, len(src.TVPNs), len(rb.tvpns))
+		}
+		rb.writePtr = src.WritePtr
+		rb.live = src.Live
+		copy(rb.tvpns, src.TVPNs)
+	}
+	d.cur = st.Cur
+	d.stats = st.Stats
+	return nil
+}
+
+// OpenBlockState is one open write frontier: the stream it serves, the block
+// it fills and the next page to program.
+type OpenBlockState struct {
+	Stream uint8
+	Block  int
+	Next   int
+}
+
+// LUNAllocState is one LUN's allocation state: the free pool in exact order
+// (age-aware allocation pops from either end, so order is behavior) and the
+// open frontiers.
+type LUNAllocState struct {
+	Free []int
+	Open []OpenBlockState
+}
+
+// BlockManagerState is the serializable allocation state of the data region.
+type BlockManagerState struct {
+	LUNs []LUNAllocState
+}
+
+// State deep-copies the block manager's allocation state for a snapshot.
+func (bm *BlockManager) State() BlockManagerState {
+	st := BlockManagerState{LUNs: make([]LUNAllocState, len(bm.luns))}
+	for lun := range bm.luns {
+		ls := &bm.luns[lun]
+		out := LUNAllocState{Free: append([]int(nil), ls.free...)}
+		for s, ob := range ls.open {
+			if ob != nil {
+				out.Open = append(out.Open, OpenBlockState{Stream: uint8(s), Block: ob.block, Next: ob.next})
+			}
+		}
+		st.LUNs[lun] = out
+	}
+	return st
+}
+
+// RestoreState overwrites the block manager's allocation state.
+func (bm *BlockManager) RestoreState(st BlockManagerState) error {
+	if len(st.LUNs) != len(bm.luns) {
+		return fmt.Errorf("ftl: snapshot has %d LUN alloc states, manager has %d", len(st.LUNs), len(bm.luns))
+	}
+	for lun := range bm.luns {
+		ls := &bm.luns[lun]
+		src := st.LUNs[lun]
+		ls.free = append(ls.free[:0], src.Free...)
+		ls.open = [NumStreams]*openBlock{}
+		ls.openCount = 0
+		for _, ob := range src.Open {
+			if int(ob.Stream) >= NumStreams {
+				return fmt.Errorf("ftl: snapshot open block on unknown stream %d", ob.Stream)
+			}
+			if ls.open[ob.Stream] != nil {
+				return fmt.Errorf("ftl: snapshot has two open blocks on lun %d stream %d", lun, ob.Stream)
+			}
+			ls.open[ob.Stream] = &openBlock{block: ob.Block, next: ob.Next}
+			ls.openCount++
+		}
+	}
+	return nil
+}

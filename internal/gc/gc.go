@@ -166,6 +166,27 @@ func (c *Collector) ShouldCollect(lun int) bool {
 	return c.bm.FreeCount(lun) <= c.greediness
 }
 
+// CollectorState is the collector's serializable state for device snapshots:
+// per-LUN trigger counts. Policy and greediness are configuration, rebuilt at
+// restore time from the owning Config.
+type CollectorState struct {
+	Triggered []uint64
+}
+
+// State copies the collector's counters for a snapshot.
+func (c *Collector) State() CollectorState {
+	return CollectorState{Triggered: append([]uint64(nil), c.triggered...)}
+}
+
+// RestoreState overwrites the collector's counters with a snapshot.
+func (c *Collector) RestoreState(st CollectorState) error {
+	if len(st.Triggered) != len(c.triggered) {
+		return fmt.Errorf("gc: snapshot has %d LUN trigger counts, collector has %d", len(st.Triggered), len(c.triggered))
+	}
+	copy(c.triggered, st.Triggered)
+	return nil
+}
+
 // SelectVictim picks the block to reclaim on a LUN, or false if no candidate
 // is worth collecting. A successful selection is counted as a triggered
 // collection.

@@ -12,6 +12,8 @@
 package hotcold
 
 import (
+	"fmt"
+
 	"eagletree/internal/iface"
 )
 
@@ -97,6 +99,7 @@ func (b *bloom) reset() {
 // and becomes current. A page's hotness is the number of filters containing
 // it — recency-weighted frequency with bounded memory and automatic decay.
 type MBF struct {
+	cfg       MBFConfig // effective configuration after default fill-in
 	filters   []*bloom
 	cur       int
 	window    int // writes per filter rotation
@@ -140,6 +143,7 @@ func NewMBF(cfg MBFConfig) *MBF {
 		cfg.HotFraction = def.HotFraction
 	}
 	m := &MBF{
+		cfg:       cfg,
 		filters:   make([]*bloom, cfg.Filters),
 		window:    cfg.DecayWindow,
 		threshold: int(float64(cfg.Filters)*cfg.HotFraction + 0.5),
@@ -155,6 +159,51 @@ func NewMBF(cfg MBFConfig) *MBF {
 
 // Name implements Detector.
 func (m *MBF) Name() string { return "mbf" }
+
+// Config returns the effective configuration (defaults filled in).
+func (m *MBF) Config() MBFConfig { return m.cfg }
+
+// MBFState is the detector's serializable state for device snapshots: the
+// raw filter bit vectors plus rotation bookkeeping. The shape (filter count
+// and size) is configuration and must match at restore.
+type MBFState struct {
+	Filters   [][]uint64
+	Cur       int
+	SinceTurn int
+	Writes    uint64
+}
+
+// State deep-copies the detector's state for a snapshot.
+func (m *MBF) State() MBFState {
+	st := MBFState{Cur: m.cur, SinceTurn: m.sinceTurn, Writes: m.writes}
+	st.Filters = make([][]uint64, len(m.filters))
+	for i, f := range m.filters {
+		st.Filters[i] = append([]uint64(nil), f.bits...)
+	}
+	return st
+}
+
+// RestoreState overwrites the detector's state with a snapshot.
+func (m *MBF) RestoreState(st MBFState) error {
+	if len(st.Filters) != len(m.filters) {
+		return fmt.Errorf("hotcold: snapshot has %d filters, detector has %d", len(st.Filters), len(m.filters))
+	}
+	for i, bits := range st.Filters {
+		if len(bits) != len(m.filters[i].bits) {
+			return fmt.Errorf("hotcold: snapshot filter %d has %d words, detector has %d", i, len(bits), len(m.filters[i].bits))
+		}
+	}
+	for i, bits := range st.Filters {
+		copy(m.filters[i].bits, bits)
+	}
+	if st.Cur < 0 || st.Cur >= len(m.filters) {
+		return fmt.Errorf("hotcold: snapshot current filter %d out of range", st.Cur)
+	}
+	m.cur = st.Cur
+	m.sinceTurn = st.SinceTurn
+	m.writes = st.Writes
+	return nil
+}
 
 // Writes returns how many writes the detector has observed.
 func (m *MBF) Writes() uint64 { return m.writes }

@@ -116,6 +116,11 @@ func (o *OS) QueueDepth() int { return o.cfg.QueueDepth }
 // Stats returns OS-level counters.
 func (o *OS) Stats() Stats { return o.stats }
 
+// RestoreStats overwrites the OS-level counters, continuing a snapshotted
+// run's accounting (high-water marks included). Queues must be empty — the
+// snapshot layer only restores quiescent stacks.
+func (o *OS) RestoreStats(s Stats) { o.stats = s }
+
 // Pending returns the number of requests waiting in the OS pool.
 func (o *OS) Pending() int { return o.cfg.Policy.Len() }
 

@@ -37,6 +37,12 @@ type RoundRobin struct {
 // Name implements Allocator.
 func (*RoundRobin) Name() string { return "roundrobin" }
 
+// Pos returns the rotation position, for device-state snapshots.
+func (rr *RoundRobin) Pos() int { return rr.next }
+
+// SetPos restores the rotation position from a snapshot.
+func (rr *RoundRobin) SetPos(n int) { rr.next = n }
+
 // PickLUN implements Allocator.
 func (rr *RoundRobin) PickLUN(_ *iface.Request, views []LUNView) (int, bool) {
 	n := len(views)

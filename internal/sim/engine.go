@@ -77,6 +77,34 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Cancelled events awaiting removal from the queue are excluded.
 func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 
+// Seq returns the next event sequence number. Sequence numbers break ties
+// between events scheduled for the same instant (FIFO), so device-state
+// snapshots record it: a restored engine must order same-time events exactly
+// as the original would have.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// Restore rewinds the engine to a snapshotted clock: virtual time now, event
+// sequence counter seq, and fired counter. It requires the engine to be
+// quiescent — no live events pending (cancelled events still awaiting reap
+// are discarded). Restoring a busy engine would silently drop scheduled work,
+// so that is an error.
+func (e *Engine) Restore(now Time, seq, fired uint64) error {
+	if e.Pending() != 0 {
+		return fmt.Errorf("sim: restoring engine with %d live events pending", e.Pending())
+	}
+	for _, ev := range e.queue {
+		ev.queued = false
+		e.recycle(ev)
+	}
+	e.queue = e.queue[:0]
+	e.dead = 0
+	e.now = now
+	e.seq = seq
+	e.fired = fired
+	e.stopped = false
+	return nil
+}
+
 // QueueLen returns the raw queue length, including cancelled events that
 // have not been reaped yet. Pending is usually what callers want.
 func (e *Engine) QueueLen() int { return len(e.queue) }

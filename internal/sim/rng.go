@@ -83,3 +83,11 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
+
+// State returns the generator's internal state vector, for device-state
+// snapshots. Restoring it with SetState reproduces the exact draw sequence.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a vector obtained
+// from State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }

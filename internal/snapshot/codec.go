@@ -1,0 +1,633 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"eagletree/internal/controller"
+	"eagletree/internal/flash"
+	"eagletree/internal/ftl"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// The binary layout is: 7 magic bytes, 1 version byte, a varint-encoded
+// payload, and a little-endian CRC32 (IEEE) of the payload. The CRC is
+// verified before any field is parsed, so corruption anywhere in the payload
+// is reported as ErrCorrupt rather than as a misleading field error.
+
+const (
+	magic   = "EGTSNAP"
+	version = 1
+)
+
+// Errors reported by Decode. Wrapped with detail; match with errors.Is.
+var (
+	// ErrNotSnapshot marks input that does not start with the format magic.
+	ErrNotSnapshot = errors.New("snapshot: not a snapshot file")
+	// ErrVersion marks a snapshot written by an unknown format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrTruncated marks input shorter than its own structure promises.
+	ErrTruncated = errors.New("snapshot: truncated input")
+	// ErrCorrupt marks a payload whose checksum does not match.
+	ErrCorrupt = errors.New("snapshot: corrupt payload")
+)
+
+// Encode serializes the state to the versioned binary format.
+func Encode(ds *DeviceState) []byte {
+	e := &enc{b: make([]byte, 0, 1<<16)}
+	e.b = append(e.b, magic...)
+	e.b = append(e.b, version)
+	start := len(e.b)
+
+	e.meta(ds.Meta)
+	e.time(ds.Engine.Now)
+	e.u64(ds.Engine.Seq)
+	e.u64(ds.Engine.Fired)
+	e.osStats(ds)
+	e.runner(ds)
+	e.controller(&ds.Controller)
+
+	sum := crc32.ChecksumIEEE(e.b[start:])
+	e.b = binary.LittleEndian.AppendUint32(e.b, sum)
+	return e.b
+}
+
+// Decode parses a snapshot produced by Encode, verifying magic, version and
+// checksum before touching any field.
+func Decode(data []byte) (*DeviceState, error) {
+	if len(data) < len(magic)+1 || string(data[:len(magic)]) != magic {
+		return nil, ErrNotSnapshot
+	}
+	if v := data[len(magic)]; v != version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, v, version)
+	}
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("%w: no room for checksum", ErrTruncated)
+	}
+	payload := data[len(magic)+1 : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+
+	d := &dec{b: payload}
+	ds := &DeviceState{}
+	d.metaInto(&ds.Meta)
+	ds.Engine.Now = d.time()
+	ds.Engine.Seq = d.u64()
+	ds.Engine.Fired = d.u64()
+	d.osStatsInto(ds)
+	d.runnerInto(ds)
+	d.controllerInto(&ds.Controller)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return ds, nil
+}
+
+// --- encoder ---
+
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64)    { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)     { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) int(v int)       { e.i64(int64(v)) }
+func (e *enc) time(t sim.Time) { e.i64(int64(t)) }
+func (e *enc) f64(v float64)   { e.fix64(math.Float64bits(v)) }
+func (e *enc) fix64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) str(s string)    { e.u64(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) raw(p []byte)    { e.u64(uint64(len(p))); e.b = append(e.b, p...) }
+func (e *enc) rng(s [4]uint64) { e.fix64(s[0]); e.fix64(s[1]); e.fix64(s[2]); e.fix64(s[3]) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+func (e *enc) meta(m Meta) {
+	g := m.Geometry
+	e.int(g.Channels)
+	e.int(g.LUNsPerChannel)
+	e.int(g.BlocksPerLUN)
+	e.int(g.PagesPerBlock)
+	e.int(g.PageSize)
+	e.str(m.Mapping)
+	e.int(m.LogicalPages)
+	e.u64(m.Seed)
+}
+
+func (e *enc) osStats(ds *DeviceState) {
+	e.u64(ds.OS.Submitted)
+	e.u64(ds.OS.Issued)
+	e.u64(ds.OS.Completed)
+	e.int(ds.OS.MaxPending)
+	e.int(ds.OS.MaxInFlight)
+}
+
+func (e *enc) runner(ds *DeviceState) {
+	e.rng(ds.Runner.RNG)
+	e.u64(ds.Runner.NextReqID)
+	e.int(ds.Runner.NextThreadID)
+}
+
+func (e *enc) controller(st *controller.State) {
+	c := st.Counters
+	for _, v := range []uint64{c.AppReads, c.AppWrites, c.AppTrims, c.UnmappedReads,
+		c.GCMigratedPages, c.GCErases, c.WLMigratedPages, c.BufferedWrites, c.BufferStalls} {
+		e.u64(v)
+	}
+	e.u64(st.NextID)
+	e.u64(st.Completions)
+	e.u64(st.OpsSinceScan)
+	e.array(&st.Array)
+	e.blockManager(&st.BlockManager)
+	switch {
+	case st.DFTL != nil:
+		e.b = append(e.b, 1)
+		e.dftl(st.DFTL)
+	case st.PageMap != nil:
+		e.b = append(e.b, 0)
+		e.pageMap(st.PageMap)
+	default:
+		panic("snapshot: controller state carries no mapper")
+	}
+	e.u64(uint64(len(st.GC.Triggered)))
+	for _, v := range st.GC.Triggered {
+		e.u64(v)
+	}
+	e.u64(st.WL.Scans)
+	e.u64(st.WL.Migrated)
+	e.u64(st.WL.TotalErases)
+	e.f64(st.WL.ObservedAvg)
+
+	e.u64(uint64(len(st.ThreadPrio)))
+	for _, h := range st.ThreadPrio {
+		e.int(h.Thread)
+		e.int(int(h.Prio))
+	}
+	e.u64(uint64(len(st.Locality)))
+	for _, h := range st.Locality {
+		e.i64(int64(h.LPN))
+		e.int(h.Group)
+	}
+	e.u64(uint64(len(st.TempHints)))
+	for _, h := range st.TempHints {
+		e.i64(int64(h.LPN))
+		e.int(int(h.Temp))
+	}
+	e.u64(uint64(len(st.WLCold)))
+	for _, lpn := range st.WLCold {
+		e.i64(int64(lpn))
+	}
+
+	e.bool(st.Detector != nil)
+	if st.Detector != nil {
+		e.u64(uint64(len(st.Detector.Filters)))
+		for _, bits := range st.Detector.Filters {
+			e.u64(uint64(len(bits)))
+			for _, w := range bits {
+				e.fix64(w)
+			}
+		}
+		e.int(st.Detector.Cur)
+		e.int(st.Detector.SinceTurn)
+		e.u64(st.Detector.Writes)
+	}
+	e.bool(st.GCRandomRNG != nil)
+	if st.GCRandomRNG != nil {
+		e.rng(*st.GCRandomRNG)
+	}
+	e.bool(st.AllocRRState != nil)
+	if st.AllocRRState != nil {
+		e.int(*st.AllocRRState)
+	}
+}
+
+func (e *enc) array(a *flash.ArrayState) {
+	pages := make([]byte, len(a.Pages))
+	for i, p := range a.Pages {
+		pages[i] = byte(p)
+	}
+	e.raw(pages)
+	e.u64(uint64(len(a.Blocks)))
+	for _, b := range a.Blocks {
+		e.int(b.EraseCount)
+		e.time(b.LastErase)
+		e.int(b.ValidPages)
+		e.int(b.WritePtr)
+		e.bool(b.Bad)
+	}
+	e.u64(uint64(len(a.FreePerLUN)))
+	for _, v := range a.FreePerLUN {
+		e.int(v)
+	}
+	e.u64(a.Counters.Reads)
+	e.u64(a.Counters.Writes)
+	e.u64(a.Counters.Erases)
+	e.u64(a.Counters.Copybacks)
+	e.resources(a.Channels)
+	e.resources(a.LUNs)
+}
+
+func (e *enc) resources(rs []flash.ResourceState) {
+	e.u64(uint64(len(rs)))
+	for _, r := range rs {
+		e.u64(uint64(len(r.Intervals)))
+		for _, iv := range r.Intervals {
+			e.time(iv.Start)
+			e.time(iv.End)
+		}
+	}
+}
+
+func (e *enc) blockManager(bm *ftl.BlockManagerState) {
+	e.u64(uint64(len(bm.LUNs)))
+	for _, l := range bm.LUNs {
+		e.u64(uint64(len(l.Free)))
+		for _, b := range l.Free {
+			e.int(b)
+		}
+		e.u64(uint64(len(l.Open)))
+		for _, ob := range l.Open {
+			e.int(int(ob.Stream))
+			e.int(ob.Block)
+			e.int(ob.Next)
+		}
+	}
+}
+
+func (e *enc) pageMap(pm *ftl.PageMapState) {
+	e.u64(uint64(len(pm.Forward)))
+	for _, v := range pm.Forward {
+		e.i64(int64(v))
+	}
+	e.u64(uint64(len(pm.Reverse)))
+	for _, v := range pm.Reverse {
+		e.i64(v)
+	}
+	e.int(pm.Mapped)
+}
+
+func (e *enc) dftl(d *ftl.DFTLState) {
+	e.pageMap(&d.Truth)
+	e.u64(uint64(len(d.CMT)))
+	for _, c := range d.CMT {
+		e.i64(int64(c.LPN))
+		e.bool(c.Dirty)
+	}
+	e.u64(uint64(len(d.GTD)))
+	for _, g := range d.GTD {
+		e.int(g.TVPN)
+		e.int(g.PPA.LUN)
+		e.int(g.PPA.Block)
+		e.int(g.PPA.Page)
+	}
+	e.u64(uint64(len(d.Ring)))
+	for _, rb := range d.Ring {
+		e.int(rb.ID.LUN)
+		e.int(rb.ID.Block)
+		e.int(rb.WritePtr)
+		e.int(rb.Live)
+		e.u64(uint64(len(rb.TVPNs)))
+		for _, tv := range rb.TVPNs {
+			e.i64(int64(tv))
+		}
+	}
+	e.int(d.Cur)
+	s := d.Stats
+	for _, v := range []uint64{s.Hits, s.Misses, s.CleanEvicts, s.DirtyEvicts,
+		s.TransReads, s.TransWrites, s.TransErases} {
+		e.u64(v)
+	}
+}
+
+// --- decoder ---
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: at offset %d", ErrTruncated, d.off)
+	}
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) int() int       { return int(d.i64()) }
+func (d *dec) time() sim.Time { return sim.Time(d.i64()) }
+func (d *dec) f64() float64   { return math.Float64frombits(d.fix64()) }
+
+func (d *dec) fix64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *dec) str() string {
+	n := d.count(len(d.b))
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) raw() []byte {
+	n := d.count(len(d.b))
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	p := append([]byte(nil), d.b[d.off:d.off+n]...)
+	d.off += n
+	return p
+}
+
+// count reads a length prefix and bounds it by what the remaining input
+// could possibly hold, so corrupt counts cannot trigger huge allocations.
+func (d *dec) count(max int) int {
+	v := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(max) || v > uint64(len(d.b)-d.off) {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) rng() (s [4]uint64) {
+	s[0], s[1], s[2], s[3] = d.fix64(), d.fix64(), d.fix64(), d.fix64()
+	return s
+}
+
+func (d *dec) metaInto(m *Meta) {
+	m.Geometry.Channels = d.int()
+	m.Geometry.LUNsPerChannel = d.int()
+	m.Geometry.BlocksPerLUN = d.int()
+	m.Geometry.PagesPerBlock = d.int()
+	m.Geometry.PageSize = d.int()
+	m.Mapping = d.str()
+	m.LogicalPages = d.int()
+	m.Seed = d.u64()
+}
+
+func (d *dec) osStatsInto(ds *DeviceState) {
+	ds.OS.Submitted = d.u64()
+	ds.OS.Issued = d.u64()
+	ds.OS.Completed = d.u64()
+	ds.OS.MaxPending = d.int()
+	ds.OS.MaxInFlight = d.int()
+}
+
+func (d *dec) runnerInto(ds *DeviceState) {
+	ds.Runner.RNG = d.rng()
+	ds.Runner.NextReqID = d.u64()
+	ds.Runner.NextThreadID = d.int()
+}
+
+func (d *dec) controllerInto(st *controller.State) {
+	c := &st.Counters
+	for _, p := range []*uint64{&c.AppReads, &c.AppWrites, &c.AppTrims, &c.UnmappedReads,
+		&c.GCMigratedPages, &c.GCErases, &c.WLMigratedPages, &c.BufferedWrites, &c.BufferStalls} {
+		*p = d.u64()
+	}
+	st.NextID = d.u64()
+	st.Completions = d.u64()
+	st.OpsSinceScan = d.u64()
+	d.arrayInto(&st.Array)
+	d.blockManagerInto(&st.BlockManager)
+	if d.err != nil {
+		return
+	}
+	switch tag := d.bool(); tag {
+	case true:
+		st.DFTL = &ftl.DFTLState{}
+		d.dftlInto(st.DFTL)
+	default:
+		st.PageMap = &ftl.PageMapState{}
+		d.pageMapInto(st.PageMap)
+	}
+	st.GC.Triggered = make([]uint64, d.count(len(d.b)))
+	for i := range st.GC.Triggered {
+		st.GC.Triggered[i] = d.u64()
+	}
+	st.WL.Scans = d.u64()
+	st.WL.Migrated = d.u64()
+	st.WL.TotalErases = d.u64()
+	st.WL.ObservedAvg = d.f64()
+
+	if n := d.count(len(d.b)); n > 0 {
+		st.ThreadPrio = make([]controller.ThreadPrioEntry, n)
+		for i := range st.ThreadPrio {
+			st.ThreadPrio[i] = controller.ThreadPrioEntry{Thread: d.int(), Prio: iface.Priority(d.int())}
+		}
+	}
+	if n := d.count(len(d.b)); n > 0 {
+		st.Locality = make([]controller.LocalityEntry, n)
+		for i := range st.Locality {
+			st.Locality[i] = controller.LocalityEntry{LPN: iface.LPN(d.i64()), Group: d.int()}
+		}
+	}
+	if n := d.count(len(d.b)); n > 0 {
+		st.TempHints = make([]controller.TempHintEntry, n)
+		for i := range st.TempHints {
+			st.TempHints[i] = controller.TempHintEntry{LPN: iface.LPN(d.i64()), Temp: iface.Temperature(d.int())}
+		}
+	}
+	if n := d.count(len(d.b)); n > 0 {
+		st.WLCold = make([]iface.LPN, n)
+		for i := range st.WLCold {
+			st.WLCold[i] = iface.LPN(d.i64())
+		}
+	}
+
+	if d.bool() {
+		det := &hotcold.MBFState{}
+		det.Filters = make([][]uint64, d.count(len(d.b)))
+		for i := range det.Filters {
+			bits := make([]uint64, d.count(len(d.b)/8+1))
+			for j := range bits {
+				bits[j] = d.fix64()
+			}
+			det.Filters[i] = bits
+		}
+		det.Cur = d.int()
+		det.SinceTurn = d.int()
+		det.Writes = d.u64()
+		st.Detector = det
+	}
+	if d.bool() {
+		s := d.rng()
+		st.GCRandomRNG = &s
+	}
+	if d.bool() {
+		v := d.int()
+		st.AllocRRState = &v
+	}
+}
+
+func (d *dec) arrayInto(a *flash.ArrayState) {
+	pages := d.raw()
+	a.Pages = make([]flash.PageState, len(pages))
+	for i, p := range pages {
+		a.Pages[i] = flash.PageState(p)
+	}
+	a.Blocks = make([]flash.BlockMeta, d.count(len(d.b)))
+	for i := range a.Blocks {
+		a.Blocks[i] = flash.BlockMeta{
+			EraseCount: d.int(),
+			LastErase:  d.time(),
+			ValidPages: d.int(),
+			WritePtr:   d.int(),
+			Bad:        d.bool(),
+		}
+	}
+	a.FreePerLUN = make([]int, d.count(len(d.b)))
+	for i := range a.FreePerLUN {
+		a.FreePerLUN[i] = d.int()
+	}
+	a.Counters.Reads = d.u64()
+	a.Counters.Writes = d.u64()
+	a.Counters.Erases = d.u64()
+	a.Counters.Copybacks = d.u64()
+	a.Channels = d.resources()
+	a.LUNs = d.resources()
+}
+
+func (d *dec) resources() []flash.ResourceState {
+	rs := make([]flash.ResourceState, d.count(len(d.b)))
+	for i := range rs {
+		ivs := make([]flash.Interval, d.count(len(d.b)))
+		for j := range ivs {
+			ivs[j] = flash.Interval{Start: d.time(), End: d.time()}
+		}
+		rs[i].Intervals = ivs
+	}
+	return rs
+}
+
+func (d *dec) blockManagerInto(bm *ftl.BlockManagerState) {
+	bm.LUNs = make([]ftl.LUNAllocState, d.count(len(d.b)))
+	for i := range bm.LUNs {
+		l := &bm.LUNs[i]
+		l.Free = make([]int, d.count(len(d.b)))
+		for j := range l.Free {
+			l.Free[j] = d.int()
+		}
+		if n := d.count(len(d.b)); n > 0 {
+			l.Open = make([]ftl.OpenBlockState, n)
+			for j := range l.Open {
+				l.Open[j] = ftl.OpenBlockState{Stream: uint8(d.int()), Block: d.int(), Next: d.int()}
+			}
+		}
+	}
+}
+
+func (d *dec) pageMapInto(pm *ftl.PageMapState) {
+	pm.Forward = make([]int32, d.count(len(d.b)))
+	for i := range pm.Forward {
+		pm.Forward[i] = int32(d.i64())
+	}
+	pm.Reverse = make([]int64, d.count(len(d.b)))
+	for i := range pm.Reverse {
+		pm.Reverse[i] = d.i64()
+	}
+	pm.Mapped = d.int()
+}
+
+func (d *dec) dftlInto(df *ftl.DFTLState) {
+	d.pageMapInto(&df.Truth)
+	if n := d.count(len(d.b)); n > 0 {
+		df.CMT = make([]ftl.CMTEntryState, n)
+		for i := range df.CMT {
+			df.CMT[i] = ftl.CMTEntryState{LPN: iface.LPN(d.i64()), Dirty: d.bool()}
+		}
+	}
+	if n := d.count(len(d.b)); n > 0 {
+		df.GTD = make([]ftl.GTDEntryState, n)
+		for i := range df.GTD {
+			df.GTD[i] = ftl.GTDEntryState{TVPN: d.int(),
+				PPA: flash.PPA{LUN: d.int(), Block: d.int(), Page: d.int()}}
+		}
+	}
+	df.Ring = make([]ftl.RingBlockState, d.count(len(d.b)))
+	for i := range df.Ring {
+		rb := &df.Ring[i]
+		rb.ID = flash.BlockID{LUN: d.int(), Block: d.int()}
+		rb.WritePtr = d.int()
+		rb.Live = d.int()
+		rb.TVPNs = make([]int32, d.count(len(d.b)))
+		for j := range rb.TVPNs {
+			rb.TVPNs[j] = int32(d.i64())
+		}
+	}
+	df.Cur = d.int()
+	s := &df.Stats
+	for _, p := range []*uint64{&s.Hits, &s.Misses, &s.CleanEvicts, &s.DirtyEvicts,
+		&s.TransReads, &s.TransWrites, &s.TransErases} {
+		*p = d.u64()
+	}
+}

@@ -1,0 +1,36 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteFile atomically writes the encoded state to path.
+func WriteFile(path string, ds *DeviceState) error {
+	return WriteRawFile(path, Encode(ds))
+}
+
+// WriteRawFile atomically writes already-encoded snapshot bytes: they land
+// in a temporary sibling first, so a crash mid-write never leaves a
+// truncated snapshot where a valid one is expected (state caches tolerate
+// missing files, not half files).
+func WriteRawFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile decodes a snapshot file written by WriteFile.
+func ReadFile(path string) (*DeviceState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return Decode(data)
+}

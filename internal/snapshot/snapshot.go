@@ -1,0 +1,55 @@
+// Package snapshot implements versioned binary serialization of a complete
+// prepared simulation stack: flash block states and erase counts, FTL mapping
+// tables (page map, or DFTL including CMT contents), block-manager free
+// lists, GC and wear-leveling counters, write-buffer accounting, engine clock
+// and thread/RNG origins.
+//
+// Snapshots are taken at quiescent points — every thread finished, the event
+// queue drained — so no in-flight request or pending event ever needs to be
+// serialized. Restoring a snapshot into a freshly built stack reproduces,
+// bit for bit, the behavior of continuing the original stack: that is what
+// lets experiment sweeps prepare (fill and age) a device once and reuse the
+// state across dozens of variants, instead of paying the aging workload per
+// variant.
+//
+// The on-disk format is magic + version byte, a varint-encoded payload, and
+// a trailing CRC32. Truncated, corrupted or wrong-version inputs are
+// detected and reported as typed errors.
+package snapshot
+
+import (
+	"eagletree/internal/controller"
+	"eagletree/internal/flash"
+	"eagletree/internal/osched"
+	"eagletree/internal/sim"
+	"eagletree/internal/workload"
+)
+
+// Meta identifies the stack shape a snapshot was taken from, so restoring
+// into an incompatible configuration fails loudly instead of corrupting the
+// simulation.
+type Meta struct {
+	Geometry     flash.Geometry
+	Mapping      string // mapper name: "pagemap" or "dftl"
+	LogicalPages int
+	Seed         uint64
+}
+
+// EngineState is the event engine's clock at the snapshot point. Seq is the
+// event sequence counter: it breaks FIFO ties between same-instant events,
+// so a restored run schedules with exactly the ordering the original would
+// have used.
+type EngineState struct {
+	Now   sim.Time
+	Seq   uint64
+	Fired uint64
+}
+
+// DeviceState is the complete serializable state of one quiescent stack.
+type DeviceState struct {
+	Meta       Meta
+	Engine     EngineState
+	Controller controller.State
+	OS         osched.Stats
+	Runner     workload.RunnerState
+}

@@ -1,0 +1,162 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"eagletree/internal/controller"
+	"eagletree/internal/core"
+	"eagletree/internal/flash"
+	"eagletree/internal/osched"
+	"eagletree/internal/snapshot"
+	"eagletree/internal/workload"
+)
+
+// agedState builds a small stack, ages it until garbage collection has run,
+// and returns its snapshot. The returned state is "mid-GC" in the device-
+// lifecycle sense: free space sits at the collection floor, blocks hold a
+// mix of live and stale pages, open frontiers are partially programmed and
+// the GC counters are non-zero.
+func agedState(t *testing.T, mapping controller.MappingScheme) *snapshot.DeviceState {
+	t.Helper()
+	cfg := core.Config{
+		Controller: controller.Config{
+			Geometry:      flash.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 40, PagesPerBlock: 16, PageSize: 4096},
+			Mapping:       mapping,
+			Overprovision: 0.15,
+			GCGreediness:  2,
+			WL:            controller.WLOff(),
+		},
+		OS:   osched.Config{QueueDepth: 16},
+		Seed: 5,
+	}
+	if mapping == controller.MapDFTL {
+		cfg.Controller.CMTEntries = 128
+		cfg.Controller.ReservedTransBlocks = 3
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(s.LogicalPages())
+	seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: 16})
+	s.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 16}, seq)
+	s.Run()
+	if s.Controller.Counters().GCErases == 0 {
+		t.Fatal("aging workload never triggered GC; snapshot would not cover mid-GC state")
+	}
+	ds, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestRoundTripExact: encode → decode → encode must reproduce the state
+// deep-equal and the bytes identical, including for a snapshot taken mid-GC
+// (GC counters live, stale pages everywhere, partial open blocks).
+func TestRoundTripExact(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mapping controller.MappingScheme
+	}{
+		{"pagemap-mid-gc", controller.MapPageRAM},
+		{"dftl-mid-gc", controller.MapDFTL},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := agedState(t, tc.mapping)
+			if ds.Controller.Counters.GCMigratedPages == 0 {
+				t.Fatal("state carries no GC work")
+			}
+			data := snapshot.Encode(ds)
+			got, err := snapshot.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ds, got) {
+				t.Fatal("decoded state differs from the original")
+			}
+			if again := snapshot.Encode(got); !bytes.Equal(data, again) {
+				t.Fatalf("re-encoded bytes differ: %d vs %d bytes", len(data), len(again))
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data := snapshot.Encode(agedState(t, controller.MapPageRAM))
+	data[0] = 'X'
+	if _, err := snapshot.Decode(data); !errors.Is(err, snapshot.ErrNotSnapshot) {
+		t.Fatalf("bad magic: got %v, want ErrNotSnapshot", err)
+	}
+	if _, err := snapshot.Decode([]byte("EG")); !errors.Is(err, snapshot.ErrNotSnapshot) {
+		t.Fatalf("short input: got %v, want ErrNotSnapshot", err)
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	data := snapshot.Encode(agedState(t, controller.MapPageRAM))
+	data[7] = 99 // version byte follows the 7-byte magic
+	if _, err := snapshot.Decode(data); !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("wrong version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := snapshot.Encode(agedState(t, controller.MapPageRAM))
+	// Flip one byte in the middle of the payload: the checksum must catch it
+	// before any field is interpreted.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := snapshot.Decode(corrupt); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("flipped byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data := snapshot.Encode(agedState(t, controller.MapPageRAM))
+	// Any truncation that leaves room for the trailer breaks the checksum;
+	// cutting into the header is reported as truncation outright.
+	for _, keep := range []int{len(data) - 1, len(data) / 2, 16} {
+		if _, err := snapshot.Decode(data[:keep]); !errors.Is(err, snapshot.ErrCorrupt) && !errors.Is(err, snapshot.ErrTruncated) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrCorrupt or ErrTruncated", keep, err)
+		}
+	}
+	if _, err := snapshot.Decode(data[:9]); !errors.Is(err, snapshot.ErrTruncated) {
+		t.Fatalf("header-only input: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	ds := agedState(t, controller.MapPageRAM)
+	path := filepath.Join(t.TempDir(), "dev.state")
+	if err := snapshot.WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Fatal("file round trip altered the state")
+	}
+	if _, err := snapshot.ReadFile(filepath.Join(t.TempDir(), "missing.state")); err == nil {
+		t.Fatal("reading a missing file succeeded")
+	}
+	// A corrupted file on disk must be rejected like corrupted bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.ReadFile(path); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("corrupted file: got %v, want ErrCorrupt", err)
+	}
+}

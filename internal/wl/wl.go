@@ -80,6 +80,27 @@ func (l *Leveler) Scans() uint64 { return l.scans }
 // Migrated returns how many blocks static WL has queued for migration.
 func (l *Leveler) Migrated() uint64 { return l.migrated }
 
+// LevelerState is the leveler's serializable state for device snapshots.
+type LevelerState struct {
+	Scans       uint64
+	Migrated    uint64
+	TotalErases uint64
+	ObservedAvg float64
+}
+
+// State copies the leveler's counters for a snapshot.
+func (l *Leveler) State() LevelerState {
+	return LevelerState{Scans: l.scans, Migrated: l.migrated, TotalErases: l.totalEr, ObservedAvg: l.observedA}
+}
+
+// RestoreState overwrites the leveler's counters with a snapshot.
+func (l *Leveler) RestoreState(st LevelerState) {
+	l.scans = st.Scans
+	l.migrated = st.Migrated
+	l.totalEr = st.TotalErases
+	l.observedA = st.ObservedAvg
+}
+
 // Victims scans every LUN and returns the blocks static wear leveling should
 // migrate now: blocks at least AgeSlack erases younger than the mean whose
 // last erase is more than IdleFactor mean-erase-intervals ago. At most

@@ -155,6 +155,7 @@ type Runner struct {
 	bus    *iface.Bus
 	rng    *sim.RNG
 	nextID uint64
+	idBase int // thread ids start here (continuation of a snapshotted run)
 
 	entries []*entry
 	active  int
@@ -173,7 +174,7 @@ func NewRunner(eng *sim.Engine, os *osched.OS, bus *iface.Bus, seed uint64) *Run
 // (immediately at Start when none are given). Nil handles are ignored, so a
 // possibly-absent barrier can be passed through unconditionally.
 func (r *Runner) Add(t Thread, deps ...*Handle) *Handle {
-	e := &entry{id: len(r.entries), t: t}
+	e := &entry{id: r.idBase + len(r.entries), t: t}
 	e.ctx = &Ctx{runner: r, entry: e, rng: r.rng.Split()}
 	for _, d := range deps {
 		if d == nil || d.entry.finished {
@@ -199,6 +200,39 @@ func (r *Runner) Start() {
 
 // Active returns how many registered threads have not finished.
 func (r *Runner) Active() int { return r.active }
+
+// RunnerState is the runner's serializable state for device snapshots: the
+// RNG origin every future thread's private stream derives from, the request
+// id counter, and where thread ids continue. Thread objects themselves are
+// not serialized — snapshots are taken when every thread has finished.
+type RunnerState struct {
+	RNG          [4]uint64
+	NextReqID    uint64
+	NextThreadID int
+}
+
+// State captures the runner's continuation state. It is only meaningful when
+// every registered thread has finished (Done reports true).
+func (r *Runner) State() RunnerState {
+	return RunnerState{
+		RNG:          r.rng.State(),
+		NextReqID:    r.nextID,
+		NextThreadID: r.idBase + len(r.entries),
+	}
+}
+
+// RestoreState primes a fresh runner to continue a snapshotted run: threads
+// added from here on get the same ids, private RNG streams and request ids
+// they would have gotten had the original runner kept going.
+func (r *Runner) RestoreState(st RunnerState) error {
+	if len(r.entries) > 0 {
+		return fmt.Errorf("workload: restoring a runner that already has %d threads", len(r.entries))
+	}
+	r.rng.SetState(st.RNG)
+	r.nextID = st.NextReqID
+	r.idBase = st.NextThreadID
+	return nil
+}
 
 // Done reports whether every registered thread has finished.
 func (r *Runner) Done() bool { return r.active == 0 }
