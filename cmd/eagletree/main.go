@@ -14,6 +14,8 @@
 //	eagletree -save-state aged.state
 //	eagletree -load-state aged.state -workload mix -policy reads-first
 //	eagletree -load-state aged.state -workload fs -record aged-fs.etb
+//	eagletree -policy deadline -workload mix -prepare -dump-spec run.json
+//	eagletree -spec run.json
 package main
 
 import (
@@ -67,8 +69,20 @@ func main() {
 		replay      = flag.String("replay", "", "replay a block trace file instead of -workload")
 		replayMode  = flag.String("replay-mode", "closed", "trace replay pacing: closed | open | dependent")
 		replayScale = flag.Float64("replay-scale", 1, "trace time scale for open/dependent replay (2 = half rate, 0.5 = double rate)")
+
+		specFile = flag.String("spec", "", "run a declarative experiment spec file instead of flags (single-variant specs print the run report, grids print the experiment table)")
+		dumpSpec = flag.String("dump-spec", "", "write the flag-selected configuration, preparation and workload as a spec file and exit; re-run it later with -spec")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		if flag.NFlag() > 1 {
+			fmt.Fprintln(os.Stderr, "eagletree: -spec is self-contained; drop the other flags (use -dump-spec to convert flags into a spec)")
+			os.Exit(1)
+		}
+		runSpec(*specFile)
+		return
+	}
 
 	cfg := eagletree.Config{Seed: *seed}
 	cfg.Controller.Geometry = eagletree.Geometry{
@@ -159,6 +173,29 @@ func main() {
 	if *saveState != "" && *record != "" {
 		fmt.Fprintln(os.Stderr, "eagletree: -save-state runs preparation only and records nothing; capture against the restored device with -load-state -record instead")
 		os.Exit(1)
+	}
+
+	// -dump-spec: round-trip the flag combination into a declarative spec
+	// file and exit. Running the file with -spec reproduces this exact run.
+	if *dumpSpec != "" {
+		if *saveState != "" || *loadState != "" || *record != "" {
+			fmt.Fprintln(os.Stderr, "eagletree: -save-state/-load-state/-record are runtime file operations a spec cannot express; drop them for -dump-spec")
+			os.Exit(1)
+		}
+		doc, err := specFromFlags(cfg, flagWorkload{
+			kind: *wl, count: *count, depth: *depth, readFrac: *readFrac,
+			open: *open == "on", oracleTemp: *oracleTemp, prepare: *prepare,
+			replay: *replay, replayMode: *replayMode, replayScale: *replayScale,
+		})
+		if err == nil {
+			err = eagletree.WriteExperimentSpec(*dumpSpec, doc)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("eagletree: wrote spec %q %s; run it with: eagletree -spec %s\n", doc.Name, *dumpSpec, *dumpSpec)
+		return
 	}
 
 	var capture *eagletree.TraceCapture
@@ -310,4 +347,147 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eagletree:", err)
+		os.Exit(1)
+	}
+}
+
+// runSpec executes a declarative experiment spec file. Variant grids run
+// through the experiment suite and print its table; a single-run spec is
+// driven through the exact flag-mode flow (same stack, same thread
+// registration order), so a file written by -dump-spec reproduces the
+// flag-driven run bit for bit.
+func runSpec(path string) {
+	doc, err := eagletree.ReadExperimentSpec(path)
+	die(err)
+	die(doc.Validate())
+	if len(doc.Variants) > 1 {
+		def, err := eagletree.ExperimentFromSpec(doc)
+		die(err)
+		res, err := eagletree.RunExperiment(def)
+		die(err)
+		fmt.Printf("eagletree: spec %s: experiment %s (%d variants)\n\n", path, doc.Name, len(doc.Variants))
+		fmt.Print(res.Table())
+		return
+	}
+
+	variant := eagletree.SpecVariant{Label: "run"}
+	if len(doc.Variants) == 1 {
+		variant = doc.Variants[0]
+	}
+	cs := doc.Base
+	die(cs.Apply(variant.Set))
+	cfg, err := cs.Resolve()
+	die(err)
+	s, err := eagletree.New(cfg)
+	die(err)
+	die(eagletree.RegisterSpecRun(doc, variant, s))
+
+	end := s.Run()
+	fmt.Printf("eagletree: spec %s: %s / %s\n", path, doc.Name, variant.Label)
+	fmt.Printf("simulated %v of device time\n\n", end)
+	fmt.Print(s.Report())
+}
+
+// flagWorkload carries the workload-shaping flags into the spec dumper.
+type flagWorkload struct {
+	kind        string
+	count       int64
+	depth       int
+	readFrac    float64
+	open        bool
+	oracleTemp  bool
+	prepare     bool
+	replay      string
+	replayMode  string
+	replayScale float64
+}
+
+// specFromFlags renders the flag-selected run as a declarative document.
+// Sizes that the flag mode derives from the device capacity are written as
+// expressions over n, so the dumped file stays meaningful if its geometry
+// is edited later.
+func specFromFlags(cfg eagletree.Config, w flagWorkload) (eagletree.ExperimentSpec, error) {
+	base, err := eagletree.ConfigSpecOf(cfg)
+	if err != nil {
+		return eagletree.ExperimentSpec{}, err
+	}
+	// The flag mode caps sequential passes at the device's logical capacity;
+	// resolve n once to preserve that exact arithmetic in the document.
+	probe, err := eagletree.New(cfg)
+	if err != nil {
+		return eagletree.ExperimentSpec{}, err
+	}
+	n := int64(probe.LogicalPages())
+
+	name := "cli-" + w.kind
+	var thread eagletree.SpecThread
+	switch {
+	case w.replay != "":
+		name = "cli-replay"
+		thread = eagletree.SpecThread{Type: "replay", Params: map[string]any{
+			"path": w.replay, "mode": w.replayMode, "time_scale": w.replayScale, "depth": w.depth,
+		}}
+	case w.kind == "seqwrite" || w.kind == "seqread":
+		typ := "seqwrite"
+		if w.kind == "seqread" {
+			typ = "seqread"
+		}
+		count := any(w.count)
+		if w.count >= n {
+			count = "n"
+		}
+		thread = eagletree.SpecThread{Type: typ, Params: map[string]any{
+			"from": 0, "count": count, "depth": w.depth,
+		}}
+	case w.kind == "randread":
+		thread = eagletree.SpecThread{Type: "randread", Params: map[string]any{
+			"from": 0, "space": "n", "count": w.count, "depth": w.depth,
+		}}
+	case w.kind == "zipf":
+		thread = eagletree.SpecThread{Type: "zipf", Params: map[string]any{
+			"from": 0, "space": "n", "count": w.count, "depth": w.depth,
+			"tag_temperature": w.oracleTemp, "hot_fraction": 0.2,
+		}}
+	case w.kind == "mix":
+		thread = eagletree.SpecThread{Type: "mix", Params: map[string]any{
+			"from": 0, "space": "n", "count": w.count, "read_fraction": w.readFrac, "depth": w.depth,
+		}}
+	case w.kind == "fs":
+		thread = eagletree.SpecThread{Type: "fs", Params: map[string]any{
+			"from": 0, "space": "n", "ops": w.count, "depth": w.depth, "tag_locality": w.open,
+		}}
+	case w.kind == "gracejoin":
+		thread = eagletree.SpecThread{Type: "gracejoin", Params: map[string]any{
+			"r_from": 0, "r_pages": "n/8", "s_from": "n/8", "s_pages": "2*(n/8)",
+			"part_from": "3*(n/8)", "partitions": 8, "depth": w.depth,
+		}}
+	case w.kind == "lsm":
+		thread = eagletree.SpecThread{Type: "lsm", Params: map[string]any{
+			"from": 0, "space": "n", "inserts": w.count, "depth": w.depth, "tag_priority": w.open,
+		}}
+	case w.kind == "extsort":
+		thread = eagletree.SpecThread{Type: "extsort", Params: map[string]any{
+			"from": 0, "input_pages": "n/3", "scratch_from": "n/3", "depth": w.depth,
+		}}
+	default: // randwrite
+		thread = eagletree.SpecThread{Type: "randwrite", Params: map[string]any{
+			"from": 0, "space": "n", "count": w.count, "depth": w.depth,
+		}}
+	}
+
+	doc := eagletree.ExperimentSpec{
+		Name:     name,
+		Doc:      "dumped from eagletree command-line flags",
+		Base:     base,
+		Workload: []eagletree.SpecThread{thread},
+	}
+	if w.prepare {
+		doc.Prep = &eagletree.SpecPrep{FillDepth: 32, AgePasses: 1}
+	}
+	return doc, nil
 }

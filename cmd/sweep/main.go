@@ -3,12 +3,19 @@
 // API exercised end to end. EXPERIMENTS.md records its output against the
 // paper's expected shapes.
 //
+// The suite is pure spec data: -list prints the experiment index straight
+// from the data definitions, and -spec runs any experiment document — the
+// checked-in specs/*.json golden files or one you wrote yourself — through
+// the identical pipeline.
+//
 // Examples:
 //
 //	sweep -list
 //	sweep -run e3
 //	sweep -run e3,e11,e13
 //	sweep -run all -scale full -csv
+//	sweep -spec specs/e3.json
+//	sweep -spec myexperiment.json -workers 4
 package main
 
 import (
@@ -19,12 +26,14 @@ import (
 
 	"eagletree/internal/experiment"
 	"eagletree/internal/sim"
+	"eagletree/internal/spec"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
+		list     = flag.Bool("list", false, "print the experiment index (ID, name, varied dimension, paper hook)")
 		run      = flag.String("run", "all", "experiments to run: e1..e13, comma-separated | all")
+		specFile = flag.String("spec", "", "run an experiment spec file instead of the predefined suite")
 		scale    = flag.String("scale", "small", "workload scale: small | full")
 		csv      = flag.Bool("csv", false, "also print CSV")
 		chart    = flag.Bool("chart", true, "print throughput chart per experiment")
@@ -39,26 +48,17 @@ func main() {
 	if *scale == "full" {
 		sc = experiment.Full
 	}
-	suite := experiment.Suite(sc)
+	suite := experiment.SuiteSpecs(sc)
 
 	if *list {
-		for _, def := range suite {
-			fmt.Println(def.Name)
+		fmt.Printf("%-4s %-22s %-42s %s\n", "ID", "NAME", "VARIES", "SHOWS")
+		for _, e := range suite {
+			id := strings.SplitN(e.Name, "-", 2)[0]
+			fmt.Printf("%-4s %-22s %-42s %s\n", id, e.Name, e.Varies, e.Doc)
 		}
 		return
 	}
 
-	sels := strings.Split(*run, ",")
-	match := func(def experiment.Definition) bool {
-		id := strings.SplitN(def.Name, "-", 2)[0] // "E3"
-		for _, sel := range sels {
-			sel = strings.TrimSpace(sel)
-			if strings.EqualFold(sel, "all") || strings.EqualFold(id, sel) || strings.EqualFold(def.Name, sel) {
-				return true
-			}
-		}
-		return false
-	}
 	opts := experiment.Options{Workers: *workers, NoPrepareCache: *fresh}
 	if *cacheDir != "" && !*fresh {
 		// One cache across the whole invocation: experiments sharing a
@@ -66,12 +66,56 @@ func main() {
 		// the directory carries it to the next invocation.
 		opts.Cache = experiment.NewStateCache(*cacheDir)
 	}
-	ran := 0
-	for _, def := range suite {
-		if !match(def) {
-			continue
+
+	var selected []spec.Experiment
+	if *specFile != "" {
+		// A spec document carries its own selection and scale; silently
+		// ignoring -run/-scale would let "sweep -spec x.json -scale full"
+		// print small-scale numbers under a full-scale belief.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "run" || f.Name == "scale" {
+				fmt.Fprintf(os.Stderr, "sweep: -%s does not apply to -spec (the document is self-contained)\n", f.Name)
+				os.Exit(1)
+			}
+		})
+		doc, err := spec.ReadFile(*specFile)
+		if err == nil {
+			err = doc.Validate()
 		}
-		ran++
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		selected = []spec.Experiment{doc}
+	} else {
+		sels := strings.Split(*run, ",")
+		match := func(e spec.Experiment) bool {
+			id := strings.SplitN(e.Name, "-", 2)[0] // "E3"
+			for _, sel := range sels {
+				sel = strings.TrimSpace(sel)
+				if strings.EqualFold(sel, "all") || strings.EqualFold(id, sel) || strings.EqualFold(e.Name, sel) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range suite {
+			if match(e) {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "sweep: no experiment matches %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		def, err := experiment.FromSpec(e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
 		if *timeline {
 			def.SeriesBucket = 20 * sim.Millisecond
 		}
@@ -93,10 +137,6 @@ func main() {
 		if *csv {
 			fmt.Println(res.CSV())
 		}
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "sweep: no experiment matches %q (try -list)\n", *run)
-		os.Exit(1)
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"eagletree/internal/sched"
 	"eagletree/internal/sim"
 	"eagletree/internal/snapshot"
+	"eagletree/internal/spec"
 	"eagletree/internal/trace"
 	"eagletree/internal/wl"
 	"eagletree/internal/workload"
@@ -392,6 +393,97 @@ var (
 
 // RunExperiment executes one simulation per variant and collects results.
 func RunExperiment(def Experiment) (Results, error) { return experiment.Run(def) }
+
+// Declarative experiment specs: experiments as data, not code. A spec names
+// every pluggable component through the registry, so a JSON document fully
+// describes a run — base configuration, device preparation, workload threads
+// and a variant grid — and new design-space points need no recompile.
+type (
+	// ExperimentSpec is a complete serializable experiment document.
+	ExperimentSpec = spec.Experiment
+	// SpecConfig is the serializable mirror of Config (components by name).
+	SpecConfig = spec.Config
+	// SpecVariant is one point of a spec's sweep grid.
+	SpecVariant = spec.Variant
+	// SpecThread declares one workload thread by registered type name.
+	SpecThread = spec.Thread
+	// SpecPrep declares device preparation (fill + age) in a spec.
+	SpecPrep = spec.Prep
+	// SpecRef names a registered component, optionally with parameters.
+	SpecRef = spec.Ref
+	// SpecEnv supplies the variables spec workload expressions resolve
+	// against (n, ppb, qd, f, i).
+	SpecEnv = spec.Env
+	// SpecKind partitions the component registry (policies, allocators, …).
+	SpecKind = spec.Kind
+	// SpecComponent is one registered named factory with typed parameters.
+	SpecComponent = spec.Component
+)
+
+// Component registry kinds.
+const (
+	SpecKindPolicy    = spec.KindPolicy
+	SpecKindAllocator = spec.KindAllocator
+	SpecKindGCPolicy  = spec.KindGCPolicy
+	SpecKindWL        = spec.KindWL
+	SpecKindDetector  = spec.KindDetector
+	SpecKindMapping   = spec.KindMapping
+	SpecKindTiming    = spec.KindTiming
+	SpecKindOSPolicy  = spec.KindOSPolicy
+	SpecKindThread    = spec.KindThread
+)
+
+// DecodeExperimentSpec parses a versioned spec document; unknown fields,
+// wrong versions and truncation are typed errors.
+func DecodeExperimentSpec(data []byte) (ExperimentSpec, error) { return spec.Decode(data) }
+
+// EncodeExperimentSpec renders a spec document in its canonical JSON form.
+func EncodeExperimentSpec(e ExperimentSpec) ([]byte, error) { return spec.Encode(e) }
+
+// ReadExperimentSpec loads and decodes a spec file.
+func ReadExperimentSpec(path string) (ExperimentSpec, error) { return spec.ReadFile(path) }
+
+// WriteExperimentSpec encodes and writes a spec file.
+func WriteExperimentSpec(path string, e ExperimentSpec) error { return spec.WriteFile(path, e) }
+
+// ExperimentFromSpec compiles a spec document into a runnable Experiment,
+// validating every component name, parameter and expression.
+func ExperimentFromSpec(e ExperimentSpec) (Experiment, error) { return experiment.FromSpec(e) }
+
+// ConfigSpecOf describes a live configuration as a spec, with every
+// component reverse-mapped through the registry; configurations holding
+// unregistered component types are a typed error.
+func ConfigSpecOf(cfg Config) (SpecConfig, error) { return spec.FromConfig(cfg) }
+
+// MakeSpecThread resolves one spec thread declaration against an
+// environment (n, ppb, qd, f, i) into a live workload thread.
+func MakeSpecThread(t SpecThread, env SpecEnv) (Thread, error) { return spec.MakeThread(t, env) }
+
+// RegisterSpecRun registers a single-run spec (the base configuration with
+// one variant's preparation and workload) onto a live stack in the in-stack
+// barrier flow — preparation threads, a measurement barrier, then the
+// measured threads, in the same order the flag-driven CLI registers them.
+func RegisterSpecRun(doc ExperimentSpec, v SpecVariant, s *Stack) error {
+	return experiment.RegisterRun(doc, v, s)
+}
+
+// RegisterSpecComponent adds a named component factory to the registry —
+// the hook for applications to make their own policies, detectors or thread
+// types spec-addressable (and snapshot-cache keyable).
+func RegisterSpecComponent(c SpecComponent) { spec.Register(c) }
+
+// SpecCatalogue returns the registered components of one kind, in
+// registration order, for documentation and listings.
+func SpecCatalogue(kind SpecKind) []*SpecComponent { return spec.Catalogue(kind) }
+
+// SuiteSpecs returns the predefined E1–E13 experiments as spec data; the
+// checked-in specs/*.json files are their canonical encodings.
+func SuiteSpecs(full bool) []ExperimentSpec {
+	if full {
+		return experiment.SuiteSpecs(experiment.Full)
+	}
+	return experiment.SuiteSpecs(experiment.Small)
+}
 
 // DefaultConfig returns a mid-size SSD: 4 channels × 2 LUNs, 256 blocks per
 // LUN of 64 pages (512 MiB raw at 4 KiB pages), SLC timings, page-map FTL,

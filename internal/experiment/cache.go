@@ -39,6 +39,15 @@ func NewStateCache(dir string) *StateCache {
 	return &StateCache{dir: dir, entries: make(map[string]*cacheEntry)}
 }
 
+// Len returns how many distinct keys the cache holds — the number of
+// prepared device states built or loaded so far. Tests use it to prove two
+// run paths hit the same entries.
+func (c *StateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // Get returns the encoded snapshot for key, building (and memoizing) it on
 // first use. Concurrent callers of the same key share one build.
 func (c *StateCache) Get(key string, build func() ([]byte, error)) ([]byte, error) {

@@ -262,7 +262,11 @@ func preparedState(def Definition, cfg core.Config, spec PrepareSpec, cache *Sta
 	if cache == nil {
 		return build()
 	}
-	return cache.Get(prepKey(pcfg, spec), build)
+	key, err := prepKey(pcfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return cache.Get(key, build)
 }
 
 // runVariantLegacy drives a custom-Prepare variant the pre-snapshot way:

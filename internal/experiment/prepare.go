@@ -2,12 +2,9 @@ package experiment
 
 import (
 	"fmt"
-	"reflect"
-	"sort"
-	"strings"
 
 	"eagletree/internal/core"
-	"eagletree/internal/hotcold"
+	"eagletree/internal/spec"
 	"eagletree/internal/workload"
 )
 
@@ -46,13 +43,15 @@ func (p PrepareSpec) ageDepth() int {
 	return p.FillDepth
 }
 
-// register adds the preparation threads to a stack.
-func (p PrepareSpec) register(s *core.Stack) {
+// register adds the preparation threads to a stack and returns the handle
+// of the last one (the thread a measurement barrier should depend on).
+func (p PrepareSpec) register(s *core.Stack) *workload.Handle {
 	n := int64(s.LogicalPages())
 	seq := s.Add(&workload.SequentialWriter{From: 0, Count: n, Depth: p.FillDepth})
 	if p.AgePasses > 0 {
-		s.Add(&workload.RandomWriter{From: 0, Space: n, Count: p.AgePasses * n, Depth: p.ageDepth()}, seq)
+		return s.Add(&workload.RandomWriter{From: 0, Space: n, Count: p.AgePasses * n, Depth: p.ageDepth()}, seq)
 	}
+	return seq
 }
 
 // prepConfig derives the configuration preparation runs under from the
@@ -81,82 +80,17 @@ func prepConfig(cfg, base core.Config) core.Config {
 }
 
 // prepKey builds the snapshot-cache key for one (preparation config, spec,
-// seed) combination. The configuration is rendered by a canonical reflective
-// printer: deterministic across processes (no pointer addresses), covering
-// every exported field so two configurations that could age differently never
-// collide.
-func prepKey(pcfg core.Config, spec PrepareSpec) string {
-	var b strings.Builder
-	b.WriteString("prep1|")
-	b.WriteString(spec.key())
-	fmt.Fprintf(&b, "|seed=%d|", pcfg.Seed)
-	writeCanon(&b, reflect.ValueOf(pcfg))
-	return b.String()
-}
-
-// writeCanon renders a value deterministically: exported fields only, nested
-// pointers and interfaces followed by dynamic type (never printed as
-// addresses), functions collapsed to a marker. Components whose behavior is
-// configured through unexported state are special-cased.
-func writeCanon(b *strings.Builder, v reflect.Value) {
-	switch v.Kind() {
-	case reflect.Invalid:
-		b.WriteString("nil")
-	case reflect.Ptr, reflect.Interface:
-		if v.IsNil() {
-			b.WriteString("nil")
-			return
-		}
-		if m, ok := v.Interface().(*hotcold.MBF); ok {
-			fmt.Fprintf(b, "mbf%+v", m.Config())
-			return
-		}
-		if v.Kind() == reflect.Interface {
-			b.WriteString(v.Elem().Type().String())
-			b.WriteString(":")
-		}
-		writeCanon(b, v.Elem())
-	case reflect.Struct:
-		t := v.Type()
-		b.WriteString(t.String())
-		b.WriteString("{")
-		for i := 0; i < t.NumField(); i++ {
-			if !t.Field(i).IsExported() {
-				continue
-			}
-			b.WriteString(t.Field(i).Name)
-			b.WriteString(":")
-			writeCanon(b, v.Field(i))
-			b.WriteString(",")
-		}
-		b.WriteString("}")
-	case reflect.Slice, reflect.Array:
-		b.WriteString("[")
-		for i := 0; i < v.Len(); i++ {
-			writeCanon(b, v.Index(i))
-			b.WriteString(",")
-		}
-		b.WriteString("]")
-	case reflect.Map:
-		keys := make([]string, 0, v.Len())
-		elems := make(map[string]reflect.Value, v.Len())
-		for _, k := range v.MapKeys() {
-			ks := fmt.Sprintf("%v", k)
-			keys = append(keys, ks)
-			elems[ks] = v.MapIndex(k)
-		}
-		sort.Strings(keys)
-		b.WriteString("map{")
-		for _, k := range keys {
-			b.WriteString(k)
-			b.WriteString(":")
-			writeCanon(b, elems[k])
-			b.WriteString(",")
-		}
-		b.WriteString("}")
-	case reflect.Func, reflect.Chan, reflect.UnsafePointer:
-		b.WriteString("fn")
-	default:
-		fmt.Fprintf(b, "%v", v)
+// seed) combination. The configuration is rendered through the component
+// registry's canonical encoding (spec.CanonKey): deterministic across
+// processes, covering every knob of every registered component — including
+// ones configured through unexported state, which the old reflective printer
+// silently collapsed. A configuration holding an unregistered component
+// type is an error, never a colliding key; register the component (or run
+// with Options.NoPrepareCache) to proceed.
+func prepKey(pcfg core.Config, spc PrepareSpec) (string, error) {
+	canon, err := spec.CanonKey(pcfg)
+	if err != nil {
+		return "", fmt.Errorf("experiment: snapshot cache key (register the component with spec.Register, or disable the prepare cache): %w", err)
 	}
+	return "prep2|" + spc.key() + "|" + canon, nil
 }

@@ -55,13 +55,17 @@ func TestStateCacheSharesPreparation(t *testing.T) {
 		if v.Mutate != nil {
 			v.Mutate(&cfg)
 		}
-		spec, custom := def.prepFor(v)
-		if custom != nil || spec.None() {
+		prep, custom := def.prepFor(v)
+		if custom != nil || prep.None() {
 			t.Fatalf("variant %q does not use declared preparation", v.Label)
 		}
 		pcfg := prepConfig(cfg, def.Base())
-		if _, err := countingGet(prepKey(pcfg, spec), func() ([]byte, error) {
-			return preparedState(def, cfg, spec, nil)
+		key, err := prepKey(pcfg, prep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := countingGet(key, func() ([]byte, error) {
+			return preparedState(def, cfg, prep, nil)
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +85,7 @@ func TestStateCacheDisk(t *testing.T) {
 		builds++
 		def := E11Aging(Small)
 		cfg := def.Base()
-		return preparedState(def, cfg, prepFillAge2, nil)
+		return preparedState(def, cfg, prepFromSpec(prepFillAge2), nil)
 	}
 
 	c1 := NewStateCache(dir)
@@ -139,7 +143,11 @@ func TestPrepKeyDistinguishesConfigs(t *testing.T) {
 		if mut != nil {
 			mut(&cfg)
 		}
-		return prepKey(prepConfig(cfg, base), prepFillAge)
+		key, err := prepKey(prepConfig(cfg, base), prepFromSpec(prepFillAge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key
 	}
 	ref := keyOf(nil)
 	if keyOf(func(c *core.Config) { c.Controller.GCGreediness = 8 }) != ref {
@@ -157,7 +165,11 @@ func TestPrepKeyDistinguishesConfigs(t *testing.T) {
 	if keyOf(func(c *core.Config) { c.Controller.Overprovision = 0.3 }) == ref {
 		t.Fatal("overprovision change did not change the prep key")
 	}
-	if prepKey(prepConfig(def.Base(), base), prepFill) == ref {
+	fillKey, err := prepKey(prepConfig(def.Base(), base), prepFromSpec(prepFill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fillKey == ref {
 		t.Fatal("prep spec change did not change the prep key")
 	}
 }

@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"eagletree/internal/core"
+	"eagletree/internal/spec"
+)
+
+type coreConfig = core.Config
+
+var updateSpecs = flag.Bool("update-specs", false, "rewrite the golden spec files under specs/")
+
+const specDir = "../../specs"
+
+func specPath(i int) string {
+	return filepath.Join(specDir, fmt.Sprintf("e%d.json", i+1))
+}
+
+// TestGoldenSpecFiles pins the checked-in specs/e*.json files to the
+// byte-exact encodings of the suite's data definitions: the documents a
+// user edits are provably the documents the suite runs. Regenerate with
+//
+//	go test ./internal/experiment -run TestGoldenSpecFiles -args -update-specs
+func TestGoldenSpecFiles(t *testing.T) {
+	specs := SuiteSpecs(Small)
+	for i, e := range specs {
+		want, err := spec.Encode(e)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		path := specPath(i)
+		if *updateSpecs {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v — regenerate with -args -update-specs", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is stale for %s — regenerate with -args -update-specs", path, e.Name)
+		}
+		doc, err := spec.Decode(got)
+		if err != nil {
+			t.Fatalf("%s does not decode: %v", path, err)
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("%s does not validate: %v", path, err)
+		}
+	}
+}
+
+// TestSpecSuiteMatchesCompiled is the acceptance gate for the declarative
+// layer: for every E1–E13, running the checked-in spec file must produce
+// Reports bit-identical to the compiled-in definition — and must hit the
+// very same snapshot-cache entries (no re-preparation on the spec path).
+// E11 and E13 additionally run on the parallel runner.
+func TestSpecSuiteMatchesCompiled(t *testing.T) {
+	cache := NewStateCache("")
+	compiled := Suite(Small)
+	for i, def := range compiled {
+		def := def
+		i := i
+		t.Run(def.Name, func(t *testing.T) {
+			data, err := os.ReadFile(specPath(i))
+			if err != nil {
+				t.Fatalf("%v — regenerate with -args -update-specs", err)
+			}
+			doc, err := spec.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromFile, err := FromSpec(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := RunOpts(def, Options{Workers: 1, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries := cache.Len()
+			got, err := RunOpts(fromFile, Options{Workers: 1, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cache.Len() != entries {
+				t.Errorf("spec-driven run built %d new prepared states; the compiled path's cache entries should have been hits",
+					cache.Len()-entries)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("spec-driven results differ from compiled-in:\ncompiled: %+v\nspec:     %+v", want, got)
+			}
+			if def.Name == "E11-aging" || def.Name == "E13-trace-replay" {
+				par, err := RunOpts(fromFile, Options{Workers: 4, Cache: cache})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, par) {
+					t.Fatalf("parallel spec-driven results differ from compiled-in")
+				}
+			}
+		})
+	}
+}
+
+// TestSpecRepeatIndexDoesNotLeak: a thread's repeat expression must see a
+// fresh i, not the previous thread's last replica index (regression: env.I
+// leaked across thread entries, so repeat:"i+1" after a repeat:3 thread
+// registered three replicas instead of one).
+func TestSpecRepeatIndexDoesNotLeak(t *testing.T) {
+	e := spec.Experiment{
+		Name: "repeat-leak",
+		Base: E11AgingSpec(Small).Base,
+		Workload: []spec.Thread{
+			{Type: "randwrite", Repeat: 3, Params: map[string]any{"from": 0, "space": "n", "count": 10, "depth": 4}},
+			{Type: "randread", Repeat: "i+1", Params: map[string]any{"from": 0, "space": "n", "count": 10, "depth": 4}},
+		},
+	}
+	cfg, err := e.Base.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterRun(e, spec.Variant{}, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Runner.Active(); got != 4 {
+		t.Fatalf("registered %d threads, want 4 (3 writers + 1 reader; i must reset per thread)", got)
+	}
+}
+
+// TestFromSpecComposesWithBaseOverrides: wrapping a spec-compiled
+// definition's Base (the golden-dump test does this to sweep seeds) must
+// compose with variant overrides — the variant mutates the wrapped
+// configuration instead of rebuilding the document's base.
+func TestFromSpecComposesWithBaseOverrides(t *testing.T) {
+	def := E3GCGreediness(Small)
+	base := def.Base
+	def.Base = func() (cfg coreConfig) {
+		cfg = base()
+		cfg.Seed = 12345
+		return cfg
+	}
+	for _, v := range def.Variants {
+		cfg := def.Base()
+		if v.Mutate != nil {
+			v.Mutate(&cfg)
+		}
+		if cfg.Seed != 12345 {
+			t.Fatalf("variant %q reset the seed to %d", v.Label, cfg.Seed)
+		}
+	}
+}

@@ -1,19 +1,18 @@
+// The predefined experimental suite, E1–E13, expressed as declarative spec
+// documents (internal/spec) rather than compiled closures: each definition
+// below is pure data — a base configuration of named components, a
+// preparation declaration, a workload thread list and a variant grid —
+// resolved through the component registry into a runnable Definition. The
+// golden files under specs/ are the byte-exact JSON encodings of these
+// values, so anything the suite runs a user can run (and edit) from a file.
 package experiment
 
 import (
 	"fmt"
-	"sync"
 
-	"eagletree/internal/controller"
 	"eagletree/internal/core"
-	"eagletree/internal/flash"
-	"eagletree/internal/hotcold"
-	"eagletree/internal/iface"
-	"eagletree/internal/osched"
-	"eagletree/internal/sched"
-	"eagletree/internal/sim"
+	"eagletree/internal/spec"
 	"eagletree/internal/trace"
-	"eagletree/internal/wl"
 	"eagletree/internal/workload"
 )
 
@@ -29,7 +28,8 @@ const (
 	Full
 )
 
-// factor returns the workload multiplier for the scale.
+// factor returns the workload multiplier for the scale; spec expressions
+// see it as the variable f.
 func (s Scale) factor() int64 {
 	if s == Full {
 		return 8
@@ -37,379 +37,526 @@ func (s Scale) factor() int64 {
 	return 1
 }
 
-// baseConfig is the shared starting point of every predefined experiment: a
-// 2×2-LUN SLC SSD small enough to reach steady state quickly.
-func baseConfig(s Scale) core.Config {
-	geo := flash.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 64, PagesPerBlock: 32, PageSize: 4096}
+// baseSpec is the shared starting point of every predefined experiment: a
+// 2×2-LUN SLC SSD small enough to reach steady state quickly. Every
+// component slot is spelled out by name, so the encoded documents are
+// self-describing.
+func baseSpec(s Scale) spec.Config {
+	blocks := 64
 	if s == Full {
-		geo.BlocksPerLUN = 128
+		blocks = 128
 	}
-	return core.Config{
-		Controller: controller.Config{
-			Geometry:      geo,
-			Timing:        flash.TimingSLC(),
-			Overprovision: 0.15,
-			GCGreediness:  2,
-			WL:            controller.WLOff(),
-		},
-		OS:   osched.Config{QueueDepth: 32},
-		Seed: 7,
+	return spec.Config{
+		Geometry:      spec.Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: blocks, PagesPerBlock: 32, PageSize: 4096},
+		Timing:        spec.NamedRef("slc"),
+		Mapping:       spec.NamedRef("pagemap"),
+		Overprovision: 0.15,
+		GC:            spec.GCSpec{Policy: spec.NamedRef("greedy"), Greediness: 2},
+		WL:            spec.NamedRef("off"),
+		Policy:        spec.NamedRef("fifo"),
+		Alloc:         spec.NamedRef("leastloaded"),
+		Detector:      spec.NamedRef("none"),
+		OS:            spec.OSSpec{Policy: spec.NamedRef("fifo"), QueueDepth: 32},
+		Seed:          7,
 	}
 }
 
-// Preparation specs shared by the suite. Declaring them (rather than
-// open-coding fill/age threads per definition) lets the runner key the
-// snapshot cache on the spec, so every variant — and every experiment —
-// sharing a preparation-relevant configuration restores one prepared state.
+// Preparation declarations shared by the suite. Declaring preparation (not
+// open-coding fill/age threads) is what lets the runner key the snapshot
+// cache: every variant — and every experiment — sharing a
+// preparation-relevant configuration restores one prepared state.
 var (
 	// prepFill writes the logical space once, sequentially.
-	prepFill = PrepareSpec{FillDepth: 32}
+	prepFill = spec.Prep{FillDepth: 32}
 	// prepFillAge additionally overwrites the space randomly once
 	// (uFLIP-style aging into steady state).
-	prepFillAge = PrepareSpec{FillDepth: 32, AgePasses: 1}
+	prepFillAge = spec.Prep{FillDepth: 32, AgePasses: 1}
 	// prepFillAge2 ages harder: two random overwrite passes (E11's aged
 	// device).
-	prepFillAge2 = PrepareSpec{FillDepth: 32, AgePasses: 2}
+	prepFillAge2 = spec.Prep{FillDepth: 32, AgePasses: 2}
 	// prepNone disables preparation where a variant needs a fresh device.
-	prepNone = PrepareSpec{}
+	prepNone = spec.Prep{}
 )
 
-// E1Parallelism sweeps the array shape — channels and LUNs per channel —
+func prepOf(p spec.Prep) *spec.Prep { q := p; return &q }
+
+// mustFromSpec resolves suite data; the suite registers only components the
+// registry holds, so failure is a programming error caught by any test that
+// touches the suite.
+func mustFromSpec(e spec.Experiment) Definition {
+	def, err := FromSpec(e)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: suite spec %q: %v", e.Name, err))
+	}
+	return def
+}
+
+// E1ParallelismSpec sweeps the array shape — channels and LUNs per channel —
 // under a parallel random-write load (Figure 1's hardware design space).
 // Expected shape: throughput scales with channels×LUNs until the channel
 // saturates; more LUNs per channel help less than more channels.
-func E1Parallelism(s Scale) Definition {
-	shape := func(ch, luns int) Variant {
-		return Variant{
+func E1ParallelismSpec(s Scale) spec.Experiment {
+	shape := func(ch, luns int) spec.Variant {
+		return spec.Variant{
 			Label: fmt.Sprintf("ch=%d,luns/ch=%d", ch, luns),
 			X:     float64(ch * luns),
-			Mutate: func(c *core.Config) {
-				c.Controller.Geometry.Channels = ch
-				c.Controller.Geometry.LUNsPerChannel = luns
+			Set: map[string]any{
+				"geometry.channels":         ch,
+				"geometry.luns_per_channel": luns,
 			},
 		}
 	}
-	return Definition{
-		Name: "E1-parallelism",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
+	return spec.Experiment{
+		Name:   "E1-parallelism",
+		Doc:    "hardware design space (Fig. 1): throughput scales with channels×LUNs until the channel saturates",
+		Varies: "geometry: channels × LUNs/channel",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Workload: []spec.Thread{
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "2000*f", "depth": 64}},
+		},
+		Variants: []spec.Variant{
 			shape(1, 1), shape(1, 2), shape(1, 4),
 			shape(2, 2), shape(2, 4),
 			shape(4, 2), shape(4, 4),
 			shape(8, 4),
 		},
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			count := 2000 * s.factor()
-			space := int64(st.LogicalPages())
-			st.Add(&workload.RandomWriter{From: 0, Space: space, Count: count, Depth: 64})
+	}
+}
+
+// E2SchedPolicySpec compares SSD scheduling policies under a mixed
+// read/write load on an aged device (§3: "prioritizing between application
+// reads and writes is not always easy"). Expected shape: reads-first cuts
+// read latency but inflates write latency and vice versa; deadline bounds
+// the tails.
+func E2SchedPolicySpec(s Scale) spec.Experiment {
+	policy := func(label string, ref spec.Ref) spec.Variant {
+		return spec.Variant{Label: label, Set: map[string]any{"policy": ref}}
+	}
+	return spec.Experiment{
+		Name:   "E2-sched-policy",
+		Doc:    "SSD scheduling policy trade-offs on an aged device (§3)",
+		Varies: "policy: fifo | reads-first | writes-first | deadline",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFillAge),
+		Workload: []spec.Thread{
+			{Type: "randread", Params: map[string]any{"from": 0, "space": "n", "count": "1500*f", "depth": 16}},
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "1500*f", "depth": 16}},
+		},
+		Variants: []spec.Variant{
+			policy("fifo", spec.NamedRef("fifo")),
+			policy("reads-first", spec.ParamRef("priority", map[string]any{"prefer": "reads"})),
+			policy("writes-first", spec.ParamRef("priority", map[string]any{"prefer": "writes"})),
+			policy("deadline", spec.ParamRef("deadline", map[string]any{
+				"read_deadline":  "2ms",
+				"write_deadline": "20ms",
+			})),
 		},
 	}
 }
 
-// E2SchedPolicy compares SSD scheduling policies under a mixed read/write
-// load on an aged device (§3: "prioritizing between application reads and
-// writes is not always easy"). Expected shape: reads-first cuts read latency
-// but inflates write latency and vice versa; deadline bounds the tails.
-func E2SchedPolicy(s Scale) Definition {
-	policy := func(label string, p func() sched.Policy) Variant {
-		return Variant{Label: label, Mutate: func(c *core.Config) { c.Controller.Policy = p() }}
-	}
-	return Definition{
-		Name: "E2-sched-policy",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			policy("fifo", func() sched.Policy { return &sched.FIFO{} }),
-			policy("reads-first", func() sched.Policy { return &sched.Priority{Prefer: sched.PreferReads} }),
-			policy("writes-first", func() sched.Policy { return &sched.Priority{Prefer: sched.PreferWrites} }),
-			policy("deadline", func() sched.Policy {
-				return &sched.Deadline{
-					ReadDeadline:  2 * sim.Millisecond,
-					WriteDeadline: 20 * sim.Millisecond,
-				}
-			}),
-		},
-		Prep: prepFillAge,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			count := 1500 * s.factor()
-			st.Add(&workload.RandomReader{From: 0, Space: n, Count: count, Depth: 16}, after)
-			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: count, Depth: 16}, after)
-		},
-	}
-}
-
-// E3GCGreediness sweeps the GC greediness parameter (free blocks per LUN
+// E3GCGreedinessSpec sweeps the GC greediness parameter (free blocks per LUN
 // target) under steady-state random overwrite (§2.2). Expected shape: lazier
 // GC (smaller greediness) lowers write amplification but stretches the write
 // tail; greedier GC smooths latency at more migrations.
-func E3GCGreediness(s Scale) Definition {
-	level := func(g int) Variant {
-		return Variant{
-			Label:  fmt.Sprintf("greediness=%d", g),
-			X:      float64(g),
-			Mutate: func(c *core.Config) { c.Controller.GCGreediness = g },
+func E3GCGreedinessSpec(s Scale) spec.Experiment {
+	level := func(g int) spec.Variant {
+		return spec.Variant{
+			Label: fmt.Sprintf("greediness=%d", g),
+			X:     float64(g),
+			Set:   map[string]any{"gc.greediness": g},
 		}
 	}
-	return Definition{
-		Name: "E3-gc-greediness",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			level(1), level(2), level(4), level(8),
+	return spec.Experiment{
+		Name:   "E3-gc-greediness",
+		Doc:    "GC greediness: write amplification vs write-tail latency (§2.2)",
+		Varies: "gc.greediness: 1 | 2 | 4 | 8",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFillAge),
+		Workload: []spec.Thread{
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "2*n", "depth": 32}},
 		},
-		Prep: prepFillAge,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 32}, after)
-		},
+		Variants: []spec.Variant{level(1), level(2), level(4), level(8)},
 	}
 }
 
-// E4WearLeveling compares WL modes under a skewed (hot/cold) overwrite load
-// (§2.2). Expected shape: wear leveling narrows the erase-count spread at a
-// small throughput cost; static+dynamic narrows it most.
-func E4WearLeveling(s Scale) Definition {
-	mode := func(label string, static, dynamic bool) Variant {
-		return Variant{Label: label, Mutate: func(c *core.Config) {
-			cfg := wl.DefaultConfig()
-			cfg.Static = static
-			cfg.Dynamic = dynamic
-			cfg.CheckInterval = 5 * sim.Millisecond
-			c.Controller.WL = cfg
-		}}
-	}
-	return Definition{
-		Name: "E4-wear-leveling",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			mode("wl=off", false, false),
-			mode("wl=static", true, false),
-			mode("wl=dynamic", false, true),
-			mode("wl=static+dynamic", true, true),
-		},
-		Prep: prepFill,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			st.Add(&workload.ZipfWriter{From: 0, Space: n, Count: 4 * n * s.factor() / 2, Exponent: 1.2, Depth: 32}, after)
-		},
-	}
-}
-
-// E5Mapping compares the RAM page map against DFTL across CMT sizes under
-// random IO over the whole space (§2.2). Expected shape: DFTL approaches the
-// page map as the CMT grows; small CMTs pay translation reads and dirty
-// eviction writes on most accesses.
-func E5Mapping(s Scale) Definition {
-	dftl := func(cmt int) Variant {
-		return Variant{
-			Label: fmt.Sprintf("dftl,cmt=%d", cmt),
-			X:     float64(cmt),
-			Mutate: func(c *core.Config) {
-				c.Controller.Mapping = controller.MapDFTL
-				c.Controller.CMTEntries = cmt
-				c.Controller.ReservedTransBlocks = 4
+// E4WearLevelingSpec compares WL modes under a skewed (hot/cold) overwrite
+// load (§2.2). Expected shape: wear leveling narrows the erase-count spread
+// at a small throughput cost; static+dynamic narrows it most.
+func E4WearLevelingSpec(s Scale) spec.Experiment {
+	mode := func(name string) spec.Variant {
+		return spec.Variant{
+			Label: "wl=" + name,
+			Set: map[string]any{
+				"wl": spec.ParamRef(name, map[string]any{"check_interval": "5ms"}),
 			},
 		}
 	}
-	return Definition{
-		Name: "E5-mapping",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			{Label: "pagemap", X: 0},
-			dftl(128), dftl(512), dftl(2048), dftl(8192),
+	return spec.Experiment{
+		Name:   "E4-wear-leveling",
+		Doc:    "wear-leveling modes under skewed overwrite: erase-count spread vs throughput (§2.2)",
+		Varies: "wl: off | static | dynamic | full",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFill),
+		Workload: []spec.Thread{
+			{Type: "zipf", Params: map[string]any{"from": 0, "space": "n", "count": "4*n*f/2", "exponent": 1.2, "depth": 32}},
 		},
-		Prep: prepFill,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			count := 1500 * s.factor()
-			st.Add(&workload.ReadWriteMix{From: 0, Space: n, Count: count, ReadFraction: 0.5, Depth: 16}, after)
+		Variants: []spec.Variant{
+			mode("off"), mode("static"), mode("dynamic"),
+			{Label: "wl=static+dynamic", Set: map[string]any{
+				"wl": spec.ParamRef("full", map[string]any{"check_interval": "5ms"}),
+			}},
 		},
 	}
 }
 
-// E6PriorityTag measures what the open interface's priority tag buys a
+// E5MappingSpec compares the RAM page map against DFTL across CMT sizes
+// under random IO over the whole space (§2.2). Expected shape: DFTL
+// approaches the page map as the CMT grows; small CMTs pay translation reads
+// and dirty eviction writes on most accesses.
+func E5MappingSpec(s Scale) spec.Experiment {
+	dftl := func(cmt int) spec.Variant {
+		return spec.Variant{
+			Label: fmt.Sprintf("dftl,cmt=%d", cmt),
+			X:     float64(cmt),
+			Set: map[string]any{
+				"mapping": spec.ParamRef("dftl", map[string]any{"cmt": cmt, "trans_blocks": 4}),
+			},
+		}
+	}
+	return spec.Experiment{
+		Name:   "E5-mapping",
+		Doc:    "page map vs demand-cached DFTL across CMT sizes (§2.2)",
+		Varies: "mapping: pagemap | dftl(cmt)",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFill),
+		Workload: []spec.Thread{
+			{Type: "mix", Params: map[string]any{"from": 0, "space": "n", "count": "1500*f", "read_fraction": 0.5, "depth": 16}},
+		},
+		Variants: []spec.Variant{
+			{Label: "pagemap", X: 0},
+			dftl(128), dftl(512), dftl(2048), dftl(8192),
+		},
+	}
+}
+
+// E6PriorityTagSpec measures what the open interface's priority tag buys a
 // latency-critical reader competing with a background writer (§2.2
 // "Priorities"). Expected shape: with tags honored, tagged reads jump the
 // queue and their latency collapses; block-device mode treats them like
 // everything else.
-func E6PriorityTag(s Scale) Definition {
-	return Definition{
-		Name: "E6-priority-tag",
-		Base: func() core.Config {
-			cfg := baseConfig(s)
-			cfg.Controller.Policy = &sched.Priority{UseTags: true}
-			return cfg
+func E6PriorityTagSpec(s Scale) spec.Experiment {
+	base := baseSpec(s)
+	base.Policy = spec.ParamRef("priority", map[string]any{"use_tags": true})
+	return spec.Experiment{
+		Name:   "E6-priority-tag",
+		Doc:    "open-interface priority tags: tagged reads jump the queue (§2.2)",
+		Varies: "open_interface: block-device | open",
+		Factor: s.factor(),
+		Base:   base,
+		Prep:   prepOf(prepFillAge),
+		Workload: []spec.Thread{
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "3200*f", "depth": 32}},
+			{Type: "randread", Params: map[string]any{"from": 0, "space": "n", "count": "800*f", "depth": 4, "priority": 1}},
 		},
-		Variants: []Variant{
-			{Label: "block-device", Mutate: func(c *core.Config) { c.Controller.OpenInterface = false }},
-			{Label: "open-interface", Mutate: func(c *core.Config) { c.Controller.OpenInterface = true }},
-		},
-		Prep: prepFillAge,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			count := 800 * s.factor()
-			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 4 * count, Depth: 32}, after)
-			st.Add(&workload.RandomReader{From: 0, Space: n, Count: count, Depth: 4,
-				Tags: iface.Tags{Priority: iface.PriorityHigh}}, after)
+		Variants: []spec.Variant{
+			{Label: "block-device", Set: map[string]any{"open_interface": false}},
+			{Label: "open-interface", Set: map[string]any{"open_interface": true}},
 		},
 	}
 }
 
-// E7UpdateLocality measures the update-locality hint (§2.2): a file-system
-// workload whose files are overwritten and deleted as units. Expected shape:
-// with locality tags each file's pages share physical blocks, so deletions
-// and overwrites invalidate whole blocks and GC migrates less (lower WA).
-func E7UpdateLocality(s Scale) Definition {
-	return Definition{
-		Name: "E7-update-locality",
-		Base: func() core.Config {
-			cfg := baseConfig(s)
-			cfg.Controller.OpenInterface = true
-			// Extra physical headroom: locality streams pin one open block
-			// each per LUN, which must not consume the whole GC slack.
-			cfg.Controller.Geometry.BlocksPerLUN += 32
-			return cfg
+// E7UpdateLocalitySpec measures the update-locality hint (§2.2): a
+// file-system workload whose files are overwritten and deleted as units.
+// Expected shape: with locality tags each file's pages share physical
+// blocks, so deletions and overwrites invalidate whole blocks and GC
+// migrates less (lower WA).
+//
+// Four concurrent file systems interleave their writes at the SSD: without
+// locality tags the shared write frontier mixes files from different threads
+// into the same physical blocks, so when a file dies its block survives with
+// live remnants. File size is centered on one erase block — the case where a
+// tagged file dies as a whole block but an untagged one straddles. The extra
+// physical headroom exists because locality streams pin one open block each
+// per LUN, which must not consume the whole GC slack.
+func E7UpdateLocalitySpec(s Scale) spec.Experiment {
+	base := baseSpec(s)
+	base.OpenInterface = true
+	base.Geometry.BlocksPerLUN += 32
+	return spec.Experiment{
+		Name:   "E7-update-locality",
+		Doc:    "update-locality hints: files die as whole blocks, GC migrates less (§2.2)",
+		Varies: "locality tags: untagged | tagged",
+		Factor: s.factor(),
+		Base:   base,
+		Workload: []spec.Thread{
+			{Type: "fs", Repeat: 4, Params: map[string]any{
+				"from":            "i*(n*3/4/4)",
+				"space":           "n*3/4/4",
+				"ops":             "2000*f",
+				"depth":           8,
+				"mean_file_pages": "ppb",
+				"tag_locality":    true,
+			}},
 		},
-		Variants: []Variant{
-			{Label: "untagged", Mutate: func(c *core.Config) { c.LockBus = true; c.Controller.OpenInterface = false }},
+		Variants: []spec.Variant{
+			{Label: "untagged", Set: map[string]any{"lock_bus": true, "open_interface": false}},
 			{Label: "locality-tags"},
 		},
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			// Four concurrent file systems whose writes interleave at the
-			// SSD: without locality tags the shared write frontier mixes
-			// files from different threads into the same physical blocks, so
-			// when a file dies its block survives with live remnants. File
-			// size is centered on one erase block — the case where a tagged
-			// file dies as a whole block but an untagged one straddles.
-			n := int64(st.LogicalPages())
-			const threads = 4
-			region := n * 3 / 4 / threads
-			ops := 2000 * s.factor()
-			ppb := st.Config().Controller.Geometry.PagesPerBlock
-			for i := int64(0); i < threads; i++ {
-				st.Add(&workload.FileSystem{
-					From: iface.LPN(i * region), Space: region, Ops: ops, Depth: 8,
-					MeanFilePages: ppb, TagLocality: true,
-				}, after)
-			}
-		},
 	}
 }
 
-// E8Temperature compares temperature sources for hot/cold stream separation
-// (§2.2 "Temperatures" + the bloom-filter detector): none, the multi-bloom
-// detector, and oracle tags through the open interface. Expected shape: any
-// separation lowers WA under skew; oracle ≥ detector ≥ none.
-func E8Temperature(s Scale) Definition {
-	zipf := func(oracle bool) func(*core.Stack, *workload.Handle) {
-		return func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			st.Add(&workload.ZipfWriter{
-				From: 0, Space: n, Count: 3 * n * s.factor(), Exponent: 1.2, Depth: 32,
-				TagTemperature: oracle, HotFraction: 0.2, Scramble: true,
-			}, after)
-		}
-	}
-	return Definition{
-		Name: "E8-temperature",
-		Base: func() core.Config {
-			cfg := baseConfig(s)
-			cfg.Controller.OpenInterface = true
-			return cfg
-		},
-		Variants: []Variant{
-			{Label: "none"},
-			{Label: "bloom-detector", Mutate: func(c *core.Config) {
-				c.Controller.Detector = hotcold.NewMBF(hotcold.DefaultMBFConfig())
-			}},
-			{Label: "oracle-tags", Workload: zipf(true)},
-		},
-		Prep:     prepFill,
-		Workload: zipf(false),
-	}
-}
-
-// E9QueueDepth sweeps the OS queue depth under random reads on a full device
-// (§2.1 "How many outstanding IOs should be submitted to the SSD?").
-// Expected shape: throughput climbs with depth until every LUN stays busy,
-// then plateaus while latency keeps growing — the classic knee.
-func E9QueueDepth(s Scale) Definition {
-	depth := func(d int) Variant {
-		return Variant{
-			Label:  fmt.Sprintf("depth=%d", d),
-			X:      float64(d),
-			Mutate: func(c *core.Config) { c.OS.QueueDepth = d },
-		}
-	}
-	return Definition{
-		Name: "E9-queue-depth",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			depth(1), depth(2), depth(4), depth(8), depth(16), depth(32), depth(64),
-		},
-		Prep: prepFill,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			count := 2000 * s.factor()
-			// Closed loop at the swept depth: the thread keeps exactly as
-			// many IOs outstanding as the OS may pass to the SSD, so the
-			// variant controls the offered concurrency end to end.
-			st.Add(&workload.RandomReader{From: 0, Space: n, Count: count,
-				Depth: st.Config().OS.QueueDepth}, after)
-		},
-	}
-}
-
-// E10AdvancedCmds toggles the advanced chip commands under GC-heavy
-// overwrite (§2.2 "aggressiveness of interleaving and copy-back").
-// Expected shape: copyback accelerates GC by skipping channel transfers;
-// interleaving overlaps transfers with array operations; both combine.
-func E10AdvancedCmds(s Scale) Definition {
-	feat := func(label string, copyback, interleave bool) Variant {
-		return Variant{Label: label, Mutate: func(c *core.Config) {
-			c.Controller.Features = flash.Features{Copyback: copyback, Interleaving: interleave}
-			c.Controller.GCCopyback = copyback
+// E8TemperatureSpec compares temperature sources for hot/cold stream
+// separation (§2.2 "Temperatures" + the bloom-filter detector): none, the
+// multi-bloom detector, and oracle tags through the open interface. Expected
+// shape: any separation lowers WA under skew; oracle ≥ detector ≥ none.
+func E8TemperatureSpec(s Scale) spec.Experiment {
+	zipf := func(oracle bool) spec.Thread {
+		return spec.Thread{Type: "zipf", Params: map[string]any{
+			"from": 0, "space": "n", "count": "3*n*f", "exponent": 1.2, "depth": 32,
+			"tag_temperature": oracle, "hot_fraction": 0.2, "scramble": true,
 		}}
 	}
-	return Definition{
-		Name: "E10-advanced-cmds",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
+	base := baseSpec(s)
+	base.OpenInterface = true
+	return spec.Experiment{
+		Name:     "E8-temperature",
+		Doc:      "hot/cold separation sources: none vs bloom detector vs oracle tags (§2.2)",
+		Varies:   "detector: none | mbf | oracle tags",
+		Factor:   s.factor(),
+		Base:     base,
+		Prep:     prepOf(prepFill),
+		Workload: []spec.Thread{zipf(false)},
+		Variants: []spec.Variant{
+			{Label: "none"},
+			{Label: "bloom-detector", Set: map[string]any{"detector": spec.NamedRef("mbf")}},
+			{Label: "oracle-tags", Workload: []spec.Thread{zipf(true)}},
+		},
+	}
+}
+
+// E9QueueDepthSpec sweeps the OS queue depth under random reads on a full
+// device (§2.1 "How many outstanding IOs should be submitted to the SSD?").
+// Expected shape: throughput climbs with depth until every LUN stays busy,
+// then plateaus while latency keeps growing — the classic knee. The thread
+// runs closed-loop at the swept depth (the expression qd), so the variant
+// controls the offered concurrency end to end.
+func E9QueueDepthSpec(s Scale) spec.Experiment {
+	depth := func(d int) spec.Variant {
+		return spec.Variant{
+			Label: fmt.Sprintf("depth=%d", d),
+			X:     float64(d),
+			Set:   map[string]any{"os.queue_depth": d},
+		}
+	}
+	return spec.Experiment{
+		Name:   "E9-queue-depth",
+		Doc:    "OS queue depth: the throughput/latency knee (§2.1)",
+		Varies: "os.queue_depth: 1 … 64",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFill),
+		Workload: []spec.Thread{
+			{Type: "randread", Params: map[string]any{"from": 0, "space": "n", "count": "2000*f", "depth": "qd"}},
+		},
+		Variants: []spec.Variant{
+			depth(1), depth(2), depth(4), depth(8), depth(16), depth(32), depth(64),
+		},
+	}
+}
+
+// E10AdvancedCmdsSpec toggles the advanced chip commands under GC-heavy
+// overwrite (§2.2 "aggressiveness of interleaving and copy-back"). Expected
+// shape: copyback accelerates GC by skipping channel transfers; interleaving
+// overlaps transfers with array operations; both combine.
+func E10AdvancedCmdsSpec(s Scale) spec.Experiment {
+	feat := func(label string, copyback, interleave bool) spec.Variant {
+		return spec.Variant{Label: label, Set: map[string]any{
+			"features.copyback":     copyback,
+			"features.interleaving": interleave,
+			"gc.copyback":           copyback,
+		}}
+	}
+	return spec.Experiment{
+		Name:   "E10-advanced-cmds",
+		Doc:    "advanced chip commands: copyback and interleaving under GC pressure (§2.2)",
+		Varies: "features: copyback × interleaving",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFillAge),
+		Workload: []spec.Thread{
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "2*n", "depth": 32}},
+		},
+		Variants: []spec.Variant{
 			feat("baseline", false, false),
 			feat("copyback", true, false),
 			feat("interleaving", false, true),
 			feat("copyback+interleaving", true, true),
 		},
-		Prep: prepFillAge,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: 2 * n, Depth: 32}, after)
+	}
+}
+
+// E11AgingSpec contrasts a fresh device with an aged one under the same
+// random write burst (§2.3's device-preparation methodology, after uFLIP).
+// Expected shape: the aged device is markedly slower and shows WA > 1 —
+// which is why experiments must prepare the device before measuring.
+func E11AgingSpec(s Scale) spec.Experiment {
+	return spec.Experiment{
+		Name:   "E11-aging",
+		Doc:    "device preparation matters: fresh vs aged under one write burst (§2.3)",
+		Varies: "preparation: none | fill+age",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Workload: []spec.Thread{
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "n/2", "depth": 32}},
+		},
+		Variants: []spec.Variant{
+			{Label: "fresh", Prep: prepOf(prepNone)},
+			{Label: "aged", Prep: prepOf(prepFillAge2)},
 		},
 	}
 }
 
-// E11Aging contrasts a fresh device with an aged one under the same random
-// write burst (§2.3's device-preparation methodology, after uFLIP).
-// Expected shape: the aged device is markedly slower and shows WA > 1 —
-// which is why experiments must prepare the device before measuring.
-func E11Aging(s Scale) Definition {
-	return Definition{
-		Name: "E11-aging",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			{
-				Label: "fresh",
-				Prep:  &prepNone,
-			},
-			{
-				Label: "aged",
-				Prep:  &prepFillAge2,
-			},
+// E12GameSpec exhaustively searches a subset of the SSD scheduling design
+// space — read/write preference × internal-IO ordering — for the combination
+// maximizing the game score on a fixed mixed workload (§3's game). Expected
+// shape: the optimum is a non-obvious combination; single-axis intuition
+// ("always prioritize reads", "always defer GC") loses.
+func E12GameSpec(s Scale) spec.Experiment {
+	var combos []spec.Variant
+	for _, pf := range []string{"none", "reads", "writes"} {
+		for _, in := range []string{"equal", "last", "first"} {
+			combos = append(combos, spec.Variant{
+				Label: "prefer=" + pf + ",internal=" + in,
+				Set: map[string]any{
+					"policy": spec.ParamRef("priority", map[string]any{"prefer": pf, "internal": in}),
+				},
+			})
+		}
+	}
+	return spec.Experiment{
+		Name:   "E12-game",
+		Doc:    "the scheduling game (§3): search preference × internal-IO order for the best composite score",
+		Varies: "policy: prefer × internal (9 combinations)",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFillAge),
+		Workload: []spec.Thread{
+			{Type: "mix", Params: map[string]any{"from": 0, "space": "n", "count": "1000*f", "read_fraction": 0.6, "depth": 24}},
 		},
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			st.Add(&workload.RandomWriter{From: 0, Space: n, Count: n / 2, Depth: 32}, after)
+		Variants: combos,
+	}
+}
+
+// E13TraceReplaySpec closes the loop on the trace subsystem: the aged
+// file-system workload is captured once (the e13replay thread type memoizes
+// it per scale), then the identical IO stream is replayed across scheduler
+// and GC variants and across replay modes (§2.3's repeatability methodology
+// applied to real streams instead of synthetic generators). Expected shape:
+// closed-loop variants reproduce the E2/E3 policy trade-offs on a realistic
+// stream; open-loop at the captured rate shows queueing when a variant falls
+// behind; time-scale 0.5 doubles the offered rate and stresses the tail.
+func E13TraceReplaySpec(s Scale) spec.Experiment {
+	device := "small"
+	if s == Full {
+		device = "full"
+	}
+	replay := func(mode string, scale float64) []spec.Thread {
+		return []spec.Thread{{Type: "e13replay", Params: map[string]any{
+			"mode": mode, "time_scale": scale, "depth": 16, "scale": device,
+		}}}
+	}
+	policy := func(label string, ref spec.Ref) spec.Variant {
+		return spec.Variant{Label: label, Set: map[string]any{"policy": ref}}
+	}
+	return spec.Experiment{
+		Name:     "E13-trace-replay",
+		Doc:      "trace capture & replay: one aged-FS stream across policies and pacing modes (§2.3)",
+		Varies:   "policy / gc.greediness / replay mode",
+		Factor:   s.factor(),
+		Base:     baseSpec(s),
+		Prep:     prepOf(prepFillAge),
+		Workload: replay("closed", 1),
+		Variants: []spec.Variant{
+			{Label: "closed,fifo"},
+			policy("closed,reads-first", spec.ParamRef("priority", map[string]any{"prefer": "reads"})),
+			policy("closed,writes-first", spec.ParamRef("priority", map[string]any{"prefer": "writes"})),
+			{Label: "closed,gc-greediness=1", Set: map[string]any{"gc.greediness": 1}},
+			{Label: "closed,gc-greediness=8", Set: map[string]any{"gc.greediness": 8}},
+			{Label: "open,1x", Workload: replay("open", 1)},
+			{Label: "open,0.5x", Workload: replay("open", 0.5)},
+			{Label: "dependent", Workload: replay("dependent", 1)},
 		},
 	}
+}
+
+// Compiled accessors, resolving the spec data above. They keep the
+// historical API: tests and callers get runnable Definitions.
+
+// E1Parallelism resolves E1ParallelismSpec.
+func E1Parallelism(s Scale) Definition { return mustFromSpec(E1ParallelismSpec(s)) }
+
+// E2SchedPolicy resolves E2SchedPolicySpec.
+func E2SchedPolicy(s Scale) Definition { return mustFromSpec(E2SchedPolicySpec(s)) }
+
+// E3GCGreediness resolves E3GCGreedinessSpec.
+func E3GCGreediness(s Scale) Definition { return mustFromSpec(E3GCGreedinessSpec(s)) }
+
+// E4WearLeveling resolves E4WearLevelingSpec.
+func E4WearLeveling(s Scale) Definition { return mustFromSpec(E4WearLevelingSpec(s)) }
+
+// E5Mapping resolves E5MappingSpec.
+func E5Mapping(s Scale) Definition { return mustFromSpec(E5MappingSpec(s)) }
+
+// E6PriorityTag resolves E6PriorityTagSpec.
+func E6PriorityTag(s Scale) Definition { return mustFromSpec(E6PriorityTagSpec(s)) }
+
+// E7UpdateLocality resolves E7UpdateLocalitySpec.
+func E7UpdateLocality(s Scale) Definition { return mustFromSpec(E7UpdateLocalitySpec(s)) }
+
+// E8Temperature resolves E8TemperatureSpec.
+func E8Temperature(s Scale) Definition { return mustFromSpec(E8TemperatureSpec(s)) }
+
+// E9QueueDepth resolves E9QueueDepthSpec.
+func E9QueueDepth(s Scale) Definition { return mustFromSpec(E9QueueDepthSpec(s)) }
+
+// E10AdvancedCmds resolves E10AdvancedCmdsSpec.
+func E10AdvancedCmds(s Scale) Definition { return mustFromSpec(E10AdvancedCmdsSpec(s)) }
+
+// E11Aging resolves E11AgingSpec.
+func E11Aging(s Scale) Definition { return mustFromSpec(E11AgingSpec(s)) }
+
+// E12Game resolves E12GameSpec.
+func E12Game(s Scale) Definition { return mustFromSpec(E12GameSpec(s)) }
+
+// E13TraceReplay resolves E13TraceReplaySpec.
+func E13TraceReplay(s Scale) Definition { return mustFromSpec(E13TraceReplaySpec(s)) }
+
+// SuiteSpecs returns every predefined experiment as spec data at the given
+// scale, in paper order. Encode any element to get its portable document —
+// the checked-in specs/*.json files are exactly that.
+func SuiteSpecs(s Scale) []spec.Experiment {
+	return []spec.Experiment{
+		E1ParallelismSpec(s), E2SchedPolicySpec(s), E3GCGreedinessSpec(s), E4WearLevelingSpec(s),
+		E5MappingSpec(s), E6PriorityTagSpec(s), E7UpdateLocalitySpec(s), E8TemperatureSpec(s),
+		E9QueueDepthSpec(s), E10AdvancedCmdsSpec(s), E11AgingSpec(s), E12GameSpec(s),
+		E13TraceReplaySpec(s),
+	}
+}
+
+// Suite returns every predefined experiment at the given scale, in paper
+// order, resolved through the component registry.
+func Suite(s Scale) []Definition {
+	specs := SuiteSpecs(s)
+	defs := make([]Definition, len(specs))
+	for i, e := range specs {
+		defs[i] = mustFromSpec(e)
+	}
+	return defs
 }
 
 // GameWeights scores the demonstration game: maximize throughput while
@@ -445,45 +592,6 @@ func (w GameWeights) Score(r core.Report) float64 {
 	return r.Throughput / (1 + penalty)
 }
 
-// E12Game exhaustively searches a subset of the SSD scheduling design space
-// — read/write preference × internal-IO ordering — for the combination
-// maximizing the game score on a fixed mixed workload (§3's game).
-// Expected shape: the optimum is a non-obvious combination; single-axis
-// intuition ("always prioritize reads", "always defer GC") loses.
-func E12Game(s Scale) Definition {
-	combos := []Variant{}
-	prefs := []struct {
-		name string
-		p    sched.Preference
-	}{{"none", sched.PreferNone}, {"reads", sched.PreferReads}, {"writes", sched.PreferWrites}}
-	internals := []struct {
-		name string
-		o    sched.InternalOrder
-	}{{"equal", sched.InternalEqual}, {"last", sched.InternalLast}, {"first", sched.InternalFirst}}
-	for _, pf := range prefs {
-		for _, in := range internals {
-			pf, in := pf, in
-			combos = append(combos, Variant{
-				Label: "prefer=" + pf.name + ",internal=" + in.name,
-				Mutate: func(c *core.Config) {
-					c.Controller.Policy = &sched.Priority{Prefer: pf.p, Internal: in.o}
-				},
-			})
-		}
-	}
-	return Definition{
-		Name:     "E12-game",
-		Base:     func() core.Config { return baseConfig(s) },
-		Variants: combos,
-		Prep:     prepFillAge,
-		Workload: func(st *core.Stack, after *workload.Handle) {
-			n := int64(st.LogicalPages())
-			count := 1000 * s.factor()
-			st.Add(&workload.ReadWriteMix{From: 0, Space: n, Count: count, ReadFraction: 0.6, Depth: 24}, after)
-		},
-	}
-}
-
 // CaptureE13Trace records the E13 reference workload: a file-system churn on
 // an aged device, captured at the OS scheduler layer after the measurement
 // barrier. The result is fully determined by the scale, so every caller gets
@@ -491,7 +599,10 @@ func E12Game(s Scale) Definition {
 func CaptureE13Trace(s Scale) *trace.Trace {
 	cap := trace.NewCapture()
 	cap.Stop() // stay silent through device preparation
-	cfg := baseConfig(s)
+	cfg, err := baseSpec(s).Resolve()
+	if err != nil {
+		panic(fmt.Sprintf("experiment: E13 capture config: %v", err))
+	}
 	cfg.OS.Capture = cap
 	st, err := core.New(cfg)
 	if err != nil {
@@ -509,65 +620,4 @@ func CaptureE13Trace(s Scale) *trace.Trace {
 	}, arm)
 	st.Run()
 	return cap.Trace()
-}
-
-// E13TraceReplay closes the loop on the trace subsystem: the aged
-// file-system workload above is captured once, then the identical IO stream
-// is replayed across scheduler and GC variants and across replay modes
-// (§2.3's repeatability methodology applied to real streams instead of
-// synthetic generators). Expected shape: closed-loop variants reproduce the
-// E2/E3 policy trade-offs on a realistic stream; open-loop at the captured
-// rate shows queueing when a variant falls behind; time-scale 0.5 doubles
-// the offered rate and stresses the tail.
-func E13TraceReplay(s Scale) Definition {
-	// The capture simulation runs lazily, once, on first variant execution:
-	// Suite() is also called just to list or select experiments, and must
-	// not pay for an aged-device run it never replays.
-	var once sync.Once
-	var tr *trace.Trace
-	captured := func() *trace.Trace {
-		once.Do(func() { tr = CaptureE13Trace(s) })
-		return tr
-	}
-	// Each variant builds its own Replay value; the captured trace itself is
-	// shared read-only, so parallel variant workers never interfere.
-	replay := func(mode workload.ReplayMode, scale float64) func(*core.Stack, *workload.Handle) {
-		return func(st *core.Stack, after *workload.Handle) {
-			st.Add(&workload.Replay{Trace: captured(), Mode: mode, TimeScale: scale, Depth: 16}, after)
-		}
-	}
-	policy := func(p func() sched.Policy) func(*core.Config) {
-		return func(c *core.Config) { c.Controller.Policy = p() }
-	}
-	return Definition{
-		Name: "E13-trace-replay",
-		Base: func() core.Config { return baseConfig(s) },
-		Variants: []Variant{
-			{Label: "closed,fifo"},
-			{Label: "closed,reads-first",
-				Mutate: policy(func() sched.Policy { return &sched.Priority{Prefer: sched.PreferReads} })},
-			{Label: "closed,writes-first",
-				Mutate: policy(func() sched.Policy { return &sched.Priority{Prefer: sched.PreferWrites} })},
-			{Label: "closed,gc-greediness=1",
-				Mutate: func(c *core.Config) { c.Controller.GCGreediness = 1 }},
-			{Label: "closed,gc-greediness=8",
-				Mutate: func(c *core.Config) { c.Controller.GCGreediness = 8 }},
-			{Label: "open,1x", Workload: replay(workload.ReplayOpenLoop, 1)},
-			{Label: "open,0.5x", Workload: replay(workload.ReplayOpenLoop, 0.5)},
-			{Label: "dependent", Workload: replay(workload.ReplayDependent, 1)},
-		},
-		Prep:     prepFillAge,
-		Workload: replay(workload.ReplayClosedLoop, 1),
-	}
-}
-
-// Suite returns every predefined experiment at the given scale, in paper
-// order.
-func Suite(s Scale) []Definition {
-	return []Definition{
-		E1Parallelism(s), E2SchedPolicy(s), E3GCGreediness(s), E4WearLeveling(s),
-		E5Mapping(s), E6PriorityTag(s), E7UpdateLocality(s), E8Temperature(s),
-		E9QueueDepth(s), E10AdvancedCmds(s), E11Aging(s), E12Game(s),
-		E13TraceReplay(s),
-	}
 }

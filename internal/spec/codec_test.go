@@ -1,0 +1,304 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sampleExperiment returns a document exercising every corner of the
+// format: refs with and without parameters, nested components, expressions,
+// repeats, variant overrides of every flavor.
+func sampleExperiment() Experiment {
+	return Experiment{
+		Name:   "sample",
+		Doc:    "codec exercise",
+		Varies: "everything",
+		Factor: 2,
+		Base: Config{
+			Geometry:      Geometry{Channels: 2, LUNsPerChannel: 2, BlocksPerLUN: 64, PagesPerBlock: 32, PageSize: 4096},
+			Timing:        NamedRef("slc"),
+			Mapping:       ParamRef("dftl", map[string]any{"cmt": 512, "trans_blocks": 4}),
+			Overprovision: 0.15,
+			GC:            GCSpec{Policy: NamedRef("costbenefit"), Greediness: 4, Copyback: true},
+			WL:            ParamRef("full", map[string]any{"check_interval": "5ms"}),
+			Policy: ParamRef("deadline", map[string]any{
+				"read_deadline":  "2ms",
+				"write_deadline": "20ms",
+				"fallback":       ParamRef("priority", map[string]any{"prefer": "reads"}),
+			}),
+			Alloc:         NamedRef("roundrobin"),
+			Detector:      ParamRef("mbf", map[string]any{"filters": 6}),
+			OpenInterface: true,
+			WriteBuffer:   WriteBufferSpec{Pages: 16, Latency: Duration(5000)},
+			OS:            OSSpec{Policy: ParamRef("cfq", map[string]any{"quantum": 8}), QueueDepth: 16},
+			Seed:          7,
+		},
+		Prep: &Prep{FillDepth: 32, AgePasses: 1},
+		Workload: []Thread{
+			{Type: "mix", Params: map[string]any{"from": 0, "space": "n", "count": "1000*f", "read_fraction": 0.5, "depth": 16}},
+			{Type: "fs", Repeat: 4, Params: map[string]any{"from": "i*(n/8)", "space": "n/8", "ops": 100, "depth": 8}},
+		},
+		Variants: []Variant{
+			{Label: "a"},
+			{Label: "b", X: 2, Set: map[string]any{"gc.greediness": 8, "policy": "fifo"}},
+			{Label: "c", Prep: &Prep{}, Workload: []Thread{
+				{Type: "randread", Params: map[string]any{"from": 0, "space": "n", "count": 500, "depth": 4}},
+			}},
+		},
+	}
+}
+
+// TestCodecRoundTrip: Encode then Decode must reproduce the document, and
+// re-encoding the decoded document must be byte-identical (the canonical
+// form is a fixed point).
+func TestCodecRoundTrip(t *testing.T) {
+	e := sampleExperiment()
+	data, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != e.Name || got.Factor != e.Factor || len(got.Variants) != len(e.Variants) {
+		t.Fatalf("decoded document lost structure: %+v", got)
+	}
+	again, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding is not a fixed point:\nfirst:  %s\nsecond: %s", data, again)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded sample does not validate: %v", err)
+	}
+}
+
+// TestCodecResolvesIdentically: the decoded document must resolve to the
+// same live configuration as the authored one (JSON numbers arrive as
+// float64, Go literals as int — the resolver must not care).
+func TestCodecResolvesIdentically(t *testing.T) {
+	e := sampleExperiment()
+	data, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Base.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Base.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey, err := CanonKey(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveKey, err := CanonKey(have)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantKey != haveKey {
+		t.Fatalf("authored and decoded documents resolve differently:\n%s\n%s", wantKey, haveKey)
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	e := sampleExperiment()
+	data, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 2, 99} {
+		mangled := bytes.Replace(data, []byte(`"version": 1`), []byte(fmt.Sprintf(`"version": %d`, v)), 1)
+		_, err := Decode(mangled)
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("version %d: error %v, want *VersionError", v, err)
+		}
+		if ve.Got != v || ve.Want != Version {
+			t.Fatalf("version error %+v, want Got=%d Want=%d", ve, v, Version)
+		}
+	}
+}
+
+func TestDecodeUnknownField(t *testing.T) {
+	data := []byte(`{"version": 1, "name": "x", "base": {"geometry": {"channels": 1}}, "wobble": 3}`)
+	_, err := Decode(data)
+	var ue *UnknownFieldError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v, want *UnknownFieldError", err)
+	}
+	if ue.Field != "wobble" {
+		t.Fatalf("unknown field %q, want wobble", ue.Field)
+	}
+}
+
+// TestDecodeTruncated: every prefix of a valid document must fail with
+// ErrTruncated (or, for a prefix that happens to be valid JSON — like the
+// empty object prefix "{}" region — a version error), never succeed and
+// never panic.
+func TestDecodeTruncated(t *testing.T) {
+	data, err := Encode(sampleExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		cut := 1 + rng.Intn(len(data)-2)
+		_, err := Decode(data[:cut])
+		if err == nil {
+			t.Fatalf("decoding %d-byte prefix succeeded", cut)
+		}
+		var ve *VersionError
+		if !errors.Is(err, ErrTruncated) && !errors.As(err, &ve) {
+			t.Fatalf("prefix %d: error %v, want ErrTruncated (or VersionError for short valid prefixes)", cut, err)
+		}
+	}
+}
+
+// TestDecodeGarbage: random corruption must produce an error, never a
+// panic; flipped bytes that keep the JSON valid may still decode.
+func TestDecodeGarbage(t *testing.T) {
+	data, err := Encode(sampleExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		mangled := append([]byte(nil), data...)
+		for i := 0; i < 3; i++ {
+			mangled[rng.Intn(len(mangled))] = byte(rng.Intn(256))
+		}
+		e, err := Decode(mangled)
+		if err == nil {
+			// Valid JSON after corruption: it must still validate or fail
+			// with a typed resolve error, not crash.
+			_ = e.Validate()
+		}
+	}
+}
+
+func TestValidateUnknownComponent(t *testing.T) {
+	e := sampleExperiment()
+	e.Base.Policy = NamedRef("quantum-scheduler")
+	err := e.Validate()
+	var uc *UnknownComponentError
+	if !errors.As(err, &uc) {
+		t.Fatalf("error %v, want *UnknownComponentError", err)
+	}
+	if uc.Kind != KindPolicy || uc.Name != "quantum-scheduler" {
+		t.Fatalf("unexpected error detail: %+v", uc)
+	}
+}
+
+func TestValidateUnknownParam(t *testing.T) {
+	e := sampleExperiment()
+	e.Base.Detector = ParamRef("mbf", map[string]any{"filterz": 4})
+	err := e.Validate()
+	var ue *UnknownFieldError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v, want *UnknownFieldError", err)
+	}
+	if ue.Field != "filterz" {
+		t.Fatalf("field %q, want filterz", ue.Field)
+	}
+}
+
+func TestValidateBadParamType(t *testing.T) {
+	e := sampleExperiment()
+	e.Workload = []Thread{{Type: "randwrite", Params: map[string]any{"count": true}}}
+	err := e.Validate()
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v, want *ParamError", err)
+	}
+}
+
+func TestValidateBadExpression(t *testing.T) {
+	e := sampleExperiment()
+	e.Workload = []Thread{{Type: "randwrite", Params: map[string]any{"count": "2*zz"}}}
+	err := e.Validate()
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v, want *ParamError", err)
+	}
+	var ee *ExprError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error %v does not wrap *ExprError", err)
+	}
+}
+
+func TestValidateUnknownSetPath(t *testing.T) {
+	e := sampleExperiment()
+	e.Variants = append(e.Variants, Variant{Label: "bad", Set: map[string]any{"gc.eagerness": 3}})
+	err := e.Validate()
+	var ue *UnknownFieldError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v, want *UnknownFieldError", err)
+	}
+	if ue.Field != "gc.eagerness" {
+		t.Fatalf("field %q, want gc.eagerness", ue.Field)
+	}
+}
+
+// TestRefShorthand: a bare string and the object form decode to the same
+// reference; parameterless refs marshal back to the shorthand.
+func TestRefShorthand(t *testing.T) {
+	var r Ref
+	if err := json.Unmarshal([]byte(`"fifo"`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, Ref{Name: "fifo"}) {
+		t.Fatalf("shorthand decoded to %+v", r)
+	}
+	var r2 Ref
+	if err := json.Unmarshal([]byte(`{"name":"fifo"}`), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, r2) {
+		t.Fatalf("object form decoded to %+v", r2)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `"fifo"` {
+		t.Fatalf("parameterless ref marshaled to %s", out)
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"2ms"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.D() != 2_000_000 {
+		t.Fatalf(`"2ms" = %d ns`, d)
+	}
+	if err := json.Unmarshal([]byte(`1500`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.D() != 1500 {
+		t.Fatalf("1500 = %d ns", d)
+	}
+	out, err := json.Marshal(Duration(2_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `"2ms"` {
+		t.Fatalf("2ms marshaled to %s", out)
+	}
+}

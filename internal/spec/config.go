@@ -1,0 +1,329 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"eagletree/internal/controller"
+	"eagletree/internal/core"
+	"eagletree/internal/flash"
+	"eagletree/internal/gc"
+	"eagletree/internal/hotcold"
+	"eagletree/internal/osched"
+	"eagletree/internal/sched"
+	"eagletree/internal/wl"
+)
+
+// Config is the serializable mirror of core.Config: every structural and
+// behavioral knob of the stack, with pluggable components referenced by
+// registered name instead of held as live Go values. A zero field means
+// "the stack's default" — Resolve leaves the corresponding core.Config
+// field zero and the runtime default fill-in applies, exactly as it would
+// for a hand-built configuration.
+//
+// Runtime-only wiring (completion callbacks, trace sinks, capture hooks) has
+// no mirror here: a spec describes a configuration, not a live process.
+type Config struct {
+	Geometry      Geometry        `json:"geometry"`
+	Timing        Ref             `json:"timing,omitempty"`
+	Features      Features        `json:"features,omitempty"`
+	Mapping       Ref             `json:"mapping,omitempty"`
+	Overprovision float64         `json:"overprovision,omitempty"`
+	GC            GCSpec          `json:"gc,omitempty"`
+	WL            Ref             `json:"wl,omitempty"`
+	Policy        Ref             `json:"policy,omitempty"`
+	Alloc         Ref             `json:"alloc,omitempty"`
+	Detector      Ref             `json:"detector,omitempty"`
+	OpenInterface bool            `json:"open_interface,omitempty"`
+	WriteBuffer   WriteBufferSpec `json:"write_buffer,omitempty"`
+	RAM           RAMSpec         `json:"ram,omitempty"`
+	BadBlocks     BadBlockSpec    `json:"bad_blocks,omitempty"`
+	OS            OSSpec          `json:"os,omitempty"`
+	Seed          uint64          `json:"seed,omitempty"`
+	SeriesBucket  Duration        `json:"series_bucket,omitempty"`
+	TraceCap      int             `json:"trace_cap,omitempty"`
+	LockBus       bool            `json:"lock_bus,omitempty"`
+}
+
+// Geometry mirrors flash.Geometry.
+type Geometry struct {
+	Channels       int `json:"channels"`
+	LUNsPerChannel int `json:"luns_per_channel"`
+	BlocksPerLUN   int `json:"blocks_per_lun"`
+	PagesPerBlock  int `json:"pages_per_block"`
+	PageSize       int `json:"page_size"`
+}
+
+// Features mirrors flash.Features.
+type Features struct {
+	Copyback     bool `json:"copyback,omitempty"`
+	Interleaving bool `json:"interleaving,omitempty"`
+}
+
+// GCSpec groups garbage-collection knobs: the victim policy plus the
+// controller-level greediness and copyback flags.
+type GCSpec struct {
+	Policy     Ref  `json:"policy,omitempty"`
+	Greediness int  `json:"greediness,omitempty"`
+	Copyback   bool `json:"copyback,omitempty"`
+}
+
+// WriteBufferSpec mirrors the battery-backed RAM write buffer knobs.
+type WriteBufferSpec struct {
+	Pages   int      `json:"pages,omitempty"`
+	Latency Duration `json:"latency,omitempty"`
+}
+
+// RAMSpec mirrors the controller memory budgets.
+type RAMSpec struct {
+	Bytes     int64 `json:"bytes,omitempty"`
+	SafeBytes int64 `json:"safe_bytes,omitempty"`
+}
+
+// BadBlockSpec mirrors the factory bad-block model.
+type BadBlockSpec struct {
+	Fraction float64 `json:"fraction,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+}
+
+// OSSpec mirrors osched.Config.
+type OSSpec struct {
+	Policy     Ref `json:"policy,omitempty"`
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// Resolve builds the live core.Config: every component reference is
+// constructed through the registry (fresh instances on every call — policies
+// and detectors are stateful, so resolved configurations are never shared).
+// Unset references stay nil and pick up the stack's runtime defaults.
+func (c Config) Resolve() (core.Config, error) {
+	var cfg core.Config
+	cfg.Seed = c.Seed
+	cfg.SeriesBucket = c.SeriesBucket.D()
+	cfg.TraceCap = c.TraceCap
+	cfg.LockBus = c.LockBus
+
+	ctl := &cfg.Controller
+	ctl.Geometry = flash.Geometry{
+		Channels:       c.Geometry.Channels,
+		LUNsPerChannel: c.Geometry.LUNsPerChannel,
+		BlocksPerLUN:   c.Geometry.BlocksPerLUN,
+		PagesPerBlock:  c.Geometry.PagesPerBlock,
+		PageSize:       c.Geometry.PageSize,
+	}
+	ctl.Features = flash.Features{Copyback: c.Features.Copyback, Interleaving: c.Features.Interleaving}
+	ctl.Overprovision = c.Overprovision
+	ctl.GCGreediness = c.GC.Greediness
+	ctl.GCCopyback = c.GC.Copyback
+	ctl.OpenInterface = c.OpenInterface
+	ctl.WriteBufferPages = c.WriteBuffer.Pages
+	ctl.WriteBufferLatency = c.WriteBuffer.Latency.D()
+	ctl.RAMBytes = c.RAM.Bytes
+	ctl.SafeRAMBytes = c.RAM.SafeBytes
+	ctl.BadBlockFraction = c.BadBlocks.Fraction
+	ctl.BadBlockSeed = c.BadBlocks.Seed
+	cfg.OS.QueueDepth = c.OS.QueueDepth
+
+	var env Env // configurations carry no workload expressions
+	if !c.Timing.None() {
+		v, err := Make(KindTiming, c.Timing, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: timing: %w", err)
+		}
+		ctl.Timing = v.(flash.Timing)
+	}
+	if !c.Mapping.None() {
+		v, err := Make(KindMapping, c.Mapping, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: mapping: %w", err)
+		}
+		m := v.(MappingChoice)
+		ctl.Mapping = m.Scheme
+		ctl.CMTEntries = m.CMTEntries
+		ctl.ReservedTransBlocks = m.ReservedTransBlocks
+	}
+	if !c.GC.Policy.None() {
+		v, err := Make(KindGCPolicy, c.GC.Policy, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: gc policy: %w", err)
+		}
+		ctl.GCPolicy = v.(gc.VictimPolicy)
+	}
+	if !c.WL.None() {
+		v, err := Make(KindWL, c.WL, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: wear leveling: %w", err)
+		}
+		ctl.WL = v.(wl.Config)
+	}
+	if !c.Policy.None() {
+		v, err := Make(KindPolicy, c.Policy, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: scheduling policy: %w", err)
+		}
+		ctl.Policy = v.(sched.Policy)
+	}
+	if !c.Alloc.None() {
+		v, err := Make(KindAllocator, c.Alloc, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: allocator: %w", err)
+		}
+		ctl.Alloc = v.(sched.Allocator)
+	}
+	if !c.Detector.None() {
+		v, err := Make(KindDetector, c.Detector, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: detector: %w", err)
+		}
+		ctl.Detector = v.(hotcold.Detector)
+	}
+	if !c.OS.Policy.None() {
+		v, err := Make(KindOSPolicy, c.OS.Policy, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: os policy: %w", err)
+		}
+		cfg.OS.Policy = v.(osched.Policy)
+	}
+	return cfg, nil
+}
+
+// FromConfig describes a live configuration back into its serializable
+// mirror. Every component is reverse-mapped through the registry — a value
+// of an unregistered type is an *UnknownComponentError, never a silently
+// lossy description — and defaulted fields are normalized to their effective
+// values (nil policy describes as "fifo", zero greediness as 2, …), so two
+// configurations the stack would run identically describe identically.
+//
+// Runtime wiring (OnComplete, OS trace and capture hooks) is outside the
+// description; callers keying caches must account for it separately if it
+// can change behavior.
+func FromConfig(cfg core.Config) (Config, error) {
+	ctl := cfg.Controller
+	out := Config{
+		Geometry: Geometry{
+			Channels:       ctl.Geometry.Channels,
+			LUNsPerChannel: ctl.Geometry.LUNsPerChannel,
+			BlocksPerLUN:   ctl.Geometry.BlocksPerLUN,
+			PagesPerBlock:  ctl.Geometry.PagesPerBlock,
+			PageSize:       ctl.Geometry.PageSize,
+		},
+		Features:      Features{Copyback: ctl.Features.Copyback, Interleaving: ctl.Features.Interleaving},
+		Overprovision: ctl.Overprovision,
+		OpenInterface: ctl.OpenInterface,
+		WriteBuffer:   WriteBufferSpec{Pages: ctl.WriteBufferPages, Latency: Duration(ctl.WriteBufferLatency)},
+		RAM:           RAMSpec{Bytes: ctl.RAMBytes, SafeBytes: ctl.SafeRAMBytes},
+		BadBlocks:     BadBlockSpec{Fraction: ctl.BadBlockFraction, Seed: ctl.BadBlockSeed},
+		Seed:          cfg.Seed,
+		SeriesBucket:  Duration(cfg.SeriesBucket),
+		TraceCap:      cfg.TraceCap,
+		LockBus:       cfg.LockBus,
+	}
+
+	// Normalization mirrors the runtime default fill-in (core.New and the
+	// controller/OS withDefaults), so a configuration relying on defaults
+	// and one spelling them out describe — and cache-key — identically.
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Overprovision == 0 {
+		out.Overprovision = 0.1
+	}
+	timing := ctl.Timing
+	if timing.Cmd == 0 {
+		timing = flash.TimingSLC()
+	}
+	gcPolicy := ctl.GCPolicy
+	if gcPolicy == nil {
+		gcPolicy = gc.Greedy{}
+	}
+	out.GC.Greediness = ctl.GCGreediness
+	if out.GC.Greediness == 0 {
+		out.GC.Greediness = 2
+	}
+	out.GC.Copyback = ctl.GCCopyback
+	policy := ctl.Policy
+	if policy == nil {
+		policy = &sched.FIFO{}
+	}
+	alloc := ctl.Alloc
+	if alloc == nil {
+		alloc = sched.LeastLoaded{}
+	}
+	detector := ctl.Detector
+	if detector == nil {
+		detector = hotcold.None{}
+	}
+	mapping := MappingChoice{Scheme: ctl.Mapping, CMTEntries: ctl.CMTEntries, ReservedTransBlocks: ctl.ReservedTransBlocks}
+	if mapping.Scheme == controller.MapDFTL {
+		if mapping.CMTEntries == 0 {
+			mapping.CMTEntries = 4096
+		}
+		if mapping.ReservedTransBlocks == 0 {
+			mapping.ReservedTransBlocks = 2
+		}
+	} else {
+		mapping.CMTEntries, mapping.ReservedTransBlocks = 0, 0
+	}
+	wlCfg := ctl.WL
+	if wlCfg.CheckInterval == 0 {
+		wlCfg.CheckInterval = wl.DefaultConfig().CheckInterval
+	}
+	if out.WriteBuffer.Pages > 0 && out.WriteBuffer.Latency == 0 {
+		out.WriteBuffer.Latency = Duration(5000) // 5us, the controller default
+	} else if out.WriteBuffer.Pages == 0 {
+		out.WriteBuffer.Latency = 0
+	}
+	osPolicy := cfg.OS.Policy
+	if osPolicy == nil {
+		osPolicy = &osched.FIFO{}
+	}
+	out.OS.QueueDepth = cfg.OS.QueueDepth
+	if out.OS.QueueDepth == 0 {
+		out.OS.QueueDepth = 32
+	}
+
+	var err error
+	if out.Timing, err = Describe(KindTiming, timing); err != nil {
+		return out, fmt.Errorf("spec: timing: %w", err)
+	}
+	if out.Mapping, err = Describe(KindMapping, mapping); err != nil {
+		return out, fmt.Errorf("spec: mapping: %w", err)
+	}
+	if out.GC.Policy, err = Describe(KindGCPolicy, gcPolicy); err != nil {
+		return out, fmt.Errorf("spec: gc policy: %w", err)
+	}
+	if out.WL, err = Describe(KindWL, wlCfg); err != nil {
+		return out, fmt.Errorf("spec: wear leveling: %w", err)
+	}
+	if out.Policy, err = Describe(KindPolicy, policy); err != nil {
+		return out, fmt.Errorf("spec: scheduling policy: %w", err)
+	}
+	if out.Alloc, err = Describe(KindAllocator, alloc); err != nil {
+		return out, fmt.Errorf("spec: allocator: %w", err)
+	}
+	if out.Detector, err = Describe(KindDetector, detector); err != nil {
+		return out, fmt.Errorf("spec: detector: %w", err)
+	}
+	if out.OS.Policy, err = Describe(KindOSPolicy, osPolicy); err != nil {
+		return out, fmt.Errorf("spec: os policy: %w", err)
+	}
+	return out, nil
+}
+
+// CanonKey renders a configuration as a canonical string: the registry-
+// described mirror, JSON-encoded (struct fields in declaration order, map
+// keys sorted — deterministic across processes). Configurations holding an
+// unregistered component are a typed error, which is the point: the
+// reflective printer this replaces silently produced colliding keys for
+// components configured through unexported state.
+func CanonKey(cfg core.Config) (string, error) {
+	cs, err := FromConfig(cfg)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(cs)
+	if err != nil {
+		return "", fmt.Errorf("spec: canonical encoding: %w", err)
+	}
+	return "spec1|" + string(data), nil
+}

@@ -1,0 +1,204 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Env supplies the variables workload expressions may reference. Expressions
+// are what let one spec file describe a workload for any device size: a
+// count of "2*n" scales with the stack it finally runs on instead of baking
+// in one geometry's page count.
+type Env struct {
+	// N is the stack's logical capacity in pages.
+	N int64
+	// PPB is the geometry's pages per erase block.
+	PPB int64
+	// QD is the OS queue depth of the (variant-mutated) configuration.
+	QD int64
+	// F is the experiment's scale factor (spec field "factor"; 0 reads as 1).
+	F int64
+	// I is the zero-based replica index of a repeated thread.
+	I int64
+}
+
+func (e Env) lookup(name string) (int64, bool) {
+	switch name {
+	case "n":
+		return e.N, true
+	case "ppb":
+		return e.PPB, true
+	case "qd":
+		return e.QD, true
+	case "f":
+		if e.F <= 0 {
+			return 1, true
+		}
+		return e.F, true
+	case "i":
+		return e.I, true
+	}
+	return 0, false
+}
+
+// ExprError reports a malformed or unevaluable expression.
+type ExprError struct {
+	Expr string
+	Msg  string
+}
+
+func (e *ExprError) Error() string {
+	return fmt.Sprintf("spec: expression %q: %s", e.Expr, e.Msg)
+}
+
+// Eval evaluates an integer expression over the environment. The grammar is
+// deliberately tiny — integer literals, the variables n, ppb, qd, f and i,
+// the operators + - * / %, unary minus, and parentheses — and division is
+// Go's truncated integer division evaluated left to right, so an expression
+// like "n*3/4/4" computes exactly what the equivalent Go code would.
+func Eval(expr string, env Env) (int64, error) {
+	p := exprParser{src: expr, env: env}
+	v, err := p.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, p.errf("trailing input at offset %d", p.pos)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+	env Env
+}
+
+func (p *exprParser) errf(format string, args ...any) error {
+	return &ExprError{Expr: p.src, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseSum() (int64, error) {
+	v, err := p.parseProduct()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			w, err := p.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			p.pos++
+			w, err := p.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseProduct() (int64, error) {
+	v, err := p.parseFactor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peek()
+		if op != '*' && op != '/' && op != '%' {
+			return v, nil
+		}
+		p.pos++
+		w, err := p.parseFactor()
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case '*':
+			v *= w
+		case '/':
+			if w == 0 {
+				return 0, p.errf("division by zero")
+			}
+			v /= w
+		case '%':
+			if w == 0 {
+				return 0, p.errf("modulo by zero")
+			}
+			v %= w
+		}
+	}
+}
+
+func (p *exprParser) parseFactor() (int64, error) {
+	switch c := p.peek(); {
+	case c == '-':
+		p.pos++
+		v, err := p.parseFactor()
+		return -v, err
+	case c == '(':
+		p.pos++
+		v, err := p.parseSum()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, p.errf("missing closing parenthesis")
+		}
+		p.pos++
+		return v, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return 0, p.errf("bad integer literal %q", p.src[start:p.pos])
+		}
+		return v, nil
+	case c >= 'a' && c <= 'z':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= 'a' && p.src[p.pos] <= 'z' {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		v, ok := p.env.lookup(name)
+		if !ok {
+			return 0, p.errf("unknown variable %q (have n, ppb, qd, f, i)", name)
+		}
+		return v, nil
+	case c == 0:
+		return 0, p.errf("unexpected end of expression")
+	default:
+		return 0, p.errf("unexpected character %q", string(p.src[p.pos]))
+	}
+}
+
+// looksLikeExpr reports whether a string parameter value should be treated
+// as an expression (anything non-empty qualifies; the parser produces the
+// precise error if it is not one).
+func looksLikeExpr(s string) bool { return strings.TrimSpace(s) != "" }

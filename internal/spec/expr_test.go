@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEval(t *testing.T) {
+	env := Env{N: 8192, PPB: 32, QD: 16, F: 8}
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"n", 8192},
+		{"ppb", 32},
+		{"qd", 16},
+		{"f", 8},
+		{"2*n", 16384},
+		{"n/2", 4096},
+		{"2000*f", 16000},
+		// Left-associative truncated division, exactly like the Go code the
+		// suite used to hard-wire: ((n*3)/4)/4.
+		{"n*3/4/4", 1536},
+		{"4*n*f/2", 131072},
+		{"(n+1)/2", 4096},
+		{"-3+5", 2},
+		{"10%3", 1},
+		{" 2 * ( 3 + 4 ) ", 14},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.expr, env)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", c.expr, err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%q) = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalZeroFactorReadsAsOne(t *testing.T) {
+	got, err := Eval("100*f", Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Fatalf("100*f with zero factor = %d, want 100", got)
+	}
+}
+
+func TestEvalReplicaIndex(t *testing.T) {
+	for i := int64(0); i < 4; i++ {
+		got, err := Eval("i*(n*3/4/4)", Env{N: 8192, I: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i * 1536; got != want {
+			t.Fatalf("i=%d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"", "n+", "x", "1/0", "5%0", "(1+2", "1 2", "n $ 2", "1.5",
+	}
+	for _, expr := range bad {
+		if _, err := Eval(expr, Env{N: 10}); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", expr)
+		} else {
+			var ee *ExprError
+			if !errors.As(err, &ee) {
+				t.Errorf("Eval(%q) error %T, want *ExprError", expr, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package spec
+
+import (
+	"fmt"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/trace"
+	"eagletree/internal/workload"
+)
+
+// Workload thread registrations. Integer-shaped parameters are declared
+// TExpr, so spec files can size them relative to the stack they finally run
+// on ("space": "n", "count": "2*n*f") instead of baking in one geometry.
+
+func tagsOf(p *Params) iface.Tags {
+	return iface.Tags{Priority: iface.Priority(p.Int("priority", 0))}
+}
+
+var prioParam = Param{Name: "priority", Type: TInt, Doc: "open-interface priority tag (-1 | 0 | 1)"}
+
+func init() {
+	registerGenerators()
+	registerAppThreads()
+}
+
+func registerGenerators() {
+	Register(Component{
+		Kind: KindThread, Name: "seqwrite",
+		Doc: "write [from, from+count) in ascending order",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN"},
+			{Name: "count", Type: TExpr, Doc: "pages per pass"},
+			{Name: "loops", Type: TInt, Doc: "passes over the range (0 = 1)"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			prioParam,
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.SequentialWriter{
+				From:  iface.LPN(p.Int64("from", 0)),
+				Count: p.Int64("count", 0),
+				Loops: p.Int("loops", 0),
+				Depth: int(p.Int64("depth", 32)),
+				Tags:  tagsOf(p),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "seqread",
+		Doc: "read [from, from+count) in ascending order",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN"},
+			{Name: "count", Type: TExpr, Doc: "pages per pass"},
+			{Name: "loops", Type: TInt, Doc: "passes over the range (0 = 1)"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			prioParam,
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.SequentialReader{
+				From:  iface.LPN(p.Int64("from", 0)),
+				Count: p.Int64("count", 0),
+				Loops: p.Int("loops", 0),
+				Depth: int(p.Int64("depth", 32)),
+				Tags:  tagsOf(p),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "randwrite",
+		Doc: "uniform random writes over [from, from+space)",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the range"},
+			{Name: "space", Type: TExpr, Doc: "range size in pages"},
+			{Name: "count", Type: TExpr, Doc: "total writes"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			prioParam,
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.RandomWriter{
+				From:  iface.LPN(p.Int64("from", 0)),
+				Space: p.Int64("space", 0),
+				Count: p.Int64("count", 0),
+				Depth: int(p.Int64("depth", 32)),
+				Tags:  tagsOf(p),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "randread",
+		Doc: "uniform random reads over [from, from+space)",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the range"},
+			{Name: "space", Type: TExpr, Doc: "range size in pages"},
+			{Name: "count", Type: TExpr, Doc: "total reads"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			prioParam,
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.RandomReader{
+				From:  iface.LPN(p.Int64("from", 0)),
+				Space: p.Int64("space", 0),
+				Count: p.Int64("count", 0),
+				Depth: int(p.Int64("depth", 32)),
+				Tags:  tagsOf(p),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "zipf",
+		Doc: "Zipf-skewed writes (hot/cold workload)",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the range"},
+			{Name: "space", Type: TExpr, Doc: "range size in pages"},
+			{Name: "count", Type: TExpr, Doc: "total writes"},
+			{Name: "exponent", Type: TFloat, Doc: "Zipf exponent (0 = 1.1)"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			{Name: "tag_temperature", Type: TBool, Doc: "publish oracle temperature tags"},
+			{Name: "hot_fraction", Type: TFloat, Doc: "fraction of the space tagged hot (0 = 0.2)"},
+			{Name: "scramble", Type: TBool, Doc: "permute popularity ranks over the address space"},
+			prioParam,
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.ZipfWriter{
+				From:           iface.LPN(p.Int64("from", 0)),
+				Space:          p.Int64("space", 0),
+				Count:          p.Int64("count", 0),
+				Exponent:       p.Float("exponent", 0),
+				Depth:          int(p.Int64("depth", 32)),
+				TagTemperature: p.Bool("tag_temperature", false),
+				HotFraction:    p.Float("hot_fraction", 0),
+				Scramble:       p.Bool("scramble", false),
+				Tags:           tagsOf(p),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "mix",
+		Doc: "uniform read/write mix over [from, from+space)",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the range"},
+			{Name: "space", Type: TExpr, Doc: "range size in pages"},
+			{Name: "count", Type: TExpr, Doc: "total IOs"},
+			{Name: "read_fraction", Type: TFloat, Doc: "probability an IO is a read"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			prioParam,
+		},
+		Make: func(p *Params) (any, error) {
+			tags := tagsOf(p)
+			return &workload.ReadWriteMix{
+				From:         iface.LPN(p.Int64("from", 0)),
+				Space:        p.Int64("space", 0),
+				Count:        p.Int64("count", 0),
+				ReadFraction: p.Float("read_fraction", 0),
+				Depth:        int(p.Int64("depth", 32)),
+				ReadTags:     tags,
+				WriteTags:    tags,
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "trim",
+		Doc: "trim [from, from+count) sequentially",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN"},
+			{Name: "count", Type: TExpr, Doc: "pages to trim"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.Trimmer{
+				From:  iface.LPN(p.Int64("from", 0)),
+				Count: p.Int64("count", 0),
+				Depth: int(p.Int64("depth", 32)),
+			}, nil
+		},
+	})
+}
+
+func registerAppThreads() {
+	Register(Component{
+		Kind: KindThread, Name: "fs",
+		Doc: "file-system churn: create/overwrite/delete extents",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the FS space"},
+			{Name: "space", Type: TExpr, Doc: "FS space in pages"},
+			{Name: "ops", Type: TExpr, Doc: "total file operations"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			{Name: "mean_file_pages", Type: TExpr, Doc: "average file size in pages (0 = 16)"},
+			{Name: "create_weight", Type: TInt, Doc: "op-mix weight (all zero = 4/4/1)"},
+			{Name: "overwrite_weight", Type: TInt, Doc: "op-mix weight"},
+			{Name: "delete_weight", Type: TInt, Doc: "op-mix weight"},
+			{Name: "tag_locality", Type: TBool, Doc: "publish per-file update-locality hints"},
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.FileSystem{
+				From:            iface.LPN(p.Int64("from", 0)),
+				Space:           p.Int64("space", 0),
+				Ops:             p.Int64("ops", 0),
+				Depth:           int(p.Int64("depth", 32)),
+				MeanFilePages:   int(p.Int64("mean_file_pages", 0)),
+				CreateWeight:    p.Int("create_weight", 0),
+				OverwriteWeight: p.Int("overwrite_weight", 0),
+				DeleteWeight:    p.Int("delete_weight", 0),
+				TagLocality:     p.Bool("tag_locality", false),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "gracejoin",
+		Doc: "Grace hash join IO pattern (partition R and S, probe)",
+		Params: []Param{
+			{Name: "r_from", Type: TExpr, Doc: "first LPN of relation R"},
+			{Name: "r_pages", Type: TExpr, Doc: "pages of R"},
+			{Name: "s_from", Type: TExpr, Doc: "first LPN of relation S"},
+			{Name: "s_pages", Type: TExpr, Doc: "pages of S"},
+			{Name: "part_from", Type: TExpr, Doc: "first LPN of the partition area"},
+			{Name: "partitions", Type: TInt, Doc: "bucket count"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.GraceJoin{
+				RFrom:      iface.LPN(p.Int64("r_from", 0)),
+				RPages:     p.Int64("r_pages", 0),
+				SFrom:      iface.LPN(p.Int64("s_from", 0)),
+				SPages:     p.Int64("s_pages", 0),
+				PartFrom:   iface.LPN(p.Int64("part_from", 0)),
+				Partitions: p.Int("partitions", 0),
+				Depth:      int(p.Int64("depth", 32)),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "lsm",
+		Doc: "LSM-tree insertion IO pattern (WAL, flushes, compactions)",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the tree's space"},
+			{Name: "space", Type: TExpr, Doc: "space in pages"},
+			{Name: "inserts", Type: TExpr, Doc: "total inserted pages"},
+			{Name: "memtable_pages", Type: TExpr, Doc: "flush threshold (0 = 64)"},
+			{Name: "fanout", Type: TInt, Doc: "L0 runs per compaction (0 = 4)"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+			{Name: "tag_priority", Type: TBool, Doc: "mark WAL appends high priority"},
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.LSMInsert{
+				From:          iface.LPN(p.Int64("from", 0)),
+				Space:         p.Int64("space", 0),
+				Inserts:       p.Int64("inserts", 0),
+				MemtablePages: p.Int64("memtable_pages", 0),
+				Fanout:        p.Int("fanout", 0),
+				Depth:         int(p.Int64("depth", 32)),
+				TagPriority:   p.Bool("tag_priority", false),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "extsort",
+		Doc: "external merge sort IO pattern (run formation, merge)",
+		Params: []Param{
+			{Name: "from", Type: TExpr, Doc: "first LPN of the input"},
+			{Name: "input_pages", Type: TExpr, Doc: "input size in pages"},
+			{Name: "scratch_from", Type: TExpr, Doc: "first LPN of the scratch area"},
+			{Name: "run_pages", Type: TExpr, Doc: "in-memory chunk size (0 = 64)"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight"},
+		},
+		Make: func(p *Params) (any, error) {
+			return &workload.ExternalSort{
+				From:        iface.LPN(p.Int64("from", 0)),
+				InputPages:  p.Int64("input_pages", 0),
+				ScratchFrom: iface.LPN(p.Int64("scratch_from", 0)),
+				RunPages:    p.Int64("run_pages", 0),
+				Depth:       int(p.Int64("depth", 32)),
+			}, nil
+		},
+	})
+	Register(Component{
+		Kind: KindThread, Name: "replay",
+		Doc: "replay a block-trace file through the stack",
+		Params: []Param{
+			{Name: "path", Type: TString, Doc: "trace file (.etb binary or text)"},
+			{Name: "mode", Type: TString, Doc: "closed | open | dependent"},
+			{Name: "time_scale", Type: TFloat, Doc: "trace time stretch for open/dependent (0 = 1)"},
+			{Name: "depth", Type: TExpr, Doc: "IOs in flight (closed loop)"},
+		},
+		Make: func(p *Params) (any, error) {
+			path := p.Str("path", "")
+			if path == "" {
+				return nil, &ParamError{Context: p.context(), Param: "path", Err: fmt.Errorf("required")}
+			}
+			tr, err := trace.ReadFile(path)
+			if err != nil {
+				return nil, &ParamError{Context: p.context(), Param: "path", Err: err}
+			}
+			mode, err := workload.ParseReplayMode(p.Enum("mode", "closed", "closed", "open", "dependent"))
+			if err != nil {
+				return nil, &ParamError{Context: p.context(), Param: "mode", Err: err}
+			}
+			return &workload.Replay{
+				Trace:     tr,
+				Mode:      mode,
+				TimeScale: p.Float("time_scale", 0),
+				Depth:     int(p.Int64("depth", 32)),
+			}, nil
+		},
+	})
+}
