@@ -1,493 +1,38 @@
-// Command eagletree runs one simulated configuration under one workload and
-// prints the full report — the command-line counterpart of the paper's
-// demonstration main window: choose hardware, controller and OS policies and
-// a workload, run, observe metrics.
+// Command eagletree is the one EagleTree CLI: a subcommand binary whose
+// component flags, enumerated choices and help text are generated from the
+// component registry, so newly registered policies, allocators, detectors
+// and workload thread types surface automatically.
 //
-// Examples:
+//	eagletree run      simulate one configuration under one workload
+//	eagletree record   run and capture the app-level IO stream to a trace
+//	eagletree replay   replay a captured trace instead of a workload
+//	eagletree state    prepare & save a device state, or inspect one
+//	eagletree sweep    run the E1–E13 design-space experiments or a spec
+//	eagletree list     print the experiment index
+//	eagletree spec     run any experiment spec document
+//	eagletree doc      render the component registry as SPEC.md
 //
-//	eagletree -channels 4 -luns 2 -workload randwrite -count 20000
-//	eagletree -mapping dftl -cmt 1024 -workload mix -read-frac 0.7
-//	eagletree -policy reads-first -workload mix -prepare
-//	eagletree -workload zipf -open -oracle-temp -series
-//	eagletree -workload fs -prepare -record fs.etb
-//	eagletree -replay fs.etb -replay-mode open -policy deadline
-//	eagletree -save-state aged.state
-//	eagletree -load-state aged.state -workload mix -policy reads-first
-//	eagletree -load-state aged.state -workload fs -record aged-fs.etb
-//	eagletree -policy deadline -workload mix -prepare -dump-spec run.json
-//	eagletree -spec run.json
+// Run 'eagletree help' for examples and 'eagletree <command> -h' for flags.
+//
+// The pre-subcommand flag invocation ('eagletree -workload mix …') is
+// deprecated; it forwards to 'eagletree run' with a note on stderr.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"eagletree"
+	"eagletree/internal/cli"
 )
 
 func main() {
-	var (
-		channels = flag.Int("channels", 2, "number of channels")
-		luns     = flag.Int("luns", 2, "LUNs per channel")
-		blocks   = flag.Int("blocks", 128, "blocks per LUN")
-		pages    = flag.Int("pages", 32, "pages per block")
-		cell     = flag.String("cell", "slc", "flash cell type: slc | mlc")
-		copyback = flag.Bool("copyback", false, "enable copyback GC")
-		ilv      = flag.Bool("interleaving", false, "enable channel interleaving")
-
-		mapping = flag.String("mapping", "pagemap", "FTL mapping: pagemap | dftl")
-		cmt     = flag.Int("cmt", 1024, "DFTL cached mapping table entries")
-		op      = flag.Float64("op", 0.15, "overprovisioning fraction")
-		greed   = flag.Int("greediness", 2, "GC greediness (free blocks per LUN)")
-		gcPol   = flag.String("gc", "greedy", "GC victim policy: greedy | costbenefit | random")
-		wlMode  = flag.String("wl", "off", "wear leveling: off | static | dynamic | full")
-
-		policy = flag.String("policy", "fifo", "SSD scheduler: fifo | reads-first | writes-first | deadline | fair")
-		alloc  = flag.String("alloc", "leastloaded", "write allocator: leastloaded | roundrobin | striped")
-		osPol  = flag.String("os-policy", "fifo", "OS scheduler: fifo | prio | cfq")
-		qd     = flag.Int("qd", 32, "OS queue depth")
-
-		open       = flag.String("open", "", "open interface: empty = block device, 'on' = honor tags")
-		detector   = flag.Bool("bloom", false, "enable the multi-bloom hot-data detector")
-		oracleTemp = flag.Bool("oracle-temp", false, "zipf workload publishes oracle temperature tags (needs -open on)")
-
-		wl       = flag.String("workload", "randwrite", "workload: seqwrite | seqread | randwrite | randread | zipf | mix | fs | gracejoin | lsm | extsort")
-		count    = flag.Int64("count", 10000, "workload IO count (or ops for fs, inserts for lsm)")
-		depth    = flag.Int("depth", 32, "workload IO depth")
-		readFrac = flag.Float64("read-frac", 0.5, "read fraction for -workload mix")
-		prepare  = flag.Bool("prepare", false, "prepare the device first (sequential fill + random overwrite), measure only the workload")
-		seed     = flag.Uint64("seed", 1, "deterministic simulation seed")
-		series   = flag.Bool("series", false, "print the completion time series sparkline")
-		memrep   = flag.Bool("mem", false, "print the controller memory report")
-		trace    = flag.Int("trace", 0, "record an IO trace and print its last N events")
-
-		saveState = flag.String("save-state", "", "prepare the device (sequential fill + random overwrite), save its state to this file and exit; restore later with -load-state")
-		loadState = flag.String("load-state", "", "restore a prepared device state saved by -save-state and run the workload on it (replaces -prepare)")
-
-		record      = flag.String("record", "", "capture the app-level IO stream to this trace file (.etb = binary); with -prepare, capture starts after preparation")
-		replay      = flag.String("replay", "", "replay a block trace file instead of -workload")
-		replayMode  = flag.String("replay-mode", "closed", "trace replay pacing: closed | open | dependent")
-		replayScale = flag.Float64("replay-scale", 1, "trace time scale for open/dependent replay (2 = half rate, 0.5 = double rate)")
-
-		specFile = flag.String("spec", "", "run a declarative experiment spec file instead of flags (single-variant specs print the run report, grids print the experiment table)")
-		dumpSpec = flag.String("dump-spec", "", "write the flag-selected configuration, preparation and workload as a spec file and exit; re-run it later with -spec")
-	)
-	flag.Parse()
-
-	if *specFile != "" {
-		if flag.NFlag() > 1 {
-			fmt.Fprintln(os.Stderr, "eagletree: -spec is self-contained; drop the other flags (use -dump-spec to convert flags into a spec)")
-			os.Exit(1)
-		}
-		runSpec(*specFile)
-		return
+	args := os.Args[1:]
+	// Deprecated flag-mode compatibility: a leading flag means the old
+	// single-binary invocation; forward it to the run subcommand.
+	if len(args) > 0 && strings.HasPrefix(args[0], "-") && args[0] != "-h" && args[0] != "-help" && args[0] != "--help" {
+		fmt.Fprintln(os.Stderr, "eagletree: flag-only invocation is deprecated; use 'eagletree run ...' (forwarding)")
+		args = append([]string{"run"}, args...)
 	}
-
-	cfg := eagletree.Config{Seed: *seed}
-	cfg.Controller.Geometry = eagletree.Geometry{
-		Channels: *channels, LUNsPerChannel: *luns,
-		BlocksPerLUN: *blocks, PagesPerBlock: *pages, PageSize: 4096,
-	}
-	if *cell == "mlc" {
-		cfg.Controller.Timing = eagletree.TimingMLC()
-	} else {
-		cfg.Controller.Timing = eagletree.TimingSLC()
-	}
-	cfg.Controller.Features = eagletree.Features{Copyback: *copyback, Interleaving: *ilv}
-	cfg.Controller.GCCopyback = *copyback
-	cfg.Controller.Overprovision = *op
-	cfg.Controller.GCGreediness = *greed
-	cfg.OS.QueueDepth = *qd
-
-	if *mapping == "dftl" {
-		cfg.Controller.Mapping = eagletree.MapDFTL
-		cfg.Controller.CMTEntries = *cmt
-		cfg.Controller.ReservedTransBlocks = 4
-	}
-	switch *gcPol {
-	case "costbenefit":
-		cfg.Controller.GCPolicy = eagletree.GCCostBenefit{}
-	case "random":
-		cfg.Controller.GCPolicy = &eagletree.GCRandom{}
-	}
-	switch *wlMode {
-	case "off":
-		cfg.Controller.WL = eagletree.WLOff()
-	case "static":
-		cfg.Controller.WL = eagletree.WLDefault()
-		cfg.Controller.WL.Dynamic = false
-	case "dynamic":
-		cfg.Controller.WL = eagletree.WLDefault()
-		cfg.Controller.WL.Static = false
-	default:
-		cfg.Controller.WL = eagletree.WLDefault()
-	}
-	switch *policy {
-	case "reads-first":
-		cfg.Controller.Policy = &eagletree.SSDPriority{Prefer: eagletree.PreferReads, UseTags: *open == "on"}
-	case "writes-first":
-		cfg.Controller.Policy = &eagletree.SSDPriority{Prefer: eagletree.PreferWrites, UseTags: *open == "on"}
-	case "deadline":
-		cfg.Controller.Policy = &eagletree.SSDDeadline{
-			ReadDeadline:  2 * eagletree.Millisecond,
-			WriteDeadline: 20 * eagletree.Millisecond,
-		}
-	case "fair":
-		cfg.Controller.Policy = &eagletree.SSDFair{}
-	default:
-		if *open == "on" {
-			cfg.Controller.Policy = &eagletree.SSDPriority{UseTags: true}
-		}
-	}
-	switch *alloc {
-	case "roundrobin":
-		cfg.Controller.Alloc = &eagletree.AllocRoundRobin{}
-	case "striped":
-		cfg.Controller.Alloc = eagletree.AllocStriped{}
-	}
-	switch *osPol {
-	case "prio":
-		cfg.OS.Policy = &eagletree.OSPrio{ReadsFirst: true}
-	case "cfq":
-		cfg.OS.Policy = &eagletree.OSCFQ{}
-	}
-	cfg.Controller.OpenInterface = *open == "on"
-	if *detector {
-		cfg.Controller.Detector = eagletree.NewBloomDetector()
-	}
-	if *series {
-		cfg.SeriesBucket = 10 * eagletree.Millisecond
-	}
-	if *trace > 0 {
-		cfg.TraceCap = *trace
-	}
-	if *saveState != "" && *loadState != "" {
-		fmt.Fprintln(os.Stderr, "eagletree: -save-state and -load-state are mutually exclusive")
-		os.Exit(1)
-	}
-	if *loadState != "" && *prepare {
-		fmt.Fprintln(os.Stderr, "eagletree: -load-state already provides a prepared device; drop -prepare")
-		os.Exit(1)
-	}
-	if *saveState != "" && *record != "" {
-		fmt.Fprintln(os.Stderr, "eagletree: -save-state runs preparation only and records nothing; capture against the restored device with -load-state -record instead")
-		os.Exit(1)
-	}
-
-	// -dump-spec: round-trip the flag combination into a declarative spec
-	// file and exit. Running the file with -spec reproduces this exact run.
-	if *dumpSpec != "" {
-		if *saveState != "" || *loadState != "" || *record != "" {
-			fmt.Fprintln(os.Stderr, "eagletree: -save-state/-load-state/-record are runtime file operations a spec cannot express; drop them for -dump-spec")
-			os.Exit(1)
-		}
-		doc, err := specFromFlags(cfg, flagWorkload{
-			kind: *wl, count: *count, depth: *depth, readFrac: *readFrac,
-			open: *open == "on", oracleTemp: *oracleTemp, prepare: *prepare,
-			replay: *replay, replayMode: *replayMode, replayScale: *replayScale,
-		})
-		if err == nil {
-			err = eagletree.WriteExperimentSpec(*dumpSpec, doc)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("eagletree: wrote spec %q %s; run it with: eagletree -spec %s\n", doc.Name, *dumpSpec, *dumpSpec)
-		return
-	}
-
-	var capture *eagletree.TraceCapture
-	if *record != "" {
-		capture = eagletree.NewTraceCapture()
-		if *prepare || *loadState != "" {
-			capture.Stop() // re-armed once the measured window starts
-		}
-		cfg.OS.Capture = capture
-	}
-
-	// -save-state: run preparation only, persist the drained stack, exit.
-	// Whole sweeps can then start from the identical aged device instantly.
-	if *saveState != "" {
-		s, err := eagletree.New(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		n := int64(s.LogicalPages())
-		seq := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
-		s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
-		end := s.Run()
-		ds, err := s.Snapshot()
-		if err == nil {
-			err = eagletree.WriteStateFile(*saveState, ds)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("eagletree: prepared device (%d logical pages, %v of device time) saved to %s\n",
-			n, end, *saveState)
-		return
-	}
-
-	var s *eagletree.Stack
-	if *loadState != "" {
-		ds, err := eagletree.ReadStateFile(*loadState)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		s, err = eagletree.RestoreStack(cfg, ds)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		s.MarkMeasurement()
-		if capture != nil {
-			capture.Start(s.Engine.Now())
-		}
-	} else {
-		var err error
-		s, err = eagletree.New(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-	}
-	n := int64(s.LogicalPages())
-
-	var barrier *eagletree.Handle
-	if *prepare {
-		seq := s.Add(&eagletree.SequentialWriter{From: 0, Count: n, Depth: 32})
-		age := s.Add(&eagletree.RandomWriter{From: 0, Space: n, Count: n, Depth: 32}, seq)
-		barrier = s.AddBarrier(age)
-		if capture != nil {
-			barrier = s.Add(&eagletree.FuncThread{F: func(ctx *eagletree.Ctx) {
-				capture.Start(ctx.Now())
-			}}, barrier)
-		}
-	}
-
-	var thread eagletree.Thread
-	if *replay != "" {
-		tr, err := eagletree.ReadTraceFile(*replay)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		mode, err := eagletree.ParseReplayMode(*replayMode)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		*wl = fmt.Sprintf("replay(%s,%v)", *replay, mode)
-		thread = &eagletree.Replay{Trace: tr, Mode: mode, TimeScale: *replayScale, Depth: *depth}
-	}
-	if thread == nil {
-		switch *wl {
-		case "seqwrite":
-			thread = &eagletree.SequentialWriter{From: 0, Count: min64(*count, n), Depth: *depth}
-		case "seqread":
-			thread = &eagletree.SequentialReader{From: 0, Count: min64(*count, n), Depth: *depth}
-		case "randread":
-			thread = &eagletree.RandomReader{From: 0, Space: n, Count: *count, Depth: *depth}
-		case "zipf":
-			thread = &eagletree.ZipfWriter{From: 0, Space: n, Count: *count, Depth: *depth,
-				TagTemperature: *oracleTemp, HotFraction: 0.2}
-		case "mix":
-			thread = &eagletree.ReadWriteMix{From: 0, Space: n, Count: *count, ReadFraction: *readFrac, Depth: *depth}
-		case "fs":
-			thread = &eagletree.FileSystem{From: 0, Space: n, Ops: *count, Depth: *depth, TagLocality: *open == "on"}
-		case "gracejoin":
-			r := n / 8
-			thread = &eagletree.GraceJoin{RFrom: 0, RPages: r, SFrom: eagletree.LPN(r), SPages: 2 * r,
-				PartFrom: eagletree.LPN(3 * r), Partitions: 8, Depth: *depth}
-		case "lsm":
-			thread = &eagletree.LSMInsert{From: 0, Space: n, Inserts: *count, Depth: *depth, TagPriority: *open == "on"}
-		case "extsort":
-			in := n / 3
-			thread = &eagletree.ExternalSort{From: 0, InputPages: in, ScratchFrom: eagletree.LPN(in), Depth: *depth}
-		default: // randwrite
-			thread = &eagletree.RandomWriter{From: 0, Space: n, Count: *count, Depth: *depth}
-		}
-	}
-	s.Add(thread, barrier)
-
-	end := s.Run()
-	fmt.Printf("eagletree: %s workload on %dx%d LUNs, %s, mapping=%s, policy=%s, qd=%d\n",
-		*wl, *channels, *luns, *cell, *mapping, *policy, *qd)
-	fmt.Printf("simulated %v of device time\n\n", end)
-	fmt.Print(s.Report())
-	if *series {
-		if ts := s.Stats.Series(); ts != nil {
-			fmt.Printf("\ncompletions over time (%d buckets):\n%s\n", ts.Len(), ts.Sparkline())
-		}
-	}
-	if *memrep {
-		fmt.Printf("\ncontroller memory:\n%s", s.Controller.Memory().Report())
-	}
-	if *trace > 0 {
-		tr := s.Stats.Trace()
-		fmt.Printf("\nIO trace (last %d of %d events):\n%s", len(tr.Events()), tr.Total(), tr.Dump())
-	}
-	if capture != nil {
-		tr := capture.Trace()
-		if err := eagletree.WriteTraceFile(*record, tr); err != nil {
-			fmt.Fprintln(os.Stderr, "eagletree:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nrecorded %d IOs spanning %v to %s\n", tr.Len(), tr.Duration(), *record)
-	}
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "eagletree:", err)
-		os.Exit(1)
-	}
-}
-
-// runSpec executes a declarative experiment spec file. Variant grids run
-// through the experiment suite and print its table; a single-run spec is
-// driven through the exact flag-mode flow (same stack, same thread
-// registration order), so a file written by -dump-spec reproduces the
-// flag-driven run bit for bit.
-func runSpec(path string) {
-	doc, err := eagletree.ReadExperimentSpec(path)
-	die(err)
-	die(doc.Validate())
-	if len(doc.Variants) > 1 {
-		def, err := eagletree.ExperimentFromSpec(doc)
-		die(err)
-		res, err := eagletree.RunExperiment(def)
-		die(err)
-		fmt.Printf("eagletree: spec %s: experiment %s (%d variants)\n\n", path, doc.Name, len(doc.Variants))
-		fmt.Print(res.Table())
-		return
-	}
-
-	variant := eagletree.SpecVariant{Label: "run"}
-	if len(doc.Variants) == 1 {
-		variant = doc.Variants[0]
-	}
-	cs := doc.Base
-	die(cs.Apply(variant.Set))
-	cfg, err := cs.Resolve()
-	die(err)
-	s, err := eagletree.New(cfg)
-	die(err)
-	die(eagletree.RegisterSpecRun(doc, variant, s))
-
-	end := s.Run()
-	fmt.Printf("eagletree: spec %s: %s / %s\n", path, doc.Name, variant.Label)
-	fmt.Printf("simulated %v of device time\n\n", end)
-	fmt.Print(s.Report())
-}
-
-// flagWorkload carries the workload-shaping flags into the spec dumper.
-type flagWorkload struct {
-	kind        string
-	count       int64
-	depth       int
-	readFrac    float64
-	open        bool
-	oracleTemp  bool
-	prepare     bool
-	replay      string
-	replayMode  string
-	replayScale float64
-}
-
-// specFromFlags renders the flag-selected run as a declarative document.
-// Sizes that the flag mode derives from the device capacity are written as
-// expressions over n, so the dumped file stays meaningful if its geometry
-// is edited later.
-func specFromFlags(cfg eagletree.Config, w flagWorkload) (eagletree.ExperimentSpec, error) {
-	base, err := eagletree.ConfigSpecOf(cfg)
-	if err != nil {
-		return eagletree.ExperimentSpec{}, err
-	}
-	// The flag mode caps sequential passes at the device's logical capacity;
-	// resolve n once to preserve that exact arithmetic in the document.
-	probe, err := eagletree.New(cfg)
-	if err != nil {
-		return eagletree.ExperimentSpec{}, err
-	}
-	n := int64(probe.LogicalPages())
-
-	name := "cli-" + w.kind
-	var thread eagletree.SpecThread
-	switch {
-	case w.replay != "":
-		name = "cli-replay"
-		thread = eagletree.SpecThread{Type: "replay", Params: map[string]any{
-			"path": w.replay, "mode": w.replayMode, "time_scale": w.replayScale, "depth": w.depth,
-		}}
-	case w.kind == "seqwrite" || w.kind == "seqread":
-		typ := "seqwrite"
-		if w.kind == "seqread" {
-			typ = "seqread"
-		}
-		count := any(w.count)
-		if w.count >= n {
-			count = "n"
-		}
-		thread = eagletree.SpecThread{Type: typ, Params: map[string]any{
-			"from": 0, "count": count, "depth": w.depth,
-		}}
-	case w.kind == "randread":
-		thread = eagletree.SpecThread{Type: "randread", Params: map[string]any{
-			"from": 0, "space": "n", "count": w.count, "depth": w.depth,
-		}}
-	case w.kind == "zipf":
-		thread = eagletree.SpecThread{Type: "zipf", Params: map[string]any{
-			"from": 0, "space": "n", "count": w.count, "depth": w.depth,
-			"tag_temperature": w.oracleTemp, "hot_fraction": 0.2,
-		}}
-	case w.kind == "mix":
-		thread = eagletree.SpecThread{Type: "mix", Params: map[string]any{
-			"from": 0, "space": "n", "count": w.count, "read_fraction": w.readFrac, "depth": w.depth,
-		}}
-	case w.kind == "fs":
-		thread = eagletree.SpecThread{Type: "fs", Params: map[string]any{
-			"from": 0, "space": "n", "ops": w.count, "depth": w.depth, "tag_locality": w.open,
-		}}
-	case w.kind == "gracejoin":
-		thread = eagletree.SpecThread{Type: "gracejoin", Params: map[string]any{
-			"r_from": 0, "r_pages": "n/8", "s_from": "n/8", "s_pages": "2*(n/8)",
-			"part_from": "3*(n/8)", "partitions": 8, "depth": w.depth,
-		}}
-	case w.kind == "lsm":
-		thread = eagletree.SpecThread{Type: "lsm", Params: map[string]any{
-			"from": 0, "space": "n", "inserts": w.count, "depth": w.depth, "tag_priority": w.open,
-		}}
-	case w.kind == "extsort":
-		thread = eagletree.SpecThread{Type: "extsort", Params: map[string]any{
-			"from": 0, "input_pages": "n/3", "scratch_from": "n/3", "depth": w.depth,
-		}}
-	default: // randwrite
-		thread = eagletree.SpecThread{Type: "randwrite", Params: map[string]any{
-			"from": 0, "space": "n", "count": w.count, "depth": w.depth,
-		}}
-	}
-
-	doc := eagletree.ExperimentSpec{
-		Name:     name,
-		Doc:      "dumped from eagletree command-line flags",
-		Base:     base,
-		Workload: []eagletree.SpecThread{thread},
-	}
-	if w.prepare {
-		doc.Prep = &eagletree.SpecPrep{FillDepth: 32, AgePasses: 1}
-	}
-	return doc, nil
+	os.Exit(cli.Main(args, os.Stdout, os.Stderr))
 }

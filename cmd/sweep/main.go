@@ -1,159 +1,51 @@
-// Command sweep runs the predefined design-space experiments (DESIGN.md's
-// E1–E13) and prints their result tables and charts — the experimental-suite
-// API exercised end to end. EXPERIMENTS.md records its output against the
-// paper's expected shapes.
-//
-// The suite is pure spec data: -list prints the experiment index straight
-// from the data definitions, and -spec runs any experiment document — the
-// checked-in specs/*.json golden files or one you wrote yourself — through
-// the identical pipeline.
-//
-// Examples:
-//
-//	sweep -list
-//	sweep -run e3
-//	sweep -run e3,e11,e13
-//	sweep -run all -scale full -csv
-//	sweep -spec specs/e3.json
-//	sweep -spec myexperiment.json -workers 4
+// Command sweep is a deprecated shim: the experiment sweeper now lives in
+// the eagletree subcommand binary. 'sweep ARGS' forwards to
+// 'eagletree sweep ARGS' (and 'sweep -list', in any flag combination, to
+// 'eagletree list') with a deprecation note on stderr, so existing
+// invocations keep working.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"eagletree/internal/experiment"
-	"eagletree/internal/sim"
-	"eagletree/internal/spec"
+	"eagletree/internal/cli"
 )
 
 func main() {
-	var (
-		list     = flag.Bool("list", false, "print the experiment index (ID, name, varied dimension, paper hook)")
-		run      = flag.String("run", "all", "experiments to run: e1..e13, comma-separated | all")
-		specFile = flag.String("spec", "", "run an experiment spec file instead of the predefined suite")
-		scale    = flag.String("scale", "small", "workload scale: small | full")
-		csv      = flag.Bool("csv", false, "also print CSV")
-		chart    = flag.Bool("chart", true, "print throughput chart per experiment")
-		timeline = flag.Bool("timeline", false, "record and print completions-over-time sparklines")
-		workers  = flag.Int("workers", 0, "parallel variant workers (0 = GOMAXPROCS, 1 = sequential)")
-		cacheDir = flag.String("state-cache", "", "persist prepared device states under this directory; repeated sweeps restore instead of re-aging")
-		fresh    = flag.Bool("fresh", false, "disable prepared-state reuse: every variant ages its own device (the slow reference path)")
-	)
-	flag.Parse()
-
-	sc := experiment.Small
-	if *scale == "full" {
-		sc = experiment.Full
-	}
-	suite := experiment.SuiteSpecs(sc)
-
-	if *list {
-		fmt.Printf("%-4s %-22s %-42s %s\n", "ID", "NAME", "VARIES", "SHOWS")
-		for _, e := range suite {
-			id := strings.SplitN(e.Name, "-", 2)[0]
-			fmt.Printf("%-4s %-22s %-42s %s\n", id, e.Name, e.Varies, e.Doc)
-		}
-		return
-	}
-
-	opts := experiment.Options{Workers: *workers, NoPrepareCache: *fresh}
-	if *cacheDir != "" && !*fresh {
-		// One cache across the whole invocation: experiments sharing a
-		// prepared state (same geometry, preparation and seed) reuse it, and
-		// the directory carries it to the next invocation.
-		opts.Cache = experiment.NewStateCache(*cacheDir)
-	}
-
-	var selected []spec.Experiment
-	if *specFile != "" {
-		// A spec document carries its own selection and scale; silently
-		// ignoring -run/-scale would let "sweep -spec x.json -scale full"
-		// print small-scale numbers under a full-scale belief.
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "run" || f.Name == "scale" {
-				fmt.Fprintf(os.Stderr, "sweep: -%s does not apply to -spec (the document is self-contained)\n", f.Name)
-				os.Exit(1)
-			}
-		})
-		doc, err := spec.ReadFile(*specFile)
-		if err == nil {
-			err = doc.Validate()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-		selected = []spec.Experiment{doc}
-	} else {
-		sels := strings.Split(*run, ",")
-		match := func(e spec.Experiment) bool {
-			id := strings.SplitN(e.Name, "-", 2)[0] // "E3"
-			for _, sel := range sels {
-				sel = strings.TrimSpace(sel)
-				if strings.EqualFold(sel, "all") || strings.EqualFold(id, sel) || strings.EqualFold(e.Name, sel) {
-					return true
-				}
-			}
-			return false
-		}
-		for _, e := range suite {
-			if match(e) {
-				selected = append(selected, e)
-			}
-		}
-		if len(selected) == 0 {
-			fmt.Fprintf(os.Stderr, "sweep: no experiment matches %q (try -list)\n", *run)
-			os.Exit(1)
+	args := os.Args[1:]
+	sub := "sweep"
+	// -list was a sweep flag; it is its own subcommand now. The old binary
+	// accepted it alongside any other flag and ignored everything but
+	// -scale, so the shim forwards exactly that subset.
+	for _, a := range args {
+		if a == "-list" || a == "--list" || a == "-list=true" || a == "--list=true" {
+			sub = "list"
+			args = listArgs(args)
+			break
 		}
 	}
-
-	for _, e := range selected {
-		def, err := experiment.FromSpec(e)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-		if *timeline {
-			def.SeriesBucket = 20 * sim.Millisecond
-		}
-		res, err := experiment.RunOpts(def, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-		fmt.Println(res.Table())
-		if *chart {
-			fmt.Println(res.Chart(experiment.MetricThroughput, 40))
-		}
-		if *timeline {
-			fmt.Println(res.Timelines())
-		}
-		if def.Name == "E12-game" {
-			printGame(res)
-		}
-		if *csv {
-			fmt.Println(res.CSV())
-		}
-	}
+	fmt.Fprintf(os.Stderr, "sweep: deprecated; use 'eagletree %s ...' (forwarding)\n", sub)
+	os.Exit(cli.Main(append([]string{sub}, args...), os.Stdout, os.Stderr))
 }
 
-func printGame(res experiment.Results) {
-	if len(res.Rows) == 0 {
-		fmt.Println("game: no result rows to score")
-		return
-	}
-	w := experiment.DefaultGameWeights()
-	best := res.Rows[0]
-	bestScore := w.Score(best.Report)
-	for _, r := range res.Rows {
-		score := w.Score(r.Report)
-		fmt.Printf("  score %10.1f  %s\n", score, r.Label)
-		if score > bestScore {
-			best, bestScore = r, score
+// listArgs keeps only the -scale flag (the one listing respects) from a
+// legacy 'sweep -list ...' invocation.
+func listArgs(args []string) []string {
+	var out []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "-scale" || a == "--scale" {
+			if i+1 < len(args) {
+				out = append(out, "-scale", args[i+1])
+				i++
+			}
+		} else if v, ok := strings.CutPrefix(a, "-scale="); ok {
+			out = append(out, "-scale", v)
+		} else if v, ok := strings.CutPrefix(a, "--scale="); ok {
+			out = append(out, "-scale", v)
 		}
 	}
-	fmt.Printf("optimal combination: %s\n\n", best.Label)
+	return out
 }

@@ -297,6 +297,9 @@ type (
 	// TraceCapture records the app-level IO stream of a live run; wire it
 	// to Config.OS.Capture.
 	TraceCapture = trace.Capture
+	// TraceMismatchError reports a replayed trace whose content hash does
+	// not match the provenance its spec pinned (IOTrace.Hash).
+	TraceMismatchError = trace.MismatchError
 )
 
 // NewTraceCapture returns an active capture with origin 0.
@@ -362,7 +365,8 @@ type (
 	// PrepareSpec declares device preparation (fill + age) so the runner
 	// can snapshot-cache prepared state across variants.
 	PrepareSpec = experiment.PrepareSpec
-	// ExperimentOptions tunes experiment execution (workers, state cache).
+	// ExperimentOptions tunes experiment execution (workers, state cache,
+	// event observer).
 	ExperimentOptions = experiment.Options
 	// StateCache deduplicates device preparation across variants and runs.
 	StateCache = experiment.StateCache
@@ -372,7 +376,61 @@ type (
 // disk-backed under dir when non-empty.
 func NewStateCache(dir string) *StateCache { return experiment.NewStateCache(dir) }
 
+// Context-aware streaming experiment execution. NewRunner(opts).Run(ctx, def)
+// is the first-class run API: it honors cancellation and deadlines mid-sweep
+// (workers drain deterministically; partial Results carry the completed row
+// prefix alongside a typed ErrRunCanceled) and streams typed events — variant
+// lifecycle, snapshot-cache provenance, timings — to an optional Observer.
+type (
+	// ExperimentRunner executes experiments under a context with an event
+	// stream; results are bit-identical to a sequential run at any worker
+	// count.
+	ExperimentRunner = experiment.Runner
+	// ExperimentEvent is one observation of a running experiment.
+	ExperimentEvent = experiment.Event
+	// ExperimentEventKind discriminates runner events.
+	ExperimentEventKind = experiment.EventKind
+	// ExperimentObserver receives runner events (serialized calls).
+	ExperimentObserver = experiment.Observer
+	// ExperimentObserverFunc adapts a function to ExperimentObserver.
+	ExperimentObserverFunc = experiment.ObserverFunc
+	// RunCanceledError is the typed error of a canceled run: completed
+	// prefix length, total, and the context's cause.
+	RunCanceledError = experiment.CanceledError
+)
+
+// Runner event kinds: every variant gets exactly one VariantQueued and one
+// of VariantDone/VariantCanceled, declared preparation reports its cache
+// provenance, and the run closes with one ExperimentDone.
+const (
+	EventVariantQueued   = experiment.EventVariantQueued
+	EventPrepareHit      = experiment.EventPrepareHit
+	EventPrepareMiss     = experiment.EventPrepareMiss
+	EventVariantDone     = experiment.EventVariantDone
+	EventVariantCanceled = experiment.EventVariantCanceled
+	EventExperimentDone  = experiment.EventExperimentDone
+)
+
+// ErrRunCanceled reports an experiment run cut short by its context; test
+// with errors.Is. The concrete error is a *RunCanceledError.
+var ErrRunCanceled = experiment.ErrCanceled
+
+// NewRunner returns the context-aware experiment runner.
+//
+//	runner := eagletree.NewRunner(eagletree.ExperimentOptions{Observer: obs})
+//	res, err := runner.Run(ctx, def)
+func NewRunner(opts ExperimentOptions) *ExperimentRunner { return experiment.New(opts) }
+
+// ChanExperimentObserver adapts a channel to ExperimentObserver: every event
+// is sent (blocking) to ch. The runner never closes ch.
+func ChanExperimentObserver(ch chan<- ExperimentEvent) ExperimentObserver {
+	return experiment.ChanObserver(ch)
+}
+
 // RunExperimentOpts executes an experiment with explicit options.
+//
+// Deprecated: use NewRunner(opts).Run(ctx, def), which adds cancellation and
+// event streaming. This wrapper runs under context.Background.
 func RunExperimentOpts(def Experiment, opts ExperimentOptions) (Results, error) {
 	return experiment.RunOpts(def, opts)
 }
@@ -392,6 +450,10 @@ var (
 )
 
 // RunExperiment executes one simulation per variant and collects results.
+//
+// Deprecated: use NewRunner(ExperimentOptions{}).Run(ctx, def), which adds
+// cancellation and event streaming. This wrapper runs under
+// context.Background.
 func RunExperiment(def Experiment) (Results, error) { return experiment.Run(def) }
 
 // Declarative experiment specs: experiments as data, not code. A spec names
@@ -405,6 +467,9 @@ type (
 	SpecConfig = spec.Config
 	// SpecVariant is one point of a spec's sweep grid.
 	SpecVariant = spec.Variant
+	// SpecAxis is one dimension of a spec's grid form: the document declares
+	// axes and the runner cross-products them into the variant list.
+	SpecAxis = spec.Axis
 	// SpecThread declares one workload thread by registered type name.
 	SpecThread = spec.Thread
 	// SpecPrep declares device preparation (fill + age) in a spec.
@@ -475,6 +540,11 @@ func RegisterSpecComponent(c SpecComponent) { spec.Register(c) }
 // SpecCatalogue returns the registered components of one kind, in
 // registration order, for documentation and listings.
 func SpecCatalogue(kind SpecKind) []*SpecComponent { return spec.Catalogue(kind) }
+
+// SpecMarkdown renders the full component catalogue — including components
+// the application registered — as the SPEC.md reference page; `eagletree
+// doc` prints exactly this.
+func SpecMarkdown() string { return spec.Markdown() }
 
 // SuiteSpecs returns the predefined E1–E13 experiments as spec data; the
 // checked-in specs/*.json files are their canonical encodings.

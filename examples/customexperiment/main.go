@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	_ "embed"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"eagletree"
 )
@@ -36,7 +38,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "customexperiment:", err)
 		os.Exit(1)
 	}
-	res, err := eagletree.RunExperiment(def)
+
+	// The streaming Runner is the first-class run API: ^C cancels mid-sweep
+	// (partial results return with a typed ErrRunCanceled), and the event
+	// stream reports each variant's lifecycle with its snapshot-cache
+	// provenance — hit means the variant restored an already-aged device.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := eagletree.NewRunner(eagletree.ExperimentOptions{
+		Observer: eagletree.ExperimentObserverFunc(func(ev eagletree.ExperimentEvent) {
+			switch ev.Kind {
+			case eagletree.EventPrepareMiss:
+				fmt.Fprintf(os.Stderr, "  %s: aging a fresh device (%v)\n", ev.Variant, ev.Wall)
+			case eagletree.EventPrepareHit:
+				fmt.Fprintf(os.Stderr, "  %s: restored the shared aged state (%v)\n", ev.Variant, ev.Wall)
+			case eagletree.EventVariantDone:
+				fmt.Fprintf(os.Stderr, "  %s: done in %v\n", ev.Variant, ev.Wall)
+			}
+		}),
+	})
+	res, err := runner.Run(ctx, def)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "customexperiment:", err)
 		os.Exit(1)

@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eagletree/internal/spec"
+)
+
+// cmdDoc renders the component registry — every kind, component and typed
+// parameter — as the SPEC.md reference page. The output is deterministic, so
+// CI regenerates it and diffs against the committed file: SPEC.md can never
+// silently drift from the code, the way a hand-maintained component list
+// does.
+func cmdDoc(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree doc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write to this file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	md := spec.Markdown()
+	if *out == "" {
+		fmt.Fprint(stdout, md)
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "eagletree: wrote component reference to %s\n", *out)
+	return 0
+}

@@ -1,0 +1,240 @@
+// Package cli implements the eagletree command: one subcommand binary —
+// run, sweep, spec, record, replay, state, list, doc — whose component
+// flags, enumerated choices and help text are generated from the component
+// registry (spec.Catalogue). A newly registered policy, allocator, detector
+// or workload thread type surfaces in the CLI (and in SPEC.md) with no CLI
+// change at all.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eagletree/internal/spec"
+)
+
+// refValue is a flag whose value is a component reference in the CLI's
+// compact syntax: a registered name, optionally followed by typed
+// parameters — "deadline:read_deadline=2ms,write_deadline=20ms". Parameter
+// values are parsed against the registry declaration (ints, floats, bools,
+// durations, expressions; integer lists separate elements with ';'), and
+// the whole reference is validated at parse time, so typos fail before any
+// simulation starts.
+type refValue struct {
+	kind spec.Kind
+	ref  spec.Ref
+	set  bool
+}
+
+func (r *refValue) String() string {
+	if r == nil || r.ref.None() {
+		return ""
+	}
+	if len(r.ref.Params) == 0 {
+		return r.ref.Name
+	}
+	return r.ref.Name + ":…"
+}
+
+func (r *refValue) Set(s string) error {
+	ref, err := parseRef(r.kind, s)
+	if err != nil {
+		return err
+	}
+	r.ref = ref
+	r.set = true
+	return nil
+}
+
+// parseRef parses "name" or "name:key=val,key=val" into a validated
+// reference of the given kind.
+func parseRef(kind spec.Kind, s string) (spec.Ref, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	if name == "" {
+		return spec.Ref{}, fmt.Errorf("empty %s component name (choices: %s)", kind, strings.Join(spec.Names(kind), " | "))
+	}
+	c, err := spec.Lookup(kind, name)
+	if err != nil {
+		return spec.Ref{}, err
+	}
+	ref := spec.Ref{Name: name}
+	if hasParams && rest != "" {
+		ref.Params = map[string]any{}
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k == "" {
+				return spec.Ref{}, fmt.Errorf("%s %q: parameter %q is not key=value", kind, name, kv)
+			}
+			val, err := parseParamValue(c, k, v)
+			if err != nil {
+				return spec.Ref{}, fmt.Errorf("%s %q: parameter %q: %w", kind, name, k, err)
+			}
+			ref.Params[k] = val
+		}
+	}
+	if err := spec.ValidateRef(kind, ref, parseEnv()); err != nil {
+		return spec.Ref{}, err
+	}
+	return ref, nil
+}
+
+// parseEnv is a plausible placeholder environment for validating expression
+// parameters at flag-parse time; the real stack environment applies at run.
+func parseEnv() spec.Env { return spec.Env{N: 1 << 16, PPB: 32, QD: 32, F: 1} }
+
+// parseParamValue converts one flag-syntax parameter value to the declared
+// type. Unknown parameter names pass through as strings so ValidateRef
+// reports them with its typed UnknownFieldError.
+func parseParamValue(c *spec.Component, name, raw string) (any, error) {
+	var decl *spec.Param
+	for i := range c.Params {
+		if c.Params[i].Name == name {
+			decl = &c.Params[i]
+			break
+		}
+	}
+	if decl == nil {
+		return raw, nil
+	}
+	switch decl.Type {
+	case spec.TInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", raw)
+		}
+		return n, nil
+	case spec.TExpr:
+		if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			return n, nil
+		}
+		return raw, nil // expression string; ValidateRef checks it
+	case spec.TFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not a number", raw)
+		}
+		return f, nil
+	case spec.TBool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not a bool", raw)
+		}
+		return b, nil
+	case spec.TInts:
+		var out []any
+		for _, e := range strings.Split(raw, ";") {
+			n, err := strconv.ParseInt(strings.TrimSpace(e), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("list element %q is not an integer (separate with ';')", e)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	case spec.TComponent:
+		return spec.Ref{Name: raw}, nil // nested refs by bare name; use a spec file for nested params
+	default: // TString, TDuration: the codec's coercions handle strings
+		return raw, nil
+	}
+}
+
+// refFlag registers a component-reference flag whose help text — the
+// enumerated choices and their one-line docs — is generated from the
+// registry.
+func refFlag(fs *flag.FlagSet, name string, kind spec.Kind, def, intro string) *refValue {
+	rv := &refValue{kind: kind, ref: spec.NamedRef(def)}
+	fs.Var(rv, name, intro+": "+kindHelp(kind)+" — parameters as name:key=val,… (see SPEC.md)")
+	return rv
+}
+
+// kindHelp renders one kind's registered choices for a flag's help text.
+func kindHelp(kind spec.Kind) string {
+	var parts []string
+	for _, c := range spec.Catalogue(kind) {
+		parts = append(parts, fmt.Sprintf("%s (%s)", c.Name, c.Doc))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// configFlags are the stack-configuration flags shared by run, record,
+// replay and state save: scalar knobs declared by hand, component slots
+// generated from the registry.
+type configFlags struct {
+	channels, luns, blocks, pages *int
+	copyback, interleaving        *bool
+	op                            *float64
+	greediness                    *int
+	qd                            *int
+	open                          *bool
+	seed                          *uint64
+
+	timing, mapping, gcpol, wl, policy, alloc, detector, ospol *refValue
+}
+
+// addConfigFlags registers the shared configuration flags on fs.
+func addConfigFlags(fs *flag.FlagSet) *configFlags {
+	c := &configFlags{}
+	c.channels = fs.Int("channels", 2, "number of channels")
+	c.luns = fs.Int("luns", 2, "LUNs per channel")
+	c.blocks = fs.Int("blocks", 128, "blocks per LUN")
+	c.pages = fs.Int("pages", 32, "pages per block")
+	c.copyback = fs.Bool("copyback", false, "enable the copyback chip command (and copyback GC)")
+	c.interleaving = fs.Bool("interleaving", false, "enable channel interleaving")
+	c.op = fs.Float64("op", 0.15, "overprovisioning fraction")
+	c.greediness = fs.Int("greediness", 2, "GC greediness (free-block target per LUN)")
+	c.qd = fs.Int("qd", 32, "OS queue depth")
+	c.open = fs.Bool("open", false, "open interface: honor priority/locality/temperature tags")
+	c.seed = fs.Uint64("seed", 1, "deterministic simulation seed")
+
+	c.timing = refFlag(fs, "timing", spec.KindTiming, "slc", "flash timing set")
+	c.mapping = refFlag(fs, "mapping", spec.KindMapping, "pagemap", "FTL mapping scheme")
+	c.gcpol = refFlag(fs, "gc", spec.KindGCPolicy, "greedy", "GC victim policy")
+	c.wl = refFlag(fs, "wl", spec.KindWL, "off", "wear-leveling mode")
+	c.policy = refFlag(fs, "policy", spec.KindPolicy, "fifo", "SSD scheduling policy")
+	c.alloc = refFlag(fs, "alloc", spec.KindAllocator, "leastloaded", "write allocator")
+	c.detector = refFlag(fs, "detector", spec.KindDetector, "none", "hot/cold detector")
+	c.ospol = refFlag(fs, "os-policy", spec.KindOSPolicy, "fifo", "OS scheduling policy")
+	return c
+}
+
+// configSpec assembles the flag values into the serializable configuration
+// mirror. With the open interface on, the scheduler defaults to honoring
+// priority tags (the historical flag-CLI semantics): no explicit -policy
+// swaps in the tag-honoring priority policy, and an explicit priority
+// policy that doesn't spell use_tags gets it set — an explicit
+// use_tags=false still wins.
+func (c *configFlags) configSpec() spec.Config {
+	policy := c.policy.ref
+	if *c.open {
+		if !c.policy.set {
+			policy = spec.ParamRef("priority", map[string]any{"use_tags": true})
+		} else if policy.Name == "priority" {
+			if _, explicit := policy.Params["use_tags"]; !explicit {
+				params := map[string]any{"use_tags": true}
+				for k, v := range policy.Params {
+					params[k] = v
+				}
+				policy = spec.ParamRef("priority", params)
+			}
+		}
+	}
+	return spec.Config{
+		Geometry: spec.Geometry{
+			Channels: *c.channels, LUNsPerChannel: *c.luns,
+			BlocksPerLUN: *c.blocks, PagesPerBlock: *c.pages, PageSize: 4096,
+		},
+		Timing:        c.timing.ref,
+		Features:      spec.Features{Copyback: *c.copyback, Interleaving: *c.interleaving},
+		Mapping:       c.mapping.ref,
+		Overprovision: *c.op,
+		GC:            spec.GCSpec{Policy: c.gcpol.ref, Greediness: *c.greediness, Copyback: *c.copyback},
+		WL:            c.wl.ref,
+		Policy:        policy,
+		Alloc:         c.alloc.ref,
+		Detector:      c.detector.ref,
+		OpenInterface: *c.open,
+		OS:            spec.OSSpec{Policy: c.ospol.ref, QueueDepth: *c.qd},
+		Seed:          *c.seed,
+	}
+}

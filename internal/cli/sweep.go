@@ -1,0 +1,322 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"eagletree/internal/experiment"
+	"eagletree/internal/sim"
+	"eagletree/internal/spec"
+)
+
+// progressObserver renders the runner's event stream as live per-variant
+// progress lines on stderr — queue admission, snapshot-cache provenance,
+// per-variant wall clock — without touching stdout (tables and CSV stay
+// byte-stable for diffing).
+type progressObserver struct {
+	w io.Writer
+}
+
+func (p progressObserver) OnEvent(ev experiment.Event) {
+	wall := ev.Wall.Round(time.Millisecond)
+	switch ev.Kind {
+	case experiment.EventPrepareHit:
+		fmt.Fprintf(p.w, "[%s %d/%d] %s: prepared state restored (cache hit, %v)\n",
+			ev.Experiment, ev.Index+1, ev.Variants, ev.Variant, wall)
+	case experiment.EventPrepareMiss:
+		fmt.Fprintf(p.w, "[%s %d/%d] %s: device aged from scratch (cache miss, %v)\n",
+			ev.Experiment, ev.Index+1, ev.Variants, ev.Variant, wall)
+	case experiment.EventVariantDone:
+		status := "done"
+		if ev.Err != nil {
+			status = "FAILED: " + ev.Err.Error()
+		}
+		fmt.Fprintf(p.w, "[%s %d/%d] %s: %s (%v)\n",
+			ev.Experiment, ev.Index+1, ev.Variants, ev.Variant, status, wall)
+	case experiment.EventVariantCanceled:
+		fmt.Fprintf(p.w, "[%s %d/%d] %s: canceled\n", ev.Experiment, ev.Index+1, ev.Variants, ev.Variant)
+	case experiment.EventExperimentDone:
+		if ev.Err != nil {
+			fmt.Fprintf(p.w, "[%s] %v\n", ev.Experiment, ev.Err)
+		} else {
+			fmt.Fprintf(p.w, "[%s] complete (%v)\n", ev.Experiment, wall)
+		}
+	}
+}
+
+// sweepOutput controls result rendering shared by sweep and spec.
+type sweepOutput struct {
+	csv, chart, timeline *bool
+}
+
+func addSweepOutput(fs *flag.FlagSet) *sweepOutput {
+	o := &sweepOutput{}
+	o.csv = fs.Bool("csv", false, "also print CSV")
+	o.chart = fs.Bool("chart", true, "print throughput chart per experiment")
+	o.timeline = fs.Bool("timeline", false, "record and print completions-over-time sparklines")
+	return o
+}
+
+// runDefinitions executes compiled definitions under an interrupt-aware
+// context through the streaming Runner and renders their results. ^C cancels
+// mid-sweep: workers drain, the partial row prefix prints, and the process
+// exits non-zero.
+func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if progress {
+		opts.Observer = progressObserver{w: stderr}
+	}
+	runner := experiment.New(opts)
+	for _, def := range defs {
+		res, err := runner.Run(ctx, def)
+		if err != nil {
+			if errors.Is(err, experiment.ErrCanceled) {
+				if len(res.Rows) > 0 {
+					fmt.Fprintln(stdout, res.Table())
+				}
+				fmt.Fprintf(stderr, "eagletree: %v\n", err)
+				return 130
+			}
+			return fail(stderr, err)
+		}
+		fmt.Fprintln(stdout, res.Table())
+		if *out.chart {
+			fmt.Fprintln(stdout, res.Chart(experiment.MetricThroughput, 40))
+		}
+		if *out.timeline {
+			fmt.Fprintln(stdout, res.Timelines())
+		}
+		if def.Name == "E12-game" {
+			printGame(stdout, res)
+		}
+		if *out.csv {
+			fmt.Fprintln(stdout, res.CSV())
+		}
+	}
+	return 0
+}
+
+// cmdSweep runs the predefined design-space experiments (E1–E13) — or any
+// spec document via -spec — and prints their result tables and charts.
+func cmdSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		run      = fs.String("run", "all", "experiments to run: e1..e13, comma-separated | all")
+		specFile = fs.String("spec", "", "run an experiment spec file instead of the predefined suite")
+		scale    = fs.String("scale", "small", "workload scale: small | full")
+		workers  = fs.Int("workers", 0, "parallel variant workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheDir = fs.String("state-cache", "", "persist prepared device states under this directory; repeated sweeps restore instead of re-aging")
+		fresh    = fs.Bool("fresh", false, "disable prepared-state reuse: every variant ages its own device (the slow reference path)")
+		progress = fs.Bool("progress", true, "stream live per-variant progress (cache provenance, timings) to stderr")
+	)
+	out := addSweepOutput(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc := experiment.Small
+	if *scale == "full" {
+		sc = experiment.Full
+	}
+	opts := experiment.Options{Workers: *workers, NoPrepareCache: *fresh}
+	if *cacheDir != "" && !*fresh {
+		// One cache across the whole invocation: experiments sharing a
+		// prepared state (same geometry, preparation and seed) reuse it, and
+		// the directory carries it to the next invocation.
+		opts.Cache = experiment.NewStateCache(*cacheDir)
+	}
+
+	var selected []spec.Experiment
+	if *specFile != "" {
+		// A spec document carries its own selection and scale; silently
+		// ignoring -run/-scale would let "sweep -spec x.json -scale full"
+		// print small-scale numbers under a full-scale belief.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "run" || f.Name == "scale" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fail(stderr, fmt.Errorf("-%s does not apply to -spec (the document is self-contained)", conflict))
+		}
+		doc, err := spec.ReadFile(*specFile)
+		if err == nil {
+			err = doc.Validate()
+		}
+		if err != nil {
+			return fail(stderr, err)
+		}
+		selected = []spec.Experiment{doc}
+	} else {
+		suite := experiment.SuiteSpecs(sc)
+		sels := strings.Split(*run, ",")
+		match := func(e spec.Experiment) bool {
+			id := strings.SplitN(e.Name, "-", 2)[0] // "E3"
+			for _, sel := range sels {
+				sel = strings.TrimSpace(sel)
+				if strings.EqualFold(sel, "all") || strings.EqualFold(id, sel) || strings.EqualFold(e.Name, sel) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range suite {
+			if match(e) {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			return fail(stderr, fmt.Errorf("no experiment matches %q (try 'eagletree list')", *run))
+		}
+	}
+
+	var defs []experiment.Definition
+	for _, e := range selected {
+		def, err := experiment.FromSpec(e)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *out.timeline {
+			def.SeriesBucket = 20 * sim.Millisecond
+		}
+		defs = append(defs, def)
+	}
+	return runDefinitions(defs, opts, out, *progress, stdout, stderr)
+}
+
+// cmdList prints the experiment index straight from the suite's spec data,
+// including each experiment's expanded variant count.
+func cmdList(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "small", "workload scale: small | full")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sc := experiment.Small
+	if *scale == "full" {
+		sc = experiment.Full
+	}
+	fmt.Fprintf(stdout, "%-4s %-22s %8s %-42s %s\n", "ID", "NAME", "VARIANTS", "VARIES", "SHOWS")
+	for _, e := range experiment.SuiteSpecs(sc) {
+		id := strings.SplitN(e.Name, "-", 2)[0]
+		variants, err := e.ExpandVariants()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "%-4s %-22s %8d %-42s %s\n", id, e.Name, len(variants), e.Varies, e.Doc)
+	}
+	return 0
+}
+
+// cmdSpec runs experiment spec documents: a single-run document prints the
+// run report through the exact flag-mode flow (bit-identical to the flags
+// that dumped it), a variant grid runs through the experiment pipeline and
+// prints its table.
+func cmdSpec(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree spec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workers  = fs.Int("workers", 0, "parallel variant workers for grids (0 = GOMAXPROCS)")
+		cacheDir = fs.String("state-cache", "", "persist prepared device states under this directory")
+		fresh    = fs.Bool("fresh", false, "disable prepared-state reuse")
+		progress = fs.Bool("progress", true, "stream live per-variant progress to stderr (grids)")
+		validate = fs.Bool("validate", false, "validate the documents and exit without running")
+	)
+	out := addSweepOutput(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: eagletree spec [flags] FILE...")
+		return 2
+	}
+	for _, path := range fs.Args() {
+		// flag.Parse stops at the first positional, so a trailing flag would
+		// silently be read as a file name.
+		if strings.HasPrefix(path, "-") {
+			return fail(stderr, fmt.Errorf("flags must precede FILE arguments (got %q after a file)", path))
+		}
+	}
+	opts := experiment.Options{Workers: *workers, NoPrepareCache: *fresh}
+	if *cacheDir != "" && !*fresh {
+		opts.Cache = experiment.NewStateCache(*cacheDir)
+	}
+	for _, path := range fs.Args() {
+		doc, err := spec.ReadFile(path)
+		if err == nil {
+			err = doc.Validate()
+		}
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *validate {
+			variants, err := doc.ExpandVariants()
+			if err != nil {
+				return fail(stderr, err)
+			}
+			n := len(variants)
+			if n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(stdout, "%s: %s valid (%d variant(s))\n", path, doc.Name, n)
+			continue
+		}
+		variants, err := doc.ExpandVariants()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if len(variants) > 1 {
+			def, err := experiment.FromSpec(doc)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			if *out.timeline {
+				def.SeriesBucket = 20 * sim.Millisecond
+			}
+			fmt.Fprintf(stdout, "eagletree: spec %s: experiment %s (%d variants)\n\n", path, doc.Name, len(variants))
+			if code := runDefinitions([]experiment.Definition{def}, opts, out, *progress, stdout, stderr); code != 0 {
+				return code
+			}
+			continue
+		}
+		variant := spec.Variant{Label: "run"}
+		if len(variants) == 1 {
+			variant = variants[0]
+		}
+		header := fmt.Sprintf("eagletree: spec %s: %s / %s", path, doc.Name, variant.Label)
+		if code := executeSingle(doc, variant, runtimeOpts{}, nil, header, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+func printGame(w io.Writer, res experiment.Results) {
+	if len(res.Rows) == 0 {
+		fmt.Fprintln(w, "game: no result rows to score")
+		return
+	}
+	weights := experiment.DefaultGameWeights()
+	best := res.Rows[0]
+	bestScore := weights.Score(best.Report)
+	for _, r := range res.Rows {
+		score := weights.Score(r.Report)
+		fmt.Fprintf(w, "  score %10.1f  %s\n", score, r.Label)
+		if score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	fmt.Fprintf(w, "optimal combination: %s\n\n", best.Label)
+}

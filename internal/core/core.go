@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"eagletree/internal/controller"
@@ -128,6 +129,26 @@ func (s *Stack) Run() sim.Time {
 	s.Runner.Start()
 	t := s.Engine.RunUntilIdle()
 	return t
+}
+
+// RunCtx drives the loop like Run but honors context cancellation: the event
+// loop polls ctx every few thousand events and abandons the simulation when
+// it is canceled, returning ctx's error. A context that can never be
+// canceled takes the exact Run path; an uncanceled run fires the identical
+// event sequence either way, so results are bit-identical to Run.
+func (s *Stack) RunCtx(ctx context.Context) (sim.Time, error) {
+	if ctx.Done() == nil {
+		return s.Run(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return s.Engine.Now(), err
+	}
+	s.Runner.Start()
+	t, interrupted := s.Engine.RunInterruptible(0, func() bool { return ctx.Err() != nil })
+	if interrupted {
+		return t, ctx.Err()
+	}
+	return t, nil
 }
 
 // RunUntil drives the loop only to the given horizon (open-ended workloads).

@@ -28,9 +28,9 @@ type StateCache struct {
 }
 
 type cacheEntry struct {
-	once sync.Once
-	data []byte
-	err  error
+	ready chan struct{} // closed once data/err are set
+	data  []byte
+	err   error
 }
 
 // NewStateCache returns a cache, disk-backed under dir when dir is non-empty
@@ -51,24 +51,45 @@ func (c *StateCache) Len() int {
 // Get returns the encoded snapshot for key, building (and memoizing) it on
 // first use. Concurrent callers of the same key share one build.
 func (c *StateCache) Get(key string, build func() ([]byte, error)) ([]byte, error) {
+	data, _, err := c.Fetch(key, build)
+	return data, err
+}
+
+// Fetch is Get with cache provenance: hit reports whether this call was
+// served without running build — by an entry another caller already built
+// (or is building; waiters share its result) or by the disk store. Failed
+// builds are not memoized: the entry is removed once its waiters are
+// released, so a later Fetch of the same key (a canceled preparation, say)
+// builds again.
+func (c *StateCache) Fetch(key string, build func() ([]byte, error)) (data []byte, hit bool, err error) {
 	c.mu.Lock()
-	e := c.entries[key]
-	if e == nil {
-		e = &cacheEntry{}
-		c.entries[key] = e
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.data, true, e.err
 	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
 	c.mu.Unlock()
-	e.once.Do(func() {
-		if data := c.loadDisk(key); data != nil {
-			e.data = data
-			return
+
+	if data := c.loadDisk(key); data != nil {
+		e.data = data
+		close(e.ready)
+		return data, true, nil
+	}
+	e.data, e.err = build()
+	if e.err == nil {
+		c.saveDisk(key, e.data)
+	}
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
 		}
-		e.data, e.err = build()
-		if e.err == nil {
-			c.saveDisk(key, e.data)
-		}
-	})
-	return e.data, e.err
+		c.mu.Unlock()
+	}
+	return e.data, false, e.err
 }
 
 // path maps a key to a stable filename; keys are long canonical

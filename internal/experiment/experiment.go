@@ -1,24 +1,23 @@
 // Package experiment implements EagleTree's experimental suite API: an
 // experiment template takes a parameter or policy, a strategy for varying it
-// (the variant list), and a workload definition; it runs one full simulation
-// per variant and collects comparable metric rows — tables, CSV and text
-// charts standing in for the GUI's graphs.
+// (the variant list), and a workload definition; the Runner executes one full
+// simulation per variant and collects comparable metric rows — tables, CSV
+// and text charts standing in for the GUI's graphs.
 //
 // Device preparation is first-class: when a definition has a Prepare hook,
 // measured threads automatically depend on a barrier behind the preparation
 // threads, and statistics cover only the measured window (§2.3's repeatable
 // methodology).
+//
+// Execution is context-aware and observable: New(opts).Run(ctx, def) honors
+// cancellation mid-sweep (partial Results carry the completed row prefix
+// alongside a typed ErrCanceled) and streams typed events — variant
+// lifecycle, snapshot-cache provenance, timings — to an optional Observer.
 package experiment
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"eagletree/internal/core"
 	"eagletree/internal/sim"
-	"eagletree/internal/snapshot"
 	"eagletree/internal/workload"
 )
 
@@ -104,123 +103,10 @@ type Options struct {
 	// device state from scratch. This is the fresh baseline the determinism
 	// tests and the CI state-cache check compare restored runs against.
 	NoPrepareCache bool
-}
-
-// Run executes the experiment: one independent simulation per variant,
-// fanned out over up to GOMAXPROCS workers. Every variant stack is fully
-// isolated (own engine, own RNG), so the result rows are identical — bit for
-// bit — to a sequential run; only wall-clock time changes.
-func Run(def Definition) (Results, error) { return RunOpts(def, Options{}) }
-
-// RunWorkers runs the experiment on at most workers goroutines. Variant
-// order in the results is always definition order.
-func RunWorkers(def Definition, workers int) (Results, error) {
-	return RunOpts(def, Options{Workers: workers})
-}
-
-// RunOpts runs the experiment with explicit execution options.
-func RunOpts(def Definition, opts Options) (Results, error) {
-	res := Results{Name: def.Name}
-	if len(def.Variants) == 0 {
-		return res, fmt.Errorf("experiment %q: no variants", def.Name)
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(def.Variants) {
-		workers = len(def.Variants)
-	}
-	cache := opts.Cache
-	if opts.NoPrepareCache {
-		cache = nil
-	} else if cache == nil {
-		cache = NewStateCache("")
-	}
-	rows := make([]Row, len(def.Variants))
-	errs := make([]error, len(def.Variants))
-	if workers == 1 {
-		for i, v := range def.Variants {
-			rows[i], errs[i] = runVariant(def, v, cache)
-			if errs[i] != nil {
-				break // sequential semantics: stop at the first failure
-			}
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(def.Variants) {
-						return
-					}
-					rows[i], errs[i] = runVariant(def, def.Variants[i], cache)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	// Assemble in definition order, reporting the earliest failure exactly as
-	// the sequential loop would: rows before it, nothing after.
-	for i := range def.Variants {
-		if errs[i] != nil {
-			return res, errs[i]
-		}
-		res.Rows = append(res.Rows, rows[i])
-	}
-	return res, nil
-}
-
-// runVariant builds and drives one variant's stack to completion.
-//
-// Variants with declared preparation run in two phases: the preparation
-// workload runs to a full drain on a stack built from the normalized
-// preparation config (shared across variants and cached as an encoded
-// snapshot), then the measured workload runs on a stack restored from that
-// snapshot under the variant's full config. Restoration carries the engine
-// clock, RNG lineage and thread/request id sequences, so a cache hit and a
-// fresh preparation produce bit-identical rows.
-func runVariant(def Definition, v Variant, cache *StateCache) (Row, error) {
-	cfg := def.Base()
-	if def.SeriesBucket > 0 {
-		cfg.SeriesBucket = def.SeriesBucket
-	}
-	if v.Mutate != nil {
-		v.Mutate(&cfg)
-	}
-	spec, custom := def.prepFor(v)
-	if custom != nil {
-		return runVariantLegacy(def, v, cfg, custom)
-	}
-	var stack *core.Stack
-	if spec.None() {
-		st, err := core.New(cfg)
-		if err != nil {
-			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
-		}
-		stack = st
-	} else {
-		data, err := preparedState(def, cfg, spec, cache)
-		if err != nil {
-			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
-		}
-		// Decode per variant: restoration must never mutate the cached state.
-		ds, err := snapshot.Decode(data)
-		if err != nil {
-			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
-		}
-		st, err := core.Restore(cfg, ds)
-		if err != nil {
-			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
-		}
-		st.MarkMeasurement()
-		stack = st
-	}
-	return finishVariant(def, v, stack)
+	// Observer, when non-nil, receives the run's event stream: variant
+	// lifecycle, snapshot-cache provenance and timings. Calls are serialized
+	// but arrive from worker goroutines in completion order.
+	Observer Observer
 }
 
 // prepFor resolves the variant's effective preparation: a declarative spec,
@@ -236,76 +122,6 @@ func (def Definition) prepFor(v Variant) (PrepareSpec, func(*core.Stack) []*work
 		return def.Prep, nil
 	}
 	return PrepareSpec{}, def.Prepare
-}
-
-// preparedState returns the encoded snapshot of the prepared device for the
-// variant's configuration, building it (once per distinct key when a cache
-// is present) by running the preparation workload to a full drain.
-func preparedState(def Definition, cfg core.Config, spec PrepareSpec, cache *StateCache) ([]byte, error) {
-	pcfg := prepConfig(cfg, def.Base())
-	build := func() ([]byte, error) {
-		st, err := core.New(pcfg)
-		if err != nil {
-			return nil, err
-		}
-		spec.register(st)
-		st.Run()
-		if !st.Runner.Done() {
-			return nil, fmt.Errorf("preparation deadlocked with %d threads active", st.Runner.Active())
-		}
-		ds, err := st.Snapshot()
-		if err != nil {
-			return nil, err
-		}
-		return snapshot.Encode(ds), nil
-	}
-	if cache == nil {
-		return build()
-	}
-	key, err := prepKey(pcfg, spec)
-	if err != nil {
-		return nil, err
-	}
-	return cache.Get(key, build)
-}
-
-// runVariantLegacy drives a custom-Prepare variant the pre-snapshot way:
-// preparation and measurement share one stack, separated by a measurement
-// barrier thread.
-func runVariantLegacy(def Definition, v Variant, cfg core.Config, prepare func(*core.Stack) []*workload.Handle) (Row, error) {
-	stack, err := core.New(cfg)
-	if err != nil {
-		return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
-	}
-	prep := prepare(stack)
-	barrier := stack.AddBarrier(prep...)
-	wload := def.Workload
-	if v.Workload != nil {
-		wload = v.Workload
-	}
-	wload(stack, barrier)
-	stack.Run()
-	if !stack.Runner.Done() {
-		return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
-			def.Name, v.Label, stack.Runner.Active())
-	}
-	return rowFrom(v, stack)
-}
-
-// finishVariant registers the measured workload on a ready stack (fresh or
-// restored) and drives it to completion.
-func finishVariant(def Definition, v Variant, stack *core.Stack) (Row, error) {
-	wload := def.Workload
-	if v.Workload != nil {
-		wload = v.Workload
-	}
-	wload(stack, nil)
-	stack.Run()
-	if !stack.Runner.Done() {
-		return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
-			def.Name, v.Label, stack.Runner.Active())
-	}
-	return rowFrom(v, stack)
 }
 
 func rowFrom(v Variant, stack *core.Stack) (Row, error) {

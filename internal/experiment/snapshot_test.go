@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -65,7 +66,7 @@ func TestStateCacheSharesPreparation(t *testing.T) {
 			t.Fatal(err)
 		}
 		if _, err := countingGet(key, func() ([]byte, error) {
-			return preparedState(def, cfg, prep, nil)
+			return buildPrepared(context.Background(), pcfg, prep)
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func TestStateCacheDisk(t *testing.T) {
 		builds++
 		def := E11Aging(Small)
 		cfg := def.Base()
-		return preparedState(def, cfg, prepFromSpec(prepFillAge2), nil)
+		return buildPrepared(context.Background(), prepConfig(cfg, def.Base()), prepFromSpec(prepFillAge2))
 	}
 
 	c1 := NewStateCache(dir)

@@ -42,7 +42,10 @@ func FromSpec(e spec.Experiment) (Definition, error) {
 	if len(e.Workload) > 0 {
 		def.Workload = specWorkload(e.Name, e.Factor, e.Workload)
 	}
-	variants := e.Variants
+	variants, err := e.ExpandVariants()
+	if err != nil {
+		return Definition{}, err
+	}
 	if len(variants) == 0 {
 		variants = []spec.Variant{{Label: "run"}}
 	}
@@ -155,6 +158,16 @@ func specWorkload(name string, factor int64, threads []spec.Thread) func(*core.S
 // a stack the caller built — the thread registration order matches the
 // flag-driven CLI exactly, so a dumped spec reproduces its run bit for bit.
 func RegisterRun(e spec.Experiment, v spec.Variant, st *core.Stack) error {
+	return RegisterRunHook(e, v, st, nil)
+}
+
+// RegisterRunHook is RegisterRun with a measurement-boundary hook: when
+// non-nil, hook is called with the preparation barrier's handle (nil when
+// the spec declares no preparation) and its return value becomes the
+// dependency of the measured threads. The CLI uses it to insert a
+// capture-arming thread exactly at the boundary, preserving the historical
+// thread-id sequence of flag-driven recorded runs.
+func RegisterRunHook(e spec.Experiment, v spec.Variant, st *core.Stack, hook func(barrier *workload.Handle) *workload.Handle) error {
 	prep := e.Prep
 	if v.Prep != nil {
 		prep = v.Prep
@@ -164,6 +177,9 @@ func RegisterRun(e spec.Experiment, v spec.Variant, st *core.Stack) error {
 		if ps := prepFromSpec(*prep); !ps.None() {
 			barrier = st.AddBarrier(ps.register(st))
 		}
+	}
+	if hook != nil {
+		barrier = hook(barrier)
 	}
 	threads := e.Workload
 	if len(v.Workload) > 0 {

@@ -426,17 +426,26 @@ func E11AgingSpec(s Scale) spec.Experiment {
 // maximizing the game score on a fixed mixed workload (§3's game). Expected
 // shape: the optimum is a non-obvious combination; single-axis intuition
 // ("always prioritize reads", "always defer GC") loses.
+// The E12 sweep is a grid document: the preference and internal-order axes
+// cross-product into the 9 combinations at expansion time instead of being
+// listed by hand. The first axis swaps in the priority policy with its
+// preference; the second overrides that component's internal parameter
+// through a "slot.param" path, so the axes stay independent dimensions.
 func E12GameSpec(s Scale) spec.Experiment {
-	var combos []spec.Variant
+	var prefer, internal []spec.Variant
 	for _, pf := range []string{"none", "reads", "writes"} {
-		for _, in := range []string{"equal", "last", "first"} {
-			combos = append(combos, spec.Variant{
-				Label: "prefer=" + pf + ",internal=" + in,
-				Set: map[string]any{
-					"policy": spec.ParamRef("priority", map[string]any{"prefer": pf, "internal": in}),
-				},
-			})
-		}
+		prefer = append(prefer, spec.Variant{
+			Label: "prefer=" + pf,
+			Set: map[string]any{
+				"policy": spec.ParamRef("priority", map[string]any{"prefer": pf}),
+			},
+		})
+	}
+	for _, in := range []string{"equal", "last", "first"} {
+		internal = append(internal, spec.Variant{
+			Label: "internal=" + in,
+			Set:   map[string]any{"policy.internal": in},
+		})
 	}
 	return spec.Experiment{
 		Name:   "E12-game",
@@ -448,7 +457,10 @@ func E12GameSpec(s Scale) spec.Experiment {
 		Workload: []spec.Thread{
 			{Type: "mix", Params: map[string]any{"from": 0, "space": "n", "count": "1000*f", "read_fraction": 0.6, "depth": 24}},
 		},
-		Variants: combos,
+		Grid: []spec.Axis{
+			{Name: "prefer", Variants: prefer},
+			{Name: "internal", Variants: internal},
+		},
 	}
 }
 

@@ -282,6 +282,37 @@ func (e *Engine) Run(horizon Time) Time {
 // with no time horizon.
 func (e *Engine) RunUntilIdle() Time { return e.Run(Never) }
 
+// RunInterruptible fires events like RunUntilIdle but polls stop every
+// `every` fired events (every <= 0 reads as 4096) and abandons the loop when
+// it returns true. The queue is left intact on interruption, so the caller
+// may resume. It returns the final virtual time and whether the loop was
+// interrupted. Until stop fires, the event order is identical to Run — an
+// uninterrupted run produces exactly the state RunUntilIdle would.
+func (e *Engine) RunInterruptible(every int, stop func() bool) (Time, bool) {
+	if every <= 0 {
+		every = 4096
+	}
+	e.stopped = false
+	countdown := every
+	for len(e.queue) > 0 && !e.stopped {
+		countdown--
+		if countdown < 0 {
+			if stop() {
+				return e.now, true
+			}
+			countdown = every
+		}
+		next := e.pop()
+		if next.dead {
+			e.dead--
+			e.recycle(next)
+			continue
+		}
+		e.fire(next)
+	}
+	return e.now, false
+}
+
 // Step fires exactly one live event if any is pending and reports whether an
 // event fired. Cancelled events are skipped silently.
 func (e *Engine) Step() bool {

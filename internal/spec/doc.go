@@ -55,11 +55,103 @@ type Experiment struct {
 	Prep *Prep `json:"prepare,omitempty"`
 	// Workload is the measured thread list.
 	Workload []Thread `json:"workload"`
-	// Variants is the sweep grid; empty means one unmodified run.
+	// Variants is the sweep list; empty means one unmodified run (unless
+	// Grid declares the sweep instead).
 	Variants []Variant `json:"variants,omitempty"`
+	// Grid declares the sweep as a cross-product of axes instead of an
+	// explicit variant list: every combination of one variant per axis
+	// becomes one run, labels joined with "," and override sets merged.
+	// Mutually exclusive with Variants; expanded by ExpandVariants.
+	Grid []Axis `json:"grid,omitempty"`
 	// SeriesBucket, when positive, records a completion time series per
 	// variant with this bucket width.
 	SeriesBucket Duration `json:"series_bucket,omitempty"`
+}
+
+// Axis is one dimension of a grid sweep: a list of variant fragments, each
+// contributing its label and configuration overrides to every combination it
+// participates in. Axis fragments may only set configuration paths —
+// preparation and workload overrides do not compose across axes and are
+// rejected at expansion.
+type Axis struct {
+	// Name documents the swept dimension ("prefer", "greediness").
+	Name string `json:"name,omitempty"`
+	// Variants are the axis's points.
+	Variants []Variant `json:"variants"`
+}
+
+// ExpandVariants resolves the experiment's effective variant list: the
+// explicit Variants, or the cross-product of the Grid axes (first axis
+// outermost, so the last axis varies fastest). Combination labels join the
+// fragments' labels with ","; their override sets merge, and two axes
+// setting the same path is an error — axes must be independent dimensions.
+func (e Experiment) ExpandVariants() ([]Variant, error) {
+	if len(e.Grid) == 0 {
+		return e.Variants, nil
+	}
+	if len(e.Variants) > 0 {
+		return nil, fmt.Errorf("spec: experiment %q declares both variants and grid; use one", e.Name)
+	}
+	combos := []Variant{{}}
+	for ai, axis := range e.Grid {
+		axisName := axis.Name
+		if axisName == "" {
+			axisName = fmt.Sprintf("#%d", ai)
+		}
+		if len(axis.Variants) == 0 {
+			return nil, fmt.Errorf("spec: experiment %q: grid axis %s has no variants", e.Name, axisName)
+		}
+		for _, f := range axis.Variants {
+			if f.Prep != nil || len(f.Workload) > 0 {
+				return nil, fmt.Errorf("spec: experiment %q: grid axis %s variant %q overrides preparation or workload; axes may only set configuration paths",
+					e.Name, axisName, f.Label)
+			}
+		}
+		next := make([]Variant, 0, len(combos)*len(axis.Variants))
+		for _, base := range combos {
+			for _, f := range axis.Variants {
+				v, err := mergeFragment(base, f)
+				if err != nil {
+					return nil, fmt.Errorf("spec: experiment %q: grid axis %s variant %q: %w", e.Name, axisName, f.Label, err)
+				}
+				next = append(next, v)
+			}
+		}
+		combos = next
+	}
+	return combos, nil
+}
+
+// mergeFragment folds one axis fragment into an accumulated combination.
+func mergeFragment(base, frag Variant) (Variant, error) {
+	out := Variant{Label: base.Label, X: base.X}
+	switch {
+	case out.Label == "":
+		out.Label = frag.Label
+	case frag.Label != "":
+		out.Label += "," + frag.Label
+	}
+	if frag.X != 0 {
+		// Like Set paths, the x coordinate must come from exactly one axis —
+		// silently keeping one of two values would mislabel every chart.
+		if out.X != 0 {
+			return out, fmt.Errorf("x coordinate is set by more than one axis")
+		}
+		out.X = frag.X
+	}
+	if len(base.Set)+len(frag.Set) > 0 {
+		out.Set = make(map[string]any, len(base.Set)+len(frag.Set))
+		for k, v := range base.Set {
+			out.Set[k] = v
+		}
+		for k, v := range frag.Set {
+			if _, dup := out.Set[k]; dup {
+				return out, fmt.Errorf("path %q is set by more than one axis", k)
+			}
+			out.Set[k] = v
+		}
+	}
+	return out, nil
 }
 
 // Prep mirrors the experiment layer's declarative device preparation.
@@ -333,8 +425,50 @@ func applySet(c *Config, path string, val any) error {
 	case "lock_bus":
 		return setBool(&c.LockBus)
 	default:
+		if ref, param, ok := componentAt(c, path); ok {
+			if ref.None() {
+				return fail(fmt.Errorf("no named component at %q to parameterize", path[:len(path)-len(param)-1]))
+			}
+			// Never mutate a params map shared with another Config: overrides
+			// apply to shallow copies.
+			params := make(map[string]any, len(ref.Params)+1)
+			for k, v := range ref.Params {
+				params[k] = v
+			}
+			params[param] = val
+			ref.Params = params
+			return nil
+		}
 		return &UnknownFieldError{Context: "variant set", Field: path}
 	}
+}
+
+// componentAt resolves a "slot.param" override path — one parameter of the
+// component currently referenced at a slot ("policy.internal",
+// "mapping.cmt", "gc.policy.<param>") — to the slot's reference and the
+// parameter name. Whether the component accepts the parameter is checked at
+// resolve time, where the registry declaration is in hand.
+func componentAt(c *Config, path string) (ref *Ref, param string, ok bool) {
+	slots := []struct {
+		prefix string
+		ref    *Ref
+	}{
+		{"gc.policy.", &c.GC.Policy},
+		{"os.policy.", &c.OS.Policy},
+		{"timing.", &c.Timing},
+		{"mapping.", &c.Mapping},
+		{"wl.", &c.WL},
+		{"policy.", &c.Policy},
+		{"alloc.", &c.Alloc},
+		{"detector.", &c.Detector},
+	}
+	for _, s := range slots {
+		rest, found := strings.CutPrefix(path, s.prefix)
+		if found && rest != "" && !strings.Contains(rest, ".") {
+			return s.ref, rest, true
+		}
+	}
+	return nil, "", false
 }
 
 func coerceInt(v any) (int64, error) {
@@ -429,7 +563,11 @@ func (e Experiment) Validate() error {
 	if err := check("workload", e.Workload); err != nil {
 		return err
 	}
-	for _, v := range e.Variants {
+	variants, err := e.ExpandVariants()
+	if err != nil {
+		return err
+	}
+	for _, v := range variants {
 		cfg, err := e.ConfigFor(v)
 		if err != nil {
 			return err
@@ -444,12 +582,12 @@ func (e Experiment) Validate() error {
 		}
 	}
 	if len(e.Workload) == 0 {
-		for _, v := range e.Variants {
+		for _, v := range variants {
 			if len(v.Workload) == 0 {
 				return fmt.Errorf("spec: experiment %q: variant %q has no workload", e.Name, v.Label)
 			}
 		}
-		if len(e.Variants) == 0 {
+		if len(variants) == 0 {
 			return fmt.Errorf("spec: experiment %q has no workload", e.Name)
 		}
 	}

@@ -1,0 +1,56 @@
+package spec
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/trace"
+)
+
+// TestReplayProvenance: a replay thread spec pinning a sha256 builds when
+// the file's stream matches and fails with the trace package's typed
+// mismatch error when it does not; the capture_spec provenance note is
+// accepted alongside.
+func TestReplayProvenance(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{At: 0, Thread: 1, Op: iface.Write, LPN: 3, Size: 1},
+		{At: 90, Thread: 1, Op: iface.Read, LPN: 3, Size: 1},
+	}}
+	path := filepath.Join(t.TempDir(), "prov.etb")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := tr.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := Env{N: 1 << 10, PPB: 16, QD: 8}
+	good := Thread{Type: "replay", Params: map[string]any{
+		"path": path, "sha256": hash, "capture_spec": "spec1|{...capturing config...}",
+	}}
+	if _, err := MakeThread(good, env); err != nil {
+		t.Fatalf("matching provenance rejected: %v", err)
+	}
+
+	bad := Thread{Type: "replay", Params: map[string]any{
+		"path": path, "sha256": "0000000000000000000000000000000000000000000000000000000000000000",
+	}}
+	_, err = MakeThread(bad, env)
+	if err == nil {
+		t.Fatal("mismatched provenance accepted")
+	}
+	var mm *trace.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("err = %v (%T), want to wrap *trace.MismatchError", err, err)
+	}
+	if mm.Path != path || mm.Got != hash {
+		t.Fatalf("mismatch error carries wrong provenance: %+v", mm)
+	}
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want the spec layer's *ParamError context", err)
+	}
+}

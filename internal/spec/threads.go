@@ -279,6 +279,8 @@ func registerAppThreads() {
 			{Name: "mode", Type: TString, Doc: "closed | open | dependent"},
 			{Name: "time_scale", Type: TFloat, Doc: "trace time stretch for open/dependent (0 = 1)"},
 			{Name: "depth", Type: TExpr, Doc: "IOs in flight (closed loop)"},
+			{Name: "sha256", Type: TString, Doc: "pinned content hash of the trace; replay fails with a typed mismatch error when the file's stream differs"},
+			{Name: "capture_spec", Type: TString, Doc: "canonical key of the configuration that captured the trace, when known (provenance record, not validated)"},
 		},
 		Make: func(p *Params) (any, error) {
 			path := p.Str("path", "")
@@ -288,6 +290,16 @@ func registerAppThreads() {
 			tr, err := trace.ReadFile(path)
 			if err != nil {
 				return nil, &ParamError{Context: p.context(), Param: "path", Err: err}
+			}
+			if want := p.Str("sha256", ""); want != "" {
+				got, err := tr.Hash()
+				if err != nil {
+					return nil, &ParamError{Context: p.context(), Param: "sha256", Err: err}
+				}
+				if got != want {
+					return nil, &ParamError{Context: p.context(), Param: "sha256",
+						Err: &trace.MismatchError{Path: path, Want: want, Got: got}}
+				}
 			}
 			mode, err := workload.ParseReplayMode(p.Enum("mode", "closed", "closed", "open", "dependent"))
 			if err != nil {

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+
+	"eagletree/internal/iface"
+)
+
+func provenanceSample() *Trace {
+	return &Trace{Records: []Record{
+		{At: 0, Thread: 1, Op: iface.Write, LPN: 10, Size: 1},
+		{At: 150, Thread: 1, Op: iface.Read, LPN: 10, Size: 1, Tags: iface.Tags{Priority: iface.PriorityHigh}},
+		{At: 400, Thread: 2, Op: iface.Trim, LPN: 64, Size: 2},
+	}}
+}
+
+// TestHashFormatIndependent: the content hash identifies the logical stream,
+// so the same trace stored as text and as binary — and re-decoded from
+// either — hashes identically.
+func TestHashFormatIndependent(t *testing.T) {
+	tr := provenanceSample()
+	want, err := tr.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", want)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"sample.txt", "sample.etb"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := got.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != want {
+			t.Fatalf("%s round trip changed the hash: %s != %s", name, h, want)
+		}
+	}
+}
+
+// TestHashDetectsEdits: any change to the stream changes the hash.
+func TestHashDetectsEdits(t *testing.T) {
+	base, err := provenanceSample().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := provenanceSample()
+	edited.Records[1].LPN++
+	h, err := edited.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == base {
+		t.Fatal("editing a record did not change the content hash")
+	}
+}

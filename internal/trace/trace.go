@@ -12,6 +12,8 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"eagletree/internal/iface"
@@ -106,6 +108,37 @@ func (t *Trace) FilterThread(id int) *Trace {
 		}
 	}
 	return out
+}
+
+// Hash returns the trace's content hash: hex SHA-256 over the canonical
+// binary encoding, streamed straight into the hash (no materialized copy).
+// It identifies the logical IO stream, not a file — the same trace stored
+// as text and as binary hashes identically — so specs can pin the exact
+// stream a replay must consume (see MismatchError).
+func (t *Trace) Hash() (string, error) {
+	h := sha256.New()
+	if err := EncodeBinary(h, t); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// MismatchError reports a replayed trace whose content hash does not match
+// the provenance its spec pinned: the file was edited, regenerated under a
+// different configuration, or simply isn't the capture the document was
+// written against.
+type MismatchError struct {
+	// Path is the trace file that was loaded.
+	Path string
+	// Want is the content hash the spec pinned.
+	Want string
+	// Got is the loaded trace's content hash.
+	Got string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("trace: %s: content hash %s does not match the spec's pinned provenance %s (the file is not the capture this document was written against)",
+		e.Path, e.Got, e.Want)
 }
 
 // validate checks every record and the timestamp ordering.
