@@ -39,6 +39,7 @@ import (
 	"eagletree/internal/controller"
 	"eagletree/internal/core"
 	"eagletree/internal/experiment"
+	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/gc"
 	"eagletree/internal/hotcold"
@@ -177,6 +178,59 @@ type (
 // default parameters.
 func NewBloomDetector() *BloomDetector {
 	return hotcold.NewMBF(hotcold.DefaultMBFConfig())
+}
+
+// Runtime fault injection. A FaultModel set on ControllerConfig.Fault is
+// consulted on every data-region program and erase; the controller recovers
+// gracefully — relocating failed writes, retiring grown-bad blocks and
+// migrating their survivors — until retirement exhausts the free pool and
+// the run fails with ErrDeviceWornOut. Injection is seeded and
+// deterministic: (Config, Seed) still fully determines the run, and model
+// state rides along in device snapshots.
+type (
+	// FaultModel decides, per flash operation, whether it fails.
+	FaultModel = fault.Model
+	// FaultOutcome is a model's verdict for one operation.
+	FaultOutcome = fault.Outcome
+	// RandomFaults fails operations with fixed per-op probabilities.
+	RandomFaults = fault.Random
+	// WearoutFaults fails operations with probability rising along an
+	// endurance-derived curve of the block's erase count.
+	WearoutFaults = fault.Wearout
+	// ScheduledFault fires exactly one fault at an erase-count or
+	// virtual-time threshold, for reproducible single-fault experiments.
+	ScheduledFault = fault.At
+	// Reliability aggregates a run's fault-recovery totals: retries,
+	// relocations, erase failures, grown bad blocks.
+	Reliability = controller.Reliability
+)
+
+// Fault outcomes.
+const (
+	FaultOK          = fault.OK
+	FaultProgramFail = fault.ProgramFail
+	FaultEraseFail   = fault.EraseFail
+	FaultGrownBad    = fault.GrownBad
+)
+
+// ErrDeviceWornOut reports that runtime block retirement exhausted a LUN's
+// free pool — the device can no longer absorb writes; test with errors.Is.
+var ErrDeviceWornOut = controller.ErrDeviceWornOut
+
+// NewRandomFaults builds a fixed-probability fault model: each program
+// fails with pfail (escalating to a grown-bad block retirement with
+// conditional probability pgrown), each erase fails — retiring the block —
+// with efail. seed seeds the model's private RNG.
+func NewRandomFaults(pfail, efail, pgrown float64, seed uint64) *RandomFaults {
+	return fault.NewRandom(pfail, efail, pgrown, seed)
+}
+
+// NewWearoutFaults builds an endurance-curve fault model: erases fail with
+// probability min(1, (eraseCount/endurance)^shape), programs with
+// programFactor times that, escalating to grown-bad past the endurance
+// limit.
+func NewWearoutFaults(endurance int, shape, programFactor float64, seed uint64) *WearoutFaults {
+	return fault.NewWearout(endurance, shape, programFactor, seed)
 }
 
 // SSD-side IO scheduling.
@@ -397,16 +451,21 @@ type (
 	// RunCanceledError is the typed error of a canceled run: completed
 	// prefix length, total, and the context's cause.
 	RunCanceledError = experiment.CanceledError
+	// ExperimentVariantError is the typed error of a variant whose
+	// execution panicked: the recovered value plus a stack trace. The
+	// runner isolates the crash — remaining variants still complete.
+	ExperimentVariantError = experiment.VariantError
 )
 
 // Runner event kinds: every variant gets exactly one VariantQueued and one
-// of VariantDone/VariantCanceled, declared preparation reports its cache
-// provenance, and the run closes with one ExperimentDone.
+// of VariantDone/VariantFailed/VariantCanceled, declared preparation reports
+// its cache provenance, and the run closes with one ExperimentDone.
 const (
 	EventVariantQueued   = experiment.EventVariantQueued
 	EventPrepareHit      = experiment.EventPrepareHit
 	EventPrepareMiss     = experiment.EventPrepareMiss
 	EventVariantDone     = experiment.EventVariantDone
+	EventVariantFailed   = experiment.EventVariantFailed
 	EventVariantCanceled = experiment.EventVariantCanceled
 	EventExperimentDone  = experiment.EventExperimentDone
 )

@@ -51,13 +51,13 @@ Commands:
   record   run and capture the app-level IO stream to a trace file
   replay   replay a captured trace file instead of a synthetic workload
   state    prepare a device and save its state (state save), or inspect one (state info)
-  sweep    run predefined design-space experiments (E1–E13) or a spec file
+  sweep    run predefined design-space experiments (E1–E14) or a spec file
   list     print the experiment index from the suite's spec data
   spec     run any experiment spec document (single runs and variant grids)
   doc      render the component registry as the SPEC.md reference page
 
 Component flags (-policy, -alloc, -gc, -wl, -detector, -mapping, -timing,
--os-policy) and workload types are generated from the component registry:
+-faults, -os-policy) and workload types are generated from the component registry:
 "name" or "name:key=val,key=val". 'eagletree doc' lists every choice and
 parameter; 'eagletree <command> -h' shows a command's flags.
 

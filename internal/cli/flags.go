@@ -169,7 +169,7 @@ type configFlags struct {
 	open                          *bool
 	seed                          *uint64
 
-	timing, mapping, gcpol, wl, policy, alloc, detector, ospol *refValue
+	timing, mapping, gcpol, wl, policy, alloc, detector, faults, ospol *refValue
 }
 
 // addConfigFlags registers the shared configuration flags on fs.
@@ -194,6 +194,7 @@ func addConfigFlags(fs *flag.FlagSet) *configFlags {
 	c.policy = refFlag(fs, "policy", spec.KindPolicy, "fifo", "SSD scheduling policy")
 	c.alloc = refFlag(fs, "alloc", spec.KindAllocator, "leastloaded", "write allocator")
 	c.detector = refFlag(fs, "detector", spec.KindDetector, "none", "hot/cold detector")
+	c.faults = refFlag(fs, "faults", spec.KindFault, "none", "runtime fault-injection model")
 	c.ospol = refFlag(fs, "os-policy", spec.KindOSPolicy, "fifo", "OS scheduling policy")
 	return c
 }
@@ -219,7 +220,7 @@ func (c *configFlags) configSpec() spec.Config {
 			}
 		}
 	}
-	return spec.Config{
+	cfg := spec.Config{
 		Geometry: spec.Geometry{
 			Channels: *c.channels, LUNsPerChannel: *c.luns,
 			BlocksPerLUN: *c.blocks, PagesPerBlock: *c.pages, PageSize: 4096,
@@ -237,4 +238,12 @@ func (c *configFlags) configSpec() spec.Config {
 		OS:            spec.OSSpec{Policy: c.ospol.ref, QueueDepth: *c.qd},
 		Seed:          *c.seed,
 	}
+	// The fault slot is a pointer: "none" (the default) stays an absent
+	// field, so dumped documents from fault-free flag runs are byte-identical
+	// to what they were before faults existed.
+	if c.faults.set && c.faults.ref.Name != "none" {
+		ref := c.faults.ref
+		cfg.Fault = &ref
+	}
+	return cfg
 }

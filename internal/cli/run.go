@@ -226,6 +226,13 @@ func executeSingle(doc spec.Experiment, variant spec.Variant, rt runtimeOpts, re
 	}
 
 	end := st.Run()
+	if !st.Runner.Done() {
+		werr := fmt.Errorf("%d threads never finished (workload deadlock)", st.Runner.Active())
+		if herr := st.Controller.Health(); herr != nil {
+			werr = fmt.Errorf("%d threads never finished: %w", st.Runner.Active(), herr)
+		}
+		return fail(stderr, werr)
+	}
 	fmt.Fprintln(stdout, header)
 	fmt.Fprintf(stdout, "simulated %v of device time\n\n", end)
 	fmt.Fprint(stdout, st.Report())

@@ -43,6 +43,9 @@ func (p progressObserver) OnEvent(ev experiment.Event) {
 			ev.Experiment, ev.Index+1, ev.Variants, ev.Variant, status, wall)
 	case experiment.EventVariantCanceled:
 		fmt.Fprintf(p.w, "[%s %d/%d] %s: canceled\n", ev.Experiment, ev.Index+1, ev.Variants, ev.Variant)
+	case experiment.EventVariantFailed:
+		fmt.Fprintf(p.w, "[%s %d/%d] %s: PANIC: %v (%v)\n",
+			ev.Experiment, ev.Index+1, ev.Variants, ev.Variant, ev.Err, wall)
 	case experiment.EventExperimentDone:
 		if ev.Err != nil {
 			fmt.Fprintf(p.w, "[%s] %v\n", ev.Experiment, ev.Err)
@@ -66,12 +69,32 @@ func addSweepOutput(fs *flag.FlagSet) *sweepOutput {
 }
 
 // runDefinitions executes compiled definitions under an interrupt-aware
-// context through the streaming Runner and renders their results. ^C cancels
-// mid-sweep: workers drain, the partial row prefix prints, and the process
-// exits non-zero.
+// context through the streaming Runner and renders their results. The first
+// ^C cancels mid-sweep: workers drain, the partial row prefix prints, and the
+// process exits non-zero. A second ^C hard-exits immediately — the escape
+// hatch when a variant refuses to drain.
 func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sigc:
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-sigc:
+			fmt.Fprintln(stderr, "eagletree: second interrupt, exiting immediately")
+			os.Exit(130)
+		case <-done:
+		}
+	}()
 	if progress {
 		opts.Observer = progressObserver{w: stderr}
 	}
@@ -105,13 +128,13 @@ func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *
 	return 0
 }
 
-// cmdSweep runs the predefined design-space experiments (E1–E13) — or any
+// cmdSweep runs the predefined design-space experiments (E1–E14) — or any
 // spec document via -spec — and prints their result tables and charts.
 func cmdSweep(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eagletree sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		run      = fs.String("run", "all", "experiments to run: e1..e13, comma-separated | all")
+		run      = fs.String("run", "all", "experiments to run: e1..e14, comma-separated | all")
 		specFile = fs.String("spec", "", "run an experiment spec file instead of the predefined suite")
 		scale    = fs.String("scale", "small", "workload scale: small | full")
 		workers  = fs.Int("workers", 0, "parallel variant workers (0 = GOMAXPROCS, 1 = sequential)")

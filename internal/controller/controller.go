@@ -11,10 +11,12 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 
 	"unsafe"
 
+	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
 	"eagletree/internal/gc"
@@ -107,6 +109,13 @@ type Config struct {
 	// overprovisioning shrinks accordingly.
 	BadBlockFraction float64
 	BadBlockSeed     uint64
+
+	// Fault, when non-nil, injects program/erase failures and grown bad
+	// blocks at runtime, confined to the data region like factory bad
+	// blocks. The controller owns recovery: failed writes relocate to a new
+	// frontier, failed-erase victims retire, and live pages migrate off
+	// blocks that grow bad under them. Nil disables injection at zero cost.
+	Fault fault.Model
 
 	// OnComplete delivers finished application requests to the OS layer.
 	OnComplete func(*iface.Request)
@@ -205,6 +214,7 @@ type reqState struct {
 	accessd  bool // mapper.Access already performed
 	errored  bool // completed without touching flash (unmapped read)
 	buffered bool // write absorbed by the battery-backed buffer
+	refire   bool // program failed by injection; re-queue instead of finishing
 	busyLUN  int  // LUN whose inflight slot this request holds; -1 when none
 
 	// Readiness caches, validated against the controller epochs. canRun is
@@ -234,8 +244,10 @@ type writeMemoEntry struct {
 type gcRun struct {
 	victim    flash.BlockID
 	pending   int  // migration pairs not yet finished
-	erased    bool // erase issued
+	erased    bool // erase issued (or run reached its terminal state)
 	isWL      bool
+	condemn   bool // relocation off a grown-bad block; never erased
+	failed    bool // the victim erase was failed by injection; block retired
 	collector *Controller
 }
 
@@ -251,6 +263,28 @@ type Counters struct {
 	BufferedWrites  uint64
 	BufferStalls    uint64
 }
+
+// Reliability aggregates fault-injection recovery totals. It is a separate
+// struct from Counters so the frozen snapshot encoding of Counters stays
+// untouched; reports print it only when faults actually fired.
+type Reliability struct {
+	// Retries counts writes re-issued after an injected program failure
+	// burned their page.
+	Retries uint64
+	// Relocations counts live pages migrated off blocks that grew bad under
+	// an in-flight write frontier.
+	Relocations uint64
+	// EraseFailures counts injected erase failures; each retires its block.
+	EraseFailures uint64
+	// GrownBadBlocks counts blocks retired mid-run by the fault model, from
+	// both grown-bad program failures and erase failures.
+	GrownBadBlocks uint64
+}
+
+// ErrDeviceWornOut reports that runtime block retirement has exhausted a
+// LUN's free pool: queued writes can never be placed and the device has
+// reached end of life. Experiments surface it instead of a generic stall.
+var ErrDeviceWornOut = errors.New("device worn out: block retirement exhausted the free pool")
 
 // Controller is the simulated SSD. Create with New; drive it by Submit-ing
 // requests and running the shared engine.
@@ -271,7 +305,9 @@ type Controller struct {
 	nextID       uint64
 	dispPend     bool
 	counters     Counters
-	logical      int // exported logical pages
+	reliability  Reliability
+	condemned    []flash.BlockID // grown-bad blocks awaiting survivor relocation
+	logical      int             // exported logical pages
 	completions  uint64
 	opsSinceScan uint64
 	wlScanArmed  bool
@@ -330,6 +366,11 @@ func New(eng *sim.Engine, bus *iface.Bus, col *stats.Collector, cfg Config) (*Co
 				}
 			}
 		}
+	}
+	if cfg.Fault != nil {
+		// Runtime faults share the factory bad-block confinement: the
+		// translation ring's reserved blocks stay exempt.
+		array.SetInjector(cfg.Fault, reserved)
 	}
 	bm := ftl.NewBlockManager(array, reserved, cfg.GCGreediness, cfg.WL.Dynamic)
 	logical := int(float64(bm.DataPages()) * (1 - cfg.Overprovision))
@@ -404,6 +445,31 @@ func (c *Controller) BlockManager() *ftl.BlockManager { return c.bm }
 
 // Counters returns controller-level totals.
 func (c *Controller) Counters() Counters { return c.counters }
+
+// Reliability returns fault-injection recovery totals.
+func (c *Controller) Reliability() Reliability { return c.reliability }
+
+// Health explains a stalled controller. When the engine drains with requests
+// still queued, deferred, or a migration run stuck, a worn-out verdict means
+// runtime retirement emptied a free pool out from under the write path. It
+// returns nil when the controller holds no stuck work.
+func (c *Controller) Health() error {
+	stuck := c.cfg.Policy.Len() > 0 || len(c.deferred) > 0 || len(c.condemned) > 0
+	for _, active := range c.gcActive {
+		if active {
+			stuck = true
+		}
+	}
+	if !stuck {
+		return nil
+	}
+	for lun := range c.inflight {
+		if c.bm.FreeCount(lun) == 0 {
+			return ErrDeviceWornOut
+		}
+	}
+	return nil
+}
 
 // Memory returns the memory manager's accounting.
 func (c *Controller) Memory() *MemoryManager { return c.mem }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"unsafe"
 
@@ -237,7 +238,11 @@ func (c *Controller) execute(r *iface.Request) {
 		c.executeCopyback(r, st)
 	case opGCErase:
 		sched, err := c.array.ScheduleErase(st.run.victim, now)
-		c.must(err, r)
+		if ferr := faultOf(err); ferr != nil {
+			c.onEraseFault(ferr, r, st)
+		} else {
+			c.must(err, r)
+		}
 		c.busyUntil(st.run.victim.LUN, sched.Done, r, st)
 	default:
 		c.executeData(r, st)
@@ -283,6 +288,13 @@ func (c *Controller) executeData(r *iface.Request, st *reqState) {
 		ppa, err := c.alloc(lun, stream)
 		c.must(err, r)
 		sched, err := c.array.ScheduleWrite(ppa, now)
+		if ferr := faultOf(err); ferr != nil {
+			// The page burned but the old mapping is intact; refire the
+			// write after the failed program's latency elapses.
+			c.onProgramFault(ferr, r, st)
+			c.busyUntil(lun, sched.Done, r, st)
+			return
+		}
 		c.must(err, r)
 		if old, had := c.remap(r.LPN, ppa); had {
 			c.must(c.array.Invalidate(old), r)
@@ -325,6 +337,61 @@ func (c *Controller) lunViews(stream ftl.Stream) []sched.LUNView {
 	return views
 }
 
+// faultOf extracts an injected-fault error — a recoverable outcome the
+// controller handles — from a schedule error. Anything else stays fatal.
+func faultOf(err error) *flash.FaultError {
+	if err == nil {
+		return nil
+	}
+	var ferr *flash.FaultError
+	if errors.As(err, &ferr) {
+		return ferr
+	}
+	return nil
+}
+
+// onProgramFault records an injected program failure and arms the request to
+// refire: the burned page stays behind (invalid, counted against the block)
+// and ioDone re-queues the write, which allocates a fresh page — on a new
+// frontier when the block retired with the failure.
+func (c *Controller) onProgramFault(ferr *flash.FaultError, r *iface.Request, st *reqState) {
+	c.reliability.Retries++
+	st.refire = true
+	if tr := c.stats.Trace(); tr != nil {
+		tr.Record(c.eng.Now(), r.ID, stats.StageProgramFault, r)
+	}
+	if ferr.Grown {
+		c.retireBlock(ferr.Block)
+	}
+}
+
+// onEraseFault records an injected erase failure on a GC/WL victim. The
+// block retired (all its pages were already migrated, so nothing is lost);
+// the run completes without releasing it back to the free pool.
+func (c *Controller) onEraseFault(ferr *flash.FaultError, r *iface.Request, st *reqState) {
+	c.reliability.EraseFailures++
+	c.reliability.GrownBadBlocks++
+	st.run.failed = true
+	c.bm.Condemn(ferr.Block) // victims are off the manager's books; no-op by design
+	c.writeEpoch++
+	if tr := c.stats.Trace(); tr != nil {
+		tr.Record(c.eng.Now(), r.ID, stats.StageEraseFault, r)
+	}
+}
+
+// retireBlock handles a block grown bad mid-run: the allocation books close
+// (open frontier dropped, free-pool entry removed — the pool shrinks for
+// good) and any live pages still on it queue for relocation.
+func (c *Controller) retireBlock(b flash.BlockID) {
+	c.reliability.GrownBadBlocks++
+	c.bm.Condemn(b)
+	c.writeEpoch++ // the pool shrank; write readiness may have changed
+	if c.array.ValidPagesIn(b) > 0 {
+		c.condemned = append(c.condemned, b)
+		c.drainCondemned(b.LUN)
+	}
+}
+
 // must panics on errors that can only be controller bugs (NAND constraint
 // violations, allocation failures after canRun approved). Failing loudly
 // here is deliberate: continuing would silently corrupt every metric the
@@ -354,6 +421,15 @@ func (c *Controller) ioDone(arg any) {
 		c.writeEpoch++
 		st.busyLUN = -1
 	}
+	if st.refire {
+		// An injected program failure burned this write's page. Re-queue it:
+		// the next dispatch allocates a fresh page for the same LPN, and the
+		// mapping still points at the old data until the retry lands.
+		st.refire = false
+		c.cfg.Policy.Push(r)
+		c.scheduleDispatch()
+		return
+	}
 	c.finish(r, c.eng.Now())
 }
 
@@ -373,7 +449,11 @@ func (c *Controller) finish(r *iface.Request, at sim.Time) {
 
 	switch st.kind {
 	case opGCWrite, opGCCopyback:
-		c.counters.GCMigratedPages++
+		if st.run.condemn {
+			c.reliability.Relocations++
+		} else {
+			c.counters.GCMigratedPages++
+		}
 		st.run.pending--
 		c.checkRunDone(st.run)
 	case opWLWrite:
@@ -470,6 +550,11 @@ func (c *Controller) executeMigrationWrite(r *iface.Request, st *reqState) {
 	ppa, err := c.alloc(st.src.LUN, stream)
 	c.must(err, r)
 	sched, err := c.array.ScheduleWrite(ppa, c.eng.Now())
+	if ferr := faultOf(err); ferr != nil {
+		c.onProgramFault(ferr, r, st)
+		c.busyUntil(st.src.LUN, sched.Done, r, st)
+		return
+	}
 	c.must(err, r)
 	if old, had := c.remap(r.LPN, ppa); had {
 		c.must(c.array.Invalidate(old), r)
@@ -492,6 +577,11 @@ func (c *Controller) executeCopyback(r *iface.Request, st *reqState) {
 	dst, err := c.alloc(st.src.LUN, ftl.StreamGC)
 	c.must(err, r)
 	sched, err := c.array.ScheduleCopyback(st.src, dst, c.eng.Now())
+	if ferr := faultOf(err); ferr != nil {
+		c.onProgramFault(ferr, r, st)
+		c.busyUntil(st.src.LUN, sched.Done, r, st)
+		return
+	}
 	c.must(err, r)
 	if old, had := c.remap(r.LPN, dst); had {
 		c.must(c.array.Invalidate(old), r)

@@ -21,9 +21,21 @@ func (c *Controller) maybeGC(lun int) {
 
 // startRun begins migrating a victim block's live pages (GC or static WL).
 func (c *Controller) startRun(victim flash.BlockID, isWL bool) {
+	c.beginRun(&gcRun{victim: victim, isWL: isWL})
+}
+
+// startCondemnRun begins relocating the survivors of a grown-bad block. The
+// run reuses the GC migration machinery but terminates without an erase: a
+// retired block is never reclaimed.
+func (c *Controller) startCondemnRun(victim flash.BlockID) {
+	c.beginRun(&gcRun{victim: victim, condemn: true})
+}
+
+// beginRun walks the run's victim and queues a migration pair per live page.
+func (c *Controller) beginRun(run *gcRun) {
+	victim, isWL := run.victim, run.isWL
 	c.gcActive[victim.LUN] = true
-	run := &gcRun{victim: victim, isWL: isWL}
-	if tr := c.stats.Trace(); tr != nil {
+	if tr := c.stats.Trace(); tr != nil && !run.condemn {
 		stage := stats.StageGCStart
 		if isWL {
 			stage = stats.StageWLStart
@@ -70,16 +82,23 @@ func (c *Controller) startRun(victim flash.BlockID, isWL bool) {
 		c.cfg.Policy.PushBlocked(write)
 	}
 	if run.pending == 0 {
-		c.issueErase(run)
+		c.checkRunDone(run)
 	}
 	c.scheduleDispatch()
 }
 
-// checkRunDone issues the victim erase once every migration pair finished.
+// checkRunDone issues the victim erase once every migration pair finished —
+// or, for a condemned-block relocation, ends the run without one.
 func (c *Controller) checkRunDone(run *gcRun) {
-	if run.pending == 0 && !run.erased {
-		c.issueErase(run)
+	if run.pending != 0 || run.erased {
+		return
 	}
+	if run.condemn {
+		run.erased = true // terminal: a retired block is never erased
+		c.finishRun(run)
+		return
+	}
+	c.issueErase(run)
 }
 
 func (c *Controller) issueErase(run *gcRun) {
@@ -96,17 +115,56 @@ func (c *Controller) issueErase(run *gcRun) {
 }
 
 // finishErase returns the reclaimed block to the free pool and re-arms GC.
+// When the erase was failed by injection the block stays retired: nothing is
+// released and the run just ends.
 func (c *Controller) finishErase(run *gcRun) {
-	c.bm.Release(run.victim)
-	c.writeEpoch++ // a freed block may flip write readiness
-	c.gcActive[run.victim.LUN] = false
-	if !run.isWL {
-		c.counters.GCErases++
+	if !run.failed {
+		c.bm.Release(run.victim)
+		c.writeEpoch++ // a freed block may flip write readiness
+		if !run.isWL {
+			c.counters.GCErases++
+		}
 	}
-	if tr := c.stats.Trace(); tr != nil && !run.isWL {
+	c.finishRun(run)
+}
+
+// finishRun closes out a GC, WL, or relocation run and re-arms whatever work
+// the LUN still owes: queued condemned-block relocations first, then GC.
+func (c *Controller) finishRun(run *gcRun) {
+	c.gcActive[run.victim.LUN] = false
+	if tr := c.stats.Trace(); tr != nil && !run.isWL && !run.condemn {
 		tr.Record(c.eng.Now(), 0, stats.StageGCEnd, nil)
 	}
-	c.maybeGC(run.victim.LUN)
+	c.drainCondemned(run.victim.LUN)
+	if !c.gcActive[run.victim.LUN] {
+		c.maybeGC(run.victim.LUN)
+	}
+}
+
+// drainCondemned starts relocation runs for condemned blocks on the LUN, one
+// at a time, whenever no GC/WL run owns the LUN. Blocks condemned while a
+// run is active queue until it completes.
+func (c *Controller) drainCondemned(lun int) {
+	for !c.gcActive[lun] {
+		b, ok := c.takeCondemned(lun)
+		if !ok {
+			return
+		}
+		if c.array.ValidPagesIn(b) == 0 {
+			continue // everything on it died or moved while it waited
+		}
+		c.startCondemnRun(b)
+	}
+}
+
+func (c *Controller) takeCondemned(lun int) (flash.BlockID, bool) {
+	for i, b := range c.condemned {
+		if b.LUN == lun {
+			c.condemned = append(c.condemned[:i], c.condemned[i+1:]...)
+			return b, true
+		}
+	}
+	return flash.BlockID{}, false
 }
 
 // scheduleWLScan arms the periodic static wear-leveling scan. The scan

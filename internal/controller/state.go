@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
 	"eagletree/internal/gc"
@@ -31,6 +32,7 @@ type State struct {
 	NextID       uint64
 	Completions  uint64
 	OpsSinceScan uint64
+	Reliability  Reliability
 
 	Array        flash.ArrayState
 	BlockManager ftl.BlockManagerState
@@ -53,6 +55,7 @@ type State struct {
 	Detector     *hotcold.MBFState
 	GCRandomRNG  *[4]uint64
 	AllocRRState *int
+	Fault        *fault.State
 }
 
 // ThreadPrioEntry is one priority hint received over the bus.
@@ -95,6 +98,9 @@ func (c *Controller) checkQuiescent() error {
 	if c.lastTrans != nil {
 		return fmt.Errorf("controller: translation chain in flight")
 	}
+	if len(c.condemned) != 0 {
+		return fmt.Errorf("controller: %d condemned blocks awaiting relocation", len(c.condemned))
+	}
 	if c.buffer != nil && (c.buffer.used != 0 || len(c.buffer.waiting) != 0) {
 		return fmt.Errorf("controller: write buffer holds %d pages, %d writes stalled",
 			c.buffer.used, len(c.buffer.waiting))
@@ -113,6 +119,7 @@ func (c *Controller) State() (*State, error) {
 		NextID:       c.nextID,
 		Completions:  c.completions,
 		OpsSinceScan: c.opsSinceScan,
+		Reliability:  c.reliability,
 		Array:        c.array.State(),
 		BlockManager: c.bm.State(),
 		GC:           c.gc.State(),
@@ -156,6 +163,10 @@ func (c *Controller) State() (*State, error) {
 	if rr, ok := c.cfg.Alloc.(*sched.RoundRobin); ok {
 		pos := rr.Pos()
 		st.AllocRRState = &pos
+	}
+	if c.cfg.Fault != nil {
+		fs := c.cfg.Fault.State()
+		st.Fault = &fs
 	}
 	return st, nil
 }
@@ -201,6 +212,7 @@ func (c *Controller) RestoreState(st *State) error {
 	}
 	c.lvl.RestoreState(st.WL)
 	c.counters = st.Counters
+	c.reliability = st.Reliability
 	c.nextID = st.NextID
 	c.completions = st.Completions
 	c.opsSinceScan = st.OpsSinceScan
@@ -238,6 +250,9 @@ func (c *Controller) RestoreState(st *State) error {
 	}
 	if rr, ok := c.cfg.Alloc.(*sched.RoundRobin); ok && st.AllocRRState != nil {
 		rr.SetPos(*st.AllocRRState)
+	}
+	if c.cfg.Fault != nil && st.Fault != nil {
+		c.cfg.Fault.RestoreState(*st.Fault)
 	}
 
 	// The construction-time static-WL scan arm belongs to the pre-restore

@@ -49,8 +49,9 @@ type Stack struct {
 	cfg Config
 
 	// measurement epoch baselines, captured by MarkMeasurement
-	baseArray      flashCountersSnapshot
-	baseController controller.Counters
+	baseArray       flashCountersSnapshot
+	baseController  controller.Counters
+	baseReliability controller.Reliability
 }
 
 type flashCountersSnapshot struct {
@@ -121,6 +122,7 @@ func (s *Stack) MarkMeasurement() {
 	ac := s.Controller.Array().Counters()
 	s.baseArray = flashCountersSnapshot{reads: ac.Reads, writes: ac.Writes, erases: ac.Erases, copybacks: ac.Copybacks}
 	s.baseController = s.Controller.Counters()
+	s.baseReliability = s.Controller.Reliability()
 }
 
 // Run starts every dependency-free thread and drives the event loop until

@@ -62,6 +62,17 @@ type Report struct {
 
 	Wear WearSummary
 
+	// Reliability accounting under fault injection (measurement window);
+	// all zero when no fault model is configured.
+	Retries        uint64
+	Relocations    uint64
+	EraseFailures  uint64
+	GrownBadBlocks uint64
+	// EffectiveOP is the over-provisioning fraction still standing at report
+	// time: usable data pages beyond the logical capacity, as a fraction of
+	// the logical capacity. Runtime block retirement shrinks it.
+	EffectiveOP float64
+
 	// OS-level queue pressure.
 	MaxPendingOS int
 	MaxInFlight  int
@@ -96,6 +107,16 @@ func (s *Stack) Report() Report {
 	mw := s.Stats.Latency(iface.SourceMap, iface.Write)
 	r.TransReads = mr.Count()
 	r.TransWrites = mw.Count()
+
+	rel := s.Controller.Reliability()
+	r.Retries = rel.Retries - s.baseReliability.Retries
+	r.Relocations = rel.Relocations - s.baseReliability.Relocations
+	r.EraseFailures = rel.EraseFailures - s.baseReliability.EraseFailures
+	r.GrownBadBlocks = rel.GrownBadBlocks - s.baseReliability.GrownBadBlocks
+	if logical := s.Controller.LogicalPages(); logical > 0 {
+		usable := s.Controller.BlockManager().DataPages()
+		r.EffectiveOP = float64(usable-logical) / float64(logical)
+	}
 
 	r.Wear = s.wearSummary()
 	osStats := s.OS.Stats()
@@ -166,6 +187,10 @@ func (r Report) String() string {
 	}
 	fmt.Fprintf(&b, "wear          erase counts [%d, %d] mean %.1f std %.2f\n",
 		r.Wear.MinErase, r.Wear.MaxErase, r.Wear.MeanErase, r.Wear.StdErase)
+	if r.Retries+r.Relocations+r.EraseFailures+r.GrownBadBlocks > 0 {
+		fmt.Fprintf(&b, "reliability   %d retries, %d relocations, %d erase failures, %d grown bad, effective OP %.3f\n",
+			r.Retries, r.Relocations, r.EraseFailures, r.GrownBadBlocks, r.EffectiveOP)
+	}
 	fmt.Fprintf(&b, "os queue      max pending %d, max in-flight %d\n", r.MaxPendingOS, r.MaxInFlight)
 	return b.String()
 }

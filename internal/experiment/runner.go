@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,28 @@ func (e *CanceledError) Error() string {
 // Unwrap exposes both the package sentinel and the context cause.
 func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
 
+// VariantError is a variant whose execution panicked — a crashing workload
+// hook, a bug in a component under test. The runner recovers the panic,
+// isolates it to the variant, and completes the rest of the sweep; a
+// *VariantError then stands in for the variant's row. Panic holds the
+// recovered value and Stack the goroutine stack at the point of the panic.
+type VariantError struct {
+	// Experiment is the definition's name.
+	Experiment string
+	// Variant is the failed variant's label.
+	Variant string
+	// Index is the variant's position in definition order.
+	Index int
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *VariantError) Error() string {
+	return fmt.Sprintf("experiment %q variant %q: panic: %v", e.Experiment, e.Variant, e.Panic)
+}
+
 // EventKind discriminates runner events.
 type EventKind int
 
@@ -62,6 +85,10 @@ const (
 	// mid-simulation or never started, because the context was canceled or an
 	// earlier variant's failure stopped the sequential loop.
 	EventVariantCanceled
+	// EventVariantFailed reports a variant whose execution panicked; Err holds
+	// the *VariantError with the recovered value and stack. The sweep isolates
+	// the crash and keeps running the remaining variants.
+	EventVariantFailed
 	// EventExperimentDone is the terminal event: the whole run finished,
 	// failed (Err holds the earliest failure) or was canceled.
 	EventExperimentDone
@@ -79,6 +106,8 @@ func (k EventKind) String() string {
 		return "variant-done"
 	case EventVariantCanceled:
 		return "variant-canceled"
+	case EventVariantFailed:
+		return "variant-failed"
 	case EventExperimentDone:
 		return "experiment-done"
 	default:
@@ -88,8 +117,8 @@ func (k EventKind) String() string {
 
 // Event is one observation of a running experiment. Events stream to the
 // Options.Observer as the run executes: every variant gets exactly one
-// EventVariantQueued and exactly one of EventVariantDone or
-// EventVariantCanceled, declared preparation gets one EventPrepareHit or
+// EventVariantQueued and exactly one of EventVariantDone, EventVariantFailed
+// or EventVariantCanceled, declared preparation gets one EventPrepareHit or
 // EventPrepareMiss per variant, and the run closes with one
 // EventExperimentDone.
 type Event struct {
@@ -248,16 +277,25 @@ func (rs *runState) emit(ev Event) {
 }
 
 // sequential runs variants one by one, stopping at the first failure or
-// cancellation; the remaining variants are marked canceled.
+// cancellation; the remaining variants are marked canceled. A panicking
+// variant (*VariantError) is the exception: the crash is isolated and the
+// loop keeps sweeping, matching the parallel runner's semantics.
 func (rs *runState) sequential(ctx context.Context) {
 	for i, v := range rs.def.Variants {
 		if ctx.Err() != nil {
 			rs.cancelFrom(i)
 			return
 		}
-		if !rs.runOne(ctx, i, v) || rs.errs[i] != nil {
+		if !rs.runOne(ctx, i, v) {
 			rs.cancelFrom(i + 1)
 			return
+		}
+		if err := rs.errs[i]; err != nil {
+			var ve *VariantError
+			if !errors.As(err, &ve) {
+				rs.cancelFrom(i + 1)
+				return
+			}
 		}
 	}
 }
@@ -300,7 +338,7 @@ func (rs *runState) parallel(ctx context.Context, workers int) {
 // event. It reports false when the variant was canceled mid-run.
 func (rs *runState) runOne(ctx context.Context, i int, v Variant) bool {
 	start := time.Now()
-	row, err := rs.runVariant(ctx, i, v)
+	row, err := rs.runVariantSafe(ctx, i, v)
 	if err != nil && wasCanceled(err) {
 		rs.markCanceled(i)
 		return false
@@ -308,12 +346,30 @@ func (rs *runState) runOne(ctx context.Context, i int, v Variant) bool {
 	rs.rows[i], rs.errs[i] = row, err
 	ev := Event{Kind: EventVariantDone, Experiment: rs.def.Name, Variant: v.Label,
 		Index: i, Variants: len(rs.def.Variants), Wall: time.Since(start), Err: err}
+	var ve *VariantError
+	if errors.As(err, &ve) {
+		ev.Kind = EventVariantFailed
+	}
 	if err == nil {
 		r := row
 		ev.Row = &r
 	}
 	rs.emit(ev)
 	return true
+}
+
+// runVariantSafe executes runVariant with panic isolation: a panicking
+// variant — a crashing preparation hook, a bug in a component under test —
+// becomes a *VariantError instead of tearing down the whole sweep (and,
+// under the parallel runner, the process).
+func (rs *runState) runVariantSafe(ctx context.Context, i int, v Variant) (row Row, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &VariantError{Experiment: rs.def.Name, Variant: v.Label, Index: i,
+				Panic: p, Stack: debug.Stack()}
+		}
+	}()
+	return rs.runVariant(ctx, i, v)
 }
 
 // markCanceled records and reports a variant that will produce no row.
@@ -446,6 +502,9 @@ func buildPrepared(ctx context.Context, pcfg core.Config, spec PrepareSpec) ([]b
 		return nil, err
 	}
 	if !st.Runner.Done() {
+		if herr := st.Controller.Health(); herr != nil {
+			return nil, fmt.Errorf("preparation stalled with %d threads active: %w", st.Runner.Active(), herr)
+		}
 		return nil, fmt.Errorf("preparation deadlocked with %d threads active", st.Runner.Active())
 	}
 	ds, err := st.Snapshot()
@@ -487,12 +546,19 @@ func (rs *runState) finishVariant(ctx context.Context, v Variant, stack *core.St
 }
 
 // driveToCompletion runs the stack's event loop to a drain (or a context
-// abort) and extracts the variant's row.
+// abort) and extracts the variant's row. A drained engine with live threads
+// is diagnosed through the controller's health check first: a device whose
+// free pool was exhausted by block retirement surfaces as a typed
+// ErrDeviceWornOut rather than a generic deadlock.
 func (rs *runState) driveToCompletion(ctx context.Context, v Variant, stack *core.Stack) (Row, error) {
 	if _, err := stack.RunCtx(ctx); err != nil {
 		return Row{}, err
 	}
 	if !stack.Runner.Done() {
+		if herr := stack.Controller.Health(); herr != nil {
+			return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished: %w",
+				rs.def.Name, v.Label, stack.Runner.Active(), herr)
+		}
 		return Row{}, fmt.Errorf("experiment %q variant %q: %d threads never finished (workload deadlock)",
 			rs.def.Name, v.Label, stack.Runner.Active())
 	}

@@ -6,6 +6,9 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"eagletree/internal/core"
+	"eagletree/internal/workload"
 )
 
 // collectObserver records every event, concurrency-safely (the runner
@@ -221,6 +224,53 @@ func TestRunnerCancelEventCoverage(t *testing.T) {
 		}
 		if experimentDone != 1 {
 			t.Fatalf("workers=%d: %d experiment-done events", workers, experimentDone)
+		}
+	}
+}
+
+// TestRunnerPanicIsolation: a variant whose preparation hook panics must not
+// tear down the sweep. The panic becomes a typed *VariantError with the
+// recovered value and a stack trace, the variant emits EventVariantFailed,
+// and — under the sequential runner just like the parallel one — the
+// remaining variants still run to completion.
+func TestRunnerPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		def := E3GCGreediness(Small)
+		def.Variants = append([]Variant(nil), def.Variants[:3]...)
+		def.Variants[1].Prepare = func(s *core.Stack) []*workload.Handle {
+			panic("prepare exploded")
+		}
+		obs := &collectObserver{}
+		res, err := New(Options{Workers: workers, Observer: obs}).Run(context.Background(), def)
+		var ve *VariantError
+		if !errors.As(err, &ve) {
+			t.Fatalf("workers=%d: err = %v (%T), want *VariantError", workers, err, err)
+		}
+		if ve.Index != 1 || ve.Variant != def.Variants[1].Label || ve.Experiment != def.Name {
+			t.Fatalf("workers=%d: VariantError identifies %q/%q #%d", workers, ve.Experiment, ve.Variant, ve.Index)
+		}
+		if ve.Panic != "prepare exploded" || len(ve.Stack) == 0 {
+			t.Fatalf("workers=%d: VariantError carries panic %v with %d stack bytes", workers, ve.Panic, len(ve.Stack))
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("workers=%d: %d result rows, want the 1-row prefix before the crash", workers, len(res.Rows))
+		}
+		terminal := make(map[int]EventKind)
+		for _, ev := range obs.all() {
+			switch ev.Kind {
+			case EventVariantDone, EventVariantFailed, EventVariantCanceled:
+				if prev, dup := terminal[ev.Index]; dup {
+					t.Fatalf("workers=%d: variant %d got two terminal events (%v, %v)", workers, ev.Index, prev, ev.Kind)
+				}
+				terminal[ev.Index] = ev.Kind
+			}
+		}
+		want := []EventKind{EventVariantDone, EventVariantFailed, EventVariantDone}
+		for i, k := range want {
+			if terminal[i] != k {
+				t.Fatalf("workers=%d: variant %d terminal event %v, want %v (crash must not cancel the rest)",
+					workers, i, terminal[i], k)
+			}
 		}
 	}
 }

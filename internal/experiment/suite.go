@@ -1,4 +1,4 @@
-// The predefined experimental suite, E1–E13, expressed as declarative spec
+// The predefined experimental suite, E1–E14, expressed as declarative spec
 // documents (internal/spec) rather than compiled closures: each definition
 // below is pure data — a base configuration of named components, a
 // preparation declaration, a workload thread list and a variant grid —
@@ -506,6 +506,45 @@ func E13TraceReplaySpec(s Scale) spec.Experiment {
 	}
 }
 
+// E14ReliabilitySpec sweeps the grown-bad-block growth rate under
+// steady-state random overwrite on an aged device: the fault model fails a
+// fraction of erases (retiring the victim block) and a smaller fraction of
+// programs (the write refires elsewhere; one in ten failing blocks grows
+// bad). Expected shape: throughput degrades gently and write amplification
+// rises as retirement eats the over-provisioning slack — effective OP in the
+// report falls with the rate while the device keeps serving IO.
+func E14ReliabilitySpec(s Scale) spec.Experiment {
+	rate := func(ef float64) spec.Variant {
+		return spec.Variant{
+			Label: fmt.Sprintf("erase_fail=%g", ef),
+			X:     ef,
+			Set: map[string]any{
+				"fault": spec.ParamRef("random", map[string]any{
+					"program_fail": 0.0005,
+					"erase_fail":   ef,
+					"grown_bad":    0.1,
+					"seed":         11,
+				}),
+			},
+		}
+	}
+	return spec.Experiment{
+		Name:   "E14-reliability",
+		Doc:    "graceful degradation under grown bad blocks: throughput and effective OP vs failure rate",
+		Varies: "fault: none | random(erase_fail)",
+		Factor: s.factor(),
+		Base:   baseSpec(s),
+		Prep:   prepOf(prepFillAge),
+		Workload: []spec.Thread{
+			{Type: "randwrite", Params: map[string]any{"from": 0, "space": "n", "count": "2*n", "depth": 32}},
+		},
+		Variants: []spec.Variant{
+			{Label: "fault=none", X: 0},
+			rate(0.001), rate(0.002), rate(0.003),
+		},
+	}
+}
+
 // Compiled accessors, resolving the spec data above. They keep the
 // historical API: tests and callers get runnable Definitions.
 
@@ -548,6 +587,9 @@ func E12Game(s Scale) Definition { return mustFromSpec(E12GameSpec(s)) }
 // E13TraceReplay resolves E13TraceReplaySpec.
 func E13TraceReplay(s Scale) Definition { return mustFromSpec(E13TraceReplaySpec(s)) }
 
+// E14Reliability resolves E14ReliabilitySpec.
+func E14Reliability(s Scale) Definition { return mustFromSpec(E14ReliabilitySpec(s)) }
+
 // SuiteSpecs returns every predefined experiment as spec data at the given
 // scale, in paper order. Encode any element to get its portable document —
 // the checked-in specs/*.json files are exactly that.
@@ -556,7 +598,7 @@ func SuiteSpecs(s Scale) []spec.Experiment {
 		E1ParallelismSpec(s), E2SchedPolicySpec(s), E3GCGreedinessSpec(s), E4WearLevelingSpec(s),
 		E5MappingSpec(s), E6PriorityTagSpec(s), E7UpdateLocalitySpec(s), E8TemperatureSpec(s),
 		E9QueueDepthSpec(s), E10AdvancedCmdsSpec(s), E11AgingSpec(s), E12GameSpec(s),
-		E13TraceReplaySpec(s),
+		E13TraceReplaySpec(s), E14ReliabilitySpec(s),
 	}
 }
 

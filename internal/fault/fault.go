@@ -1,0 +1,259 @@
+// Package fault implements seeded, deterministic injection of flash
+// program/erase failures and grown bad blocks.
+//
+// A Model is consulted by the flash array on every program and erase in the
+// data region, after NAND constraint checks pass, and decides whether the
+// operation fails. All randomness is drawn from a private RNG seeded from the
+// model's configuration, so a (config, seed) pair fully determines the fault
+// sequence — the same property the rest of the simulator guarantees. The
+// RNG state (and the one-shot trigger flag of scheduled models) serializes
+// into device snapshots, so prepare-once-restore-many stays bit-identical
+// even when faults fired during preparation.
+//
+// The graceful-degradation policy — relocating failed writes, retiring
+// blocks, shrinking free pools — lives above, in the controller; a Model
+// only answers "does this operation fail, and does it take the block with
+// it".
+package fault
+
+import (
+	"math"
+
+	"eagletree/internal/sim"
+)
+
+// Outcome is a model's verdict for one flash operation.
+type Outcome uint8
+
+const (
+	// OK lets the operation proceed normally.
+	OK Outcome = iota
+	// ProgramFail fails a program: the target page is burned (unusable, not
+	// valid) and the write must be relocated; the block survives.
+	ProgramFail
+	// EraseFail fails an erase: the block is retired (grown bad). Its pages
+	// hold no live data — GC migrates before erasing — so retirement loses
+	// nothing.
+	EraseFail
+	// GrownBad fails a program and retires the block: the page is burned and
+	// the block is marked bad. Live pages already written to it must be
+	// migrated off by the controller.
+	GrownBad
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case ProgramFail:
+		return "program-fail"
+	case EraseFail:
+		return "erase-fail"
+	case GrownBad:
+		return "grown-bad"
+	default:
+		return "Outcome(?)"
+	}
+}
+
+// State is a model's serializable runtime state: the RNG vector (zero for
+// deterministic-schedule models) and the one-shot trigger flag.
+type State struct {
+	RNG   [4]uint64
+	Fired bool
+}
+
+// Model decides, per program/erase operation, whether it fails. eraseCount
+// is the target block's erase count before the operation; at is the virtual
+// time the operation completes. Implementations must be deterministic given
+// their configuration and call sequence.
+type Model interface {
+	// Program is consulted before a page program (write or copyback) commits.
+	// It returns OK, ProgramFail or GrownBad.
+	Program(eraseCount int, at sim.Time) Outcome
+	// Erase is consulted before a block erase commits. It returns OK or
+	// EraseFail.
+	Erase(eraseCount int, at sim.Time) Outcome
+	// State snapshots the model's runtime state.
+	State() State
+	// RestoreState overwrites the model's runtime state with a snapshot.
+	RestoreState(State)
+}
+
+// Random fails operations with fixed per-op probabilities — the simplest
+// aging model: every program fails with probability PFail (escalating to a
+// grown-bad retirement with conditional probability PGrown), every erase
+// fails — retiring the block — with probability EFail.
+type Random struct {
+	// PFail is the per-program failure probability.
+	PFail float64
+	// EFail is the per-erase failure probability (a failed erase retires the
+	// block).
+	EFail float64
+	// PGrown is the conditional probability that a failed program retires
+	// the block instead of just burning the page.
+	PGrown float64
+	// Seed seeds the model's private RNG.
+	Seed uint64
+
+	rng *sim.RNG
+}
+
+// NewRandom builds a Random model with its RNG seeded from seed.
+func NewRandom(pfail, efail, pgrown float64, seed uint64) *Random {
+	return &Random{PFail: pfail, EFail: efail, PGrown: pgrown, Seed: seed, rng: sim.NewRNG(seed)}
+}
+
+// Program implements Model.
+func (m *Random) Program(eraseCount int, at sim.Time) Outcome {
+	if m.rng.Float64() >= m.PFail {
+		return OK
+	}
+	if m.rng.Float64() < m.PGrown {
+		return GrownBad
+	}
+	return ProgramFail
+}
+
+// Erase implements Model.
+func (m *Random) Erase(eraseCount int, at sim.Time) Outcome {
+	if m.rng.Float64() < m.EFail {
+		return EraseFail
+	}
+	return OK
+}
+
+// State implements Model.
+func (m *Random) State() State { return State{RNG: m.rng.State()} }
+
+// RestoreState implements Model.
+func (m *Random) RestoreState(s State) { m.rng.SetState(s.RNG) }
+
+// Wearout fails operations with a probability that grows with the block's
+// erase count — an endurance-derived curve keyed on the same scale as the
+// timing set's endurance_limit parameter. The erase failure probability is
+// min(1, (eraseCount/Endurance)^Shape); programs fail with ProgramFactor
+// times that, escalating to a grown-bad retirement once the block is past
+// its endurance limit.
+type Wearout struct {
+	// Endurance is the erase-count knee of the wear-out curve; set it to the
+	// timing set's endurance_limit to align reports.
+	Endurance int
+	// Shape is the curve exponent: higher values concentrate failures closer
+	// to the endurance limit.
+	Shape float64
+	// ProgramFactor scales the program-failure probability relative to the
+	// erase-failure probability at the same wear.
+	ProgramFactor float64
+	// Seed seeds the model's private RNG.
+	Seed uint64
+
+	rng *sim.RNG
+}
+
+// NewWearout builds a Wearout model with its RNG seeded from seed.
+func NewWearout(endurance int, shape, programFactor float64, seed uint64) *Wearout {
+	return &Wearout{Endurance: endurance, Shape: shape, ProgramFactor: programFactor,
+		Seed: seed, rng: sim.NewRNG(seed)}
+}
+
+// p returns the erase-failure probability at the given wear.
+func (m *Wearout) p(eraseCount int) float64 {
+	if m.Endurance <= 0 {
+		return 0
+	}
+	p := math.Pow(float64(eraseCount)/float64(m.Endurance), m.Shape)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Program implements Model.
+func (m *Wearout) Program(eraseCount int, at sim.Time) Outcome {
+	if m.rng.Float64() >= m.ProgramFactor*m.p(eraseCount) {
+		return OK
+	}
+	if eraseCount >= m.Endurance {
+		return GrownBad
+	}
+	return ProgramFail
+}
+
+// Erase implements Model.
+func (m *Wearout) Erase(eraseCount int, at sim.Time) Outcome {
+	if m.rng.Float64() < m.p(eraseCount) {
+		return EraseFail
+	}
+	return OK
+}
+
+// State implements Model.
+func (m *Wearout) State() State { return State{RNG: m.rng.State()} }
+
+// RestoreState implements Model.
+func (m *Wearout) RestoreState(s State) { m.rng.SetState(s.RNG) }
+
+// At fires exactly one fault at a deterministic point — the first qualifying
+// operation whose block erase count reaches AtEraseCount, or whose
+// completion time reaches AtTime — for reproducible single-fault
+// experiments. Zero thresholds are inactive; with both set, either reached
+// first triggers.
+type At struct {
+	// AtEraseCount triggers on the first qualifying operation whose block
+	// has at least this erase count (0 = off).
+	AtEraseCount int
+	// AtTime triggers on the first qualifying operation completing at or
+	// after this virtual time (0 = off).
+	AtTime sim.Time
+	// OnErase selects which operation kind the fault targets: true for the
+	// erase path, false for the program path.
+	OnErase bool
+	// Grown escalates a triggered program failure to a grown-bad retirement.
+	// Erase failures always retire the block.
+	Grown bool
+
+	fired bool
+}
+
+// triggered reports whether an operation at this wear and time trips the
+// one-shot fault.
+func (m *At) triggered(eraseCount int, at sim.Time) bool {
+	if m.fired {
+		return false
+	}
+	if m.AtEraseCount <= 0 && m.AtTime <= 0 {
+		return false
+	}
+	if m.AtEraseCount > 0 && eraseCount >= m.AtEraseCount {
+		return true
+	}
+	return m.AtTime > 0 && at >= m.AtTime
+}
+
+// Program implements Model.
+func (m *At) Program(eraseCount int, at sim.Time) Outcome {
+	if m.OnErase || !m.triggered(eraseCount, at) {
+		return OK
+	}
+	m.fired = true
+	if m.Grown {
+		return GrownBad
+	}
+	return ProgramFail
+}
+
+// Erase implements Model.
+func (m *At) Erase(eraseCount int, at sim.Time) Outcome {
+	if !m.OnErase || !m.triggered(eraseCount, at) {
+		return OK
+	}
+	m.fired = true
+	return EraseFail
+}
+
+// State implements Model.
+func (m *At) State() State { return State{Fired: m.fired} }
+
+// RestoreState implements Model.
+func (m *At) RestoreState(s State) { m.fired = s.Fired }

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"testing"
+
+	"eagletree/internal/sim"
+)
+
+// TestRandomDeterministic: identical seeds draw identical outcome sequences;
+// distinct seeds diverge. The injector sits on every program/erase, so any
+// hidden global state here would break the simulator's replayability.
+func TestRandomDeterministic(t *testing.T) {
+	draw := func(m Model) []Outcome {
+		var out []Outcome
+		for i := 0; i < 2000; i++ {
+			out = append(out, m.Program(i/32, sim.Time(i)))
+			if i%32 == 0 {
+				out = append(out, m.Erase(i/32, sim.Time(i)))
+			}
+		}
+		return out
+	}
+	a := draw(NewRandom(0.01, 0.02, 0.5, 42))
+	b := draw(NewRandom(0.01, 0.02, 0.5, 42))
+	c := draw(NewRandom(0.01, 0.02, 0.5, 43))
+	if len(a) != len(b) {
+		t.Fatalf("draw lengths differ: %d vs %d", len(a), len(b))
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different outcome sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical outcome sequences (suspicious for 2000 draws at 1-2% rates)")
+	}
+}
+
+// TestRandomStateRoundTrip: restoring a captured State resumes the exact
+// outcome sequence — the property snapshot restore leans on.
+func TestRandomStateRoundTrip(t *testing.T) {
+	m := NewRandom(0.05, 0.05, 0.5, 7)
+	for i := 0; i < 500; i++ {
+		m.Program(3, 0)
+	}
+	st := m.State()
+	var want []Outcome
+	for i := 0; i < 500; i++ {
+		want = append(want, m.Program(3, 0))
+	}
+	m2 := NewRandom(0.05, 0.05, 0.5, 7)
+	m2.RestoreState(st)
+	for i, w := range want {
+		if got := m2.Program(3, 0); got != w {
+			t.Fatalf("draw %d after restore: %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestWearoutCurve: failure probability is zero below any wear, rises with
+// the erase count, and past the endurance bound erases always fail and
+// program failures escalate to grown-bad.
+func TestWearoutCurve(t *testing.T) {
+	m := NewWearout(100, 4, 1, 9)
+	for i := 0; i < 1000; i++ {
+		if o := m.Program(0, 0); o != OK {
+			t.Fatalf("fresh block drew %v", o)
+		}
+		if o := m.Erase(0, 0); o != OK {
+			t.Fatalf("fresh block erase drew %v", o)
+		}
+	}
+	var mid int
+	for i := 0; i < 1000; i++ {
+		if m.Erase(90, 0) != OK {
+			mid++
+		}
+	}
+	if mid == 0 || mid == 1000 {
+		t.Fatalf("near-endurance erase failed %d/1000 times, want a fractional rate", mid)
+	}
+	for i := 0; i < 100; i++ {
+		if o := m.Erase(200, 0); o != EraseFail {
+			t.Fatalf("past-endurance erase drew %v", o)
+		}
+		if o := m.Program(200, 0); o != GrownBad {
+			t.Fatalf("past-endurance program drew %v, want GrownBad", o)
+		}
+	}
+}
+
+// TestAtOneShot: the deterministic schedule model fires exactly once, at its
+// threshold, on the declared operation.
+func TestAtOneShot(t *testing.T) {
+	m := &At{AtEraseCount: 5, Grown: true}
+	if o := m.Program(4, 0); o != OK {
+		t.Fatalf("below threshold drew %v", o)
+	}
+	if o := m.Erase(9, 0); o != OK {
+		t.Fatal("program-op model fired on an erase")
+	}
+	if o := m.Program(5, 0); o != GrownBad {
+		t.Fatalf("at threshold drew %v, want GrownBad", o)
+	}
+	if o := m.Program(9, 0); o != OK {
+		t.Fatalf("second trigger drew %v, want OK (one-shot)", o)
+	}
+
+	e := &At{AtTime: sim.Time(100), OnErase: true}
+	if o := e.Erase(0, 99); o != OK {
+		t.Fatalf("before time threshold drew %v", o)
+	}
+	if o := e.Erase(0, 100); o != EraseFail {
+		t.Fatalf("at time threshold drew %v, want EraseFail", o)
+	}
+	st := e.State()
+	if !st.Fired {
+		t.Fatal("fired one-shot state not captured")
+	}
+	e2 := &At{AtTime: sim.Time(100), OnErase: true}
+	e2.RestoreState(st)
+	if o := e2.Erase(0, 200); o != OK {
+		t.Fatalf("restored fired model drew %v, want OK", o)
+	}
+}

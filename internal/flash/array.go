@@ -3,6 +3,7 @@ package flash
 import (
 	"fmt"
 
+	"eagletree/internal/fault"
 	"eagletree/internal/sim"
 )
 
@@ -44,6 +45,11 @@ type Array struct {
 
 	freePerLUN []int // count of free (fully erased, non-bad) blocks per LUN
 	counters   Counters
+
+	// injector, when non-nil, is consulted on every program and erase of
+	// blocks >= injectFrom (the data region). See SetInjector.
+	injector   fault.Model
+	injectFrom int
 }
 
 // NewArray builds an array with all pages free. It panics on invalid
@@ -212,6 +218,9 @@ func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
 		sched = Schedule{Start: start, Done: start.Add(total)}
 	}
 
+	if ferr := a.injectProgram(p, blk, sched.Done); ferr != nil {
+		return sched, ferr
+	}
 	if blk.Free() {
 		a.freePerLUN[p.LUN]--
 	}
@@ -264,6 +273,9 @@ func (a *Array) ScheduleErase(b BlockID, at sim.Time) (Schedule, error) {
 		sched = Schedule{Start: start, Done: start.Add(total)}
 	}
 
+	if ferr := a.injectErase(b, blk, sched.Done); ferr != nil {
+		return sched, ferr
+	}
 	wasFree := blk.Free()
 	base := a.geo.Index(PPA{LUN: b.LUN, Block: b.Block, Page: 0})
 	for i := 0; i < a.geo.PagesPerBlock; i++ {
@@ -339,6 +351,11 @@ func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
 		sched = Schedule{Start: start, Done: start.Add(total)}
 	}
 
+	if ferr := a.injectProgram(dst, blk, sched.Done); ferr != nil {
+		a.counters.Writes-- // injectProgram charged a write; this was a copyback
+		a.counters.Copybacks++
+		return sched, ferr
+	}
 	if blk.Free() {
 		a.freePerLUN[dst.LUN]--
 	}

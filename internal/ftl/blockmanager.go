@@ -243,6 +243,28 @@ func (bm *BlockManager) Release(b flash.BlockID) {
 	st.free[pos] = b.Block
 }
 
+// Condemn removes a retiring block from the manager's books: an open write
+// frontier pointing at it is closed (the stream opens a fresh block on its
+// next allocation) and a free-pool entry is dropped. The controller calls it
+// when a block grows bad mid-run — the pool shrinks, and the block never
+// circulates again. Blocks the manager no longer tracks (a GC victim between
+// selection and release) condemn to a no-op.
+func (bm *BlockManager) Condemn(b flash.BlockID) {
+	st := &bm.luns[b.LUN]
+	for s, ob := range st.open {
+		if ob != nil && ob.block == b.Block {
+			st.open[s] = nil
+			st.openCount--
+		}
+	}
+	for i, blk := range st.free {
+		if blk == b.Block {
+			st.free = append(st.free[:i], st.free[i+1:]...)
+			break
+		}
+	}
+}
+
 // IsOpen reports whether the block is currently an open write frontier.
 func (bm *BlockManager) IsOpen(b flash.BlockID) bool {
 	for _, ob := range bm.luns[b.LUN].open {

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"eagletree/internal/controller"
+	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
 	"eagletree/internal/hotcold"
@@ -20,9 +21,12 @@ import (
 // verified before any field is parsed, so corruption anywhere in the payload
 // is reported as ErrCorrupt rather than as a misleading field error.
 
+// Version 2 appended reliability counters and optional fault-model state to
+// the controller section. Version 1 snapshots are rejected; the disk state
+// cache rebuilds undecodable entries, so no migration is needed.
 const (
 	magic   = "EGTSNAP"
-	version = 1
+	version = 2
 )
 
 // Errors reported by Decode. Wrapped with detail; match with errors.Is.
@@ -211,6 +215,16 @@ func (e *enc) controller(st *controller.State) {
 	e.bool(st.AllocRRState != nil)
 	if st.AllocRRState != nil {
 		e.int(*st.AllocRRState)
+	}
+	r := st.Reliability
+	e.u64(r.Retries)
+	e.u64(r.Relocations)
+	e.u64(r.EraseFailures)
+	e.u64(r.GrownBadBlocks)
+	e.bool(st.Fault != nil)
+	if st.Fault != nil {
+		e.rng(st.Fault.RNG)
+		e.bool(st.Fault.Fired)
 	}
 }
 
@@ -526,6 +540,16 @@ func (d *dec) controllerInto(st *controller.State) {
 	if d.bool() {
 		v := d.int()
 		st.AllocRRState = &v
+	}
+	st.Reliability.Retries = d.u64()
+	st.Reliability.Relocations = d.u64()
+	st.Reliability.EraseFailures = d.u64()
+	st.Reliability.GrownBadBlocks = d.u64()
+	if d.bool() {
+		fs := &fault.State{}
+		fs.RNG = d.rng()
+		fs.Fired = d.bool()
+		st.Fault = fs
 	}
 }
 

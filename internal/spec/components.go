@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"eagletree/internal/controller"
+	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/gc"
 	"eagletree/internal/hotcold"
 	"eagletree/internal/iface"
 	"eagletree/internal/osched"
 	"eagletree/internal/sched"
+	"eagletree/internal/sim"
 	"eagletree/internal/wl"
 )
 
@@ -52,6 +54,7 @@ func init() {
 	registerDetectors()
 	registerMappings()
 	registerTimings()
+	registerFaultModels()
 	registerOSPolicies()
 }
 
@@ -475,6 +478,117 @@ func registerTimings() {
 				"page_write":      durString(t.PageWrite),
 				"block_erase":     durString(t.BlockErase),
 				"endurance_limit": t.EnduranceLimit,
+			}, true
+		},
+	})
+}
+
+func registerFaultModels() {
+	Register(Component{
+		Kind: KindFault, Name: "none",
+		Doc:  "no runtime faults (default): the idealized device",
+		Make: func(p *Params) (any, error) { return nil, nil },
+		Describe: func(v any) (map[string]any, bool) {
+			return map[string]any{}, v == nil
+		},
+	})
+	Register(Component{
+		Kind: KindFault, Name: "random",
+		Doc: "fixed per-operation failure probabilities, seeded RNG",
+		Params: []Param{
+			{Name: "program_fail", Type: TFloat, Doc: "per-program failure probability"},
+			{Name: "erase_fail", Type: TFloat, Doc: "per-erase failure probability (retires the block)"},
+			{Name: "grown_bad", Type: TFloat, Doc: "conditional probability a failed program retires the block"},
+			{Name: "seed", Type: TInt, Doc: "fault RNG seed (0 = 1)"},
+		},
+		Make: func(p *Params) (any, error) {
+			seed := uint64(p.Int("seed", 0))
+			if seed == 0 {
+				seed = 1
+			}
+			return fault.NewRandom(p.Float("program_fail", 0), p.Float("erase_fail", 0),
+				p.Float("grown_bad", 0), seed), nil
+		},
+		Describe: func(v any) (map[string]any, bool) {
+			m, ok := v.(*fault.Random)
+			if !ok {
+				return nil, false
+			}
+			// Configuration identity only: the model's RNG position is
+			// runtime state and lives in device snapshots, not in specs.
+			return map[string]any{
+				"program_fail": m.PFail,
+				"erase_fail":   m.EFail,
+				"grown_bad":    m.PGrown,
+				"seed":         int(m.Seed),
+			}, true
+		},
+	})
+	Register(Component{
+		Kind: KindFault, Name: "wearout",
+		Doc: "endurance-derived failure curve keyed on block erase counts",
+		Params: []Param{
+			{Name: "endurance", Type: TInt, Doc: "erase-count knee; align with the timing set's endurance_limit"},
+			{Name: "shape", Type: TFloat, Doc: "curve exponent (higher = failures cluster at the limit)"},
+			{Name: "program_factor", Type: TFloat, Doc: "program-failure probability as a fraction of the erase curve"},
+			{Name: "seed", Type: TInt, Doc: "fault RNG seed (0 = 1)"},
+		},
+		Make: func(p *Params) (any, error) {
+			seed := uint64(p.Int("seed", 0))
+			if seed == 0 {
+				seed = 1
+			}
+			shape := p.Float("shape", 0)
+			if shape == 0 {
+				shape = 4
+			}
+			return fault.NewWearout(p.Int("endurance", 0), shape,
+				p.Float("program_factor", 0), seed), nil
+		},
+		Describe: func(v any) (map[string]any, bool) {
+			m, ok := v.(*fault.Wearout)
+			if !ok {
+				return nil, false
+			}
+			return map[string]any{
+				"endurance":      m.Endurance,
+				"shape":          m.Shape,
+				"program_factor": m.ProgramFactor,
+				"seed":           int(m.Seed),
+			}, true
+		},
+	})
+	Register(Component{
+		Kind: KindFault, Name: "at",
+		Doc: "one deterministic fault at an erase-count or virtual-time threshold",
+		Params: []Param{
+			{Name: "at_erase_count", Type: TInt, Doc: "trigger at this block erase count (0 = off)"},
+			{Name: "at_time", Type: TDuration, Doc: "trigger at this virtual time (0 = off)"},
+			{Name: "op", Type: TString, Doc: "program | erase (which operation the fault hits)"},
+			{Name: "grown", Type: TBool, Doc: "a triggered program failure also retires the block"},
+		},
+		Make: func(p *Params) (any, error) {
+			return &fault.At{
+				AtEraseCount: p.Int("at_erase_count", 0),
+				AtTime:       sim.Time(p.Dur("at_time", 0)),
+				OnErase:      p.Enum("op", "program", "program", "erase") == "erase",
+				Grown:        p.Bool("grown", false),
+			}, nil
+		},
+		Describe: func(v any) (map[string]any, bool) {
+			m, ok := v.(*fault.At)
+			if !ok {
+				return nil, false
+			}
+			op := "program"
+			if m.OnErase {
+				op = "erase"
+			}
+			return map[string]any{
+				"at_erase_count": m.AtEraseCount,
+				"at_time":        durString(sim.Duration(m.AtTime)),
+				"op":             op,
+				"grown":          m.Grown,
 			}, true
 		},
 	})

@@ -6,6 +6,7 @@ import (
 
 	"eagletree/internal/controller"
 	"eagletree/internal/core"
+	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/gc"
 	"eagletree/internal/hotcold"
@@ -38,11 +39,14 @@ type Config struct {
 	WriteBuffer   WriteBufferSpec `json:"write_buffer,omitempty"`
 	RAM           RAMSpec         `json:"ram,omitempty"`
 	BadBlocks     BadBlockSpec    `json:"bad_blocks,omitempty"`
-	OS            OSSpec          `json:"os,omitempty"`
-	Seed          uint64          `json:"seed,omitempty"`
-	SeriesBucket  Duration        `json:"series_bucket,omitempty"`
-	TraceCap      int             `json:"trace_cap,omitempty"`
-	LockBus       bool            `json:"lock_bus,omitempty"`
+	// Fault is a pointer so the no-fault default serializes as an absent
+	// field: existing specs and cache keys stay byte-stable.
+	Fault        *Ref     `json:"fault,omitempty"`
+	OS           OSSpec   `json:"os,omitempty"`
+	Seed         uint64   `json:"seed,omitempty"`
+	SeriesBucket Duration `json:"series_bucket,omitempty"`
+	TraceCap     int      `json:"trace_cap,omitempty"`
+	LockBus      bool     `json:"lock_bus,omitempty"`
 }
 
 // Geometry mirrors flash.Geometry.
@@ -177,6 +181,15 @@ func (c Config) Resolve() (core.Config, error) {
 		}
 		ctl.Detector = v.(hotcold.Detector)
 	}
+	if c.Fault != nil && !c.Fault.None() {
+		v, err := Make(KindFault, *c.Fault, env)
+		if err != nil {
+			return cfg, fmt.Errorf("spec: fault model: %w", err)
+		}
+		if v != nil { // the "none" model resolves to no injector at all
+			ctl.Fault = v.(fault.Model)
+		}
+	}
 	if !c.OS.Policy.None() {
 		v, err := Make(KindOSPolicy, c.OS.Policy, env)
 		if err != nil {
@@ -306,6 +319,13 @@ func FromConfig(cfg core.Config) (Config, error) {
 	}
 	if out.OS.Policy, err = Describe(KindOSPolicy, osPolicy); err != nil {
 		return out, fmt.Errorf("spec: os policy: %w", err)
+	}
+	if ctl.Fault != nil {
+		ref, err := Describe(KindFault, ctl.Fault)
+		if err != nil {
+			return out, fmt.Errorf("spec: fault model: %w", err)
+		}
+		out.Fault = &ref
 	}
 	return out, nil
 }

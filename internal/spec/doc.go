@@ -398,6 +398,19 @@ func applySet(c *Config, path string, val any) error {
 		return setRef(&c.Alloc)
 	case "detector":
 		return setRef(&c.Detector)
+	case "fault":
+		// Fault is a pointer so the no-fault default serializes as an absent
+		// field; "none" maps back to nil for the same reason.
+		r, err := coerceRef(val)
+		if err != nil {
+			return fail(err)
+		}
+		if r.None() || r.Name == "none" {
+			c.Fault = nil
+		} else {
+			c.Fault = &r
+		}
+		return nil
 	case "open_interface":
 		return setBool(&c.OpenInterface)
 	case "write_buffer.pages":
@@ -467,6 +480,20 @@ func componentAt(c *Config, path string) (ref *Ref, param string, ok bool) {
 		if found && rest != "" && !strings.Contains(rest, ".") {
 			return s.ref, rest, true
 		}
+	}
+	// The fault slot is a pointer (absent by default), so it cannot sit in
+	// the value-slot table above: clone before handing out a mutable
+	// reference — shallow Config copies share the pointee — and materialize
+	// an empty reference when absent so the caller reports "no named
+	// component" instead of "unknown field".
+	if rest, found := strings.CutPrefix(path, "fault."); found && rest != "" && !strings.Contains(rest, ".") {
+		if c.Fault == nil {
+			c.Fault = &Ref{}
+		} else {
+			clone := *c.Fault
+			c.Fault = &clone
+		}
+		return c.Fault, rest, true
 	}
 	return nil, "", false
 }

@@ -39,6 +39,8 @@ const (
 	KindMapping Kind = "mapping"
 	// KindTiming is the flash timing set.
 	KindTiming Kind = "timing"
+	// KindFault is the runtime fault-injection model (fault.Model).
+	KindFault Kind = "fault"
 	// KindOSPolicy is the OS scheduler policy (osched.Policy).
 	KindOSPolicy Kind = "os"
 	// KindThread is a workload thread type (workload.Thread).

@@ -12,13 +12,15 @@ import (
 type Stage int
 
 const (
-	StageSubmitted  Stage = iota // thread -> OS
-	StageIssued                  // OS -> SSD
-	StageDispatched              // SSD scheduler -> flash array
-	StageCompleted               // result delivered
-	StageGCStart                 // collection began on a LUN
-	StageGCEnd                   // collection finished (victim erased)
-	StageWLStart                 // static wear-leveling migration began
+	StageSubmitted    Stage = iota // thread -> OS
+	StageIssued                    // OS -> SSD
+	StageDispatched                // SSD scheduler -> flash array
+	StageCompleted                 // result delivered
+	StageGCStart                   // collection began on a LUN
+	StageGCEnd                     // collection finished (victim erased)
+	StageWLStart                   // static wear-leveling migration began
+	StageProgramFault              // injected program failure; the write refires
+	StageEraseFault                // injected erase failure; the block retired
 )
 
 func (s Stage) String() string {
@@ -37,6 +39,10 @@ func (s Stage) String() string {
 		return "gc-end"
 	case StageWLStart:
 		return "wl-start"
+	case StageProgramFault:
+		return "program-fault"
+	case StageEraseFault:
+		return "erase-fault"
 	default:
 		return fmt.Sprintf("Stage(%d)", int(s))
 	}
