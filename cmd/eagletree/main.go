@@ -16,6 +16,8 @@
 //
 // The pre-subcommand flag invocation ('eagletree -workload mix …') is
 // deprecated; it forwards to 'eagletree run' with a note on stderr.
+//
+//eagletree:canonical
 package main
 
 import (

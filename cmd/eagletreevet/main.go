@@ -1,0 +1,149 @@
+// Command eagletreevet is the EagleTree static-analysis multichecker. It
+// runs the project's determinism, hot-path, snapshot-completeness and
+// typed-error analyzers (internal/lint) in either of two modes:
+//
+//	eagletreevet ./...                  # standalone, over package patterns
+//	go vet -vettool=$(which eagletreevet) ./...   # as a vet tool
+//
+// Standalone mode resolves patterns with `go list -export`, so it needs the
+// Go toolchain on PATH but no network. Diagnostics use the pinned format
+//
+//	file:line:col: message [analyzer]
+//
+// and the exit status is 0 when clean, 1 on findings or usage errors (2 on
+// findings in vettool mode, per the cmd/go contract).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"eagletree/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The cmd/go vettool handshake: `-V=full` must print
+	// `<basename> version devel ... buildID=<hex>` — cmd/go folds the
+	// executable's content hash into its action cache keys — and exit 0
+	// before any flag parsing.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		if args[0] != "-V=full" {
+			fmt.Fprintln(os.Stderr, "eagletreevet: unsupported version flag", args[0])
+			return 1
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletreevet:", err)
+			return 1
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletreevet:", err)
+			return 1
+		}
+		sum := sha256.Sum256(data)
+		name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+		fmt.Printf("%s version devel eagletree-lint-suite buildID=%02x\n", name, sum)
+		return 0
+	}
+
+	// The second handshake probe: `-flags` must dump the tool's flag
+	// definitions as JSON so cmd/go knows which flags it may forward.
+	if len(args) == 1 && args[0] == "-flags" {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		defs := []jsonFlag{
+			{Name: "only", Bool: false, Usage: "comma-separated analyzer names to run (default: all)"},
+			{Name: "list", Bool: true, Usage: "list the analyzers and exit"},
+		}
+		data, err := json.Marshal(defs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagletreevet:", err)
+			return 1
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return 0
+	}
+
+	fs := flag.NewFlagSet("eagletreevet", flag.ContinueOnError)
+	var (
+		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: eagletreevet [-only names] [-list] packages...\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=eagletreevet packages...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eagletreevet:", err)
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	// Vettool mode: a single argument naming a JSON config file.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.RunUnitchecker(rest[0], analyzers, os.Stderr)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 1
+	}
+
+	diags, err := lint.Check("", rest, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eagletreevet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers filters the suite by the -only flag.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	suite := lint.Suite()
+	if only == "" {
+		return suite, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

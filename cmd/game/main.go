@@ -8,6 +8,8 @@
 //
 //	game -prefer reads -internal last
 //	game -reveal            # print every combination's score
+//
+//eagletree:canonical
 package main
 
 import (

@@ -3,6 +3,8 @@
 // 'eagletree sweep ARGS' (and 'sweep -list', in any flag combination, to
 // 'eagletree list') with a deprecation note on stderr, so existing
 // invocations keep working.
+//
+//eagletree:canonical
 package main
 
 import (

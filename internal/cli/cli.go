@@ -1,3 +1,6 @@
+// Package cli implements the eagletree subcommand binary.
+//
+//eagletree:canonical
 package cli
 
 import (

@@ -213,7 +213,7 @@ func (c *configFlags) configSpec() spec.Config {
 		} else if policy.Name == "priority" {
 			if _, explicit := policy.Params["use_tags"]; !explicit {
 				params := map[string]any{"use_tags": true}
-				for k, v := range policy.Params {
+				for k, v := range policy.Params { //lint:ordered writes land in a keyed map
 					params[k] = v
 				}
 				policy = spec.ParamRef("priority", params)

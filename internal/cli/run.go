@@ -157,7 +157,7 @@ func flagThread(base spec.Config, wlF *workloadFlags) (spec.Thread, string, erro
 	if err != nil {
 		return spec.Thread{}, "", err
 	}
-	for k, v := range ref.Params {
+	for k, v := range ref.Params { //lint:ordered writes land in a keyed map
 		params[k] = v
 	}
 	if len(params) == 0 {

@@ -8,6 +8,8 @@
 // reads and writes, GC migrations, wear-leveling migrations, DFTL
 // translation traffic, and erases. That single queue is what lets EagleTree
 // study how internal operations interfere with application IOs.
+//
+//eagletree:typederrors
 package controller
 
 import (
@@ -168,22 +170,22 @@ func (c *Config) Validate() error {
 		return err
 	}
 	if c.Overprovision < 0.01 || c.Overprovision > 0.9 {
-		return fmt.Errorf("controller: overprovision %.2f outside [0.01, 0.9]", c.Overprovision)
+		return fmt.Errorf("%w: overprovision %.2f outside [0.01, 0.9]", ErrConfig, c.Overprovision)
 	}
 	if c.GCGreediness < 1 {
-		return fmt.Errorf("controller: GC greediness %d, must be >= 1", c.GCGreediness)
+		return fmt.Errorf("%w: GC greediness %d, must be >= 1", ErrConfig, c.GCGreediness)
 	}
 	if c.Mapping == MapDFTL && c.ReservedTransBlocks < 2 {
-		return fmt.Errorf("controller: DFTL needs >= 2 reserved translation blocks per LUN, got %d", c.ReservedTransBlocks)
+		return fmt.Errorf("%w: DFTL needs >= 2 reserved translation blocks per LUN, got %d", ErrConfig, c.ReservedTransBlocks)
 	}
 	if c.Mapping == MapDFTL && c.ReservedTransBlocks >= c.Geometry.BlocksPerLUN/2 {
-		return fmt.Errorf("controller: %d translation blocks per LUN leaves too little data region", c.ReservedTransBlocks)
+		return fmt.Errorf("%w: %d translation blocks per LUN leaves too little data region", ErrConfig, c.ReservedTransBlocks)
 	}
 	if c.GCCopyback && !c.Features.Copyback {
-		return fmt.Errorf("controller: GCCopyback requires the copyback chip feature")
+		return fmt.Errorf("%w: GCCopyback requires the copyback chip feature", ErrConfig)
 	}
 	if c.BadBlockFraction < 0 || c.BadBlockFraction > 0.5 {
-		return fmt.Errorf("controller: bad-block fraction %.2f outside [0, 0.5]", c.BadBlockFraction)
+		return fmt.Errorf("%w: bad-block fraction %.2f outside [0, 0.5]", ErrConfig, c.BadBlockFraction)
 	}
 	return nil
 }
@@ -285,6 +287,20 @@ type Reliability struct {
 // LUN's free pool: queued writes can never be placed and the device has
 // reached end of life. Experiments surface it instead of a generic stall.
 var ErrDeviceWornOut = errors.New("device worn out: block retirement exhausted the free pool")
+
+// Errors wrapped by the controller's exported API, per the typed-error
+// contract: callers match with errors.Is rather than message text.
+var (
+	// ErrConfig wraps every Config.Validate failure.
+	ErrConfig = errors.New("controller: invalid configuration")
+	// ErrMemoryBudget wraps every rejected memory reservation.
+	ErrMemoryBudget = errors.New("controller: memory reservation rejected")
+	// ErrStateMismatch wraps every mismatch between a snapshot and the
+	// configuration it is restored into.
+	ErrStateMismatch = errors.New("controller: snapshot does not match configuration")
+	// ErrSnapshotUnsupported marks mappers that cannot snapshot.
+	ErrSnapshotUnsupported = errors.New("controller: mapper does not support snapshots")
+)
 
 // Controller is the simulated SSD. Create with New; drive it by Submit-ing
 // requests and running the shared engine.
@@ -579,6 +595,8 @@ func (c *Controller) applyHints(r *iface.Request) {
 
 // newState takes a request state from the pool (or allocates one) and
 // initializes it for the given operation kind.
+//
+//eagletree:hotpath
 func (c *Controller) newState(kind opKind) *reqState {
 	var st *reqState
 	if n := len(c.statePool); n > 0 {
@@ -596,6 +614,8 @@ func (c *Controller) newState(kind opKind) *reqState {
 
 // freeState returns a state to the pool. The caller must have detached it
 // from its request (r.Ctl = nil) first.
+//
+//eagletree:hotpath
 func (c *Controller) freeState(st *reqState) {
 	for i := range st.next {
 		st.next[i] = nil // do not retain completed requests
@@ -605,16 +625,22 @@ func (c *Controller) freeState(st *reqState) {
 }
 
 // stateOf returns the controller state attached to a request, or nil.
+//
+//eagletree:hotpath
 func stateOf(r *iface.Request) *reqState {
 	return (*reqState)(r.Ctl)
 }
 
 // attach binds a state to a request.
+//
+//eagletree:hotpath
 func attach(r *iface.Request, st *reqState) {
 	r.Ctl = unsafe.Pointer(st)
 }
 
 // scheduleDispatch coalesces dispatch work to the tail of the current event.
+//
+//eagletree:hotpath
 func (c *Controller) scheduleDispatch() {
 	if c.dispPend {
 		return
@@ -624,6 +650,8 @@ func (c *Controller) scheduleDispatch() {
 }
 
 // dispatch drains the policy queue as far as hardware and space allow.
+//
+//eagletree:hotpath
 func (c *Controller) dispatch() {
 	for {
 		r := c.cfg.Policy.Pop(c.eng.Now(), c.canRunFn)
@@ -636,6 +664,8 @@ func (c *Controller) dispatch() {
 
 // lookup returns the request's current physical page, caching the mapper
 // lookup until the next mapping mutation.
+//
+//eagletree:hotpath
 func (c *Controller) lookup(r *iface.Request, st *reqState) (flash.PPA, bool) {
 	if st.ppaEpoch != c.mapEpoch {
 		st.ppa, st.mapped = c.mapper.Lookup(r.LPN)
@@ -648,6 +678,8 @@ func (c *Controller) lookup(r *iface.Request, st *reqState) (flash.PPA, bool) {
 // stream. The scan result is memoized per stream for the current writeEpoch:
 // with many writes queued, one dispatch scan pays the LUN loop once per
 // stream instead of once per request.
+//
+//eagletree:hotpath
 func (c *Controller) canRunWrite(stream ftl.Stream) bool {
 	// writeMemo is sized ftl.NumStreams and LocalityStream clamps groups
 	// into range, so the index cannot overflow.
@@ -667,6 +699,8 @@ func (c *Controller) canRunWrite(stream ftl.Stream) bool {
 }
 
 // canRun reports whether a request could be dispatched right now.
+//
+//eagletree:hotpath
 func (c *Controller) canRun(r *iface.Request) bool {
 	st := stateOf(r)
 	if st == nil || st.blocked {

@@ -19,6 +19,8 @@ const pruneEvery = 2048
 
 // streamOf returns the block-manager write stream the request fills, cached
 // on the request state until the next temperature-affecting mutation.
+//
+//eagletree:hotpath
 func (c *Controller) streamOf(r *iface.Request, st *reqState) ftl.Stream {
 	if st.streamEpoch != c.tempEpoch {
 		st.stream = c.computeStream(r, st)
@@ -28,6 +30,8 @@ func (c *Controller) streamOf(r *iface.Request, st *reqState) ftl.Stream {
 }
 
 // computeStream maps a request onto the block-manager write stream it fills.
+//
+//eagletree:hotpath
 func (c *Controller) computeStream(r *iface.Request, st *reqState) ftl.Stream {
 	switch st.kind {
 	case opGCWrite, opGCCopyback:
@@ -68,6 +72,8 @@ func (c *Controller) computeStream(r *iface.Request, st *reqState) ftl.Stream {
 // tempOf estimates a page's temperature from the three sources the paper
 // lists, in confidence order: explicit open-interface information, the
 // static-WL cold inference, then the hot-data detector.
+//
+//eagletree:hotpath
 func (c *Controller) tempOf(lpn iface.LPN) iface.Temperature {
 	if t, ok := c.tempHints[lpn]; ok {
 		return t
@@ -83,18 +89,24 @@ func (c *Controller) tempOf(lpn iface.LPN) iface.Temperature {
 // alloc allocates a physical page and invalidates the write-readiness memo:
 // the allocation may have consumed a LUN's last available block or opened a
 // fresh frontier.
+//
+//eagletree:hotpath
 func (c *Controller) alloc(lun int, stream ftl.Stream) (flash.PPA, error) {
 	c.writeEpoch++
 	return c.bm.Alloc(lun, stream)
 }
 
 // remap updates the forward mapping and invalidates cached lookups.
+//
+//eagletree:hotpath
 func (c *Controller) remap(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
 	c.mapEpoch++
 	return c.mapper.Map(lpn, ppa)
 }
 
 // unmap drops the forward mapping and invalidates cached lookups.
+//
+//eagletree:hotpath
 func (c *Controller) unmap(lpn iface.LPN) (flash.PPA, bool) {
 	c.mapEpoch++
 	return c.mapper.Unmap(lpn)
@@ -102,6 +114,8 @@ func (c *Controller) unmap(lpn iface.LPN) (flash.PPA, bool) {
 
 // newInternal creates a controller-generated request carrying the state,
 // reusing a recycled request when possible.
+//
+//eagletree:hotpath
 func (c *Controller) newInternal(t iface.ReqType, src iface.Source, lpn iface.LPN, st *reqState) *iface.Request {
 	c.nextID++
 	var r *iface.Request
@@ -128,6 +142,8 @@ func (c *Controller) newInternal(t iface.ReqType, src iface.Source, lpn iface.LP
 // — internal sources (GC/WL/Map) and buffered-write flushes — whose
 // completions are delivered nowhere. Traces are pointer-free (they copy
 // value fields), so reuse is safe even while recording.
+//
+//eagletree:hotpath
 func (c *Controller) recycleRequest(r *iface.Request) {
 	if c.lastTrans == r {
 		// A finished chain tail imposes no ordering on future chains; the
@@ -141,6 +157,8 @@ func (c *Controller) recycleRequest(r *iface.Request) {
 // the scheme needs translation IOs first, they are enqueued as a dependency
 // chain ahead of r (which is re-queued blocked) and ensureAccess reports
 // false: the caller must stop and wait for the chain.
+//
+//eagletree:hotpath
 func (c *Controller) ensureAccess(r *iface.Request, st *reqState, write bool) bool {
 	if st.accessd {
 		return true
@@ -162,6 +180,8 @@ func (c *Controller) ensureAccess(r *iface.Request, st *reqState, write bool) bo
 // plans physical addresses, stale pointers and ring erases at Access time, so
 // translation ops are only correct when executed in global plan order — and a
 // real controller serializes its metadata engine the same way.
+//
+//eagletree:hotpath
 func (c *Controller) enqueueTransChain(ops []ftl.TransOp, final *iface.Request) {
 	prev := (*iface.Request)(nil)
 	for i, op := range ops {
@@ -207,6 +227,8 @@ func (c *Controller) enqueueTransChain(ops []ftl.TransOp, final *iface.Request) 
 
 // execute dispatches one popped request to the flash array (or completes it
 // directly when no flash work is needed).
+//
+//eagletree:hotpath
 func (c *Controller) execute(r *iface.Request) {
 	now := c.eng.Now()
 	r.Dispatched = now
@@ -249,6 +271,7 @@ func (c *Controller) execute(r *iface.Request) {
 	}
 }
 
+//eagletree:hotpath
 func (c *Controller) executeData(r *iface.Request, st *reqState) {
 	now := c.eng.Now()
 	switch r.Type {
@@ -319,12 +342,20 @@ func (c *Controller) executeData(r *iface.Request, st *reqState) {
 		}
 		c.finish(r, now)
 	default:
-		c.must(fmt.Errorf("controller: unexpected external request type %v", r.Type), r)
+		c.badRequestType(r)
 	}
+}
+
+// badRequestType is the cold tail of executeData: building the error message
+// allocates, so it stays out of the annotated hot path.
+func (c *Controller) badRequestType(r *iface.Request) {
+	c.must(fmt.Errorf("controller: unexpected external request type %v", r.Type), r)
 }
 
 // lunViews snapshots per-LUN state for the write allocator. The slice is a
 // reused scratch buffer, valid only until the next call.
+//
+//eagletree:hotpath
 func (c *Controller) lunViews(stream ftl.Stream) []sched.LUNView {
 	views := c.views
 	for lun := range views {
@@ -403,6 +434,8 @@ func (c *Controller) must(err error, r *iface.Request) {
 }
 
 // busyUntil marks the LUN occupied and schedules the request's completion.
+//
+//eagletree:hotpath
 func (c *Controller) busyUntil(lun int, done sim.Time, r *iface.Request, st *reqState) {
 	c.inflight[lun] = true
 	c.writeEpoch++
@@ -413,6 +446,8 @@ func (c *Controller) busyUntil(lun int, done sim.Time, r *iface.Request, st *req
 // ioDone is the engine callback for every flash completion: it releases the
 // LUN the request occupied (if any) and finishes the request. Bound once in
 // New so per-IO scheduling carries only the request pointer.
+//
+//eagletree:hotpath
 func (c *Controller) ioDone(arg any) {
 	r := arg.(*iface.Request)
 	st := stateOf(r)
@@ -436,6 +471,8 @@ func (c *Controller) ioDone(arg any) {
 // finish completes a request: stamps it, records statistics, unblocks any
 // dependency chain successor, notifies GC/WL bookkeeping, delivers external
 // completions to the OS, re-arms dispatch, and recycles the request state.
+//
+//eagletree:hotpath
 func (c *Controller) finish(r *iface.Request, at sim.Time) {
 	st := stateOf(r)
 	r.Completed = at
@@ -503,6 +540,8 @@ func (c *Controller) finish(r *iface.Request, at sim.Time) {
 
 // unblockSuccessors releases every dependency-chain successor of a request
 // that is completing or being skipped, making them visible to dispatch again.
+//
+//eagletree:hotpath
 func (c *Controller) unblockSuccessors(st *reqState) {
 	for _, succ := range st.next {
 		if ss := stateOf(succ); ss != nil {
@@ -516,6 +555,8 @@ func (c *Controller) unblockSuccessors(st *reqState) {
 // application overwrote it) before the pair ran. Successors' own liveness
 // re-check will skip them the same way; accounting happens on the write
 // half only.
+//
+//eagletree:hotpath
 func (c *Controller) skipMigration(r *iface.Request, st *reqState) {
 	c.unblockSuccessors(st)
 	r.Ctl = nil
@@ -528,6 +569,7 @@ func (c *Controller) skipMigration(r *iface.Request, st *reqState) {
 	c.recycleRequest(r) // migration requests are always internal
 }
 
+//eagletree:hotpath
 func (c *Controller) executeMigrationRead(r *iface.Request, st *reqState) {
 	if cur, ok := c.mapper.Lookup(r.LPN); !ok || cur != st.src {
 		c.skipMigration(r, st)
@@ -538,6 +580,7 @@ func (c *Controller) executeMigrationRead(r *iface.Request, st *reqState) {
 	c.busyUntil(st.src.LUN, sched.Done, r, st)
 }
 
+//eagletree:hotpath
 func (c *Controller) executeMigrationWrite(r *iface.Request, st *reqState) {
 	if cur, ok := c.mapper.Lookup(r.LPN); !ok || cur != st.src {
 		c.skipMigration(r, st)
@@ -566,6 +609,7 @@ func (c *Controller) executeMigrationWrite(r *iface.Request, st *reqState) {
 	c.busyUntil(st.src.LUN, sched.Done, r, st)
 }
 
+//eagletree:hotpath
 func (c *Controller) executeCopyback(r *iface.Request, st *reqState) {
 	if cur, ok := c.mapper.Lookup(r.LPN); !ok || cur != st.src {
 		c.skipMigration(r, st)

@@ -29,7 +29,7 @@ func NewMemoryManager(ramBudget, safeBudget int64) *MemoryManager {
 // It fails when a non-zero budget would be exceeded.
 func (m *MemoryManager) Reserve(name string, bytes int64, safe bool) error {
 	if bytes < 0 {
-		return fmt.Errorf("controller: negative reservation %d for %q", bytes, name)
+		return fmt.Errorf("%w: negative reservation %d for %q", ErrMemoryBudget, bytes, name)
 	}
 	budget, used := m.ramBudget, m.RAMUsed()
 	if safe {
@@ -43,8 +43,8 @@ func (m *MemoryManager) Reserve(name string, bytes int64, safe bool) error {
 		if safe {
 			kind = "safe RAM"
 		}
-		return fmt.Errorf("controller: %q needs %d bytes of %s, only %d of %d free",
-			name, bytes, kind, budget-used, budget)
+		return fmt.Errorf("%w: %q needs %d bytes of %s, only %d of %d free",
+			ErrMemoryBudget, name, bytes, kind, budget-used, budget)
 	}
 	m.uses[name] = memUse{bytes: bytes, safe: safe}
 	return nil

@@ -133,7 +133,7 @@ func (c *Controller) State() (*State, error) {
 		ps := m.State()
 		st.PageMap = &ps
 	default:
-		return nil, fmt.Errorf("controller: mapper %q does not support snapshots", c.mapper.Name())
+		return nil, fmt.Errorf("%w (mapper %q)", ErrSnapshotUnsupported, c.mapper.Name())
 	}
 	for th, p := range c.threadPrio {
 		st.ThreadPrio = append(st.ThreadPrio, ThreadPrioEntry{Thread: th, Prio: p})
@@ -186,20 +186,20 @@ func (c *Controller) RestoreState(st *State) error {
 	switch m := c.mapper.(type) {
 	case *ftl.DFTL:
 		if st.DFTL == nil {
-			return fmt.Errorf("controller: snapshot has no DFTL state but config maps with DFTL")
+			return fmt.Errorf("%w: snapshot has no DFTL state but config maps with DFTL", ErrStateMismatch)
 		}
 		if err := m.RestoreState(*st.DFTL); err != nil {
 			return err
 		}
 	case *ftl.PageMap:
 		if st.PageMap == nil {
-			return fmt.Errorf("controller: snapshot has no page-map state but config maps with a page map")
+			return fmt.Errorf("%w: snapshot has no page-map state but config maps with a page map", ErrStateMismatch)
 		}
 		if err := m.RestoreState(*st.PageMap); err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("controller: mapper %q does not support snapshots", c.mapper.Name())
+		return fmt.Errorf("%w (mapper %q)", ErrSnapshotUnsupported, c.mapper.Name())
 	}
 	if err := c.array.RestoreState(st.Array); err != nil {
 		return err
@@ -236,7 +236,7 @@ func (c *Controller) RestoreState(st *State) error {
 
 	if mbf, ok := c.cfg.Detector.(*hotcold.MBF); ok {
 		if st.Detector == nil {
-			return fmt.Errorf("controller: config uses the MBF detector but snapshot has no detector state")
+			return fmt.Errorf("%w: config uses the MBF detector but snapshot has no detector state", ErrStateMismatch)
 		}
 		if err := mbf.RestoreState(*st.Detector); err != nil {
 			return err

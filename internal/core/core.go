@@ -5,10 +5,14 @@
 // The stack operates entirely in virtual time: Run drives the event loop
 // until every registered thread finishes, and a (Config, Seed) pair fully
 // determines the resulting IO trace.
+//
+//eagletree:canonical
+//eagletree:typederrors
 package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"eagletree/internal/controller"
@@ -17,6 +21,18 @@ import (
 	"eagletree/internal/sim"
 	"eagletree/internal/stats"
 	"eagletree/internal/workload"
+)
+
+// Errors wrapped by the stack's exported API, per the typed-error contract.
+var (
+	// ErrConfig wraps every stack-assembly configuration failure.
+	ErrConfig = errors.New("core: invalid configuration")
+	// ErrNotQuiescent wraps every Snapshot precondition failure: the stack
+	// still holds in-flight work that a snapshot would drop.
+	ErrNotQuiescent = errors.New("core: stack not quiescent")
+	// ErrSnapshotMismatch wraps every structural mismatch between a
+	// snapshot and the configuration it is restored under.
+	ErrSnapshotMismatch = errors.New("core: snapshot does not match configuration")
 )
 
 // Config configures every layer of the stack.
@@ -65,7 +81,7 @@ func New(cfg Config) (*Stack, error) {
 		cfg.Seed = 1
 	}
 	if cfg.Controller.OnComplete != nil {
-		return nil, fmt.Errorf("core: Controller.OnComplete is owned by the stack")
+		return nil, fmt.Errorf("%w: Controller.OnComplete is owned by the stack", ErrConfig)
 	}
 	s := &Stack{
 		Engine: sim.NewEngine(),

@@ -17,16 +17,16 @@ import (
 // continuing this stack directly.
 func (s *Stack) Snapshot() (*snapshot.DeviceState, error) {
 	if n := s.Engine.Pending(); n != 0 {
-		return nil, fmt.Errorf("core: snapshot with %d events pending", n)
+		return nil, fmt.Errorf("%w: snapshot with %d events pending", ErrNotQuiescent, n)
 	}
 	if !s.Runner.Done() {
-		return nil, fmt.Errorf("core: snapshot with %d threads active", s.Runner.Active())
+		return nil, fmt.Errorf("%w: snapshot with %d threads active", ErrNotQuiescent, s.Runner.Active())
 	}
 	if n := s.OS.InFlight(); n != 0 {
-		return nil, fmt.Errorf("core: snapshot with %d IOs in flight at the SSD", n)
+		return nil, fmt.Errorf("%w: snapshot with %d IOs in flight at the SSD", ErrNotQuiescent, n)
 	}
 	if n := s.OS.Pending(); n != 0 {
-		return nil, fmt.Errorf("core: snapshot with %d IOs pending in the OS pool", n)
+		return nil, fmt.Errorf("%w: snapshot with %d IOs pending in the OS pool", ErrNotQuiescent, n)
 	}
 	ctl, err := s.Controller.State()
 	if err != nil {
@@ -68,13 +68,13 @@ func Restore(cfg Config, ds *snapshot.DeviceState) (*Stack, error) {
 		return nil, err
 	}
 	if got := s.cfg.Controller.Geometry; got != ds.Meta.Geometry {
-		return nil, fmt.Errorf("core: snapshot geometry %+v does not match config geometry %+v", ds.Meta.Geometry, got)
+		return nil, fmt.Errorf("%w: snapshot geometry %+v does not match config geometry %+v", ErrSnapshotMismatch, ds.Meta.Geometry, got)
 	}
 	if got := s.Controller.Mapper().Name(); got != ds.Meta.Mapping {
-		return nil, fmt.Errorf("core: snapshot maps with %q, config maps with %q", ds.Meta.Mapping, got)
+		return nil, fmt.Errorf("%w: snapshot maps with %q, config maps with %q", ErrSnapshotMismatch, ds.Meta.Mapping, got)
 	}
 	if got := s.Controller.LogicalPages(); got != ds.Meta.LogicalPages {
-		return nil, fmt.Errorf("core: snapshot exports %d logical pages, config exports %d", ds.Meta.LogicalPages, got)
+		return nil, fmt.Errorf("%w: snapshot exports %d logical pages, config exports %d", ErrSnapshotMismatch, ds.Meta.LogicalPages, got)
 	}
 	if err := s.Controller.RestoreState(&ds.Controller); err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -13,6 +13,9 @@
 // cancellation mid-sweep (partial Results carry the completed row prefix
 // alongside a typed ErrCanceled) and streams typed events — variant
 // lifecycle, snapshot-cache provenance, timings — to an optional Observer.
+//
+//eagletree:canonical
+//eagletree:typederrors
 package experiment
 
 import (

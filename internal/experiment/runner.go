@@ -20,6 +20,9 @@ import (
 // errors.Is(err, ErrCanceled) and inspect details with errors.As.
 var ErrCanceled = errors.New("experiment: run canceled")
 
+// ErrNoVariants reports a definition with nothing to run.
+var ErrNoVariants = errors.New("experiment: definition has no variants")
+
 // CanceledError is the typed error of a canceled run: the partial Results
 // returned alongside it hold the first Completed variants' rows — a prefix,
 // in definition order, bit-identical to the same prefix of an uncancelled
@@ -191,7 +194,7 @@ func New(opts Options) *Runner { return &Runner{opts: opts} }
 func (r *Runner) Run(ctx context.Context, def Definition) (Results, error) {
 	res := Results{Name: def.Name}
 	if len(def.Variants) == 0 {
-		return res, fmt.Errorf("experiment %q: no variants", def.Name)
+		return res, fmt.Errorf("%w: %q", ErrNoVariants, def.Name)
 	}
 	workers := r.opts.Workers
 	if workers <= 0 {
@@ -210,7 +213,7 @@ func (r *Runner) Run(ctx context.Context, def Definition) (Results, error) {
 		def:      def,
 		cache:    cache,
 		observer: r.opts.Observer,
-		started:  time.Now(),
+		started:  time.Now(), //lint:wallclock run wall-time telemetry, never canonical
 		rows:     make([]Row, len(def.Variants)),
 		errs:     make([]error, len(def.Variants)),
 		canceled: make([]bool, len(def.Variants)),
@@ -337,7 +340,7 @@ func (rs *runState) parallel(ctx context.Context, workers int) {
 // runOne executes variant i, records its outcome and emits its terminal
 // event. It reports false when the variant was canceled mid-run.
 func (rs *runState) runOne(ctx context.Context, i int, v Variant) bool {
-	start := time.Now()
+	start := time.Now() //lint:wallclock per-variant wall-time telemetry
 	row, err := rs.runVariantSafe(ctx, i, v)
 	if err != nil && wasCanceled(err) {
 		rs.markCanceled(i)
@@ -475,7 +478,7 @@ func (rs *runState) preparedState(ctx context.Context, i int, v Variant, cfg cor
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock cache-fetch wall-time telemetry
 	data, hit, err := rs.cache.Fetch(key, func() ([]byte, error) {
 		return buildPrepared(ctx, pcfg, spec)
 	})

@@ -65,6 +65,9 @@ func TestGoldenSpecFiles(t *testing.T) {
 // very same snapshot-cache entries (no re-preparation on the spec path).
 // E11 and E13 additionally run on the parallel runner.
 func TestSpecSuiteMatchesCompiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs the whole suite from spec files; skipped with -short (the race CI leg)")
+	}
 	cache := NewStateCache("")
 	compiled := Suite(Small)
 	for i, def := range compiled {

@@ -9,6 +9,9 @@ import (
 // IO. Shape assertions (who wins) live in the root bench harness and in
 // EXPERIMENTS.md; this test guards that the definitions stay runnable.
 func TestSuiteDefinitionsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every suite definition; skipped with -short (the race CI leg)")
+	}
 	for _, def := range Suite(Small) {
 		def := def
 		t.Run(def.Name, func(t *testing.T) {

@@ -14,6 +14,8 @@
 // blocks, shrinking free pools — lives above, in the controller; a Model
 // only answers "does this operation fail, and does it take the block with
 // it".
+//
+//eagletree:typederrors
 package fault
 
 import (

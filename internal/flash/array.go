@@ -110,6 +110,8 @@ func (a *Array) ChannelFreeAt(ch int) sim.Time { return a.channels[ch].freeAt() 
 func (a *Array) LUNBusy(lun int, now sim.Time) bool { return a.luns[lun].busyAt(now) }
 
 // Prune discards resource reservations that ended at or before now.
+//
+//eagletree:hotpath
 func (a *Array) Prune(now sim.Time) {
 	for i := range a.channels {
 		a.channels[i].prune(now)
@@ -126,18 +128,53 @@ func (a *Array) checkBounds(p PPA) error {
 	return nil
 }
 
+// Cold error constructors for the annotated schedule paths. Constraint
+// violations are controller bugs that panic upstream; formatting the message
+// allocates, so it stays out of the hot bodies.
+func errPPA(sentinel error, what string, p PPA) error {
+	if what == "" {
+		return fmt.Errorf("%w: %v", sentinel, p)
+	}
+	return fmt.Errorf("%w: %s %v", sentinel, what, p)
+}
+
+func errBlock(sentinel error, what string, b BlockID) error {
+	if what == "" {
+		return fmt.Errorf("%w: %v", sentinel, b)
+	}
+	return fmt.Errorf("%w: %s %v", sentinel, what, b)
+}
+
+func errReadState(p PPA, st PageState) error {
+	return fmt.Errorf("%w: read %v (%v)", ErrNotValid, p, st)
+}
+
+func errProgramOrder(what string, p PPA, next int) error {
+	return fmt.Errorf("%w: %s %v, next programmable page is %d", ErrProgramOrder, what, p, next)
+}
+
+func errEraseLive(b BlockID, live int) error {
+	return fmt.Errorf("%w: erase %v with %d live pages", ErrEraseLivePage, b, live)
+}
+
+func errCrossLUN(src, dst PPA) error {
+	return fmt.Errorf("%w: %v -> %v", ErrCrossLUN, src, dst)
+}
+
 // ScheduleRead books a page read at or after `at` and returns its schedule.
 // The page must hold valid data.
 //
 // Phases: command on the channel, sense inside the LUN, data transfer back on
 // the channel. With interleaving the channel is free for other LUNs during
 // the sense window; without it the channel is held end to end.
+//
+//eagletree:hotpath
 func (a *Array) ScheduleRead(p PPA, at sim.Time) (Schedule, error) {
 	if err := a.checkBounds(p); err != nil {
 		return Schedule{}, err
 	}
 	if a.pages[a.geo.Index(p)] != PageValid {
-		return Schedule{}, fmt.Errorf("%w: read %v (%v)", ErrNotValid, p, a.pages[a.geo.Index(p)])
+		return Schedule{}, errReadState(p, a.pages[a.geo.Index(p)])
 	}
 	ch := &a.channels[a.geo.ChannelOf(p.LUN)]
 	lun := &a.luns[p.LUN]
@@ -177,6 +214,8 @@ func (a *Array) ScheduleRead(p PPA, at sim.Time) (Schedule, error) {
 // must be free, and the block must not be bad. On success the page becomes
 // valid immediately in simulator state (the single-threaded event loop makes
 // issue-time state transitions safe).
+//
+//eagletree:hotpath
 func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
 	if err := a.checkBounds(p); err != nil {
 		return Schedule{}, err
@@ -184,11 +223,11 @@ func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
 	blk := &a.blocks[a.geo.BlockIndex(p.BlockOf())]
 	switch {
 	case blk.Bad:
-		return Schedule{}, fmt.Errorf("%w: write %v", ErrBadBlock, p)
+		return Schedule{}, errPPA(ErrBadBlock, "write", p)
 	case p.Page != blk.WritePtr:
-		return Schedule{}, fmt.Errorf("%w: write %v, next programmable page is %d", ErrProgramOrder, p, blk.WritePtr)
+		return Schedule{}, errProgramOrder("write", p, blk.WritePtr)
 	case a.pages[a.geo.Index(p)] != PageFree:
-		return Schedule{}, fmt.Errorf("%w: write %v", ErrNotFree, p)
+		return Schedule{}, errPPA(ErrNotFree, "write", p)
 	}
 
 	ch := &a.channels[a.geo.ChannelOf(p.LUN)]
@@ -234,16 +273,18 @@ func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
 // ScheduleErase books a block erase at or after `at`. Erasing a block that
 // still holds valid pages is refused: the GC layer must migrate live data
 // first, and silently destroying it would hide GC bugs.
+//
+//eagletree:hotpath
 func (a *Array) ScheduleErase(b BlockID, at sim.Time) (Schedule, error) {
 	if !a.geo.Contains(PPA{LUN: b.LUN, Block: b.Block}) {
-		return Schedule{}, fmt.Errorf("%w: %v", ErrOutOfBounds, b)
+		return Schedule{}, errBlock(ErrOutOfBounds, "", b)
 	}
 	blk := &a.blocks[a.geo.BlockIndex(b)]
 	if blk.Bad {
-		return Schedule{}, fmt.Errorf("%w: erase %v", ErrBadBlock, b)
+		return Schedule{}, errBlock(ErrBadBlock, "erase", b)
 	}
 	if blk.ValidPages > 0 {
-		return Schedule{}, fmt.Errorf("%w: erase %v with %d live pages", ErrEraseLivePage, b, blk.ValidPages)
+		return Schedule{}, errEraseLive(b, blk.ValidPages)
 	}
 
 	ch := &a.channels[a.geo.ChannelOf(b.LUN)]
@@ -297,6 +338,8 @@ func (a *Array) ScheduleErase(b BlockID, at sim.Time) (Schedule, error) {
 // channel and no data transfer. The destination must satisfy the same NAND
 // constraints as a write; the source stays valid until the caller invalidates
 // it (GC erases the whole source block afterwards).
+//
+//eagletree:hotpath
 func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
 	if !a.feat.Copyback {
 		return Schedule{}, ErrCopybackOff
@@ -308,19 +351,19 @@ func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
 		return Schedule{}, err
 	}
 	if src.LUN != dst.LUN {
-		return Schedule{}, fmt.Errorf("%w: %v -> %v", ErrCrossLUN, src, dst)
+		return Schedule{}, errCrossLUN(src, dst)
 	}
 	if a.pages[a.geo.Index(src)] != PageValid {
-		return Schedule{}, fmt.Errorf("%w: copyback from %v", ErrNotValid, src)
+		return Schedule{}, errPPA(ErrNotValid, "copyback from", src)
 	}
 	blk := &a.blocks[a.geo.BlockIndex(dst.BlockOf())]
 	switch {
 	case blk.Bad:
-		return Schedule{}, fmt.Errorf("%w: copyback to %v", ErrBadBlock, dst)
+		return Schedule{}, errPPA(ErrBadBlock, "copyback to", dst)
 	case dst.Page != blk.WritePtr:
-		return Schedule{}, fmt.Errorf("%w: copyback to %v, next programmable page is %d", ErrProgramOrder, dst, blk.WritePtr)
+		return Schedule{}, errProgramOrder("copyback to", dst, blk.WritePtr)
 	case a.pages[a.geo.Index(dst)] != PageFree:
-		return Schedule{}, fmt.Errorf("%w: copyback to %v", ErrNotFree, dst)
+		return Schedule{}, errPPA(ErrNotFree, "copyback to", dst)
 	}
 
 	ch := &a.channels[a.geo.ChannelOf(src.LUN)]
@@ -367,6 +410,8 @@ func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
 }
 
 // Invalidate marks a valid page stale (an overwrite left a before-image).
+//
+//eagletree:hotpath
 func (a *Array) Invalidate(p PPA) error {
 	if err := a.checkBounds(p); err != nil {
 		return err
@@ -378,14 +423,16 @@ func (a *Array) Invalidate(p PPA) error {
 		a.blocks[a.geo.BlockIndex(p.BlockOf())].ValidPages--
 		return nil
 	case PageInvalid:
-		return fmt.Errorf("%w: %v", ErrAlreadyStale, p)
+		return errPPA(ErrAlreadyStale, "", p)
 	default:
-		return fmt.Errorf("%w: invalidate %v", ErrNotValid, p)
+		return errPPA(ErrNotValid, "invalidate", p)
 	}
 }
 
 // MarkBad retires a block. A free block leaves the free pool; a bad block is
 // never erased, written or counted free again.
+//
+//eagletree:hotpath
 func (a *Array) MarkBad(b BlockID) {
 	blk := &a.blocks[a.geo.BlockIndex(b)]
 	if blk.Bad {

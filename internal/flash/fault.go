@@ -60,6 +60,8 @@ func (a *Array) SetInjector(m fault.Model, firstBlock int) {
 // write pointer advances, and a grown-bad outcome retires the block — and
 // returns the typed error. The schedule's time was already reserved: a
 // failed program costs what a successful one does.
+//
+//eagletree:hotpath
 func (a *Array) injectProgram(p PPA, blk *BlockMeta, done sim.Time) *FaultError {
 	if a.injector == nil || p.Block < a.injectFrom {
 		return nil
@@ -85,6 +87,8 @@ func (a *Array) injectProgram(p PPA, blk *BlockMeta, done sim.Time) *FaultError 
 // attempt still wears the cells (the erase count advances) but the pages
 // stay programmed, and the block is retired — a failed erase is how blocks
 // grow bad in the field.
+//
+//eagletree:hotpath
 func (a *Array) injectErase(b BlockID, blk *BlockMeta, done sim.Time) *FaultError {
 	if a.injector == nil || b.Block < a.injectFrom {
 		return nil

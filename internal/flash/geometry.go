@@ -8,6 +8,8 @@
 // The package is passive — it validates state transitions and computes when
 // an operation can start and finish given current resource occupancy — while
 // all decisions (which IO, which LUN, when) belong to the controller layer.
+//
+//eagletree:typederrors
 package flash
 
 import "fmt"
@@ -25,15 +27,15 @@ type Geometry struct {
 func (g Geometry) Validate() error {
 	switch {
 	case g.Channels <= 0:
-		return fmt.Errorf("flash: Channels = %d, must be positive", g.Channels)
+		return fmt.Errorf("%w: Channels = %d, must be positive", ErrConfig, g.Channels)
 	case g.LUNsPerChannel <= 0:
-		return fmt.Errorf("flash: LUNsPerChannel = %d, must be positive", g.LUNsPerChannel)
+		return fmt.Errorf("%w: LUNsPerChannel = %d, must be positive", ErrConfig, g.LUNsPerChannel)
 	case g.BlocksPerLUN <= 0:
-		return fmt.Errorf("flash: BlocksPerLUN = %d, must be positive", g.BlocksPerLUN)
+		return fmt.Errorf("%w: BlocksPerLUN = %d, must be positive", ErrConfig, g.BlocksPerLUN)
 	case g.PagesPerBlock <= 0:
-		return fmt.Errorf("flash: PagesPerBlock = %d, must be positive", g.PagesPerBlock)
+		return fmt.Errorf("%w: PagesPerBlock = %d, must be positive", ErrConfig, g.PagesPerBlock)
 	case g.PageSize <= 0:
-		return fmt.Errorf("flash: PageSize = %d, must be positive", g.PageSize)
+		return fmt.Errorf("%w: PageSize = %d, must be positive", ErrConfig, g.PageSize)
 	}
 	return nil
 }

@@ -24,6 +24,8 @@ type interval struct {
 
 // freeAt returns the end of the last reservation, i.e. the first instant with
 // nothing booked after it.
+//
+//eagletree:hotpath
 func (r *resource) freeAt() sim.Time {
 	if len(r.intervals) == 0 {
 		return 0
@@ -33,6 +35,8 @@ func (r *resource) freeAt() sim.Time {
 
 // reserveTail books [max(at, tail), +d) behind all existing reservations and
 // returns the start time.
+//
+//eagletree:hotpath
 func (r *resource) reserveTail(at sim.Time, d sim.Duration) sim.Time {
 	start := at
 	if tail := r.freeAt(); tail > start {
@@ -44,6 +48,8 @@ func (r *resource) reserveTail(at sim.Time, d sim.Duration) sim.Time {
 
 // reserveEarliest books d time units in the earliest gap beginning at or
 // after at, and returns the start time.
+//
+//eagletree:hotpath
 func (r *resource) reserveEarliest(at sim.Time, d sim.Duration) sim.Time {
 	// Find the first gap [gapStart, gapEnd) with gapEnd-gapStart >= d and
 	// gapStart >= at (clamping gap starts up to at).
@@ -67,6 +73,7 @@ func (r *resource) reserveEarliest(at sim.Time, d sim.Duration) sim.Time {
 	return start
 }
 
+//eagletree:hotpath
 func (r *resource) insert(i int, iv interval) {
 	r.intervals = append(r.intervals, interval{})
 	copy(r.intervals[i+1:], r.intervals[i:])
@@ -87,6 +94,8 @@ func (r *resource) prune(now sim.Time) {
 }
 
 // busyAt reports whether the resource has a reservation covering t.
+//
+//eagletree:hotpath
 func (r *resource) busyAt(t sim.Time) bool {
 	for _, iv := range r.intervals {
 		if iv.start <= t && t < iv.end {

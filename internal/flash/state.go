@@ -110,15 +110,15 @@ func copyIntervals(ivs []interval) []Interval {
 func (a *Array) RestoreState(st ArrayState) error {
 	switch {
 	case len(st.Pages) != len(a.pages):
-		return fmt.Errorf("flash: snapshot has %d pages, array has %d", len(st.Pages), len(a.pages))
+		return fmt.Errorf("%w: snapshot has %d pages, array has %d", ErrStateMismatch, len(st.Pages), len(a.pages))
 	case len(st.Blocks) != len(a.blocks):
-		return fmt.Errorf("flash: snapshot has %d blocks, array has %d", len(st.Blocks), len(a.blocks))
+		return fmt.Errorf("%w: snapshot has %d blocks, array has %d", ErrStateMismatch, len(st.Blocks), len(a.blocks))
 	case len(st.FreePerLUN) != len(a.freePerLUN):
-		return fmt.Errorf("flash: snapshot has %d LUN free counts, array has %d", len(st.FreePerLUN), len(a.freePerLUN))
+		return fmt.Errorf("%w: snapshot has %d LUN free counts, array has %d", ErrStateMismatch, len(st.FreePerLUN), len(a.freePerLUN))
 	case len(st.Channels) != len(a.channels):
-		return fmt.Errorf("flash: snapshot has %d channels, array has %d", len(st.Channels), len(a.channels))
+		return fmt.Errorf("%w: snapshot has %d channels, array has %d", ErrStateMismatch, len(st.Channels), len(a.channels))
 	case len(st.LUNs) != len(a.luns):
-		return fmt.Errorf("flash: snapshot has %d LUNs, array has %d", len(st.LUNs), len(a.luns))
+		return fmt.Errorf("%w: snapshot has %d LUNs, array has %d", ErrStateMismatch, len(st.LUNs), len(a.luns))
 	}
 	copy(a.pages, st.Pages)
 	copy(a.blocks, st.Blocks)
@@ -144,6 +144,15 @@ func restoreIntervals(ivs []Interval) []interval {
 // Errors returned by Array state transitions. All are programming errors in
 // the FTL or GC layer, not recoverable runtime conditions, but they are
 // returned (not panicked) so tests can assert on them.
+// Errors returned by configuration validation and snapshot restore.
+var (
+	// ErrConfig wraps every Geometry/Timing validation failure.
+	ErrConfig = errors.New("flash: invalid configuration")
+	// ErrStateMismatch wraps every shape mismatch between a snapshot and
+	// the array it is restored into.
+	ErrStateMismatch = errors.New("flash: snapshot does not match array shape")
+)
+
 var (
 	ErrOutOfBounds   = errors.New("flash: address out of bounds")
 	ErrNotValid      = errors.New("flash: page does not hold valid data")

@@ -47,17 +47,17 @@ type Timing struct {
 func (t Timing) Validate() error {
 	switch {
 	case t.Cmd <= 0:
-		return fmt.Errorf("flash: Cmd latency %v, must be positive", t.Cmd)
+		return fmt.Errorf("%w: Cmd latency %v, must be positive", ErrConfig, t.Cmd)
 	case t.Transfer <= 0:
-		return fmt.Errorf("flash: Transfer latency %v, must be positive", t.Transfer)
+		return fmt.Errorf("%w: Transfer latency %v, must be positive", ErrConfig, t.Transfer)
 	case t.PageRead <= 0:
-		return fmt.Errorf("flash: PageRead latency %v, must be positive", t.PageRead)
+		return fmt.Errorf("%w: PageRead latency %v, must be positive", ErrConfig, t.PageRead)
 	case t.PageWrite <= 0:
-		return fmt.Errorf("flash: PageWrite latency %v, must be positive", t.PageWrite)
+		return fmt.Errorf("%w: PageWrite latency %v, must be positive", ErrConfig, t.PageWrite)
 	case t.BlockErase <= 0:
-		return fmt.Errorf("flash: BlockErase latency %v, must be positive", t.BlockErase)
+		return fmt.Errorf("%w: BlockErase latency %v, must be positive", ErrConfig, t.BlockErase)
 	case t.EnduranceLimit <= 0:
-		return fmt.Errorf("flash: EnduranceLimit %d, must be positive", t.EnduranceLimit)
+		return fmt.Errorf("%w: EnduranceLimit %d, must be positive", ErrConfig, t.EnduranceLimit)
 	}
 	return nil
 }

@@ -229,10 +229,14 @@ func (d *DFTL) advanceRing(ops []TransOp) []TransOp {
 }
 
 // Lookup implements Mapper.
+//
+//eagletree:hotpath
 func (d *DFTL) Lookup(lpn iface.LPN) (flash.PPA, bool) { return d.truth.Lookup(lpn) }
 
 // Map implements Mapper. The entry must have been brought into the CMT by a
 // preceding Access call; mapping marks it dirty.
+//
+//eagletree:hotpath
 func (d *DFTL) Map(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
 	if el, ok := d.cmt[lpn]; ok {
 		el.Value.(*cmtEntry).dirty = true
@@ -241,6 +245,8 @@ func (d *DFTL) Map(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
 }
 
 // Unmap implements Mapper. Trimmed entries leave the CMT.
+//
+//eagletree:hotpath
 func (d *DFTL) Unmap(lpn iface.LPN) (flash.PPA, bool) {
 	if el, ok := d.cmt[lpn]; ok {
 		d.lru.Remove(el)
@@ -250,6 +256,8 @@ func (d *DFTL) Unmap(lpn iface.LPN) (flash.PPA, bool) {
 }
 
 // LPNAt implements Mapper.
+//
+//eagletree:hotpath
 func (d *DFTL) LPNAt(ppa flash.PPA) (iface.LPN, bool) { return d.truth.LPNAt(ppa) }
 
 // RAMBytes implements Mapper: the CMT (two words per entry) plus the GTD

@@ -8,6 +8,8 @@
 // IOs are returned to the controller as TransOps so they compete for the
 // flash array through the same scheduler as everything else — which is
 // exactly the interference the paper sets out to study.
+//
+//eagletree:typederrors
 package ftl
 
 import (
@@ -86,4 +88,7 @@ var (
 	ErrNoFreeBlock = errors.New("ftl: no free block available")
 	ErrOutOfSpace  = errors.New("ftl: LUN out of space for external writes (GC reserve reached)")
 	ErrRingFull    = errors.New("ftl: translation ring too small for translation working set")
+	// ErrStateMismatch wraps every shape mismatch between a snapshot and
+	// the mapper or block manager it is restored into.
+	ErrStateMismatch = errors.New("ftl: snapshot does not match mapper shape")
 )

@@ -46,6 +46,8 @@ func (pm *PageMap) Mapped() int { return pm.mapped }
 func (pm *PageMap) Access(iface.LPN, bool) []TransOp { return nil }
 
 // Lookup implements Mapper.
+//
+//eagletree:hotpath
 func (pm *PageMap) Lookup(lpn iface.LPN) (flash.PPA, bool) {
 	if lpn < 0 || int(lpn) >= len(pm.forward) {
 		return flash.PPA{}, false
@@ -60,6 +62,8 @@ func (pm *PageMap) Lookup(lpn iface.LPN) (flash.PPA, bool) {
 // Map implements Mapper. Remapping an LPN onto the physical page it already
 // occupies reports no old binding: the page holds the fresh data, so there is
 // nothing to invalidate.
+//
+//eagletree:hotpath
 func (pm *PageMap) Map(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
 	newIdx := pm.geo.Index(ppa)
 	oldIdx := pm.forward[lpn]
@@ -77,6 +81,8 @@ func (pm *PageMap) Map(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
 }
 
 // Unmap implements Mapper.
+//
+//eagletree:hotpath
 func (pm *PageMap) Unmap(lpn iface.LPN) (flash.PPA, bool) {
 	if lpn < 0 || int(lpn) >= len(pm.forward) {
 		return flash.PPA{}, false
@@ -92,6 +98,8 @@ func (pm *PageMap) Unmap(lpn iface.LPN) (flash.PPA, bool) {
 }
 
 // LPNAt implements Mapper.
+//
+//eagletree:hotpath
 func (pm *PageMap) LPNAt(ppa flash.PPA) (iface.LPN, bool) {
 	lpn := pm.reverse[pm.geo.Index(ppa)]
 	if lpn < 0 {

@@ -35,10 +35,10 @@ func (pm *PageMap) State() PageMapState {
 // logical and physical sizes must match the map's.
 func (pm *PageMap) RestoreState(st PageMapState) error {
 	if len(st.Forward) != len(pm.forward) {
-		return fmt.Errorf("ftl: snapshot page map has %d LPNs, map has %d", len(st.Forward), len(pm.forward))
+		return fmt.Errorf("%w: snapshot page map has %d LPNs, map has %d", ErrStateMismatch, len(st.Forward), len(pm.forward))
 	}
 	if len(st.Reverse) != len(pm.reverse) {
-		return fmt.Errorf("ftl: snapshot page map has %d physical pages, map has %d", len(st.Reverse), len(pm.reverse))
+		return fmt.Errorf("%w: snapshot page map has %d physical pages, map has %d", ErrStateMismatch, len(st.Reverse), len(pm.reverse))
 	}
 	copy(pm.forward, st.Forward)
 	copy(pm.reverse, st.Reverse)
@@ -117,13 +117,13 @@ func (d *DFTL) RestoreState(st DFTLState) error {
 		return err
 	}
 	if len(st.CMT) > d.capacity {
-		return fmt.Errorf("ftl: snapshot CMT holds %d entries, capacity is %d", len(st.CMT), d.capacity)
+		return fmt.Errorf("%w: snapshot CMT holds %d entries, capacity is %d", ErrStateMismatch, len(st.CMT), d.capacity)
 	}
 	if len(st.Ring) != len(d.ring) {
-		return fmt.Errorf("ftl: snapshot has %d translation blocks, ring has %d", len(st.Ring), len(d.ring))
+		return fmt.Errorf("%w: snapshot has %d translation blocks, ring has %d", ErrStateMismatch, len(st.Ring), len(d.ring))
 	}
 	if st.Cur < 0 || st.Cur >= len(d.ring) {
-		return fmt.Errorf("ftl: snapshot ring frontier %d out of range", st.Cur)
+		return fmt.Errorf("%w: snapshot ring frontier %d out of range", ErrStateMismatch, st.Cur)
 	}
 	d.lru.Init()
 	d.cmt = make(map[iface.LPN]*list.Element, len(st.CMT))
@@ -139,10 +139,10 @@ func (d *DFTL) RestoreState(st DFTLState) error {
 		rb := &d.ring[i]
 		src := st.Ring[i]
 		if src.ID != rb.id {
-			return fmt.Errorf("ftl: snapshot ring block %d is %v, ring has %v", i, src.ID, rb.id)
+			return fmt.Errorf("%w: snapshot ring block %d is %v, ring has %v", ErrStateMismatch, i, src.ID, rb.id)
 		}
 		if len(src.TVPNs) != len(rb.tvpns) {
-			return fmt.Errorf("ftl: snapshot ring block %v has %d pages, ring has %d", src.ID, len(src.TVPNs), len(rb.tvpns))
+			return fmt.Errorf("%w: snapshot ring block %v has %d pages, ring has %d", ErrStateMismatch, src.ID, len(src.TVPNs), len(rb.tvpns))
 		}
 		rb.writePtr = src.WritePtr
 		rb.live = src.Live
@@ -193,7 +193,7 @@ func (bm *BlockManager) State() BlockManagerState {
 // RestoreState overwrites the block manager's allocation state.
 func (bm *BlockManager) RestoreState(st BlockManagerState) error {
 	if len(st.LUNs) != len(bm.luns) {
-		return fmt.Errorf("ftl: snapshot has %d LUN alloc states, manager has %d", len(st.LUNs), len(bm.luns))
+		return fmt.Errorf("%w: snapshot has %d LUN alloc states, manager has %d", ErrStateMismatch, len(st.LUNs), len(bm.luns))
 	}
 	for lun := range bm.luns {
 		ls := &bm.luns[lun]
@@ -203,10 +203,10 @@ func (bm *BlockManager) RestoreState(st BlockManagerState) error {
 		ls.openCount = 0
 		for _, ob := range src.Open {
 			if int(ob.Stream) >= NumStreams {
-				return fmt.Errorf("ftl: snapshot open block on unknown stream %d", ob.Stream)
+				return fmt.Errorf("%w: snapshot open block on unknown stream %d", ErrStateMismatch, ob.Stream)
 			}
 			if ls.open[ob.Stream] != nil {
-				return fmt.Errorf("ftl: snapshot has two open blocks on lun %d stream %d", lun, ob.Stream)
+				return fmt.Errorf("%w: snapshot has two open blocks on lun %d stream %d", ErrStateMismatch, lun, ob.Stream)
 			}
 			ls.open[ob.Stream] = &openBlock{block: ob.Block, next: ob.Next}
 			ls.openCount++

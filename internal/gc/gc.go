@@ -12,15 +12,22 @@
 // The package decides; the controller executes. Migration and erase IOs are
 // issued by the controller through the same scheduler queue as application
 // IOs, which is how GC interference becomes visible in latency traces.
+//
+//eagletree:typederrors
 package gc
 
 import (
+	"errors"
 	"fmt"
 
 	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
 	"eagletree/internal/sim"
 )
+
+// ErrStateMismatch wraps every shape mismatch between a snapshot and the
+// collector it is restored into.
+var ErrStateMismatch = errors.New("gc: snapshot does not match collector shape")
 
 // Candidate is a victim-eligible block with the metadata policies rank by.
 type Candidate struct {
@@ -181,7 +188,7 @@ func (c *Collector) State() CollectorState {
 // RestoreState overwrites the collector's counters with a snapshot.
 func (c *Collector) RestoreState(st CollectorState) error {
 	if len(st.Triggered) != len(c.triggered) {
-		return fmt.Errorf("gc: snapshot has %d LUN trigger counts, collector has %d", len(st.Triggered), len(c.triggered))
+		return fmt.Errorf("%w: snapshot has %d LUN trigger counts, collector has %d", ErrStateMismatch, len(st.Triggered), len(c.triggered))
 	}
 	copy(c.triggered, st.Triggered)
 	return nil

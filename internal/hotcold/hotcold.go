@@ -9,13 +9,20 @@
 //     the controller applies this directly;
 //  3. explicit temperature information arriving through the open interface —
 //     carried on request tags.
+//
+//eagletree:typederrors
 package hotcold
 
 import (
+	"errors"
 	"fmt"
 
 	"eagletree/internal/iface"
 )
+
+// ErrStateMismatch wraps every shape mismatch between a snapshot and the
+// detector it is restored into.
+var ErrStateMismatch = errors.New("hotcold: snapshot does not match detector shape")
 
 // Detector classifies logical pages by update temperature.
 type Detector interface {
@@ -186,18 +193,18 @@ func (m *MBF) State() MBFState {
 // RestoreState overwrites the detector's state with a snapshot.
 func (m *MBF) RestoreState(st MBFState) error {
 	if len(st.Filters) != len(m.filters) {
-		return fmt.Errorf("hotcold: snapshot has %d filters, detector has %d", len(st.Filters), len(m.filters))
+		return fmt.Errorf("%w: snapshot has %d filters, detector has %d", ErrStateMismatch, len(st.Filters), len(m.filters))
 	}
 	for i, bits := range st.Filters {
 		if len(bits) != len(m.filters[i].bits) {
-			return fmt.Errorf("hotcold: snapshot filter %d has %d words, detector has %d", i, len(bits), len(m.filters[i].bits))
+			return fmt.Errorf("%w: snapshot filter %d has %d words, detector has %d", ErrStateMismatch, i, len(bits), len(m.filters[i].bits))
 		}
 	}
 	for i, bits := range st.Filters {
 		copy(m.filters[i].bits, bits)
 	}
 	if st.Cur < 0 || st.Cur >= len(m.filters) {
-		return fmt.Errorf("hotcold: snapshot current filter %d out of range", st.Cur)
+		return fmt.Errorf("%w: snapshot current filter %d out of range", ErrStateMismatch, st.Cur)
 	}
 	m.cur = st.Cur
 	m.sinceTurn = st.SinceTurn

@@ -7,6 +7,8 @@
 // With the open interface unlocked, requests carry Tags (priority,
 // update-locality group, data temperature) and arbitrary further messages can
 // be exchanged on the Bus.
+//
+//eagletree:typederrors
 package iface
 
 import (

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bufio"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools analysistest: each testdata package is
+// loaded through the real go-list pipeline, the analyzers under test run over
+// it, and the diagnostics are matched one-to-one against `// want "substr"`
+// comments in the fixture source. Unmatched wants and unexpected diagnostics
+// both fail, so fixtures pin negatives (suppressed or allowed sites must stay
+// silent) as well as positives.
+
+func TestNondeterminismFixture(t *testing.T)   { testFixture(t, "nondet", Nondeterminism) }
+func TestHotPathFixture(t *testing.T)          { testFixture(t, "hotpath", HotPath) }
+func TestSnapshotCompleteFixture(t *testing.T) { testFixture(t, "snapfix", SnapshotComplete) }
+func TestTypedErrFixture(t *testing.T)         { testFixture(t, "typederr", TypedErr) }
+
+// TestSuiteFixtures runs the full suite over every fixture at once: analyzers
+// gated on package markers must stay silent on fixtures marked for another
+// contract.
+func TestSuiteFixtures(t *testing.T) {
+	for _, pkg := range []string{"nondet", "hotpath", "snapfix", "typederr"} {
+		testFixture(t, pkg, Suite()...)
+	}
+}
+
+// TestDiagnosticFormat pins the file:line:col output format CI greps for.
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Analyzer: "hotpath",
+		Message:  "hot path f allocates: make",
+	}
+	if got, want := d.String(), "a.go:3:7: hot path f allocates: make [hotpath]"; got != want {
+		t.Fatalf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}
+
+type expectation struct {
+	file string // base name
+	line int
+	sub  string // message substring
+}
+
+func testFixture(t *testing.T, pkg string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	diags, err := Check("", []string{"./" + filepath.ToSlash(dir)}, analyzers)
+	if err != nil {
+		t.Fatalf("Check(%s): %v", pkg, err)
+	}
+	wants := parseWants(t, dir)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || filepath.Base(d.Pos.Filename) != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if strings.Contains(d.Message, w.sub) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg, w.file, w.line, w.sub)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(".*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants collects the `// want "substr" ["substr" ...]` expectations of
+// every fixture file in dir.
+func parseWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				sub, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", e.Name(), line, q, err)
+				}
+				wants = append(wants, expectation{file: e.Name(), line: line, sub: sub})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no want expectations", dir)
+	}
+	return wants
+}

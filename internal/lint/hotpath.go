@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath turns the runtime zero-alloc guards (alloc-counting benchmarks and
+// tests) into source-level errors: a function annotated `//eagletree:hotpath`
+// — the dispatch loop, the engine scheduling core, the fault hook — must not
+// contain constructs that allocate on every execution:
+//
+//   - map, slice and array-of-slice composite literals (make included);
+//   - function literals (closures capture and allocate);
+//   - calls into package fmt (formatting allocates even when discarded);
+//   - interface conversions that box a non-pointer-shaped value. Pointers,
+//     channels, maps, funcs and unsafe.Pointer fit an interface word without
+//     allocating; structs, strings, slices and integers do not.
+//
+// Struct literals (&Event{} freelist fallbacks, zero-size struct{}{} values)
+// and append are deliberately allowed: the first is amortized by pooling and
+// the second by capacity growth, both patterns the hot paths rely on.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //eagletree:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcDirective(fd, directiveHotPath); !ok {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s allocates: closure literal (hoist it to a struct field bound once)", name)
+			return false // the literal body runs later; only its creation is hot
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[n]
+			if !ok {
+				return true
+			}
+			switch u := tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s allocates: map literal", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path %s allocates: slice literal", name)
+			case *types.Struct:
+				// Struct literals are allowed, but values boxed into their
+				// interface-typed fields still allocate.
+				for i, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						key, _ := ast.Unparen(kv.Key).(*ast.Ident)
+						if field, ok := pass.Info.Uses[key].(*types.Var); ok {
+							checkBoxing(pass, name, field.Type(), kv.Value)
+						}
+						continue
+					}
+					if i < u.NumFields() {
+						checkBoxing(pass, name, u.Field(i).Type(), elt)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) {
+					if lt, ok := pass.Info.Types[n.Lhs[i]]; ok {
+						checkBoxing(pass, name, lt.Type, rhs)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[n.Type]
+			if !ok {
+				return true
+			}
+			for _, v := range n.Values {
+				checkBoxing(pass, name, tv.Type, v)
+			}
+		case *ast.ReturnStmt:
+			sig, ok := pass.Info.Defs[fd.Name].Type().(*types.Signature)
+			if !ok || sig.Results().Len() != len(n.Results) {
+				return true
+			}
+			for i, res := range n.Results {
+				checkBoxing(pass, name, sig.Results().At(i).Type(), res)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls, allocating builtins, and arguments boxed into
+// interface parameters.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	name := fd.Name.Name
+
+	// Builtins: make always allocates its map/slice/chan; conversions are
+	// handled below through the boxing check.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "make" {
+				pass.Reportf(call.Pos(), "hot path %s allocates: make", name)
+			}
+			return
+		}
+	}
+
+	// Explicit conversion T(x): boxing when T is an interface.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBoxing(pass, name, tv.Type, call.Args[0])
+		}
+		return
+	}
+
+	obj := funcObj(pass.Info, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hot path %s calls fmt.%s: formatting allocates (move it off the hot path)", name, obj.Name())
+		return
+	}
+
+	// Arguments assigned to interface parameters.
+	sig := callSignature(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a spread slice is passed as-is
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, name, pt, arg)
+	}
+}
+
+// callSignature resolves the signature of a (non-builtin, non-conversion)
+// call expression.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkBoxing reports when assigning src to a destination of type dst would
+// box a non-pointer-shaped value into an interface.
+func checkBoxing(pass *Pass, fn string, dst types.Type, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pass.Info.Types[src]
+	if !ok {
+		return
+	}
+	st := tv.Type
+	if st == nil || tv.IsNil() {
+		return
+	}
+	if _, isIface := st.Underlying().(*types.Interface); isIface {
+		return // already boxed
+	}
+	if pointerShaped(st) {
+		return // fits the interface data word without allocating
+	}
+	if zeroSized(st) {
+		return // struct{}{} and friends box to a shared zero base
+	}
+	pass.Reportf(src.Pos(), "hot path %s allocates: %s boxed into %s (pass a pointer, or keep the value out of interfaces)",
+		fn, types.TypeString(st, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// directly: pointers, unsafe.Pointer, channels, maps and funcs.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// zeroSized reports whether t occupies no storage.
+func zeroSized(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !zeroSized(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || zeroSized(u.Elem())
+	}
+	return false
+}

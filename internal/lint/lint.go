@@ -1,0 +1,278 @@
+// Package lint implements EagleTree's project-specific static analyzers:
+// compile-time enforcement of the three load-bearing invariants the runtime
+// test suite can only probe one seed at a time — deterministic canonical
+// output, allocation-free dispatch hot paths, and snapshot codecs that cover
+// every serialized field.
+//
+// The suite is modeled on golang.org/x/tools/go/analysis but is built on the
+// standard library only (go/ast, go/types, go/importer), because the module
+// vendors no external dependencies. Each analyzer inspects one type-checked
+// package at a time and reports findings with positions; the cmd/eagletreevet
+// multichecker runs the suite standalone over package patterns or as a
+// `go vet -vettool` backend.
+//
+// # Annotations
+//
+// The analyzers are opt-in per package or per function, driven by source
+// annotations rather than hard-coded path lists, so the contracts live next
+// to the code they constrain:
+//
+//   - `//eagletree:canonical` in any file of a package marks the package as
+//     producing canonical (byte-reproducible) output. The nondeterminism
+//     analyzer then forbids time.Now, the global math/rand source, and
+//     unannotated iteration over maps.
+//   - `//lint:ordered <why>` on (or immediately above) a map-range statement
+//     in a canonical package records that the iteration order provably does
+//     not reach the output (for example, keys are collected and sorted, or
+//     writes land in a keyed map).
+//   - `//lint:wallclock <why>` likewise suppresses a time.Now finding for
+//     wall-clock telemetry that never feeds canonical bytes.
+//   - `//eagletree:typederrors` marks a package whose exported API has a
+//     typed-error contract: exported functions must not return bare
+//     errors.New or fmt.Errorf values (fmt.Errorf that wraps with %w is
+//     fine — wrapping a typed sentinel is the contract).
+//   - `//eagletree:hotpath` on a function forbids allocating constructs in
+//     its body: map/slice literals, make, closures, fmt calls, and interface
+//     conversions that box non-pointer-shaped values.
+//   - `//eagletree:snapshot encode|decode T1 T2[-SkipField] ...` on a
+//     function declares it a codec path for the named struct types; every
+//     field of each type must be touched by both an encode- and a
+//     decode-annotated function.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors the x/tools
+// analysis.Analyzer shape so the checks could migrate to the real framework
+// if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package via the Pass and reports findings.
+	Run func(*Pass)
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the pinned diagnostic format consumed by CI logs:
+// file:line:col: message [analyzer].
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite returns the full EagleTree analyzer suite in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		HotPath,
+		SnapshotComplete,
+		TypedErr,
+	}
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// findings sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	// The contracts bind production code; test files use maps, wall clocks
+	// and ad-hoc errors freely. go vet also feeds the suite test variants of
+	// each package, so the filter lives here rather than in the loader.
+	prod := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			prod = append(prod, f)
+		}
+	}
+	files = prod
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// --- annotation plumbing ---
+
+// Package-level markers.
+const (
+	markerCanonical   = "//eagletree:canonical"
+	markerTypedErrors = "//eagletree:typederrors"
+)
+
+// Function-level directives.
+const (
+	directiveHotPath  = "//eagletree:hotpath"
+	directiveSnapshot = "//eagletree:snapshot"
+)
+
+// Line-level suppressions.
+const (
+	suppressOrdered   = "//lint:ordered"
+	suppressWallclock = "//lint:wallclock"
+)
+
+// packageMarked reports whether any file of the package carries the marker
+// comment (a line equal to the marker, optionally followed by explanation
+// after a space).
+func packageMarked(files []*ast.File, marker string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if directiveIs(c.Text, marker) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// directiveIs reports whether the comment text is the given directive,
+// either exactly or followed by whitespace and free text.
+func directiveIs(text, directive string) bool {
+	if !strings.HasPrefix(text, directive) {
+		return false
+	}
+	rest := text[len(directive):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// funcDirective scans a function's doc comment for the directive and returns
+// the text after it. ok distinguishes a bare directive from an absent one.
+func funcDirective(fd *ast.FuncDecl, directive string) (args []string, ok bool) {
+	if fd.Doc == nil {
+		return nil, false
+	}
+	for _, c := range fd.Doc.List {
+		if directiveIs(c.Text, directive) {
+			return strings.Fields(c.Text[len(directive):]), true
+		}
+	}
+	return nil, false
+}
+
+// funcDirectives returns the argument list of every occurrence of the
+// directive in the function's doc comment (snapshot codecs may declare
+// several lines).
+func funcDirectives(fd *ast.FuncDecl, directive string) [][]string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out [][]string
+	for _, c := range fd.Doc.List {
+		if directiveIs(c.Text, directive) {
+			out = append(out, strings.Fields(c.Text[len(directive):]))
+		}
+	}
+	return out
+}
+
+// suppressions indexes line-level suppression comments for one file: the set
+// of lines on which each suppression directive is written.
+type suppressions map[string]map[int]bool
+
+// fileSuppressions collects //lint: suppression comments by line.
+func fileSuppressions(fset *token.FileSet, f *ast.File) suppressions {
+	s := suppressions{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, directive := range []string{suppressOrdered, suppressWallclock} {
+				if directiveIs(c.Text, directive) {
+					if s[directive] == nil {
+						s[directive] = map[int]bool{}
+					}
+					s[directive][fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether the node starting at pos is covered by a
+// suppression: the directive sits on the node's own line or the line
+// immediately above it.
+func (s suppressions) allows(fset *token.FileSet, pos token.Pos, directive string) bool {
+	lines := s[directive]
+	if lines == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// funcObj resolves a called expression to the types.Func it invokes, or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function path.name.
+func isPkgFunc(obj *types.Func, path, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == path && obj.Name() == name && obj.Type().(*types.Signature).Recv() == nil
+}

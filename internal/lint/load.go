@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// The standalone loader resolves package patterns with `go list -export
+// -deps`, which compiles dependencies into the build cache and hands back
+// export-data paths. Target packages are then parsed from source and
+// type-checked against that export data — the same shape as the go vet
+// vettool protocol, with `go list` playing the role of cmd/go's build graph.
+// Everything runs offline: the only tool invoked is the Go toolchain itself.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one parsed and type-checked target package.
+type LoadedPackage struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Check loads every package matching the patterns (relative to dir, "" for
+// the current directory) and runs the analyzers over each. Diagnostics come
+// back sorted per package, packages in `go list` order.
+func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, exports, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		lp, err := typecheckListed(fset, imp, p)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", p.ImportPath, err)
+		}
+		diags = append(diags, Run(lp.Fset, lp.Files, lp.Pkg, lp.Info, analyzers)...)
+	}
+	return diags, nil
+}
+
+// listPackages invokes go list and returns the targeted packages plus the
+// merged import-path → export-data map covering every dependency.
+func listPackages(dir string, patterns []string) ([]*listedPackage, map[string]string, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	exports := map[string]string{}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := &listedPackage{}
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		// Vendored import paths map source-level paths to listed ones; merge
+		// them so the importer can chase either spelling.
+		for from, to := range p.ImportMap {
+			if exp, ok := exports[to]; ok {
+				exports[from] = exp
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+	// Second pass for ImportMap entries whose target was listed later.
+	for _, p := range pkgs {
+		for from, to := range p.ImportMap {
+			if exp, ok := exports[to]; ok {
+				exports[from] = exp
+			}
+		}
+	}
+	return pkgs, exports, nil
+}
+
+// newExportImporter builds a types.Importer that reads gc export data files.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typecheckListed parses and type-checks one go-list package from source.
+func typecheckListed(fset *token.FileSet, imp types.Importer, p *listedPackage) (*LoadedPackage, error) {
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = filepath.Join(p.Dir, f)
+	}
+	return typecheckFiles(fset, imp, p.ImportPath, files)
+}
+
+// typecheckFiles parses the named files as one package and type-checks them.
+func typecheckFiles(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importerWithUnsafe{imp},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedPackage{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// newInfo allocates the types.Info maps the analyzers read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// importerWithUnsafe short-circuits the one package that has no export data.
+type importerWithUnsafe struct{ base types.Importer }
+
+func (i importerWithUnsafe) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.Import(path)
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nondeterminism forbids sources of run-to-run variation in packages marked
+// `//eagletree:canonical` — the packages whose bytes are diffed across
+// sequential, parallel and restored runs (spec CanonKey and documents,
+// snapshot encoding, trace hashing, report rendering). Three constructs are
+// flagged:
+//
+//   - time.Now: wall-clock readings differ per run. Telemetry-only sites are
+//     suppressed with `//lint:wallclock <why>`.
+//   - the global math/rand (and math/rand/v2) source: its state is shared
+//     process-wide, so concurrent sweeps interleave draws unpredictably.
+//     Seeded *rand.Rand instances (rand.New) are fine and not flagged.
+//   - `for ... range m` over a map: Go randomizes iteration order per run.
+//     Sites whose order provably cannot reach the output carry
+//     `//lint:ordered <why>`.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid time.Now, global math/rand and unordered map iteration in canonical-output packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	if !packageMarked(pass.Files, markerCanonical) {
+		return
+	}
+	for _, f := range pass.Files {
+		sup := fileSuppressions(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj, _ := pass.Info.Uses[n.Sel].(*types.Func)
+				if obj == nil {
+					return true
+				}
+				if isPkgFunc(obj, "time", "Now") {
+					if !sup.allows(pass.Fset, n.Pos(), suppressWallclock) {
+						pass.Reportf(n.Pos(), "time.Now in canonical package %s (use the simulation clock, or annotate telemetry with %s)",
+							pass.Pkg.Name(), suppressWallclock)
+					}
+					return true
+				}
+				if globalRandFunc(obj) {
+					pass.Reportf(n.Pos(), "global math/rand source in canonical package %s: %s.%s shares process-wide state (seed a *rand.Rand instead)",
+						pass.Pkg.Name(), obj.Pkg().Name(), obj.Name())
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if !sup.allows(pass.Fset, n.Pos(), suppressOrdered) {
+					pass.Reportf(n.Pos(), "map iteration order is random per run in canonical package %s (sort the keys, or annotate a proven-safe site with %s)",
+						pass.Pkg.Name(), suppressOrdered)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// globalRandFunc reports whether obj is a math/rand (or math/rand/v2)
+// package-level function that draws from the shared global source.
+// Constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) build
+// caller-owned seeded generators and are allowed.
+func globalRandFunc(obj *types.Func) bool {
+	pkg := obj.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false // methods on *rand.Rand et al. use caller-owned state
+	}
+	return !strings.HasPrefix(obj.Name(), "New")
+}

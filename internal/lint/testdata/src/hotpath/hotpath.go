@@ -1,0 +1,69 @@
+// Package hotpath is a lint fixture: annotated functions exercising every
+// allocating construct the hotpath analyzer flags, plus the allowed patterns
+// (struct literals, append, new, pointer-shaped and zero-size boxing).
+package hotpath
+
+import "fmt"
+
+type event struct {
+	id   int
+	next *event
+}
+
+type sink interface{ accept(any) }
+
+var free *event
+
+//eagletree:hotpath
+func allocMap() map[int]int {
+	return map[int]int{1: 1} // want "allocates: map literal"
+}
+
+//eagletree:hotpath
+func allocSliceLit() []int {
+	return []int{1, 2} // want "allocates: slice literal"
+}
+
+//eagletree:hotpath
+func allocMake(n int) []int {
+	return make([]int, n) // want "allocates: make"
+}
+
+//eagletree:hotpath
+func allocClosure(n int) func() int {
+	return func() int { return n } // want "allocates: closure literal"
+}
+
+//eagletree:hotpath
+func allocFmt(id int) string {
+	return fmt.Sprintf("event %d", id) // want "calls fmt.Sprintf"
+}
+
+//eagletree:hotpath
+func boxValue(s sink, id int) {
+	s.accept(id) // want "allocates: int boxed into"
+}
+
+// allocAllowed holds every pattern the analyzer deliberately permits: the
+// pooled-fallback struct literal, append, new, and boxing of values that fit
+// the interface data word.
+//
+//eagletree:hotpath
+func allocAllowed(s sink, pool []*event, v any) *event {
+	ev := free
+	if ev == nil {
+		ev = &event{id: 1}
+	}
+	pool = append(pool, ev)
+	_ = pool
+	s.accept(ev)
+	s.accept(struct{}{})
+	s.accept(v)
+	_ = new(event)
+	return ev
+}
+
+// cold is unannotated: the same constructs pass without comment.
+func cold() map[int]int {
+	return map[int]int{1: 1}
+}

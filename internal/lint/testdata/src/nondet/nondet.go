@@ -1,0 +1,53 @@
+// Package nondet is a lint fixture: a canonical-output package exercising
+// every nondeterminism diagnostic and both suppression directives.
+//
+//eagletree:canonical
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock in a canonical package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in canonical package"
+}
+
+// StampAllowed is telemetry: the reading never reaches canonical bytes.
+func StampAllowed() int64 {
+	//lint:wallclock telemetry only, never serialized
+	return time.Now().UnixNano()
+}
+
+// Draw reads the process-global source.
+func Draw() int {
+	return rand.Intn(6) // want "global math/rand source in canonical package"
+}
+
+// DrawSeeded owns its generator, so it is deterministic under a fixed seed.
+func DrawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Sum folds map values in random order; addition happens to commute here,
+// but the analyzer cannot know that without an annotation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is random per run"
+		total += v
+	}
+	return total
+}
+
+// Keys iterates unsorted but sorts before the keys can reach any output.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //lint:ordered keys are sorted before use
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,45 @@
+// Package snapfix is a lint fixture for the snapshotcomplete analyzer: one
+// fully covered struct, one whose decode path misses a freshly added field,
+// one encode-only type, and one field deliberately excluded on both sides.
+package snapfix
+
+type counters struct {
+	Reads  uint64
+	Writes uint64
+	Added  uint64 // serialized by encode, forgotten by decode
+}
+
+type meta struct {
+	Name    string
+	Scratch int // rebuilt after restore; excluded via meta[-Scratch]
+}
+
+type orphan struct {
+	X uint64
+}
+
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64) {}
+func (e *enc) str(s string) {}
+
+type dec struct{ b []byte }
+
+func (d *dec) u64() uint64 { return 0 }
+func (d *dec) str() string { return "" }
+
+//eagletree:snapshot encode counters meta[-Scratch] orphan
+func (e *enc) put(c *counters, m *meta, o *orphan) { // want "snapshot type orphan has no decode path"
+	e.u64(c.Reads)
+	e.u64(c.Writes)
+	e.u64(c.Added)
+	e.str(m.Name)
+	e.u64(o.X)
+}
+
+//eagletree:snapshot decode counters meta[-Scratch]
+func (d *dec) get(c *counters, m *meta) { // want "decode path for counters misses field(s) Added"
+	c.Reads = d.u64()
+	c.Writes = d.u64()
+	m.Name = d.str()
+}

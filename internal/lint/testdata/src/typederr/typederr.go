@@ -1,0 +1,47 @@
+// Package typederr is a lint fixture for the typed-error contract: bare
+// constructor returns from the exported API are flagged, %w wrapping and
+// unexported helpers are not.
+//
+//eagletree:typederrors
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package sentinel; its declaration is the contract's
+// foundation, not a violation.
+var ErrBad = errors.New("typederr: bad input")
+
+// Open returns a bare fmt.Errorf.
+func Open(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name %q", name) // want "bare fmt.Errorf"
+	}
+	return nil
+}
+
+// Close returns an inline errors.New.
+func Close() error {
+	return errors.New("cannot close") // want "bare errors.New"
+}
+
+// Wrap decorates the sentinel with context; %w is the contract.
+func Wrap(name string) error {
+	return fmt.Errorf("%w: %q", ErrBad, name)
+}
+
+// helper is unexported: it may build raw errors, which are wrapped before
+// they escape the package.
+func helper() error {
+	return fmt.Errorf("internal detail")
+}
+
+type conn struct{}
+
+// Fail is exported but hangs off an unexported type, so it is not an API
+// boundary.
+func (c *conn) Fail() error {
+	return errors.New("conn failed")
+}

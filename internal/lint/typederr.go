@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// TypedErr enforces the typed-error contract at package boundaries: in
+// packages marked `//eagletree:typederrors`, exported functions and methods
+// must not return bare errors.New or fmt.Errorf values. Callers match errors
+// with errors.Is/errors.As against the package's sentinels (ErrTruncated,
+// ErrDeviceWornOut, ...) and typed errors (*VariantError, *FaultError, ...),
+// which only works when every escaping error wraps one.
+//
+// fmt.Errorf with a %w verb is the contract, not a violation: it decorates a
+// typed error with context. Unexported helpers are free to build raw errors
+// — they are wrapped before they escape — and package-level sentinel
+// declarations (var ErrX = errors.New(...)) are the contract's foundation.
+//
+// The check is syntactic on return statements: an error laundered through a
+// local variable can evade it, but the analyzer is a tripwire for the common
+// case, not a proof system.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "exported functions in typed-error packages must not return bare errors.New/fmt.Errorf values",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) {
+	if !packageMarked(pass.Files, markerTypedErrors) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if recv := receiverTypeName(fd); recv != "" && !token.IsExported(recv) {
+				continue // methods on unexported types are not API boundaries
+			}
+			checkTypedErrFunc(pass, fd)
+		}
+	}
+}
+
+// receiverTypeName returns the name of a method's receiver type, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkTypedErrFunc walks the function body, skipping nested function
+// literals (their returns leave the closure, not the exported API).
+func checkTypedErrFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkBareError(pass, fd.Name.Name, res)
+			}
+		}
+		return true
+	})
+}
+
+// checkBareError flags a returned expression that is a direct untyped error
+// constructor call.
+func checkBareError(pass *Pass, fn string, expr ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	obj := funcObj(pass.Info, call)
+	if obj == nil {
+		return
+	}
+	switch {
+	case isPkgFunc(obj, "errors", "New"):
+		pass.Reportf(expr.Pos(), "exported %s returns a bare errors.New value: declare a sentinel or typed error and wrap it (typed-error contract)", fn)
+	case isPkgFunc(obj, "fmt", "Errorf"):
+		if len(call.Args) > 0 {
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if strings.Contains(lit.Value, "%w") {
+					return // wrapping a typed error is the contract
+				}
+			}
+		}
+		pass.Reportf(expr.Pos(), "exported %s returns a bare fmt.Errorf value: wrap a sentinel or typed error with %%w (typed-error contract)", fn)
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the cmd/go vettool protocol (the shape of
+// x/tools/go/analysis/unitchecker, stdlib-only): `go vet -vettool=BIN pkgs`
+// invokes BIN once per package with a single JSON config-file argument
+// ending in .cfg. The config names the package's sources and maps every
+// dependency to the export data cmd/go already built, so the tool
+// type-checks one compilation unit without running the build itself.
+
+// vetConfig mirrors the fields cmd/go writes into vet.cfg. Unknown fields
+// are ignored, so the struct tracks only what the suite needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes the analyzers for one vet config file and returns
+// the process exit code: 0 clean, 2 findings — the contract cmd/go expects
+// from a vet tool. Diagnostics go to w in the pinned file:line:col format.
+func RunUnitchecker(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "eagletreevet: %v\n", err)
+		return 1
+	}
+	// cmd/go expects the facts output to exist even though this suite
+	// computes no cross-package facts; an empty file keeps the build-cache
+	// bookkeeping happy. Dependency-only invocations stop here.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(w, "eagletreevet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := checkVetUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "eagletreevet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("vet config %s: unsupported compiler %q", path, cfg.Compiler)
+	}
+	return cfg, nil
+}
+
+func checkVetUnit(cfg *vetConfig, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	exports := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for from, to := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[to]; ok {
+			exports[from] = file
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if filepath.IsAbs(f) {
+			files[i] = f
+		} else {
+			files[i] = filepath.Join(cfg.Dir, f)
+		}
+	}
+	lp, err := typecheckFiles(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return Run(lp.Fset, lp.Files, lp.Pkg, lp.Info, analyzers), nil
+}

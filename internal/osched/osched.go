@@ -7,15 +7,21 @@
 // Once the SSD completes an IO it notifies the OS, which activates the
 // dispatching thread's callback; the thread can respond by issuing more IOs.
 // That interrupt-driven loop is how the paper's thread layer drives workloads.
+//
+//eagletree:typederrors
 package osched
 
 import (
+	"errors"
 	"fmt"
 
 	"eagletree/internal/iface"
 	"eagletree/internal/sim"
 	"eagletree/internal/stats"
 )
+
+// ErrConfig wraps every Config.Validate failure.
+var ErrConfig = errors.New("osched: invalid configuration")
 
 // Device is the SSD-facing interface the OS dispatches to. The controller
 // implements it; completions flow back through (*OS).Completed, which the
@@ -59,7 +65,7 @@ func (c *Config) withDefaults() {
 // Validate reports configuration errors after defaults.
 func (c *Config) Validate() error {
 	if c.QueueDepth < 1 {
-		return fmt.Errorf("osched: queue depth %d, must be >= 1", c.QueueDepth)
+		return fmt.Errorf("%w: queue depth %d, must be >= 1", ErrConfig, c.QueueDepth)
 	}
 	return nil
 }

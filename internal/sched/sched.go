@@ -9,6 +9,8 @@
 // Policies are deliberately small and composable so that the design space —
 // priority schemes by source, type and tag; deadlines with overdue handling;
 // fairness across sources — can be explored by swapping one value.
+//
+//eagletree:typederrors
 package sched
 
 import (

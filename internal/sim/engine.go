@@ -1,6 +1,13 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotQuiescent reports an operation that requires a drained engine —
+// restoring over live events would silently drop scheduled work.
+var ErrNotQuiescent = errors.New("sim: engine not quiescent")
 
 // Event is a callback scheduled to fire at a virtual instant. Events with the
 // same timestamp fire in scheduling order (FIFO), which keeps simulations
@@ -90,7 +97,7 @@ func (e *Engine) Seq() uint64 { return e.seq }
 // so that is an error.
 func (e *Engine) Restore(now Time, seq, fired uint64) error {
 	if e.Pending() != 0 {
-		return fmt.Errorf("sim: restoring engine with %d live events pending", e.Pending())
+		return fmt.Errorf("%w: restoring with %d live events pending", ErrNotQuiescent, e.Pending())
 	}
 	for _, ev := range e.queue {
 		ev.queued = false
@@ -110,6 +117,8 @@ func (e *Engine) Restore(now Time, seq, fired uint64) error {
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // newEvent takes an event from the freelist or allocates one.
+//
+//eagletree:hotpath
 func (e *Engine) newEvent(at Time) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
@@ -128,6 +137,8 @@ func (e *Engine) newEvent(at Time) *Event {
 }
 
 // recycle returns a fired or reaped pooled event to the freelist.
+//
+//eagletree:hotpath
 func (e *Engine) recycle(ev *Event) {
 	if !ev.pooled {
 		return
@@ -168,6 +179,8 @@ func (e *Engine) ScheduleAfter(d Duration, fn func()) *Event {
 // schedules without allocating — callers pass one long-lived callback (for
 // example a bound method stored in a struct field) and vary only arg. No
 // handle is returned; ScheduleCall events cannot be cancelled.
+//
+//eagletree:hotpath
 func (e *Engine) ScheduleCall(at Time, fn func(any), arg any) {
 	e.checkFuture(at)
 	ev := e.newEvent(at)
@@ -181,6 +194,8 @@ func (e *Engine) ScheduleCall(at Time, fn func(any), arg any) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // push inserts the event into the heap.
+//
+//eagletree:hotpath
 func (e *Engine) push(ev *Event) {
 	ev.queued = true
 	q := append(e.queue, ev)
@@ -201,6 +216,8 @@ func (e *Engine) push(ev *Event) {
 }
 
 // pop removes and returns the earliest event.
+//
+//eagletree:hotpath
 func (e *Engine) pop() *Event {
 	q := e.queue
 	top := q[0]
@@ -237,6 +254,8 @@ func (e *Engine) pop() *Event {
 }
 
 // fire executes one event that has already been removed from the heap.
+//
+//eagletree:hotpath
 func (e *Engine) fire(ev *Event) {
 	e.now = ev.at
 	e.fired++
@@ -254,6 +273,8 @@ func (e *Engine) fire(ev *Event) {
 // Run fires events in timestamp order until the queue empties, the horizon is
 // passed, or Stop is called. It returns the final virtual time. Events
 // scheduled exactly at the horizon still fire; later ones remain queued.
+//
+//eagletree:hotpath
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -288,6 +309,8 @@ func (e *Engine) RunUntilIdle() Time { return e.Run(Never) }
 // may resume. It returns the final virtual time and whether the loop was
 // interrupted. Until stop fires, the event order is identical to Run — an
 // uninterrupted run produces exactly the state RunUntilIdle would.
+//
+//eagletree:hotpath
 func (e *Engine) RunInterruptible(every int, stop func() bool) (Time, bool) {
 	if every <= 0 {
 		every = 4096
@@ -315,6 +338,8 @@ func (e *Engine) RunInterruptible(every int, stop func() bool) (Time, bool) {
 
 // Step fires exactly one live event if any is pending and reports whether an
 // event fired. Cancelled events are skipped silently.
+//
+//eagletree:hotpath
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		next := e.pop()

@@ -6,6 +6,8 @@
 // a deliberate design decision inherited from the paper: with one loop and a
 // seeded RNG, a configuration plus a seed fully determines the simulation
 // trace, which is what makes large design-space explorations repeatable.
+//
+//eagletree:typederrors
 package sim
 
 import "fmt"

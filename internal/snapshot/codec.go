@@ -11,9 +11,13 @@ import (
 	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/ftl"
+	"eagletree/internal/gc"
 	"eagletree/internal/hotcold"
 	"eagletree/internal/iface"
+	"eagletree/internal/osched"
 	"eagletree/internal/sim"
+	"eagletree/internal/wl"
+	"eagletree/internal/workload"
 )
 
 // The binary layout is: 7 magic bytes, 1 version byte, a varint-encoded
@@ -42,6 +46,8 @@ var (
 )
 
 // Encode serializes the state to the versioned binary format.
+//
+//eagletree:snapshot encode DeviceState EngineState
 func Encode(ds *DeviceState) []byte {
 	e := &enc{b: make([]byte, 0, 1<<16)}
 	e.b = append(e.b, magic...)
@@ -52,8 +58,8 @@ func Encode(ds *DeviceState) []byte {
 	e.time(ds.Engine.Now)
 	e.u64(ds.Engine.Seq)
 	e.u64(ds.Engine.Fired)
-	e.osStats(ds)
-	e.runner(ds)
+	e.osStats(&ds.OS)
+	e.runner(&ds.Runner)
 	e.controller(&ds.Controller)
 
 	sum := crc32.ChecksumIEEE(e.b[start:])
@@ -63,6 +69,8 @@ func Encode(ds *DeviceState) []byte {
 
 // Decode parses a snapshot produced by Encode, verifying magic, version and
 // checksum before touching any field.
+//
+//eagletree:snapshot decode DeviceState EngineState
 func Decode(data []byte) (*DeviceState, error) {
 	if len(data) < len(magic)+1 || string(data[:len(magic)]) != magic {
 		return nil, ErrNotSnapshot
@@ -85,8 +93,8 @@ func Decode(data []byte) (*DeviceState, error) {
 	ds.Engine.Now = d.time()
 	ds.Engine.Seq = d.u64()
 	ds.Engine.Fired = d.u64()
-	d.osStatsInto(ds)
-	d.runnerInto(ds)
+	d.osStatsInto(&ds.OS)
+	d.runnerInto(&ds.Runner)
 	d.controllerInto(&ds.Controller)
 	if d.err != nil {
 		return nil, d.err
@@ -119,6 +127,7 @@ func (e *enc) bool(v bool) {
 	}
 }
 
+//eagletree:snapshot encode Meta flash.Geometry
 func (e *enc) meta(m Meta) {
 	g := m.Geometry
 	e.int(g.Channels)
@@ -131,20 +140,25 @@ func (e *enc) meta(m Meta) {
 	e.u64(m.Seed)
 }
 
-func (e *enc) osStats(ds *DeviceState) {
-	e.u64(ds.OS.Submitted)
-	e.u64(ds.OS.Issued)
-	e.u64(ds.OS.Completed)
-	e.int(ds.OS.MaxPending)
-	e.int(ds.OS.MaxInFlight)
+//eagletree:snapshot encode osched.Stats
+func (e *enc) osStats(s *osched.Stats) {
+	e.u64(s.Submitted)
+	e.u64(s.Issued)
+	e.u64(s.Completed)
+	e.int(s.MaxPending)
+	e.int(s.MaxInFlight)
 }
 
-func (e *enc) runner(ds *DeviceState) {
-	e.rng(ds.Runner.RNG)
-	e.u64(ds.Runner.NextReqID)
-	e.int(ds.Runner.NextThreadID)
+//eagletree:snapshot encode workload.RunnerState
+func (e *enc) runner(r *workload.RunnerState) {
+	e.rng(r.RNG)
+	e.u64(r.NextReqID)
+	e.int(r.NextThreadID)
 }
 
+//eagletree:snapshot encode controller.State controller.Counters controller.Reliability
+//eagletree:snapshot encode controller.ThreadPrioEntry controller.LocalityEntry controller.TempHintEntry
+//eagletree:snapshot encode hotcold.MBFState fault.State
 func (e *enc) controller(st *controller.State) {
 	c := st.Counters
 	for _, v := range []uint64{c.AppReads, c.AppWrites, c.AppTrims, c.UnmappedReads,
@@ -166,14 +180,8 @@ func (e *enc) controller(st *controller.State) {
 	default:
 		panic("snapshot: controller state carries no mapper")
 	}
-	e.u64(uint64(len(st.GC.Triggered)))
-	for _, v := range st.GC.Triggered {
-		e.u64(v)
-	}
-	e.u64(st.WL.Scans)
-	e.u64(st.WL.Migrated)
-	e.u64(st.WL.TotalErases)
-	e.f64(st.WL.ObservedAvg)
+	e.gcState(&st.GC)
+	e.wlState(&st.WL)
 
 	e.u64(uint64(len(st.ThreadPrio)))
 	for _, h := range st.ThreadPrio {
@@ -228,6 +236,23 @@ func (e *enc) controller(st *controller.State) {
 	}
 }
 
+//eagletree:snapshot encode gc.CollectorState
+func (e *enc) gcState(cs *gc.CollectorState) {
+	e.u64(uint64(len(cs.Triggered)))
+	for _, v := range cs.Triggered {
+		e.u64(v)
+	}
+}
+
+//eagletree:snapshot encode wl.LevelerState
+func (e *enc) wlState(ws *wl.LevelerState) {
+	e.u64(ws.Scans)
+	e.u64(ws.Migrated)
+	e.u64(ws.TotalErases)
+	e.f64(ws.ObservedAvg)
+}
+
+//eagletree:snapshot encode flash.ArrayState flash.BlockMeta flash.Counters
 func (e *enc) array(a *flash.ArrayState) {
 	pages := make([]byte, len(a.Pages))
 	for i, p := range a.Pages {
@@ -254,6 +279,7 @@ func (e *enc) array(a *flash.ArrayState) {
 	e.resources(a.LUNs)
 }
 
+//eagletree:snapshot encode flash.ResourceState flash.Interval
 func (e *enc) resources(rs []flash.ResourceState) {
 	e.u64(uint64(len(rs)))
 	for _, r := range rs {
@@ -265,6 +291,7 @@ func (e *enc) resources(rs []flash.ResourceState) {
 	}
 }
 
+//eagletree:snapshot encode ftl.BlockManagerState ftl.LUNAllocState ftl.OpenBlockState
 func (e *enc) blockManager(bm *ftl.BlockManagerState) {
 	e.u64(uint64(len(bm.LUNs)))
 	for _, l := range bm.LUNs {
@@ -281,6 +308,7 @@ func (e *enc) blockManager(bm *ftl.BlockManagerState) {
 	}
 }
 
+//eagletree:snapshot encode ftl.PageMapState
 func (e *enc) pageMap(pm *ftl.PageMapState) {
 	e.u64(uint64(len(pm.Forward)))
 	for _, v := range pm.Forward {
@@ -293,6 +321,8 @@ func (e *enc) pageMap(pm *ftl.PageMapState) {
 	e.int(pm.Mapped)
 }
 
+//eagletree:snapshot encode ftl.DFTLState ftl.CMTEntryState ftl.GTDEntryState
+//eagletree:snapshot encode ftl.RingBlockState ftl.DFTLStats flash.PPA flash.BlockID
 func (e *enc) dftl(d *ftl.DFTLState) {
 	e.pageMap(&d.Truth)
 	e.u64(uint64(len(d.CMT)))
@@ -437,6 +467,7 @@ func (d *dec) rng() (s [4]uint64) {
 	return s
 }
 
+//eagletree:snapshot decode Meta flash.Geometry
 func (d *dec) metaInto(m *Meta) {
 	m.Geometry.Channels = d.int()
 	m.Geometry.LUNsPerChannel = d.int()
@@ -448,20 +479,25 @@ func (d *dec) metaInto(m *Meta) {
 	m.Seed = d.u64()
 }
 
-func (d *dec) osStatsInto(ds *DeviceState) {
-	ds.OS.Submitted = d.u64()
-	ds.OS.Issued = d.u64()
-	ds.OS.Completed = d.u64()
-	ds.OS.MaxPending = d.int()
-	ds.OS.MaxInFlight = d.int()
+//eagletree:snapshot decode osched.Stats
+func (d *dec) osStatsInto(s *osched.Stats) {
+	s.Submitted = d.u64()
+	s.Issued = d.u64()
+	s.Completed = d.u64()
+	s.MaxPending = d.int()
+	s.MaxInFlight = d.int()
 }
 
-func (d *dec) runnerInto(ds *DeviceState) {
-	ds.Runner.RNG = d.rng()
-	ds.Runner.NextReqID = d.u64()
-	ds.Runner.NextThreadID = d.int()
+//eagletree:snapshot decode workload.RunnerState
+func (d *dec) runnerInto(r *workload.RunnerState) {
+	r.RNG = d.rng()
+	r.NextReqID = d.u64()
+	r.NextThreadID = d.int()
 }
 
+//eagletree:snapshot decode controller.State controller.Counters controller.Reliability
+//eagletree:snapshot decode controller.ThreadPrioEntry controller.LocalityEntry controller.TempHintEntry
+//eagletree:snapshot decode hotcold.MBFState fault.State
 func (d *dec) controllerInto(st *controller.State) {
 	c := &st.Counters
 	for _, p := range []*uint64{&c.AppReads, &c.AppWrites, &c.AppTrims, &c.UnmappedReads,
@@ -484,14 +520,8 @@ func (d *dec) controllerInto(st *controller.State) {
 		st.PageMap = &ftl.PageMapState{}
 		d.pageMapInto(st.PageMap)
 	}
-	st.GC.Triggered = make([]uint64, d.count(len(d.b)))
-	for i := range st.GC.Triggered {
-		st.GC.Triggered[i] = d.u64()
-	}
-	st.WL.Scans = d.u64()
-	st.WL.Migrated = d.u64()
-	st.WL.TotalErases = d.u64()
-	st.WL.ObservedAvg = d.f64()
+	d.gcStateInto(&st.GC)
+	d.wlStateInto(&st.WL)
 
 	if n := d.count(len(d.b)); n > 0 {
 		st.ThreadPrio = make([]controller.ThreadPrioEntry, n)
@@ -553,6 +583,23 @@ func (d *dec) controllerInto(st *controller.State) {
 	}
 }
 
+//eagletree:snapshot decode gc.CollectorState
+func (d *dec) gcStateInto(cs *gc.CollectorState) {
+	cs.Triggered = make([]uint64, d.count(len(d.b)))
+	for i := range cs.Triggered {
+		cs.Triggered[i] = d.u64()
+	}
+}
+
+//eagletree:snapshot decode wl.LevelerState
+func (d *dec) wlStateInto(ws *wl.LevelerState) {
+	ws.Scans = d.u64()
+	ws.Migrated = d.u64()
+	ws.TotalErases = d.u64()
+	ws.ObservedAvg = d.f64()
+}
+
+//eagletree:snapshot decode flash.ArrayState flash.BlockMeta flash.Counters
 func (d *dec) arrayInto(a *flash.ArrayState) {
 	pages := d.raw()
 	a.Pages = make([]flash.PageState, len(pages))
@@ -581,6 +628,7 @@ func (d *dec) arrayInto(a *flash.ArrayState) {
 	a.LUNs = d.resources()
 }
 
+//eagletree:snapshot decode flash.ResourceState flash.Interval
 func (d *dec) resources() []flash.ResourceState {
 	rs := make([]flash.ResourceState, d.count(len(d.b)))
 	for i := range rs {
@@ -593,6 +641,7 @@ func (d *dec) resources() []flash.ResourceState {
 	return rs
 }
 
+//eagletree:snapshot decode ftl.BlockManagerState ftl.LUNAllocState ftl.OpenBlockState
 func (d *dec) blockManagerInto(bm *ftl.BlockManagerState) {
 	bm.LUNs = make([]ftl.LUNAllocState, d.count(len(d.b)))
 	for i := range bm.LUNs {
@@ -610,6 +659,7 @@ func (d *dec) blockManagerInto(bm *ftl.BlockManagerState) {
 	}
 }
 
+//eagletree:snapshot decode ftl.PageMapState
 func (d *dec) pageMapInto(pm *ftl.PageMapState) {
 	pm.Forward = make([]int32, d.count(len(d.b)))
 	for i := range pm.Forward {
@@ -622,6 +672,8 @@ func (d *dec) pageMapInto(pm *ftl.PageMapState) {
 	pm.Mapped = d.int()
 }
 
+//eagletree:snapshot decode ftl.DFTLState ftl.CMTEntryState ftl.GTDEntryState
+//eagletree:snapshot decode ftl.RingBlockState ftl.DFTLStats flash.PPA flash.BlockID
 func (d *dec) dftlInto(df *ftl.DFTLState) {
 	d.pageMapInto(&df.Truth)
 	if n := d.count(len(d.b)); n > 0 {

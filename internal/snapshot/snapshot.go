@@ -15,6 +15,9 @@
 // The on-disk format is magic + version byte, a varint-encoded payload, and
 // a trailing CRC32. Truncated, corrupted or wrong-version inputs are
 // detected and reported as typed errors.
+//
+//eagletree:canonical
+//eagletree:typederrors
 package snapshot
 
 import (

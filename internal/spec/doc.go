@@ -32,6 +32,10 @@ func (e *VersionError) Error() string {
 // content.
 var ErrTruncated = errors.New("spec: truncated document")
 
+// ErrExperiment wraps every structural validation failure of an Experiment
+// (missing name, empty grid axes, conflicting variant declarations, ...).
+var ErrExperiment = errors.New("spec: invalid experiment")
+
 // Experiment is a complete, serializable experiment: the base
 // configuration, the device preparation, the measured workload, and the
 // variant grid — everything the runner needs, with no compiled code in the
@@ -90,7 +94,7 @@ func (e Experiment) ExpandVariants() ([]Variant, error) {
 		return e.Variants, nil
 	}
 	if len(e.Variants) > 0 {
-		return nil, fmt.Errorf("spec: experiment %q declares both variants and grid; use one", e.Name)
+		return nil, fmt.Errorf("%w: %q declares both variants and grid; use one", ErrExperiment, e.Name)
 	}
 	combos := []Variant{{}}
 	for ai, axis := range e.Grid {
@@ -99,12 +103,12 @@ func (e Experiment) ExpandVariants() ([]Variant, error) {
 			axisName = fmt.Sprintf("#%d", ai)
 		}
 		if len(axis.Variants) == 0 {
-			return nil, fmt.Errorf("spec: experiment %q: grid axis %s has no variants", e.Name, axisName)
+			return nil, fmt.Errorf("%w: %q: grid axis %s has no variants", ErrExperiment, e.Name, axisName)
 		}
 		for _, f := range axis.Variants {
 			if f.Prep != nil || len(f.Workload) > 0 {
-				return nil, fmt.Errorf("spec: experiment %q: grid axis %s variant %q overrides preparation or workload; axes may only set configuration paths",
-					e.Name, axisName, f.Label)
+				return nil, fmt.Errorf("%w: %q: grid axis %s variant %q overrides preparation or workload; axes may only set configuration paths",
+					ErrExperiment, e.Name, axisName, f.Label)
 			}
 		}
 		next := make([]Variant, 0, len(combos)*len(axis.Variants))
@@ -141,9 +145,10 @@ func mergeFragment(base, frag Variant) (Variant, error) {
 	}
 	if len(base.Set)+len(frag.Set) > 0 {
 		out.Set = make(map[string]any, len(base.Set)+len(frag.Set))
-		for k, v := range base.Set {
+		for k, v := range base.Set { //lint:ordered writes land in a keyed map
 			out.Set[k] = v
 		}
+		//lint:ordered dup check is against base.Set only; frag keys are unique
 		for k, v := range frag.Set {
 			if _, dup := out.Set[k]; dup {
 				return out, fmt.Errorf("path %q is set by more than one axis", k)
@@ -284,7 +289,7 @@ func (e Experiment) ConfigFor(v Variant) (Config, error) {
 // shared with another Config, so applying to a shallow copy is safe.
 func (c *Config) Apply(set map[string]any) error {
 	paths := make([]string, 0, len(set))
-	for p := range set {
+	for p := range set { //lint:ordered keys are sorted before use
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
@@ -445,7 +450,7 @@ func applySet(c *Config, path string, val any) error {
 			// Never mutate a params map shared with another Config: overrides
 			// apply to shallow copies.
 			params := make(map[string]any, len(ref.Params)+1)
-			for k, v := range ref.Params {
+			for k, v := range ref.Params { //lint:ordered writes land in a keyed map
 				params[k] = v
 			}
 			params[param] = val
@@ -570,7 +575,7 @@ func (t Thread) RepeatCount(env Env) (int, error) {
 // typed-error gate the CLIs run before committing to a simulation.
 func (e Experiment) Validate() error {
 	if e.Name == "" {
-		return fmt.Errorf("spec: experiment has no name")
+		return fmt.Errorf("%w: experiment has no name", ErrExperiment)
 	}
 	if _, err := e.Base.Resolve(); err != nil {
 		return fmt.Errorf("spec: base: %w", err)
@@ -611,11 +616,11 @@ func (e Experiment) Validate() error {
 	if len(e.Workload) == 0 {
 		for _, v := range variants {
 			if len(v.Workload) == 0 {
-				return fmt.Errorf("spec: experiment %q: variant %q has no workload", e.Name, v.Label)
+				return fmt.Errorf("%w: %q: variant %q has no workload", ErrExperiment, e.Name, v.Label)
 			}
 		}
 		if len(variants) == 0 {
-			return fmt.Errorf("spec: experiment %q has no workload", e.Name)
+			return fmt.Errorf("%w: %q has no workload", ErrExperiment, e.Name)
 		}
 	}
 	return nil

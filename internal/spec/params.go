@@ -3,10 +3,23 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"eagletree/internal/sim"
 )
+
+// sortedKeys returns the map's keys in sorted order. Validation walks
+// parameter maps through this so the first-reported error is deterministic
+// regardless of Go's randomized map iteration.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:ordered keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Ref names a registered component, optionally with parameters. In JSON a
 // bare string is shorthand for a parameterless reference:
@@ -59,7 +72,7 @@ func coerceRef(v any) (Ref, error) {
 		if name == "" {
 			return Ref{}, fmt.Errorf("component reference needs a %q field", "name")
 		}
-		for k := range t {
+		for _, k := range sortedKeys(t) {
 			if k != "name" && k != "params" {
 				return Ref{}, fmt.Errorf("component reference has unknown field %q", k)
 			}

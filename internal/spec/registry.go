@@ -13,6 +13,9 @@
 // parameters — which the experiment layer uses as the snapshot-cache key for
 // prepared device states. Unknown components are a typed error there, never
 // a silent key collision.
+//
+//eagletree:canonical
+//eagletree:typederrors
 package spec
 
 import (
@@ -245,7 +248,7 @@ func Make(kind Kind, ref Ref, env Env) (any, error) {
 		return nil, err
 	}
 	p := &Params{comp: c, vals: ref.Params, env: env}
-	for field := range ref.Params {
+	for _, field := range sortedKeys(ref.Params) {
 		if _, ok := c.param(field); !ok {
 			return nil, &UnknownFieldError{Context: p.context(), Field: field}
 		}
@@ -271,7 +274,8 @@ func ValidateRef(kind Kind, ref Ref, env Env) error {
 		return err
 	}
 	ctx := fmt.Sprintf("%s %q", c.Kind, c.Name)
-	for field, val := range ref.Params {
+	for _, field := range sortedKeys(ref.Params) {
+		val := ref.Params[field]
 		par, ok := c.param(field)
 		if !ok {
 			return &UnknownFieldError{Context: ctx, Field: field}

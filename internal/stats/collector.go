@@ -85,7 +85,7 @@ func (c *Collector) Reset(now sim.Time) {
 		// Restart the x axis at the measurement epoch.
 		c.series = NewTimeSeriesAt(bucket, now)
 	}
-	for id := range watched {
+	for id := range watched { //lint:ordered writes land in a keyed map
 		c.perThread[id] = &ThreadStats{}
 	}
 }

@@ -3,6 +3,9 @@
 // type, time series of how metrics evolve across a run, wear and write
 // amplification summaries, and a bounded trace of how every IO moved through
 // the simulator's components.
+//
+//eagletree:canonical
+//eagletree:typederrors
 package stats
 
 import (

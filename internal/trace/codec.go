@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,6 +14,10 @@ import (
 	"eagletree/internal/iface"
 	"eagletree/internal/sim"
 )
+
+// ErrFormat wraps every malformed-input failure in the text and binary
+// trace decoders, distinguishing bad bytes from I/O errors.
+var ErrFormat = errors.New("trace: malformed trace")
 
 // textHeader is the first line of the versioned text form.
 const textHeader = "eagletree-trace v1"
@@ -83,14 +88,14 @@ func DecodeText(r io.Reader) (*Trace, error) {
 		}
 		if !sawHeader {
 			if text != textHeader {
-				return nil, fmt.Errorf("trace: line %d: bad header %q, want %q", line, text, textHeader)
+				return nil, fmt.Errorf("%w: line %d: bad header %q, want %q", ErrFormat, line, text, textHeader)
 			}
 			sawHeader = true
 			continue
 		}
 		fields := strings.Fields(text)
 		if len(fields) != 8 {
-			return nil, fmt.Errorf("trace: line %d: %d fields, want 8", line, len(fields))
+			return nil, fmt.Errorf("%w: line %d: %d fields, want 8", ErrFormat, line, len(fields))
 		}
 		ints := make([]int64, 8)
 		for i, f := range fields {
@@ -99,16 +104,16 @@ func DecodeText(r io.Reader) (*Trace, error) {
 			}
 			v, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: field %d: %v", line, i+1, err)
+				return nil, fmt.Errorf("%w: line %d: field %d: %v", ErrFormat, line, i+1, err)
 			}
 			ints[i] = v
 		}
 		if len(fields[2]) != 1 {
-			return nil, fmt.Errorf("trace: line %d: bad op %q", line, fields[2])
+			return nil, fmt.Errorf("%w: line %d: bad op %q", ErrFormat, line, fields[2])
 		}
 		op, ok := opFromLetter(fields[2][0])
 		if !ok {
-			return nil, fmt.Errorf("trace: line %d: bad op %q", line, fields[2])
+			return nil, fmt.Errorf("%w: line %d: bad op %q", ErrFormat, line, fields[2])
 		}
 		t.Records = append(t.Records, Record{
 			At:     sim.Time(ints[0]),
@@ -127,7 +132,7 @@ func DecodeText(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	if !sawHeader {
-		return nil, fmt.Errorf("trace: missing %q header", textHeader)
+		return nil, fmt.Errorf("%w: missing %q header", ErrFormat, textHeader)
 	}
 	if err := t.validate(); err != nil {
 		return nil, err
@@ -182,10 +187,10 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: binary header: %w", err)
 	}
 	if !bytes.Equal(head[:len(binaryMagic)], binaryMagic) {
-		return nil, fmt.Errorf("trace: bad magic %q", head[:len(binaryMagic)])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head[:len(binaryMagic)])
 	}
 	if head[len(binaryMagic)] != binaryVersion {
-		return nil, fmt.Errorf("trace: binary version %d, want %d", head[len(binaryMagic)], binaryVersion)
+		return nil, fmt.Errorf("%w: binary version %d, want %d", ErrFormat, head[len(binaryMagic)], binaryVersion)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -193,7 +198,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 	}
 	const maxRecords = 1 << 30 // refuse absurd counts from corrupt input
 	if count > maxRecords {
-		return nil, fmt.Errorf("trace: record count %d too large", count)
+		return nil, fmt.Errorf("%w: record count %d too large", ErrFormat, count)
 	}
 	t := &Trace{Records: make([]Record, 0, count)}
 	var prevAt sim.Time
@@ -216,7 +221,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 		}
 		op, ok := opFromLetter(opb)
 		if !ok {
-			return nil, fmt.Errorf("trace: record %d: bad op byte %q", i, opb)
+			return nil, fmt.Errorf("%w: record %d: bad op byte %q", ErrFormat, i, opb)
 		}
 		dLPN, err := binary.ReadUvarint(br)
 		if err != nil {

@@ -9,6 +9,9 @@
 // open-interface tags. Two codecs serialize it: a human-readable versioned
 // text form and a compact delta/varint binary form (see codec.go); both
 // round-trip exactly.
+//
+//eagletree:canonical
+//eagletree:typederrors
 package trace
 
 import (

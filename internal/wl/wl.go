@@ -12,6 +12,8 @@
 // Dynamic wear leveling — steering hot data to young free blocks and cold
 // data to old ones at allocation time — lives in the block manager's
 // age-aware allocation; this package only carries its configuration flag.
+//
+//eagletree:typederrors
 package wl
 
 import (

@@ -49,7 +49,7 @@ func ParseReplayMode(s string) (ReplayMode, error) {
 	case "dependent", "as-dependent":
 		return ReplayDependent, nil
 	default:
-		return 0, fmt.Errorf("workload: unknown replay mode %q (closed | open | dependent)", s)
+		return 0, fmt.Errorf("%w: unknown replay mode %q (closed | open | dependent)", ErrConfig, s)
 	}
 }
 

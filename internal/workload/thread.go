@@ -7,14 +7,25 @@
 // preparation (writing the whole logical space sequentially and/or randomly
 // before measuring, as uFLIP prescribes) is expressed as dependencies, and
 // measurement starts only when preparation finishes.
+//
+//eagletree:typederrors
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"eagletree/internal/iface"
 	"eagletree/internal/osched"
 	"eagletree/internal/sim"
+)
+
+// Errors wrapped by the workload package's exported API.
+var (
+	// ErrConfig wraps every invalid thread or replay configuration.
+	ErrConfig = errors.New("workload: invalid configuration")
+	// ErrStateMismatch wraps every snapshot-restore precondition failure.
+	ErrStateMismatch = errors.New("workload: snapshot does not match runner state")
 )
 
 // Thread is one simulated concurrent application. Init is called by the OS
@@ -226,7 +237,7 @@ func (r *Runner) State() RunnerState {
 // they would have gotten had the original runner kept going.
 func (r *Runner) RestoreState(st RunnerState) error {
 	if len(r.entries) > 0 {
-		return fmt.Errorf("workload: restoring a runner that already has %d threads", len(r.entries))
+		return fmt.Errorf("%w: restoring a runner that already has %d threads", ErrStateMismatch, len(r.entries))
 	}
 	r.rng.SetState(st.RNG)
 	r.nextID = st.NextReqID
