@@ -13,9 +13,13 @@
 // Every parsed benchmark lands in the output JSON (benchmark name → ns/op,
 // allocs/op, B/op). When the same benchmark appears several times (-count),
 // the minimum ns/op is kept: best-of-N is the noise-robust statistic for a
-// regression gate. Guarded benchmarks fail the gate when their ns/op exceeds
-// the baseline by more than -max-regress, or when allocs/op grows at all —
-// allocation counts are deterministic, so any increase is a real regression.
+// regression gate. Guarded benchmarks fail the gate when their ns/op or
+// bytes/op exceeds the baseline by more than -max-regress, or when allocs/op
+// grows at all — allocation counts are deterministic, so any increase is a
+// real regression. A guarded benchmark missing from the results or the
+// baseline fails the gate with a diagnostic naming the benchmark and the
+// file it was expected in; it never panics, so a renamed benchmark shows up
+// in CI as a readable failure.
 package main
 
 import (
@@ -95,13 +99,22 @@ func main() {
 		}
 		got, ok := results[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchgate: guarded benchmark %s missing from results\n", name)
+			fmt.Fprintf(os.Stderr, "benchgate: guarded benchmark %s missing from results — "+
+				"was it renamed, or did its package fail to build? (inputs: %s)\n",
+				name, strings.Join(flag.Args(), ", "))
 			failed = true
 			continue
 		}
 		want, ok := base.Benchmarks[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchgate: guarded benchmark %s missing from baseline %s\n", name, *baseline)
+			fmt.Fprintf(os.Stderr, "benchgate: guarded benchmark %s missing from baseline %s — "+
+				"add it to the baseline before guarding it\n", name, *baseline)
+			failed = true
+			continue
+		}
+		if want.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline %s has non-positive ns/op for %s; re-measure the baseline\n",
+				*baseline, name)
 			failed = true
 			continue
 		}
@@ -116,6 +129,14 @@ func main() {
 		if got.AllocsPerOp > want.AllocsPerOp {
 			fmt.Fprintf(os.Stderr, "benchgate: %s allocs/op grew %.0f -> %.0f\n",
 				name, want.AllocsPerOp, got.AllocsPerOp)
+			failed = true
+		}
+		// Bytes/op regressions get the same relative budget as ns/op: the
+		// count is near-deterministic but small size-class rounding keeps
+		// it from being an exact-equality signal like allocs/op.
+		if got.BytesPerOp > want.BytesPerOp*(1+*maxRegress)+0.5 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s bytes/op grew %.0f -> %.0f (budget %+.0f%%)\n",
+				name, want.BytesPerOp, got.BytesPerOp, *maxRegress*100)
 			failed = true
 		}
 	}

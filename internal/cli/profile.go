@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags wires -cpuprofile and -memprofile into a command. The
+// profiles cover the whole command — device preparation, the measured
+// window, report generation — which is what performance work wants: the
+// full-scale sweeps in this repo were tuned from exactly these profiles.
+type profileFlags struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	p.mem = fs.String("memprofile", "", "write an allocation profile, taken at exit, to this file")
+	return p
+}
+
+// start begins CPU profiling when -cpuprofile was given. The caller must
+// arrange for stop to run on every exit path (defer it right after start).
+func (p *profileFlags) start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop finishes the CPU profile and writes the allocation profile. Profile
+// write failures are reported but do not change the command's exit code:
+// the simulation's results already printed and remain valid.
+func (p *profileFlags) stop(stderr io.Writer) {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "eagletree: cpuprofile:", err)
+		}
+		p.cpuFile = nil
+	}
+	if *p.mem == "" {
+		return
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		fmt.Fprintln(stderr, "eagletree: memprofile:", err)
+		return
+	}
+	runtime.GC() // settle the heap so the profile shows live allocations
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintln(stderr, "eagletree: memprofile:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "eagletree: memprofile:", err)
+	}
+}

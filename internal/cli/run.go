@@ -265,9 +265,14 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	repF := addReportFlags(fs)
 	loadState := fs.String("load-state", "", "restore a prepared device state saved by 'eagletree state save' and run the workload on it (replaces -prepare)")
 	dumpSpec := fs.String("dump-spec", "", "write the flag selection as a spec document and exit; re-run it with 'eagletree spec FILE'")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := prof.start(); err != nil {
+		return fail(stderr, err)
+	}
+	defer prof.stop(stderr)
 	if fs.NArg() > 0 {
 		return fail(stderr, fmt.Errorf("run takes no arguments (got %q)", fs.Arg(0)))
 	}

@@ -143,9 +143,14 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 		progress = fs.Bool("progress", true, "stream live per-variant progress (cache provenance, timings) to stderr")
 	)
 	out := addSweepOutput(fs)
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := prof.start(); err != nil {
+		return fail(stderr, err)
+	}
+	defer prof.stop(stderr)
 
 	sc := experiment.Small
 	if *scale == "full" {

@@ -228,6 +228,8 @@ type reqState struct {
 	ppa         flash.PPA
 	streamEpoch uint64 // tempEpoch when stream was cached
 	stream      ftl.Stream
+	waitClass   int32 // dispatch wait-class this request is parked under; -1 when none
+	waitRead    bool  // parked read indexed in readWait for retarget wake-ups
 
 	next  []*iface.Request // unblocked when this request completes
 	trans ftl.TransOp      // payload for opTrans*
@@ -351,6 +353,26 @@ type Controller struct {
 	writeEpoch uint64           // inflight toggles and block alloc/release
 	writeMemo  []writeMemoEntry // per-stream write readiness, one writeEpoch long
 
+	// Classed-dispatch machinery. A request that cannot run is almost
+	// always waiting on exactly one thing: its target LUN going idle
+	// (reads, GC/WL/translation ops) or a write stream regaining
+	// allocatable space (application writes). The controller exposes that
+	// structure to class-aware policies as sched.Gate: Evaluate names the
+	// wait-class of a failed request, and ClassToken hands out a token per
+	// class that changes only when the class's blocking condition may have
+	// cleared — lunEpoch[L] for LUN classes (bumped when L's in-flight
+	// operation completes), writeEpoch+tempEpoch for stream classes. The
+	// policy parks whole classes off the scan path and re-examines only
+	// class heads whose token moved, so dispatch cost no longer grows with
+	// the number of queued-but-unrunnable requests.
+	//
+	// readWait indexes parked reads by LPN: a remap or unmap of a waiting
+	// read's page can change (or clear) its target LUN without that LUN
+	// ever completing work, so the mapping mutation itself wakes the read.
+	classed  sched.ClassedPolicy
+	lunEpoch []uint64
+	readWait map[iface.LPN][]*iface.Request
+
 	// Open-interface state fed by bus hints.
 	threadPrio map[int]iface.Priority
 	locality   map[iface.LPN]int
@@ -421,6 +443,11 @@ func New(eng *sim.Engine, bus *iface.Bus, col *stats.Collector, cfg Config) (*Co
 		mapEpoch:   1,
 		tempEpoch:  1,
 		writeEpoch: 1,
+		lunEpoch:   make([]uint64, cfg.Geometry.LUNs()),
+		readWait:   make(map[iface.LPN][]*iface.Request),
+	}
+	if cp, ok := cfg.Policy.(sched.ClassedPolicy); ok {
+		c.classed = cp
 	}
 	if _, none := cfg.Detector.(hotcold.None); !none {
 		c.detectorLive = true
@@ -609,6 +636,7 @@ func (c *Controller) newState(kind opKind) *reqState {
 	}
 	st.kind = kind
 	st.busyLUN = -1
+	st.waitClass = -1
 	return st
 }
 
@@ -650,9 +678,21 @@ func (c *Controller) scheduleDispatch() {
 }
 
 // dispatch drains the policy queue as far as hardware and space allow.
+// Class-aware policies get the classed gate — they park whole wait-classes
+// off the scan path; everything else gets the plain linear canRun scan.
 //
 //eagletree:hotpath
 func (c *Controller) dispatch() {
+	if cp := c.classed; cp != nil {
+		now := c.eng.Now()
+		for {
+			r := cp.PopClassed(now, c)
+			if r == nil {
+				return
+			}
+			c.execute(r)
+		}
+	}
 	for {
 		r := c.cfg.Policy.Pop(c.eng.Now(), c.canRunFn)
 		if r == nil {
@@ -698,7 +738,8 @@ func (c *Controller) canRunWrite(stream ftl.Stream) bool {
 	return ok
 }
 
-// canRun reports whether a request could be dispatched right now.
+// canRun reports whether a request could be dispatched right now. It is the
+// plain-scan gate for policies without wait-class support.
 //
 //eagletree:hotpath
 func (c *Controller) canRun(r *iface.Request) bool {
@@ -706,6 +747,13 @@ func (c *Controller) canRun(r *iface.Request) bool {
 	if st == nil || st.blocked {
 		return false
 	}
+	return c.canRunNow(r, st)
+}
+
+// canRunNow derives readiness from current controller state.
+//
+//eagletree:hotpath
+func (c *Controller) canRunNow(r *iface.Request, st *reqState) bool {
 	switch st.kind {
 	case opTransRead, opTransWrite:
 		return !c.inflight[st.trans.PPA.LUN]
@@ -732,5 +780,156 @@ func (c *Controller) canRun(r *iface.Request) bool {
 		return c.canRunWrite(c.streamOf(r, st))
 	default: // Trim
 		return true
+	}
+}
+
+// Evaluate implements sched.Gate. It answers exactly like canRun and, on
+// failure, names the wait-class the request should park under: the target
+// LUN's index for LUN-bound operations, LUNs+stream for application writes
+// whose stream has no allocatable idle LUN, or -1 when the failure is not
+// class-wide (migration writes, which wait on two conditions at once).
+//
+// Parking is sound because a class's blocking condition is shared by every
+// member: a LUN class waits on inflight[L], which only ioDone clears (and
+// that bumps lunEpoch[L]); a stream class waits on canRunWrite(s), which is
+// constant while writeEpoch stands still, under streams that are constant
+// while tempEpoch stands still. Reads are additionally indexed in readWait:
+// a mapping change can retarget a parked read without either token moving,
+// so remap/unmap wake the affected LPN's waiters directly.
+//
+//eagletree:hotpath
+func (c *Controller) Evaluate(r *iface.Request) (bool, int) {
+	st := stateOf(r)
+	if st == nil || st.blocked {
+		return false, -1
+	}
+	switch st.kind {
+	case opTransRead, opTransWrite:
+		if lun := st.trans.PPA.LUN; c.inflight[lun] {
+			return false, lun
+		}
+		return true, -1
+	case opTransErase:
+		if lun := st.trans.Block.LUN; c.inflight[lun] {
+			return false, lun
+		}
+		return true, -1
+	case opGCRead, opWLRead, opGCCopyback, opGCErase:
+		if lun := st.src.LUN; c.inflight[lun] {
+			return false, lun
+		}
+		return true, -1
+	case opGCWrite, opWLWrite:
+		return !c.inflight[st.src.LUN] && c.bm.CanAlloc(st.src.LUN, c.streamOf(r, st)), -1
+	}
+	switch r.Type {
+	case iface.Read:
+		ppa, mapped := c.lookup(r, st)
+		if !mapped || !c.inflight[ppa.LUN] {
+			if st.waitRead {
+				c.readWaitDel(r, st)
+			}
+			return true, -1
+		}
+		if !st.waitRead {
+			st.waitRead = true
+			st.waitClass = int32(ppa.LUN)
+			c.readWait[r.LPN] = append(c.readWait[r.LPN], r)
+		}
+		return false, ppa.LUN
+	case iface.Write:
+		s := c.streamOf(r, st)
+		if c.canRunWrite(s) {
+			return true, -1
+		}
+		if c.detectorLive {
+			// A live detector reclassifies streams on every recorded write;
+			// parked writes would be flushed for re-classification just as
+			// often, so parking buys nothing — keep them on the scan path.
+			return false, -1
+		}
+		return false, len(c.inflight) + int(s)
+	default: // Trim
+		return true, -1
+	}
+}
+
+// ClassToken implements sched.Gate: the wake token for a wait-class. LUN
+// classes move when the LUN's in-flight operation completes; stream classes
+// move when write capacity (writeEpoch) or stream assignment (tempEpoch)
+// may have changed. Both summands are monotonic, so the sum changes exactly
+// when either input does.
+//
+//eagletree:hotpath
+func (c *Controller) ClassToken(class int) uint64 {
+	if class < len(c.lunEpoch) {
+		return c.lunEpoch[class]
+	}
+	return c.writeEpoch + c.tempEpoch
+}
+
+// ClassStable implements sched.Gate: the membership-validity token. LUN
+// classes never go stale — an operation's target LUN is fixed for its
+// queued lifetime (reads that get remapped are woken individually through
+// readWait). Stream classes go stale when stream assignment inputs change:
+// temperature hints, the WL-cold set, or detector state, all tracked by
+// tempEpoch.
+//
+//eagletree:hotpath
+func (c *Controller) ClassStable(class int) uint64 {
+	if class < len(c.lunEpoch) {
+		return 0
+	}
+	return c.tempEpoch
+}
+
+// wakeRead releases every parked read waiting on the LPN back into the scan
+// path: the mapping just changed, so the read's target LUN (or its very
+// mappedness) is no longer what it parked under.
+//
+//eagletree:hotpath
+func (c *Controller) wakeRead(lpn iface.LPN) {
+	if len(c.readWait) == 0 {
+		return
+	}
+	lst, ok := c.readWait[lpn]
+	if !ok {
+		return
+	}
+	delete(c.readWait, lpn)
+	for i, r := range lst {
+		lst[i] = nil
+		st := stateOf(r)
+		if st == nil {
+			continue
+		}
+		st.waitRead = false
+		if c.classed != nil {
+			c.classed.WakeRequest(r, int(st.waitClass))
+		}
+		st.waitClass = -1
+	}
+}
+
+// readWaitDel removes a read that is about to dispatch from the readWait
+// index.
+//
+//eagletree:hotpath
+func (c *Controller) readWaitDel(r *iface.Request, st *reqState) {
+	st.waitRead = false
+	st.waitClass = -1
+	lst := c.readWait[r.LPN]
+	for i := range lst {
+		if lst[i] == r {
+			lst[i] = lst[len(lst)-1]
+			lst[len(lst)-1] = nil
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(c.readWait, r.LPN)
+	} else {
+		c.readWait[r.LPN] = lst
 	}
 }

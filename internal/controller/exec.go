@@ -96,19 +96,25 @@ func (c *Controller) alloc(lun int, stream ftl.Stream) (flash.PPA, error) {
 	return c.bm.Alloc(lun, stream)
 }
 
-// remap updates the forward mapping and invalidates cached lookups.
+// remap updates the forward mapping and invalidates cached lookups. A read
+// parked on the page's old LUN may now target a different (possibly idle)
+// LUN, so any parked waiter is woken for re-evaluation.
 //
 //eagletree:hotpath
 func (c *Controller) remap(lpn iface.LPN, ppa flash.PPA) (flash.PPA, bool) {
 	c.mapEpoch++
+	c.wakeRead(lpn)
 	return c.mapper.Map(lpn, ppa)
 }
 
-// unmap drops the forward mapping and invalidates cached lookups.
+// unmap drops the forward mapping and invalidates cached lookups. A queued
+// read of the LPN becomes immediately runnable as an unmapped read, so any
+// parked waiter is woken.
 //
 //eagletree:hotpath
 func (c *Controller) unmap(lpn iface.LPN) (flash.PPA, bool) {
 	c.mapEpoch++
+	c.wakeRead(lpn)
 	return c.mapper.Unmap(lpn)
 }
 
@@ -454,6 +460,7 @@ func (c *Controller) ioDone(arg any) {
 	if st.busyLUN >= 0 {
 		c.inflight[st.busyLUN] = false
 		c.writeEpoch++
+		c.lunEpoch[st.busyLUN]++ // the idle LUN wakes its parked wait-class
 		st.busyLUN = -1
 	}
 	if st.refire {

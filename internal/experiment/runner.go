@@ -267,6 +267,39 @@ type runState struct {
 	canceled []bool
 
 	emitMu sync.Mutex
+
+	// decoded shares one decoded snapshot per cache key across variants
+	// (see decodeShared).
+	decMu   sync.Mutex
+	decoded map[string]*snapshot.DeviceState
+}
+
+// decodeShared decodes an encoded snapshot once per cache key and hands the
+// same decoded state to every variant that restores from it. Sharing is
+// safe — concurrently, too — because restoration never mutates the decoded
+// state: every RestoreState implementation copies out of it into the
+// stack's own storage. A full-scale prepared device decodes to a
+// multi-megabyte state; paying that once per prepared device instead of
+// once per variant is the lazy-restore half of the snapshot fast path.
+// Keyless states (cacheless reference runs) decode privately.
+func (rs *runState) decodeShared(key string, data []byte) (*snapshot.DeviceState, error) {
+	if key == "" {
+		return snapshot.Decode(data)
+	}
+	rs.decMu.Lock()
+	defer rs.decMu.Unlock()
+	if ds, ok := rs.decoded[key]; ok {
+		return ds, nil
+	}
+	ds, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if rs.decoded == nil {
+		rs.decoded = make(map[string]*snapshot.DeviceState)
+	}
+	rs.decoded[key] = ds
+	return ds, nil
 }
 
 // emit delivers one event to the observer, serialized across workers.
@@ -442,15 +475,15 @@ func (rs *runState) runVariant(ctx context.Context, i int, v Variant) (Row, erro
 		}
 		stack = st
 	} else {
-		data, err := rs.preparedState(ctx, i, v, cfg, spec)
+		data, key, err := rs.preparedState(ctx, i, v, cfg, spec)
 		if err != nil {
 			if wasCanceled(err) {
 				return Row{}, err
 			}
 			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
 		}
-		// Decode per variant: restoration must never mutate the cached state.
-		ds, err := snapshot.Decode(data)
+		// One decode per prepared state; restoration never mutates it.
+		ds, err := rs.decodeShared(key, data)
 		if err != nil {
 			return Row{}, fmt.Errorf("experiment %q variant %q: %w", def.Name, v.Label, err)
 		}
@@ -465,18 +498,20 @@ func (rs *runState) runVariant(ctx context.Context, i int, v Variant) (Row, erro
 }
 
 // preparedState returns the encoded snapshot of the prepared device for the
-// variant's configuration, building it (once per distinct key when a cache
-// is present) by running the preparation workload to a full drain, and
-// emits the cache-provenance event.
-func (rs *runState) preparedState(ctx context.Context, i int, v Variant, cfg core.Config, spec PrepareSpec) ([]byte, error) {
+// variant's configuration and its cache key ("" when no cache is in play),
+// building it (once per distinct key when a cache is present) by running
+// the preparation workload to a full drain, and emits the cache-provenance
+// event.
+func (rs *runState) preparedState(ctx context.Context, i int, v Variant, cfg core.Config, spec PrepareSpec) ([]byte, string, error) {
 	def := rs.def
 	pcfg := prepConfig(cfg, def.Base())
 	if rs.cache == nil {
-		return buildPrepared(ctx, pcfg, spec)
+		data, err := buildPrepared(ctx, pcfg, spec)
+		return data, "", err
 	}
 	key, err := prepKey(pcfg, spec)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	start := time.Now() //lint:wallclock cache-fetch wall-time telemetry
 	data, hit, err := rs.cache.Fetch(key, func() ([]byte, error) {
@@ -490,7 +525,7 @@ func (rs *runState) preparedState(ctx context.Context, i int, v Variant, cfg cor
 		rs.emit(Event{Kind: kind, Experiment: def.Name, Variant: v.Label, Index: i,
 			Variants: len(def.Variants), CacheKey: key, Wall: time.Since(start)})
 	}
-	return data, err
+	return data, key, err
 }
 
 // buildPrepared ages a fresh device under the preparation config to a full

@@ -33,13 +33,36 @@ type Counters struct {
 // occupancy. It enforces NAND constraints (sequential programming within a
 // block, no overwrite without erase) and computes operation timing, but makes
 // no policy decisions.
+//
+// Block metadata is stored as struct-of-arrays columns indexed by BlockIndex
+// rather than a []BlockMeta slice: GC victim selection and wear-leveling
+// scans walk one column end to end, and a column of int32s keeps an entire
+// full-scale LUN's worth of state within a few cache lines.
 type Array struct {
 	geo    Geometry
 	timing Timing
 	feat   Features
 
-	pages    []PageState
-	blocks   []BlockMeta
+	pages []PageState
+
+	// Per-block metadata columns, indexed by Geometry.BlockIndex. These are
+	// the SoA decomposition of BlockMeta; Block() reassembles the struct for
+	// callers that want the AoS view.
+	eraseCount []int32
+	lastErase  []sim.Time
+	validPages []int32
+	writePtr   []int32
+	bad        []bool
+
+	// buckets indexes programmed, non-bad blocks by (LUN, valid-page count):
+	// row (lun*(pagesPerBlock+1) + v) holds a bWords-word bitset of block
+	// indexes within the LUN whose ValidPages == v. Membership invariant: a
+	// block is in exactly one bucket of its LUN iff WritePtr > 0 && !Bad.
+	// Greedy victim selection reads the lowest non-empty eligible bucket in
+	// O(pagesPerBlock · words) instead of scanning every block's metadata.
+	buckets []uint64
+	bWords  int
+
 	channels []resource
 	luns     []resource
 
@@ -62,12 +85,20 @@ func NewArray(geo Geometry, timing Timing, feat Features) *Array {
 	if err := timing.Validate(); err != nil {
 		panic(err)
 	}
+	nb := geo.Blocks()
+	bWords := (geo.BlocksPerLUN + 63) / 64
 	a := &Array{
 		geo:        geo,
 		timing:     timing,
 		feat:       feat,
 		pages:      make([]PageState, geo.Pages()),
-		blocks:     make([]BlockMeta, geo.Blocks()),
+		eraseCount: make([]int32, nb),
+		lastErase:  make([]sim.Time, nb),
+		validPages: make([]int32, nb),
+		writePtr:   make([]int32, nb),
+		bad:        make([]bool, nb),
+		buckets:    make([]uint64, geo.LUNs()*(geo.PagesPerBlock+1)*bWords),
+		bWords:     bWords,
 		channels:   make([]resource, geo.Channels),
 		luns:       make([]resource, geo.LUNs()),
 		freePerLUN: make([]int, geo.LUNs()),
@@ -93,8 +124,17 @@ func (a *Array) Counters() Counters { return a.counters }
 // PageState returns the state of one physical page.
 func (a *Array) PageState(p PPA) PageState { return a.pages[a.geo.Index(p)] }
 
-// Block returns a copy of the block's metadata.
-func (a *Array) Block(b BlockID) BlockMeta { return a.blocks[a.geo.BlockIndex(b)] }
+// Block returns a copy of the block's metadata, assembled from the columns.
+func (a *Array) Block(b BlockID) BlockMeta {
+	i := a.geo.BlockIndex(b)
+	return BlockMeta{
+		EraseCount: int(a.eraseCount[i]),
+		LastErase:  a.lastErase[i],
+		ValidPages: int(a.validPages[i]),
+		WritePtr:   int(a.writePtr[i]),
+		Bad:        a.bad[i],
+	}
+}
 
 // FreeBlocks returns the number of fully erased, non-bad blocks in a LUN.
 func (a *Array) FreeBlocks(lun int) int { return a.freePerLUN[lun] }
@@ -126,6 +166,27 @@ func (a *Array) checkBounds(p PPA) error {
 		return fmt.Errorf("%w: %v", ErrOutOfBounds, p)
 	}
 	return nil
+}
+
+// bucketRow returns the offset of the (lun, valid-count) bucket's bitset.
+//
+//eagletree:hotpath
+func (a *Array) bucketRow(lun, valid int) int {
+	return (lun*(a.geo.PagesPerBlock+1) + valid) * a.bWords
+}
+
+// bucketAdd inserts a LUN-local block index into the bucket for valid count v.
+//
+//eagletree:hotpath
+func (a *Array) bucketAdd(lun, blk, v int) {
+	a.buckets[a.bucketRow(lun, v)+blk>>6] |= 1 << (uint(blk) & 63)
+}
+
+// bucketDel removes a LUN-local block index from the bucket for valid count v.
+//
+//eagletree:hotpath
+func (a *Array) bucketDel(lun, blk, v int) {
+	a.buckets[a.bucketRow(lun, v)+blk>>6] &^= 1 << (uint(blk) & 63)
 }
 
 // Cold error constructors for the annotated schedule paths. Constraint
@@ -220,12 +281,12 @@ func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
 	if err := a.checkBounds(p); err != nil {
 		return Schedule{}, err
 	}
-	blk := &a.blocks[a.geo.BlockIndex(p.BlockOf())]
+	bi := a.geo.BlockIndex(p.BlockOf())
 	switch {
-	case blk.Bad:
+	case a.bad[bi]:
 		return Schedule{}, errPPA(ErrBadBlock, "write", p)
-	case p.Page != blk.WritePtr:
-		return Schedule{}, errProgramOrder("write", p, blk.WritePtr)
+	case p.Page != int(a.writePtr[bi]):
+		return Schedule{}, errProgramOrder("write", p, int(a.writePtr[bi]))
 	case a.pages[a.geo.Index(p)] != PageFree:
 		return Schedule{}, errPPA(ErrNotFree, "write", p)
 	}
@@ -257,15 +318,19 @@ func (a *Array) ScheduleWrite(p PPA, at sim.Time) (Schedule, error) {
 		sched = Schedule{Start: start, Done: start.Add(total)}
 	}
 
-	if ferr := a.injectProgram(p, blk, sched.Done); ferr != nil {
+	if ferr := a.injectProgram(p, bi, sched.Done); ferr != nil {
 		return sched, ferr
 	}
-	if blk.Free() {
+	v := int(a.validPages[bi])
+	if a.writePtr[bi] == 0 { // free: bad was ruled out above
 		a.freePerLUN[p.LUN]--
+	} else {
+		a.bucketDel(p.LUN, p.Block, v)
 	}
+	a.bucketAdd(p.LUN, p.Block, v+1)
 	a.pages[a.geo.Index(p)] = PageValid
-	blk.WritePtr++
-	blk.ValidPages++
+	a.writePtr[bi]++
+	a.validPages[bi]++
 	a.counters.Writes++
 	return sched, nil
 }
@@ -279,12 +344,12 @@ func (a *Array) ScheduleErase(b BlockID, at sim.Time) (Schedule, error) {
 	if !a.geo.Contains(PPA{LUN: b.LUN, Block: b.Block}) {
 		return Schedule{}, errBlock(ErrOutOfBounds, "", b)
 	}
-	blk := &a.blocks[a.geo.BlockIndex(b)]
-	if blk.Bad {
+	bi := a.geo.BlockIndex(b)
+	if a.bad[bi] {
 		return Schedule{}, errBlock(ErrBadBlock, "erase", b)
 	}
-	if blk.ValidPages > 0 {
-		return Schedule{}, errEraseLive(b, blk.ValidPages)
+	if a.validPages[bi] > 0 {
+		return Schedule{}, errEraseLive(b, int(a.validPages[bi]))
 	}
 
 	ch := &a.channels[a.geo.ChannelOf(b.LUN)]
@@ -314,18 +379,21 @@ func (a *Array) ScheduleErase(b BlockID, at sim.Time) (Schedule, error) {
 		sched = Schedule{Start: start, Done: start.Add(total)}
 	}
 
-	if ferr := a.injectErase(b, blk, sched.Done); ferr != nil {
+	if ferr := a.injectErase(b, bi, sched.Done); ferr != nil {
 		return sched, ferr
 	}
-	wasFree := blk.Free()
+	wasFree := a.writePtr[bi] == 0 // bad was ruled out above
 	base := a.geo.Index(PPA{LUN: b.LUN, Block: b.Block, Page: 0})
 	for i := 0; i < a.geo.PagesPerBlock; i++ {
 		a.pages[base+i] = PageFree
 	}
-	blk.WritePtr = 0
-	blk.ValidPages = 0
-	blk.EraseCount++
-	blk.LastErase = sched.Done
+	if !wasFree {
+		a.bucketDel(b.LUN, b.Block, 0) // live pages were ruled out above
+	}
+	a.writePtr[bi] = 0
+	a.validPages[bi] = 0
+	a.eraseCount[bi]++
+	a.lastErase[bi] = sched.Done
 	if !wasFree {
 		a.freePerLUN[b.LUN]++
 	}
@@ -356,12 +424,12 @@ func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
 	if a.pages[a.geo.Index(src)] != PageValid {
 		return Schedule{}, errPPA(ErrNotValid, "copyback from", src)
 	}
-	blk := &a.blocks[a.geo.BlockIndex(dst.BlockOf())]
+	bi := a.geo.BlockIndex(dst.BlockOf())
 	switch {
-	case blk.Bad:
+	case a.bad[bi]:
 		return Schedule{}, errPPA(ErrBadBlock, "copyback to", dst)
-	case dst.Page != blk.WritePtr:
-		return Schedule{}, errProgramOrder("copyback to", dst, blk.WritePtr)
+	case dst.Page != int(a.writePtr[bi]):
+		return Schedule{}, errProgramOrder("copyback to", dst, int(a.writePtr[bi]))
 	case a.pages[a.geo.Index(dst)] != PageFree:
 		return Schedule{}, errPPA(ErrNotFree, "copyback to", dst)
 	}
@@ -394,17 +462,21 @@ func (a *Array) ScheduleCopyback(src, dst PPA, at sim.Time) (Schedule, error) {
 		sched = Schedule{Start: start, Done: start.Add(total)}
 	}
 
-	if ferr := a.injectProgram(dst, blk, sched.Done); ferr != nil {
+	if ferr := a.injectProgram(dst, bi, sched.Done); ferr != nil {
 		a.counters.Writes-- // injectProgram charged a write; this was a copyback
 		a.counters.Copybacks++
 		return sched, ferr
 	}
-	if blk.Free() {
+	v := int(a.validPages[bi])
+	if a.writePtr[bi] == 0 { // free: bad was ruled out above
 		a.freePerLUN[dst.LUN]--
+	} else {
+		a.bucketDel(dst.LUN, dst.Block, v)
 	}
+	a.bucketAdd(dst.LUN, dst.Block, v+1)
 	a.pages[a.geo.Index(dst)] = PageValid
-	blk.WritePtr++
-	blk.ValidPages++
+	a.writePtr[bi]++
+	a.validPages[bi]++
 	a.counters.Copybacks++
 	return sched, nil
 }
@@ -420,7 +492,13 @@ func (a *Array) Invalidate(p PPA) error {
 	switch a.pages[idx] {
 	case PageValid:
 		a.pages[idx] = PageInvalid
-		a.blocks[a.geo.BlockIndex(p.BlockOf())].ValidPages--
+		bi := a.geo.BlockIndex(p.BlockOf())
+		v := int(a.validPages[bi])
+		a.validPages[bi]--
+		if !a.bad[bi] { // retired blocks are not bucket members
+			a.bucketDel(p.LUN, p.Block, v)
+			a.bucketAdd(p.LUN, p.Block, v-1)
+		}
 		return nil
 	case PageInvalid:
 		return errPPA(ErrAlreadyStale, "", p)
@@ -434,27 +512,29 @@ func (a *Array) Invalidate(p PPA) error {
 //
 //eagletree:hotpath
 func (a *Array) MarkBad(b BlockID) {
-	blk := &a.blocks[a.geo.BlockIndex(b)]
-	if blk.Bad {
+	bi := a.geo.BlockIndex(b)
+	if a.bad[bi] {
 		return
 	}
-	if blk.Free() {
+	if a.writePtr[bi] == 0 {
 		a.freePerLUN[b.LUN]--
+	} else {
+		a.bucketDel(b.LUN, b.Block, int(a.validPages[bi]))
 	}
-	blk.Bad = true
+	a.bad[bi] = true
 }
 
 // EraseCounts returns every block's erase count, indexed by BlockIndex.
 // Wear-leveling statistics and experiment reports consume this.
 func (a *Array) EraseCounts() []int {
-	out := make([]int, len(a.blocks))
-	for i := range a.blocks {
-		out[i] = a.blocks[i].EraseCount
+	out := make([]int, len(a.eraseCount))
+	for i, ec := range a.eraseCount {
+		out[i] = int(ec)
 	}
 	return out
 }
 
 // ValidPagesIn returns the live-page count of a block (GC victim selection).
 func (a *Array) ValidPagesIn(b BlockID) int {
-	return a.blocks[a.geo.BlockIndex(b)].ValidPages
+	return int(a.validPages[a.geo.BlockIndex(b)])
 }

@@ -54,27 +54,29 @@ func (a *Array) SetInjector(m fault.Model, firstBlock int) {
 	a.injectFrom = firstBlock
 }
 
-// injectProgram consults the fault model for a program on blk's next page.
-// It returns nil when the operation proceeds; otherwise it applies the
+// injectProgram consults the fault model for a program on block bi's next
+// page. It returns nil when the operation proceeds; otherwise it applies the
 // failure to array state — the page is burned (invalid, never valid), the
 // write pointer advances, and a grown-bad outcome retires the block — and
 // returns the typed error. The schedule's time was already reserved: a
-// failed program costs what a successful one does.
+// failed program costs what a successful one does. Callers have already
+// ruled out a bad block.
 //
 //eagletree:hotpath
-func (a *Array) injectProgram(p PPA, blk *BlockMeta, done sim.Time) *FaultError {
+func (a *Array) injectProgram(p PPA, bi int, done sim.Time) *FaultError {
 	if a.injector == nil || p.Block < a.injectFrom {
 		return nil
 	}
-	oc := a.injector.Program(blk.EraseCount, done)
+	oc := a.injector.Program(int(a.eraseCount[bi]), done)
 	if oc == fault.OK {
 		return nil
 	}
-	if blk.Free() {
+	if a.writePtr[bi] == 0 { // free: the burn makes it a programmed bucket member
 		a.freePerLUN[p.LUN]--
+		a.bucketAdd(p.LUN, p.Block, int(a.validPages[bi]))
 	}
 	a.pages[a.geo.Index(p)] = PageInvalid
-	blk.WritePtr++
+	a.writePtr[bi]++
 	a.counters.Writes++
 	ferr := &FaultError{Op: FaultProgram, Block: p.BlockOf(), Grown: oc == fault.GrownBad}
 	if ferr.Grown {
@@ -89,14 +91,14 @@ func (a *Array) injectProgram(p PPA, blk *BlockMeta, done sim.Time) *FaultError 
 // grow bad in the field.
 //
 //eagletree:hotpath
-func (a *Array) injectErase(b BlockID, blk *BlockMeta, done sim.Time) *FaultError {
+func (a *Array) injectErase(b BlockID, bi int, done sim.Time) *FaultError {
 	if a.injector == nil || b.Block < a.injectFrom {
 		return nil
 	}
-	if a.injector.Erase(blk.EraseCount, done) == fault.OK {
+	if a.injector.Erase(int(a.eraseCount[bi]), done) == fault.OK {
 		return nil
 	}
-	blk.EraseCount++
+	a.eraseCount[bi]++
 	a.counters.Erases++
 	a.MarkBad(b)
 	return &FaultError{Op: FaultErase, Block: b, Grown: true}

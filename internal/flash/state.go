@@ -77,11 +77,23 @@ type ArrayState struct {
 	LUNs       []ResourceState
 }
 
-// State deep-copies the array's mutable state for a snapshot.
+// State deep-copies the array's mutable state for a snapshot. The block
+// columns are reassembled into the AoS []BlockMeta so the snapshot encoding
+// is independent of the in-memory layout.
 func (a *Array) State() ArrayState {
+	blocks := make([]BlockMeta, len(a.eraseCount))
+	for i := range blocks {
+		blocks[i] = BlockMeta{
+			EraseCount: int(a.eraseCount[i]),
+			LastErase:  a.lastErase[i],
+			ValidPages: int(a.validPages[i]),
+			WritePtr:   int(a.writePtr[i]),
+			Bad:        a.bad[i],
+		}
+	}
 	st := ArrayState{
 		Pages:      append([]PageState(nil), a.pages...),
-		Blocks:     append([]BlockMeta(nil), a.blocks...),
+		Blocks:     blocks,
 		FreePerLUN: append([]int(nil), a.freePerLUN...),
 		Counters:   a.counters,
 		Channels:   make([]ResourceState, len(a.channels)),
@@ -111,8 +123,8 @@ func (a *Array) RestoreState(st ArrayState) error {
 	switch {
 	case len(st.Pages) != len(a.pages):
 		return fmt.Errorf("%w: snapshot has %d pages, array has %d", ErrStateMismatch, len(st.Pages), len(a.pages))
-	case len(st.Blocks) != len(a.blocks):
-		return fmt.Errorf("%w: snapshot has %d blocks, array has %d", ErrStateMismatch, len(st.Blocks), len(a.blocks))
+	case len(st.Blocks) != len(a.eraseCount):
+		return fmt.Errorf("%w: snapshot has %d blocks, array has %d", ErrStateMismatch, len(st.Blocks), len(a.eraseCount))
 	case len(st.FreePerLUN) != len(a.freePerLUN):
 		return fmt.Errorf("%w: snapshot has %d LUN free counts, array has %d", ErrStateMismatch, len(st.FreePerLUN), len(a.freePerLUN))
 	case len(st.Channels) != len(a.channels):
@@ -121,7 +133,14 @@ func (a *Array) RestoreState(st ArrayState) error {
 		return fmt.Errorf("%w: snapshot has %d LUNs, array has %d", ErrStateMismatch, len(st.LUNs), len(a.luns))
 	}
 	copy(a.pages, st.Pages)
-	copy(a.blocks, st.Blocks)
+	for i, b := range st.Blocks {
+		a.eraseCount[i] = int32(b.EraseCount)
+		a.lastErase[i] = b.LastErase
+		a.validPages[i] = int32(b.ValidPages)
+		a.writePtr[i] = int32(b.WritePtr)
+		a.bad[i] = b.Bad
+	}
+	a.rebuildBuckets()
 	copy(a.freePerLUN, st.FreePerLUN)
 	a.counters = st.Counters
 	for i := range a.channels {

@@ -74,17 +74,47 @@ func (s Stream) internal() bool {
 func (s Stream) cold() bool { return s == StreamCold || s == StreamWL || s == StreamGCCold }
 
 type openBlock struct {
-	block int // block index within the LUN
-	next  int // next page to program
+	block  int // block index within the LUN
+	next   int // next page to program
+	active bool
 }
 
+// ecBucket holds the free blocks of one erase-count class in FIFO order:
+// live entries are blocks[head:], Release appends at the back, the young
+// end pops the front and the old end pops the back. Together with the
+// ascending-ec bucket list this reproduces exactly the order of a single
+// flat pool kept sorted young → old with equal-count ties broken by
+// insertion order — but Release is O(1) amortized instead of an O(pool)
+// sorted insert.
+type ecBucket struct {
+	ec     int32
+	head   int
+	blocks []int
+}
+
+func (b *ecBucket) empty() bool { return b.head >= len(b.blocks) }
+
 type lunState struct {
-	free []int // free data-region block indices, sorted young -> old when ageAware
-	// open is indexed by Stream: a dense array instead of a map, because
-	// CanAlloc probes it on every write-readiness check in the dispatch
-	// hot path.
-	open      [NumStreams]*openBlock
+	// Free pool. Exactly one representation is live: a FIFO ring (freeq
+	// with freeHead as the pop index) when allocation is age-blind, or the
+	// erase-count buckets when ageAware. freeN counts live entries in
+	// either.
+	freeq    []int
+	freeHead int
+	buckets  []ecBucket
+	freeN    int
+
+	// open is indexed by Stream: a dense value array instead of a map,
+	// because CanAlloc probes it on every write-readiness check in the
+	// dispatch hot path.
+	open      [NumStreams]openBlock
 	openCount int
+
+	// openMask mirrors open as a bitset of LUN-local block indexes, so
+	// victim scans test frontier membership in O(1) instead of probing all
+	// NumStreams entries. An open block belongs to exactly one stream, so
+	// closing a frontier clears its bit unconditionally.
+	openMask []uint64
 }
 
 // BlockManager owns physical space allocation for the data region: per-LUN
@@ -98,6 +128,13 @@ type BlockManager struct {
 	gcReserve     int
 	ageAware      bool
 	luns          []lunState
+
+	// bWords is the per-LUN bitset width in uint64 words; dataMask has the
+	// data-region block bits set (shared by every LUN); scratch is the
+	// reusable eligibility mask for bucketed victim queries.
+	bWords   int
+	dataMask []uint64
+	scratch  []uint64
 }
 
 // NewBlockManager carves the array into translation and data regions and
@@ -112,6 +149,7 @@ func NewBlockManager(array *flash.Array, reservedTrans, gcReserve int, ageAware 
 	if gcReserve < 1 {
 		gcReserve = 1
 	}
+	bWords := array.BucketWords()
 	bm := &BlockManager{
 		array:         array,
 		geo:           geo,
@@ -119,26 +157,51 @@ func NewBlockManager(array *flash.Array, reservedTrans, gcReserve int, ageAware 
 		gcReserve:     gcReserve,
 		ageAware:      ageAware,
 		luns:          make([]lunState, geo.LUNs()),
+		bWords:        bWords,
+		dataMask:      make([]uint64, bWords),
+		scratch:       make([]uint64, bWords),
 	}
+	for b := reservedTrans; b < geo.BlocksPerLUN; b++ {
+		bm.dataMask[b>>6] |= 1 << (uint(b) & 63)
+	}
+	cols := array.Columns()
 	for lun := range bm.luns {
 		st := &bm.luns[lun]
-		st.free = make([]int, 0, geo.BlocksPerLUN-reservedTrans)
+		st.openMask = make([]uint64, bWords)
+		base := lun * geo.BlocksPerLUN
+		free := make([]int, 0, geo.BlocksPerLUN-reservedTrans)
 		for b := reservedTrans; b < geo.BlocksPerLUN; b++ {
-			if array.Block(flash.BlockID{LUN: lun, Block: b}).Bad {
+			if cols.Bad[base+b] {
 				continue // factory bad block: never part of any pool
 			}
-			st.free = append(st.free, b)
+			free = append(free, b)
 		}
 		if ageAware {
-			lun := lun
-			sort.SliceStable(st.free, func(i, j int) bool {
-				ei := array.Block(flash.BlockID{LUN: lun, Block: st.free[i]}).EraseCount
-				ej := array.Block(flash.BlockID{LUN: lun, Block: st.free[j]}).EraseCount
-				return ei < ej
+			sort.SliceStable(free, func(i, j int) bool {
+				return cols.EraseCount[base+free[i]] < cols.EraseCount[base+free[j]]
 			})
+			for _, b := range free {
+				st.bucketAppend(cols.EraseCount[base+b], b)
+			}
+		} else {
+			st.freeq = free
 		}
+		st.freeN = len(free)
 	}
 	return bm
+}
+
+// bucketAppend adds a block at the back of its erase-count bucket, creating
+// the bucket in ascending-ec position when absent.
+func (ls *lunState) bucketAppend(ec int32, block int) {
+	pos := sort.Search(len(ls.buckets), func(i int) bool { return ls.buckets[i].ec >= ec })
+	if pos < len(ls.buckets) && ls.buckets[pos].ec == ec {
+		ls.buckets[pos].blocks = append(ls.buckets[pos].blocks, block)
+		return
+	}
+	ls.buckets = append(ls.buckets, ecBucket{})
+	copy(ls.buckets[pos+1:], ls.buckets[pos:])
+	ls.buckets[pos] = ecBucket{ec: ec, blocks: []int{block}}
 }
 
 // ReservedTrans returns the number of translation blocks per LUN.
@@ -169,27 +232,28 @@ func (bm *BlockManager) DataPages() int {
 
 // FreeCount returns the number of fully free data blocks in a LUN (open
 // blocks being filled do not count).
-func (bm *BlockManager) FreeCount(lun int) int { return len(bm.luns[lun].free) }
+func (bm *BlockManager) FreeCount(lun int) int { return bm.luns[lun].freeN }
 
 // Alloc returns the next physical page for a write on the given LUN and
 // stream. It returns ErrOutOfSpace if only the GC reserve remains and the
 // stream is external, or ErrNoFreeBlock if the LUN is exhausted entirely.
 func (bm *BlockManager) Alloc(lun int, stream Stream) (flash.PPA, error) {
 	st := &bm.luns[lun]
-	ob := st.open[stream]
-	if ob == nil {
+	ob := &st.open[stream]
+	if !ob.active {
 		b, err := bm.takeFree(lun, stream)
 		if err != nil {
 			return flash.PPA{}, err
 		}
-		ob = &openBlock{block: b}
-		st.open[stream] = ob
+		*ob = openBlock{block: b, active: true}
 		st.openCount++
+		st.openMask[b>>6] |= 1 << (uint(b) & 63)
 	}
 	ppa := flash.PPA{LUN: lun, Block: ob.block, Page: ob.next}
 	ob.next++
 	if ob.next >= bm.geo.PagesPerBlock {
-		st.open[stream] = nil
+		st.openMask[ob.block>>6] &^= 1 << (uint(ob.block) & 63)
+		ob.active = false
 		st.openCount--
 	}
 	return ppa, nil
@@ -198,29 +262,51 @@ func (bm *BlockManager) Alloc(lun int, stream Stream) (flash.PPA, error) {
 // CanAlloc reports whether Alloc would succeed for the stream on this LUN.
 func (bm *BlockManager) CanAlloc(lun int, stream Stream) bool {
 	st := &bm.luns[lun]
-	if st.open[stream] != nil {
+	if st.open[stream].active {
 		return true
 	}
 	if stream.internal() {
-		return len(st.free) > 0
+		return st.freeN > 0
 	}
-	return len(st.free) > bm.gcReserve
+	return st.freeN > bm.gcReserve
 }
 
 func (bm *BlockManager) takeFree(lun int, stream Stream) (int, error) {
 	st := &bm.luns[lun]
-	if len(st.free) == 0 {
+	if st.freeN == 0 {
 		return 0, fmt.Errorf("%w: lun %d stream %v", ErrNoFreeBlock, lun, stream)
 	}
-	if !stream.internal() && len(st.free) <= bm.gcReserve {
-		return 0, fmt.Errorf("%w: lun %d stream %v (%d free)", ErrOutOfSpace, lun, stream, len(st.free))
+	if !stream.internal() && st.freeN <= bm.gcReserve {
+		return 0, fmt.Errorf("%w: lun %d stream %v (%d free)", ErrOutOfSpace, lun, stream, st.freeN)
 	}
-	idx := 0
-	if bm.ageAware && stream.cold() {
-		idx = len(st.free) - 1 // oldest block for cold data
+	st.freeN--
+	if !bm.ageAware {
+		b := st.freeq[st.freeHead]
+		st.freeHead++
+		if st.freeHead == len(st.freeq) {
+			st.freeq = st.freeq[:0]
+			st.freeHead = 0
+		}
+		return b, nil
 	}
-	b := st.free[idx]
-	st.free = append(st.free[:idx], st.free[idx+1:]...)
+	var b int
+	if stream.cold() {
+		// Oldest block for cold data: back of the highest-count bucket.
+		bkt := &st.buckets[len(st.buckets)-1]
+		b = bkt.blocks[len(bkt.blocks)-1]
+		bkt.blocks = bkt.blocks[:len(bkt.blocks)-1]
+		if bkt.empty() {
+			st.buckets = st.buckets[:len(st.buckets)-1]
+		}
+	} else {
+		// Youngest block: front of the lowest-count bucket.
+		bkt := &st.buckets[0]
+		b = bkt.blocks[bkt.head]
+		bkt.head++
+		if bkt.empty() {
+			st.buckets = append(st.buckets[:0], st.buckets[1:]...)
+		}
+	}
 	return b, nil
 }
 
@@ -228,19 +314,15 @@ func (bm *BlockManager) takeFree(lun int, stream Stream) (int, error) {
 // after an erase completes.
 func (bm *BlockManager) Release(b flash.BlockID) {
 	st := &bm.luns[b.LUN]
+	st.freeN++
 	if !bm.ageAware {
-		st.free = append(st.free, b.Block)
+		st.freeq = append(st.freeq, b.Block)
 		return
 	}
-	// Keep the pool sorted young -> old by erase count so dynamic wear
-	// leveling can pick from either end.
-	ec := bm.array.Block(b).EraseCount
-	pos := sort.Search(len(st.free), func(i int) bool {
-		return bm.array.Block(flash.BlockID{LUN: b.LUN, Block: st.free[i]}).EraseCount > ec
-	})
-	st.free = append(st.free, 0)
-	copy(st.free[pos+1:], st.free[pos:])
-	st.free[pos] = b.Block
+	// The bucket list keeps the pool ordered young -> old by erase count so
+	// dynamic wear leveling can pick from either end.
+	ec := bm.array.Columns().EraseCount[bm.geo.BlockIndex(b)]
+	st.bucketAppend(ec, b.Block)
 }
 
 // Condemn removes a retiring block from the manager's books: an open write
@@ -251,28 +333,42 @@ func (bm *BlockManager) Release(b flash.BlockID) {
 // selection and release) condemn to a no-op.
 func (bm *BlockManager) Condemn(b flash.BlockID) {
 	st := &bm.luns[b.LUN]
-	for s, ob := range st.open {
-		if ob != nil && ob.block == b.Block {
-			st.open[s] = nil
+	for s := range st.open {
+		ob := &st.open[s]
+		if ob.active && ob.block == b.Block {
+			st.openMask[b.Block>>6] &^= 1 << (uint(b.Block) & 63)
+			ob.active = false
 			st.openCount--
 		}
 	}
-	for i, blk := range st.free {
-		if blk == b.Block {
-			st.free = append(st.free[:i], st.free[i+1:]...)
-			break
+	if !bm.ageAware {
+		for i := st.freeHead; i < len(st.freeq); i++ {
+			if st.freeq[i] == b.Block {
+				st.freeq = append(st.freeq[:i], st.freeq[i+1:]...)
+				st.freeN--
+				break
+			}
+		}
+		return
+	}
+	for bi := range st.buckets {
+		bkt := &st.buckets[bi]
+		for i := bkt.head; i < len(bkt.blocks); i++ {
+			if bkt.blocks[i] == b.Block {
+				bkt.blocks = append(bkt.blocks[:i], bkt.blocks[i+1:]...)
+				st.freeN--
+				if bkt.empty() {
+					st.buckets = append(st.buckets[:bi], st.buckets[bi+1:]...)
+				}
+				return
+			}
 		}
 	}
 }
 
 // IsOpen reports whether the block is currently an open write frontier.
 func (bm *BlockManager) IsOpen(b flash.BlockID) bool {
-	for _, ob := range bm.luns[b.LUN].open {
-		if ob != nil && ob.block == b.Block {
-			return true
-		}
-	}
-	return false
+	return bm.luns[b.LUN].openMask[b.Block>>6]&(1<<(uint(b.Block)&63)) != 0
 }
 
 // OpenStreams returns how many streams have an open block on the LUN.
@@ -280,28 +376,78 @@ func (bm *BlockManager) OpenStreams(lun int) int { return bm.luns[lun].openCount
 
 // DataBlocks calls fn for every non-bad data-region block in the LUN,
 // including free ones. Wear statistics are computed over this set: free
-// blocks carry erase cycles too.
+// blocks carry erase cycles too. The scan walks the array's metadata
+// columns directly instead of assembling BlockMeta for skipped blocks.
 func (bm *BlockManager) DataBlocks(lun int, fn func(b flash.BlockID, meta flash.BlockMeta)) {
+	cols := bm.array.Columns()
+	base := lun * bm.geo.BlocksPerLUN
 	for blk := bm.reservedTrans; blk < bm.geo.BlocksPerLUN; blk++ {
-		id := flash.BlockID{LUN: lun, Block: blk}
-		meta := bm.array.Block(id)
-		if meta.Bad {
+		i := base + blk
+		if cols.Bad[i] {
 			continue
 		}
-		fn(id, meta)
+		fn(flash.BlockID{LUN: lun, Block: blk}, flash.BlockMeta{
+			EraseCount: int(cols.EraseCount[i]),
+			LastErase:  cols.LastErase[i],
+			ValidPages: int(cols.ValidPages[i]),
+			WritePtr:   int(cols.WritePtr[i]),
+			Bad:        false,
+		})
 	}
+}
+
+// WearStats returns the non-bad data-region block count and the sum of
+// their erase counts — the wear-leveling scan's first pass, computed as one
+// pure column walk.
+func (bm *BlockManager) WearStats(lun int) (blocks, eraseSum int) {
+	cols := bm.array.Columns()
+	base := lun * bm.geo.BlocksPerLUN
+	for blk := bm.reservedTrans; blk < bm.geo.BlocksPerLUN; blk++ {
+		if cols.Bad[base+blk] {
+			continue
+		}
+		blocks++
+		eraseSum += int(cols.EraseCount[base+blk])
+	}
+	return blocks, eraseSum
 }
 
 // VictimCandidates calls fn for every data-region block in the LUN that is
 // eligible as a GC or WL victim: programmed at least partially, not free,
-// not bad, and not an open write frontier.
+// not bad, and not an open write frontier. Frontier membership is one bit
+// test against the open mask.
 func (bm *BlockManager) VictimCandidates(lun int, fn func(b flash.BlockID, meta flash.BlockMeta)) {
+	cols := bm.array.Columns()
+	st := &bm.luns[lun]
+	base := lun * bm.geo.BlocksPerLUN
 	for blk := bm.reservedTrans; blk < bm.geo.BlocksPerLUN; blk++ {
-		id := flash.BlockID{LUN: lun, Block: blk}
-		meta := bm.array.Block(id)
-		if meta.Bad || meta.Free() || bm.IsOpen(id) {
+		i := base + blk
+		if cols.Bad[i] || cols.WritePtr[i] == 0 || st.openMask[blk>>6]&(1<<(uint(blk)&63)) != 0 {
 			continue
 		}
-		fn(id, meta)
+		fn(flash.BlockID{LUN: lun, Block: blk}, flash.BlockMeta{
+			EraseCount: int(cols.EraseCount[i]),
+			LastErase:  cols.LastErase[i],
+			ValidPages: int(cols.ValidPages[i]),
+			WritePtr:   int(cols.WritePtr[i]),
+			Bad:        false,
+		})
 	}
+}
+
+// MinValidVictim returns the GC victim a greedy linear scan over
+// VictimCandidates would pick: the candidate with the fewest valid pages,
+// ties toward the lowest block index, refusing blocks whose every page is
+// live. It answers from the array's (LUN, valid-count) bucket bitsets in
+// O(pagesPerBlock · words) instead of touching every block.
+func (bm *BlockManager) MinValidVictim(lun int) (flash.BlockID, int, bool) {
+	st := &bm.luns[lun]
+	for w := 0; w < bm.bWords; w++ {
+		bm.scratch[w] = bm.dataMask[w] &^ st.openMask[w]
+	}
+	blk, valid, ok := bm.array.MinValidBlock(lun, bm.scratch, bm.geo.PagesPerBlock)
+	if !ok {
+		return flash.BlockID{}, 0, false
+	}
+	return flash.BlockID{LUN: lun, Block: blk}, valid, true
 }

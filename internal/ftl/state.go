@@ -175,14 +175,25 @@ type BlockManagerState struct {
 }
 
 // State deep-copies the block manager's allocation state for a snapshot.
+// The free pool is flattened to the single young→old list the previous flat
+// representation kept, so the encoding is independent of the in-memory
+// structure (FIFO ring or erase-count buckets).
 func (bm *BlockManager) State() BlockManagerState {
 	st := BlockManagerState{LUNs: make([]LUNAllocState, len(bm.luns))}
 	for lun := range bm.luns {
 		ls := &bm.luns[lun]
-		out := LUNAllocState{Free: append([]int(nil), ls.free...)}
-		for s, ob := range ls.open {
-			if ob != nil {
-				out.Open = append(out.Open, OpenBlockState{Stream: uint8(s), Block: ob.block, Next: ob.next})
+		out := LUNAllocState{Free: make([]int, 0, ls.freeN)}
+		if bm.ageAware {
+			for bi := range ls.buckets {
+				bkt := &ls.buckets[bi]
+				out.Free = append(out.Free, bkt.blocks[bkt.head:]...)
+			}
+		} else {
+			out.Free = append(out.Free, ls.freeq[ls.freeHead:]...)
+		}
+		for s := range ls.open {
+			if ls.open[s].active {
+				out.Open = append(out.Open, OpenBlockState{Stream: uint8(s), Block: ls.open[s].block, Next: ls.open[s].next})
 			}
 		}
 		st.LUNs[lun] = out
@@ -190,26 +201,43 @@ func (bm *BlockManager) State() BlockManagerState {
 	return st
 }
 
-// RestoreState overwrites the block manager's allocation state.
+// RestoreState overwrites the block manager's allocation state. The array
+// must already hold the matching snapshot: an age-aware pool re-buckets the
+// flat free list by the blocks' restored erase counts.
 func (bm *BlockManager) RestoreState(st BlockManagerState) error {
 	if len(st.LUNs) != len(bm.luns) {
 		return fmt.Errorf("%w: snapshot has %d LUN alloc states, manager has %d", ErrStateMismatch, len(st.LUNs), len(bm.luns))
 	}
+	cols := bm.array.Columns()
 	for lun := range bm.luns {
 		ls := &bm.luns[lun]
 		src := st.LUNs[lun]
-		ls.free = append(ls.free[:0], src.Free...)
-		ls.open = [NumStreams]*openBlock{}
+		ls.freeq = append(ls.freeq[:0], src.Free...)
+		ls.freeHead = 0
+		ls.buckets = ls.buckets[:0]
+		ls.freeN = len(src.Free)
+		if bm.ageAware {
+			ls.freeq = ls.freeq[:0]
+			base := lun * bm.geo.BlocksPerLUN
+			for _, b := range src.Free {
+				ls.bucketAppend(cols.EraseCount[base+b], b)
+			}
+		}
+		ls.open = [NumStreams]openBlock{}
 		ls.openCount = 0
+		for w := range ls.openMask {
+			ls.openMask[w] = 0
+		}
 		for _, ob := range src.Open {
 			if int(ob.Stream) >= NumStreams {
 				return fmt.Errorf("%w: snapshot open block on unknown stream %d", ErrStateMismatch, ob.Stream)
 			}
-			if ls.open[ob.Stream] != nil {
+			if ls.open[ob.Stream].active {
 				return fmt.Errorf("%w: snapshot has two open blocks on lun %d stream %d", ErrStateMismatch, lun, ob.Stream)
 			}
-			ls.open[ob.Stream] = &openBlock{block: ob.Block, next: ob.Next}
+			ls.open[ob.Stream] = openBlock{block: ob.Block, next: ob.Next, active: true}
 			ls.openCount++
+			ls.openMask[ob.Block>>6] |= 1 << (uint(ob.Block) & 63)
 		}
 	}
 	return nil

@@ -129,6 +129,16 @@ func (r *Random) Pick(cands []Candidate, _ sim.Time, pagesPerBlock int) (int, bo
 	return eligible[r.RNG.Intn(len(eligible))], true
 }
 
+// isGreedy reports whether the policy is the default Greedy ranker (the
+// spec layer constructs it by value, tests sometimes by pointer).
+func isGreedy(p VictimPolicy) bool {
+	switch p.(type) {
+	case Greedy, *Greedy:
+		return true
+	}
+	return false
+}
+
 // Collector decides when a LUN needs garbage collection and which block to
 // reclaim, using the block manager's view of free space and victim
 // candidates.
@@ -197,7 +207,21 @@ func (c *Collector) RestoreState(st CollectorState) error {
 // SelectVictim picks the block to reclaim on a LUN, or false if no candidate
 // is worth collecting. A successful selection is counted as a triggered
 // collection.
+//
+// Greedy's pick — minimum valid pages, ties toward the lowest block index,
+// refuse fully-live blocks — is exactly what the block manager's bucketed
+// min-tracker answers, so the default policy skips materializing the
+// candidate list entirely; ranking policies that need age or randomness
+// still receive the full scan.
 func (c *Collector) SelectVictim(lun int, now sim.Time) (flash.BlockID, bool) {
+	if isGreedy(c.policy) {
+		b, _, ok := c.bm.MinValidVictim(lun)
+		if !ok {
+			return flash.BlockID{}, false
+		}
+		c.triggered[lun]++
+		return b, true
+	}
 	cands := c.scratch[:0]
 	c.bm.VictimCandidates(lun, func(b flash.BlockID, meta flash.BlockMeta) {
 		cands = append(cands, Candidate{Block: b, Meta: meta})

@@ -40,6 +40,43 @@ type Policy interface {
 	Len() int
 }
 
+// Gate is the controller side of class-aware dispatch. Evaluate answers
+// exactly like a Policy's canRun callback and, when the request cannot run,
+// names the wait-class its failure belongs to — or -1 when the failure is
+// not class-wide. Every member of a class waits on the same condition, so
+// one member's failure proves the whole class undispatchable.
+//
+// ClassToken returns a monotonic token per class that changes whenever the
+// class's blocking condition may have cleared. A class that slept at token
+// T provably stays undispatchable while the token still reads T, so the
+// policy skips the entire class with one comparison instead of one
+// evaluation per member.
+//
+// ClassStable returns a token over class membership: while it stands still,
+// every parked member still belongs to the class it parked under. When it
+// moves (a write's stream assignment may have changed), the policy flushes
+// the class back into the scan path for re-classification — examining only
+// the head would miss members whose wait condition changed identity.
+type Gate interface {
+	Evaluate(r *iface.Request) (ok bool, class int)
+	ClassToken(class int) uint64
+	ClassStable(class int) uint64
+}
+
+// ClassedPolicy is implemented by policies that can park whole wait-classes
+// off their scan path. PopClassed is Pop with a Gate instead of a plain
+// canRun callback; dispatch results are identical, only the cost changes:
+// queued-but-unrunnable requests no longer contribute to every scan.
+//
+// WakeRequest moves one parked request back into the scan path when its
+// wait condition changed identity rather than cleared — a read whose page
+// was remapped waits on a different LUN now, which no class token tracks.
+type ClassedPolicy interface {
+	Policy
+	PopClassed(now sim.Time, g Gate) *iface.Request
+	WakeRequest(r *iface.Request, class int)
+}
+
 // qent is one queued request with its arrival sequence number.
 type qent struct {
 	r   *iface.Request
@@ -56,6 +93,12 @@ type queue struct {
 	head   int
 	seq    uint64
 	parked map[*iface.Request]uint64
+
+	// Wait-class side lists (popClassed): whole classes parked off the
+	// scan path. Plain scans (popScan) merge them back in seq order, so
+	// mixed use keeps arrival-order semantics exact.
+	classes  []classList
+	occupied []int // indices of classes with parked entries
 }
 
 func (q *queue) push(r *iface.Request) {
@@ -81,22 +124,28 @@ func (q *queue) release(r *iface.Request) {
 		return
 	}
 	delete(q.parked, r)
+	q.insertBySeq(qent{r, seq})
+}
+
+// insertBySeq re-inserts an entry at its arrival position (by sequence
+// number), keeping the scannable slice seq-ordered.
+func (q *queue) insertBySeq(e qent) {
 	lo, hi := q.head, len(q.items)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if q.items[mid].seq < seq {
+		if q.items[mid].seq < e.seq {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	if lo == len(q.items) {
-		q.items = append(q.items, qent{r, seq})
+		q.items = append(q.items, e)
 		return
 	}
 	q.items = append(q.items, qent{})
 	copy(q.items[lo+1:], q.items[lo:])
-	q.items[lo] = qent{r, seq}
+	q.items[lo] = e
 }
 
 // view returns the scannable requests in arrival order. The slice aliases
@@ -132,10 +181,31 @@ func (q *queue) removeAt(i int) *iface.Request {
 	return r
 }
 
-func (q *queue) len() int { return len(q.items) - q.head + len(q.parked) }
+func (q *queue) len() int {
+	n := len(q.items) - q.head + len(q.parked)
+	for _, ci := range q.occupied {
+		n += len(q.classes[ci].ents) - q.classes[ci].head
+	}
+	return n
+}
+
+// classList is one wait-class's parked entries, seq-ordered, with the token
+// the class slept at. While asleep and the token unchanged, every member is
+// provably undispatchable and the whole list costs one comparison per scan.
+type classList struct {
+	ents   []qent
+	head   int
+	token  uint64 // ClassToken the class slept at
+	stable uint64 // ClassStable the members parked at
+	asleep bool
+}
 
 // FIFO dispatches strictly in arrival order, skipping requests that cannot
 // run yet. It is the baseline every other policy is measured against.
+//
+// Under a Gate (PopClassed), requests that fail with a wait-class park in
+// per-class side lists instead of being rescanned: dispatch cost tracks the
+// handful of runnable candidates, not the queue's length.
 type FIFO struct {
 	q queue
 }
@@ -155,14 +225,259 @@ func (f *FIFO) Unblock(r *iface.Request) { f.q.release(r) }
 // Len implements Policy.
 func (f *FIFO) Len() int { return f.q.len() }
 
-// Pop implements Policy.
+// Pop implements Policy: the plain linear scan in arrival order.
 func (f *FIFO) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
-	for i, e := range f.q.view() {
-		if canRun(e.r) {
-			return f.q.removeAt(i)
+	return f.q.popScan(canRun)
+}
+
+// PopClassed implements ClassedPolicy: arrival-ordered dispatch with whole
+// wait-classes parked off the scan path. The result is exactly Pop's — the
+// lowest-seq dispatchable request — because a sleeping class's members are
+// all guaranteed undispatchable while its token stands still.
+func (f *FIFO) PopClassed(_ sim.Time, g Gate) *iface.Request {
+	return f.q.popClassed(g)
+}
+
+// WakeRequest implements ClassedPolicy: it pulls one parked request out of
+// its class list and back into the scan path at its arrival position.
+func (f *FIFO) WakeRequest(r *iface.Request, class int) { f.q.wakeRequest(r, class) }
+
+// popScan is the plain arrival-order scan. When class lists hold entries
+// (mixed use with popClassed), they are merged into the scan as if every
+// class were awake, so the result is identical to a single arrival-ordered
+// queue.
+func (q *queue) popScan(canRun func(*iface.Request) bool) *iface.Request {
+	if len(q.occupied) == 0 {
+		for i, e := range q.view() {
+			if canRun(e.r) {
+				return q.removeAt(i)
+			}
+		}
+		return nil
+	}
+	cur := make([]int, len(q.occupied))
+	fi := 0
+	const noSeq = ^uint64(0)
+	for {
+		fresh := q.view()
+		bestSeq := noSeq
+		bestIdx := -1 // index into occupied; -1 means the fresh entry wins
+		if fi < len(fresh) {
+			bestSeq = fresh[fi].seq
+		}
+		for oi, ci := range q.occupied {
+			cl := &q.classes[ci]
+			p := cl.head + cur[oi]
+			if p >= len(cl.ents) {
+				continue
+			}
+			if s := cl.ents[p].seq; s < bestSeq {
+				bestSeq, bestIdx = s, oi
+			}
+		}
+		if bestSeq == noSeq {
+			return nil
+		}
+		if bestIdx < 0 {
+			if canRun(fresh[fi].r) {
+				return q.removeAt(fi)
+			}
+			fi++
+			continue
+		}
+		ci := q.occupied[bestIdx]
+		cl := &q.classes[ci]
+		p := cl.head + cur[bestIdx]
+		if canRun(cl.ents[p].r) {
+			r := cl.ents[p].r
+			q.classRemoveAt(ci, p)
+			return r
+		}
+		cur[bestIdx]++
+	}
+}
+
+// popClassed is arrival-ordered dispatch under a Gate. Sleeping classes
+// whose token stands still cost one comparison; everything else is the
+// usual lowest-seq merge over fresh arrivals and awake class heads.
+func (q *queue) popClassed(g Gate) *iface.Request {
+	// Wake phase: flush classes whose membership token moved (parked
+	// entries may belong elsewhere now), then re-arm sleeping classes
+	// whose wake token moved.
+	for oi := 0; oi < len(q.occupied); {
+		ci := q.occupied[oi]
+		cl := &q.classes[ci]
+		if cl.stable != g.ClassStable(ci) {
+			q.classFlush(ci)
+			continue // occupied[oi] was swap-replaced by the flush
+		}
+		if cl.asleep && g.ClassToken(ci) != cl.token {
+			cl.asleep = false
+		}
+		oi++
+	}
+	const noSeq = ^uint64(0)
+	fi := 0
+	for {
+		fresh := q.view()
+		bestSeq := noSeq
+		bestClass := -1
+		if fi < len(fresh) {
+			bestSeq = fresh[fi].seq
+		}
+		for _, ci := range q.occupied {
+			cl := &q.classes[ci]
+			if cl.asleep {
+				continue
+			}
+			if s := cl.ents[cl.head].seq; s < bestSeq {
+				bestSeq, bestClass = s, ci
+			}
+		}
+		if bestSeq == noSeq {
+			return nil
+		}
+		if bestClass < 0 {
+			e := fresh[fi]
+			ok, class := g.Evaluate(e.r)
+			if ok {
+				return q.removeAt(fi)
+			}
+			if class >= 0 {
+				q.removeAt(fi)
+				q.classPark(class, e, g)
+				continue // the next entry slid into slot fi
+			}
+			fi++ // unclassable failure: stays in the scan path
+			continue
+		}
+		cl := &q.classes[bestClass]
+		e := cl.ents[cl.head]
+		ok, class := g.Evaluate(e.r)
+		if ok {
+			q.classRemoveAt(bestClass, cl.head)
+			return e.r
+		}
+		if class == bestClass {
+			// The class still waits on the same condition: back to sleep
+			// until the token moves again. Its remaining members need no
+			// evaluation — they fail for the same reason the head did.
+			cl.asleep = true
+			cl.token = g.ClassToken(bestClass)
+			continue
+		}
+		// The head's wait moved elsewhere: re-park it under its current
+		// class, or back into the scan path when the failure is not
+		// class-wide.
+		q.classRemoveAt(bestClass, cl.head)
+		if class >= 0 {
+			q.classPark(class, e, g)
+		} else {
+			q.insertBySeq(e)
 		}
 	}
-	return nil
+}
+
+// wakeRequest pulls one request out of its class list and back into the
+// scan path at its arrival position.
+func (q *queue) wakeRequest(r *iface.Request, class int) {
+	if class < 0 || class >= len(q.classes) {
+		return
+	}
+	cl := &q.classes[class]
+	for i := cl.head; i < len(cl.ents); i++ {
+		if cl.ents[i].r != r {
+			continue
+		}
+		e := cl.ents[i]
+		q.classRemoveAt(class, i)
+		q.insertBySeq(e)
+		return
+	}
+}
+
+// classPark files an entry under a wait-class and puts the class to sleep
+// at the current token: the entry just evaluated undispatchable, and its
+// failure condition is shared by every member.
+func (q *queue) classPark(ci int, e qent, g Gate) {
+	for ci >= len(q.classes) {
+		q.classes = append(q.classes, classList{})
+	}
+	cl := &q.classes[ci]
+	if cl.head == len(cl.ents) {
+		if cl.head > 0 {
+			cl.ents = cl.ents[:0]
+			cl.head = 0
+		}
+		q.occupied = append(q.occupied, ci)
+	}
+	if n := len(cl.ents); n == cl.head || cl.ents[n-1].seq < e.seq {
+		cl.ents = append(cl.ents, e)
+	} else {
+		// A re-parked entry with an older arrival position (a retargeted
+		// read): ordered insert keeps the list scannable in seq order.
+		lo, hi := cl.head, len(cl.ents)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cl.ents[mid].seq < e.seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		cl.ents = append(cl.ents, qent{})
+		copy(cl.ents[lo+1:], cl.ents[lo:])
+		cl.ents[lo] = e
+	}
+	cl.asleep = true
+	cl.token = g.ClassToken(ci)
+	cl.stable = g.ClassStable(ci)
+}
+
+// classFlush returns every parked member of a class to the scan path at its
+// arrival position: the class's membership token moved, so each entry must
+// be re-evaluated and re-classified individually.
+func (q *queue) classFlush(ci int) {
+	cl := &q.classes[ci]
+	for i := cl.head; i < len(cl.ents); i++ {
+		q.insertBySeq(cl.ents[i])
+		cl.ents[i] = qent{}
+	}
+	cl.ents = cl.ents[:0]
+	cl.head = 0
+	cl.asleep = false
+	for oi, c := range q.occupied {
+		if c == ci {
+			q.occupied[oi] = q.occupied[len(q.occupied)-1]
+			q.occupied = q.occupied[:len(q.occupied)-1]
+			break
+		}
+	}
+}
+
+// classRemoveAt removes the entry at index i (into ents) from a class list,
+// reclaiming the list when it empties.
+func (q *queue) classRemoveAt(ci, i int) {
+	cl := &q.classes[ci]
+	if i == cl.head {
+		cl.ents[i] = qent{}
+		cl.head++
+	} else {
+		copy(cl.ents[i:], cl.ents[i+1:])
+		cl.ents[len(cl.ents)-1] = qent{}
+		cl.ents = cl.ents[:len(cl.ents)-1]
+	}
+	if cl.head == len(cl.ents) {
+		cl.ents = cl.ents[:0]
+		cl.head = 0
+		for oi, c := range q.occupied {
+			if c == ci {
+				q.occupied[oi] = q.occupied[len(q.occupied)-1]
+				q.occupied = q.occupied[:len(q.occupied)-1]
+				break
+			}
+		}
+	}
 }
 
 // Preference biases a Priority policy between request types.
@@ -314,14 +629,34 @@ func (p *Priority) score(r *iface.Request) int {
 // Pop implements Policy.
 func (p *Priority) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request {
 	for b := range p.buckets {
-		for i, e := range p.buckets[b].q.view() {
-			if canRun(e.r) {
-				p.n--
-				return p.buckets[b].q.removeAt(i)
-			}
+		if r := p.buckets[b].q.popScan(canRun); r != nil {
+			p.n--
+			return r
 		}
 	}
 	return nil
+}
+
+// PopClassed implements ClassedPolicy: bucket-major dispatch with each
+// bucket's wait-classes parked off its scan path. Selection is identical to
+// Pop's — the highest-scoring bucket's earliest dispatchable request —
+// because a bucket's sleeping classes are provably undispatchable while
+// their tokens stand still.
+func (p *Priority) PopClassed(_ sim.Time, g Gate) *iface.Request {
+	for b := range p.buckets {
+		if r := p.buckets[b].q.popClassed(g); r != nil {
+			p.n--
+			return r
+		}
+	}
+	return nil
+}
+
+// WakeRequest implements ClassedPolicy. The score is a pure function of
+// immutable request fields, so it finds the same bucket the request parked
+// in.
+func (p *Priority) WakeRequest(r *iface.Request, class int) {
+	p.bucketFor(p.score(r)).wakeRequest(r, class)
 }
 
 // Deadline gives each request a deadline from its submission time, by type.

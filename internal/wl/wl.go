@@ -121,13 +121,10 @@ func (l *Leveler) Victims(now sim.Time) []flash.BlockID {
 
 func (l *Leveler) victimsForLUN(lun int, now sim.Time, out []flash.BlockID) []flash.BlockID {
 	// First pass: erase-count statistics over every block in the LUN's data
-	// region. Free blocks carry wear too; counting only occupied blocks
-	// would bias the mean toward whatever happens to hold data right now.
-	var sumErase, n int
-	l.bm.DataBlocks(lun, func(_ flash.BlockID, meta flash.BlockMeta) {
-		sumErase += meta.EraseCount
-		n++
-	})
+	// region — a single walk of the erase-count column. Free blocks carry
+	// wear too; counting only occupied blocks would bias the mean toward
+	// whatever happens to hold data right now.
+	n, sumErase := l.bm.WearStats(lun)
 	if n == 0 {
 		return out
 	}
