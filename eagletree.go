@@ -36,9 +36,13 @@
 package eagletree
 
 import (
+	"context"
+	"io"
+
 	"eagletree/internal/controller"
 	"eagletree/internal/core"
 	"eagletree/internal/experiment"
+	"eagletree/internal/fabric"
 	"eagletree/internal/fault"
 	"eagletree/internal/flash"
 	"eagletree/internal/gc"
@@ -612,6 +616,30 @@ func SuiteSpecs(full bool) []ExperimentSpec {
 		return experiment.SuiteSpecs(experiment.Full)
 	}
 	return experiment.SuiteSpecs(experiment.Small)
+}
+
+// Distributed sweep fabric: shard a spec document's variant grid across
+// worker processes and merge the rows back byte-identically to a sequential
+// run. See internal/fabric and DESIGN.md "Distributed sweep fabric".
+type (
+	// FabricOptions configures a distributed sweep coordinator.
+	FabricOptions = fabric.Options
+	// FabricWorkerOptions configures one worker session.
+	FabricWorkerOptions = fabric.WorkerOptions
+)
+
+// RunDistributed executes a spec document's variant grid across worker
+// processes — subprocesses, TCP connections, or supplied transports — and
+// merges the rows deterministically by grid position.
+func RunDistributed(ctx context.Context, doc ExperimentSpec, opts FabricOptions) (Results, error) {
+	return fabric.Run(ctx, doc, opts)
+}
+
+// ServeWorker runs one sweep-fabric worker session over a byte stream until
+// the coordinator shuts it down; `eagletree worker` is this over
+// stdin/stdout or a TCP connection.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts FabricWorkerOptions) error {
+	return fabric.Serve(ctx, r, w, opts)
 }
 
 // DefaultConfig returns a mid-size SSD: 4 channels × 2 LUNs, 256 blocks per

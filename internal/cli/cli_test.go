@@ -11,23 +11,13 @@ import (
 	"eagletree/internal/spec"
 )
 
-var updateGolden = flag.Bool("update-cli-golden", false, "rewrite the CLI help golden file")
+var updateGolden = flag.Bool("update-cli-golden", false, "rewrite the CLI help golden files")
 
-// TestRunHelpGolden pins the generated `eagletree run` help text — the
-// component choices and docs rendered from the registry — to a golden file.
-// Registering a new component (or editing a doc string) changes the help, so
-// this test fails until the golden is regenerated with
-//
-//	go test ./internal/cli -run TestRunHelpGolden -args -update-cli-golden
-//
-// which is exactly the reminder that the CLI surface is registry-generated.
-func TestRunHelpGolden(t *testing.T) {
-	var stdout, stderr bytes.Buffer
-	if code := Main([]string{"run", "-h"}, &stdout, &stderr); code != 2 {
-		t.Fatalf("run -h exited %d, want 2 (flag.ErrHelp)", code)
-	}
-	got := stderr.String()
-	path := filepath.Join("testdata", "help-run.golden")
+// checkGolden compares got against testdata/name, rewriting the file when the
+// test binary runs with -args -update-cli-golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -42,8 +32,51 @@ func TestRunHelpGolden(t *testing.T) {
 		t.Fatalf("%v — regenerate with -args -update-cli-golden", err)
 	}
 	if got != string(want) {
-		t.Errorf("generated run help drifted from %s — a component registration or doc changed; regenerate with -args -update-cli-golden\ngot:\n%s", path, got)
+		t.Errorf("output drifted from %s — regenerate with -args -update-cli-golden\ngot:\n%s", path, got)
 	}
+}
+
+// TestRunHelpGolden pins the generated `eagletree run` help text — the
+// component choices and docs rendered from the registry — to a golden file.
+// Registering a new component (or editing a doc string) changes the help, so
+// this test fails until the golden is regenerated with
+//
+//	go test ./internal/cli -run TestRunHelpGolden -args -update-cli-golden
+//
+// which is exactly the reminder that the CLI surface is registry-generated.
+func TestRunHelpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"run", "-h"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run -h exited %d, want 2 (flag.ErrHelp)", code)
+	}
+	checkGolden(t, "help-run.golden", stderr.String())
+}
+
+// TestUsageGolden pins the top-level command index, and TestSweepHelpGolden /
+// TestWorkerHelpGolden pin the distributed-sweep flag surfaces, so a flag
+// rename or help-text edit is a reviewed diff rather than a silent drift.
+func TestUsageGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"help"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("help exited %d, want 0", code)
+	}
+	checkGolden(t, "help-usage.golden", stdout.String())
+}
+
+func TestSweepHelpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"sweep", "-h"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("sweep -h exited %d, want 2 (flag.ErrHelp)", code)
+	}
+	checkGolden(t, "help-sweep.golden", stderr.String())
+}
+
+func TestWorkerHelpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"worker", "-h"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("worker -h exited %d, want 2 (flag.ErrHelp)", code)
+	}
+	checkGolden(t, "help-worker.golden", stderr.String())
 }
 
 // TestRunHelpCoversRegistry: every registered component name of every kind

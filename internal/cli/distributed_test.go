@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"eagletree/internal/experiment"
+	"eagletree/internal/fabric"
+	"eagletree/internal/spec"
+)
+
+// workerChildEnv re-execs this test binary into `eagletree worker` — the
+// coordinator's subprocess transport needs a real worker process on the other
+// end of stdin/stdout, and the test binary itself is the only binary the test
+// can rely on existing.
+const workerChildEnv = "EAGLETREE_WORKER_CHILD"
+
+// TestDistributedSubprocess drives the whole subprocess transport end to end:
+// the coordinator spawns two copies of this test binary as stdio workers (via
+// the env-var re-exec above), shards a small aged-device sweep across them,
+// and the merged rows must be byte-identical to the sequential run. This is
+// the one test where the worker lives in another process — pipes, process
+// lifecycle, and the CLI worker entry point included.
+func TestDistributedSubprocess(t *testing.T) {
+	if os.Getenv(workerChildEnv) == "1" {
+		os.Exit(Main([]string{"worker", "-serve=stdio", "-quiet"}, os.Stdout, os.Stderr))
+	}
+	if testing.Short() {
+		t.Skip("runs full small-scale experiments in subprocesses")
+	}
+
+	var doc spec.Experiment
+	for _, e := range experiment.SuiteSpecs(experiment.Small) {
+		if strings.HasPrefix(e.Name, "E2-") {
+			doc = e
+			break
+		}
+	}
+	if doc.Name == "" {
+		t.Fatal("no E2 suite experiment")
+	}
+
+	def, err := experiment.FromSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiment.New(experiment.Options{Workers: 1}).Run(context.Background(), def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv(workerChildEnv, "1")
+	var workerLog bytes.Buffer
+	got, err := fabric.Run(context.Background(), doc, fabric.Options{
+		Workers:      2,
+		Command:      []string{os.Args[0], "-test.run=^TestDistributedSubprocess$"},
+		WorkerStderr: &workerLog,
+	})
+	if err != nil {
+		t.Fatalf("distributed run: %v (worker stderr:\n%s)", err, workerLog.String())
+	}
+
+	dump := func(res experiment.Results) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s\n", res.Name)
+		for _, r := range res.Rows {
+			fmt.Fprintf(&b, "%#v\n", r)
+		}
+		return b.String()
+	}
+	if dump(got) != dump(want) {
+		t.Errorf("subprocess-distributed rows diverge from sequential:\n--- distributed\n%s--- sequential\n%s",
+			dump(got), dump(want))
+	}
+}

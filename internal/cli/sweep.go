@@ -9,10 +9,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"eagletree/internal/experiment"
+	"eagletree/internal/fabric"
 	"eagletree/internal/sim"
 	"eagletree/internal/spec"
 )
@@ -68,19 +70,14 @@ func addSweepOutput(fs *flag.FlagSet) *sweepOutput {
 	return o
 }
 
-// runDefinitions executes compiled definitions under an interrupt-aware
-// context through the streaming Runner and renders their results. The first
-// ^C cancels mid-sweep: workers drain, the partial row prefix prints, and the
-// process exits non-zero. A second ^C hard-exits immediately — the escape
-// hatch when a variant refuses to drain.
-func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
+// interruptContext returns a context canceled by the first interrupt; a
+// second interrupt hard-exits with code 130 — the escape hatch when a sweep
+// refuses to drain. The returned stop func releases the signal handler.
+func interruptContext(stderr io.Writer) (context.Context, func()) {
 	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
 	done := make(chan struct{})
-	defer close(done)
 	go func() {
 		select {
 		case <-sigc:
@@ -95,6 +92,42 @@ func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *
 		case <-done:
 		}
 	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() {
+			cancel()
+			signal.Stop(sigc)
+			close(done)
+		})
+	}
+}
+
+// renderResults prints one experiment's result set: table, chart, timelines,
+// the E12 game score, CSV. The in-process and distributed sweeps share this
+// renderer, so their stdout is comparable byte for byte.
+func renderResults(stdout io.Writer, res experiment.Results, out *sweepOutput) {
+	fmt.Fprintln(stdout, res.Table())
+	if *out.chart {
+		fmt.Fprintln(stdout, res.Chart(experiment.MetricThroughput, 40))
+	}
+	if *out.timeline {
+		fmt.Fprintln(stdout, res.Timelines())
+	}
+	if res.Name == "E12-game" {
+		printGame(stdout, res)
+	}
+	if *out.csv {
+		fmt.Fprintln(stdout, res.CSV())
+	}
+}
+
+// runDefinitions executes compiled definitions under an interrupt-aware
+// context through the streaming Runner and renders their results. The first
+// ^C cancels mid-sweep: workers drain, the partial row prefix prints, and the
+// process exits non-zero.
+func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
+	ctx, stop := interruptContext(stderr)
+	defer stop()
 	if progress {
 		opts.Observer = progressObserver{w: stderr}
 	}
@@ -111,21 +144,70 @@ func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *
 			}
 			return fail(stderr, err)
 		}
-		fmt.Fprintln(stdout, res.Table())
-		if *out.chart {
-			fmt.Fprintln(stdout, res.Chart(experiment.MetricThroughput, 40))
-		}
-		if *out.timeline {
-			fmt.Fprintln(stdout, res.Timelines())
-		}
-		if def.Name == "E12-game" {
-			printGame(stdout, res)
-		}
-		if *out.csv {
-			fmt.Fprintln(stdout, res.CSV())
-		}
+		renderResults(stdout, res, out)
 	}
 	return 0
+}
+
+// runDistributed shards each document's variant grid over worker processes —
+// -distribute N local subprocesses of this same binary, and/or -connect'ed
+// TCP workers — and renders the deterministically merged results through the
+// same renderer as the in-process path.
+func runDistributed(docs []spec.Experiment, distribute int, connect, cacheDir string, timeline bool, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
+	ctx, stop := interruptContext(stderr)
+	defer stop()
+	opts := fabric.Options{
+		Connect:      splitList(connect),
+		WorkerStderr: stderr,
+	}
+	if distribute > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fail(stderr, fmt.Errorf("resolving worker binary: %w", err))
+		}
+		argv := []string{exe, "worker", "-serve=stdio", "-quiet"}
+		if cacheDir != "" {
+			argv = append(argv, "-state-cache", cacheDir)
+		}
+		opts.Workers = distribute
+		opts.Command = argv
+	}
+	if cacheDir != "" {
+		opts.Cache = experiment.NewStateCache(cacheDir)
+	}
+	if timeline {
+		opts.SeriesBucket = 20 * sim.Millisecond
+	}
+	if progress {
+		opts.Observer = progressObserver{w: stderr}
+		opts.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	}
+	for _, doc := range docs {
+		res, err := fabric.Run(ctx, doc, opts)
+		if err != nil {
+			if errors.Is(err, experiment.ErrCanceled) {
+				if len(res.Rows) > 0 {
+					fmt.Fprintln(stdout, res.Table())
+				}
+				fmt.Fprintf(stderr, "eagletree: %v\n", err)
+				return 130
+			}
+			return fail(stderr, err)
+		}
+		renderResults(stdout, res, out)
+	}
+	return 0
+}
+
+// splitList parses a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var parts []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
 }
 
 // cmdSweep runs the predefined design-space experiments (E1–E14) — or any
@@ -141,6 +223,9 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 		cacheDir = fs.String("state-cache", "", "persist prepared device states under this directory; repeated sweeps restore instead of re-aging")
 		fresh    = fs.Bool("fresh", false, "disable prepared-state reuse: every variant ages its own device (the slow reference path)")
 		progress = fs.Bool("progress", true, "stream live per-variant progress (cache provenance, timings) to stderr")
+
+		distribute = fs.Int("distribute", 0, "shard variants across N worker subprocesses of this binary (0 = run in-process)")
+		connect    = fs.String("connect", "", "also lease variants to remote workers at these comma-separated host:port addresses (see 'eagletree worker -listen')")
 	)
 	out := addSweepOutput(fs)
 	prof := addProfileFlags(fs)
@@ -207,6 +292,22 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 		if len(selected) == 0 {
 			return fail(stderr, fmt.Errorf("no experiment matches %q (try 'eagletree list')", *run))
 		}
+	}
+
+	if *distribute > 0 || *connect != "" {
+		// The fabric hands workers the spec documents themselves; flags that
+		// tune the in-process runner have no meaning there, and ignoring them
+		// would run something other than what was asked for.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" || f.Name == "fresh" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fail(stderr, fmt.Errorf("-%s does not apply to a distributed sweep (each worker runs one variant at a time)", conflict))
+		}
+		return runDistributed(selected, *distribute, *connect, *cacheDir, *out.timeline, out, *progress, stdout, stderr)
 	}
 
 	var defs []experiment.Definition

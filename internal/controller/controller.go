@@ -231,6 +231,12 @@ type reqState struct {
 	waitClass   int32 // dispatch wait-class this request is parked under; -1 when none
 	waitRead    bool  // parked read indexed in readWait for retarget wake-ups
 
+	// Completion bookkeeping hoisted out of the per-completion path: the
+	// watched-thread sink is resolved once at submit and revalidated with
+	// one epoch compare in finish, instead of a map lookup per completion.
+	tsink      *stats.ThreadStats
+	tsinkEpoch uint64 // stats.SinkEpoch when tsink was cached
+
 	next  []*iface.Request // unblocked when this request completes
 	trans ftl.TransOp      // payload for opTrans*
 	src   flash.PPA        // explicit source page (GC/WL migrations)
@@ -590,7 +596,12 @@ func (c *Controller) Submit(r *iface.Request) {
 		}
 	}
 	c.scheduleWLScan() // re-arm the static WL scan if it went quiet
-	attach(r, c.newState(opData))
+	st := c.newState(opData)
+	if r.Source == iface.SourceApp {
+		st.tsink = c.stats.ThreadSink(r.Thread)
+		st.tsinkEpoch = c.stats.SinkEpoch()
+	}
+	attach(r, st)
 	if r.Type == iface.Write && r.Source == iface.SourceApp && c.buffer != nil {
 		c.counters.BufferedWrites++
 		c.bufferWrite(r)

@@ -484,7 +484,11 @@ func (c *Controller) finish(r *iface.Request, at sim.Time) {
 	st := stateOf(r)
 	r.Completed = at
 	if !st.buffered {
-		c.stats.RecordCompletion(r)
+		if st.tsinkEpoch == c.stats.SinkEpoch() {
+			c.stats.RecordCompletionTo(r, st.tsink)
+		} else {
+			c.stats.RecordCompletion(r)
+		}
 	}
 	c.unblockSuccessors(st)
 	// Detach before any callback below: OnComplete may synchronously submit

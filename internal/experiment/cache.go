@@ -23,6 +23,13 @@ import (
 type StateCache struct {
 	dir string
 
+	// remoteFetch, when set, is consulted between the disk store and a local
+	// build: a distributed-sweep worker points it at its coordinator, so one
+	// process's preparation serves every worker's variants. publish mirrors a
+	// locally built state back to that remote store, best-effort.
+	remoteFetch func(key string) ([]byte, error)
+	publish     func(key string, data []byte)
+
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 }
@@ -77,9 +84,22 @@ func (c *StateCache) Fetch(key string, build func() ([]byte, error)) (data []byt
 		close(e.ready)
 		return data, true, nil
 	}
+	if c.remoteFetch != nil {
+		// A remote miss and a remote failure both fall through to the local
+		// build: the remote store is an accelerator, never a dependency.
+		if data, err := c.remoteFetch(key); err == nil && data != nil {
+			e.data = data
+			c.saveDisk(key, data)
+			close(e.ready)
+			return data, true, nil
+		}
+	}
 	e.data, e.err = build()
 	if e.err == nil {
 		c.saveDisk(key, e.data)
+		if c.publish != nil {
+			c.publish(key, e.data)
+		}
 	}
 	close(e.ready)
 	if e.err != nil {
@@ -90,6 +110,53 @@ func (c *StateCache) Fetch(key string, build func() ([]byte, error)) (data []byt
 		c.mu.Unlock()
 	}
 	return e.data, false, e.err
+}
+
+// SetRemote attaches a secondary store consulted between the disk cache and
+// a local build. fetch returns the encoded snapshot for a key, or (nil, nil)
+// on a remote miss; publish (optional) is handed every locally built state.
+// Set it before the cache is shared across goroutines — the fields are not
+// synchronized.
+func (c *StateCache) SetRemote(fetch func(key string) ([]byte, error), publish func(key string, data []byte)) {
+	c.remoteFetch = fetch
+	c.publish = publish
+}
+
+// Peek returns the encoded snapshot for key if it is already present in
+// memory or on disk, without building and without consulting the remote
+// store. A key whose build is in flight counts as present: Peek waits for it,
+// so a coordinator serving concurrent workers never races a local build.
+func (c *StateCache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.data, e.err == nil
+	}
+	c.mu.Unlock()
+	data := c.loadDisk(key)
+	if data == nil {
+		return nil, false
+	}
+	c.Put(key, data)
+	return data, true
+}
+
+// Put inserts an already-encoded snapshot — one received over a transport,
+// say. An existing entry (even an in-flight build) wins: the first state
+// bound to a key stays bound to it. The caller is responsible for having
+// verified the payload (snapshot.Verify); Put stores bytes, not trust.
+func (c *StateCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	if _, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{ready: make(chan struct{}), data: data}
+	close(e.ready)
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.saveDisk(key, data)
 }
 
 // path maps a key to a stable filename; keys are long canonical

@@ -23,6 +23,10 @@ var ErrCanceled = errors.New("experiment: run canceled")
 // ErrNoVariants reports a definition with nothing to run.
 var ErrNoVariants = errors.New("experiment: definition has no variants")
 
+// ErrUnknownEventKind reports an event-kind value or name outside the
+// declared set — a stream produced by a newer binary, usually.
+var ErrUnknownEventKind = errors.New("experiment: unknown event kind")
+
 // CanceledError is the typed error of a canceled run: the partial Results
 // returned alongside it hold the first Completed variants' rows — a prefix,
 // in definition order, bit-identical to the same prefix of an uncancelled
@@ -116,6 +120,37 @@ func (k EventKind) String() string {
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
+}
+
+// MarshalText serializes the kind by name, so event streams crossing a
+// process boundary (the distributed sweep fabric's NDJSON wire) stay readable
+// and stable even if the iota order ever changes.
+func (k EventKind) MarshalText() ([]byte, error) {
+	s := k.String()
+	if _, err := ParseEventKind(s); err != nil {
+		return nil, fmt.Errorf("cannot marshal %s: %w", s, ErrUnknownEventKind)
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText parses a kind name produced by MarshalText.
+func (k *EventKind) UnmarshalText(text []byte) error {
+	kind, err := ParseEventKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = kind
+	return nil
+}
+
+// ParseEventKind maps an event-kind name back to its value.
+func ParseEventKind(s string) (EventKind, error) {
+	for k := EventVariantQueued; k <= EventExperimentDone; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownEventKind, s)
 }
 
 // Event is one observation of a running experiment. Events stream to the

@@ -1,0 +1,35 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// BenchmarkDistributedSweepE2 measures the fabric's end-to-end budget for one
+// distributed sweep: handshake, every lease round-trip, the delegated
+// preparation build with its put/fetch state transfers, and the ordered
+// merge. One in-process worker over a synchronous pipe keeps the measurement
+// deterministic (no scheduling-dependent lease placement), so it prices the
+// coordination overhead itself — the quantity the benchgate budget guards —
+// not parallel speedup.
+func BenchmarkDistributedSweepE2(b *testing.B) {
+	doc := suiteDoc(b, "E2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		coordSide, workerSide := net.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			done <- Serve(context.Background(), workerSide, workerSide, WorkerOptions{})
+		}()
+		if _, err := Run(context.Background(), doc, Options{Conns: []io.ReadWriteCloser{coordSide}}); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil && !errors.Is(err, io.ErrClosedPipe) {
+			b.Fatal(err)
+		}
+		workerSide.Close()
+	}
+}

@@ -1,0 +1,177 @@
+// Package fabric implements the distributed sweep fabric: a coordinator that
+// shards a spec document's variant grid across worker processes and merges
+// their rows back deterministically.
+//
+// The wire protocol is line-oriented NDJSON — one JSON message per line —
+// carried over any byte stream: a worker subprocess's stdin/stdout, or a TCP
+// connection to `eagletree worker -listen`. The coordinator hands out
+// (canonical-config-key, variant-index) leases one at a time per worker;
+// workers execute each lease through the experiment Runner's lease-granular
+// entry, stream its lifecycle events back live, and return the finished Row.
+// Rows merge by grid position, so the assembled Results are byte-identical to
+// a sequential sweep regardless of worker count, lease order, or mid-run
+// worker crashes (a lost lease is re-issued; completed rows stand).
+//
+// Device preparation stays content-addressed: a worker first consults the
+// coordinator's StateCache by canonical key, and only encoded snapshots ever
+// cross the wire. A miss delegates the build to the requesting worker, whose
+// published result then serves every other worker waiting on the same key.
+//
+// Truncated, corrupted or out-of-protocol input surfaces as this package's
+// typed errors — never a panic, matching the snapshot codec's fuzz contract.
+//
+//eagletree:typederrors
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"eagletree/internal/experiment"
+)
+
+// ProtoVersion is the wire protocol version; both ends must agree exactly.
+// The handshake rejects a mismatch before any lease is granted.
+const ProtoVersion = 1
+
+// Errors reported by the codec. Wrapped with detail; match with errors.Is.
+var (
+	// ErrTruncated marks a message cut off mid-value — a dying peer.
+	ErrTruncated = errors.New("fabric: truncated message")
+	// ErrMalformed marks bytes that do not parse as a protocol message.
+	ErrMalformed = errors.New("fabric: malformed message")
+)
+
+// ErrNoWorkers reports a Run with no transport to lease variants over.
+var ErrNoWorkers = errors.New("fabric: no workers")
+
+// ProtocolError reports a well-formed message that violates the protocol:
+// an unknown message type, a version mismatch, a lease for a variant the
+// worker computed a different canonical key for.
+type ProtocolError struct {
+	Reason string
+}
+
+func (e *ProtocolError) Error() string { return "fabric: protocol error: " + e.Reason }
+
+// Message types. The coordinator sends hello, lease, state and shutdown; a
+// worker sends ready, event, fetch, put, result and failed.
+const (
+	// MsgHello opens a session: protocol version, the spec document the
+	// sweep runs, and an optional series-bucket override.
+	MsgHello = "hello"
+	// MsgReady answers hello: the worker compiled the document and reports
+	// its variant count and canonical-key digest for skew detection.
+	MsgReady = "ready"
+	// MsgLease grants one variant: its grid index and canonical key.
+	MsgLease = "lease"
+	// MsgEvent streams one runner lifecycle event back to the coordinator.
+	MsgEvent = "event"
+	// MsgResult returns a finished variant's row.
+	MsgResult = "result"
+	// MsgFailed returns a variant whose execution errored or panicked.
+	MsgFailed = "failed"
+	// MsgFetch asks the coordinator's state cache for a prepared snapshot.
+	MsgFetch = "fetch"
+	// MsgState answers fetch: the encoded snapshot, or a miss delegating
+	// the build to the asking worker.
+	MsgState = "state"
+	// MsgPut publishes a locally built snapshot to the coordinator's cache.
+	MsgPut = "put"
+	// MsgShutdown ends the session; the worker exits its serve loop.
+	MsgShutdown = "shutdown"
+)
+
+// Msg is the wire envelope: one NDJSON line per message, the unused fields
+// of each type left empty. A single envelope keeps the codec trivially
+// fuzzable — any well-formed JSON object decodes, and validation happens at
+// the protocol layer where the reply can say what was wrong.
+type Msg struct {
+	Type string `json:"type"`
+
+	// Handshake (hello/ready).
+	Version      int             `json:"version,omitempty"`
+	Spec         json.RawMessage `json:"spec,omitempty"`
+	SeriesBucket int64           `json:"series_bucket,omitempty"` // ns
+	Count        int             `json:"count,omitempty"`
+	Sum          string          `json:"sum,omitempty"`
+
+	// Lease identity (lease/result/failed/event).
+	Index int    `json:"index"`
+	Key   string `json:"key,omitempty"` // also fetch/state/put
+
+	// Event payload. Kind is never omitempty: EventVariantQueued is the
+	// zero kind and must survive the round trip.
+	Kind     experiment.EventKind `json:"kind"`
+	Variant  string               `json:"variant,omitempty"`
+	Variants int                  `json:"variants,omitempty"`
+	Wall     int64                `json:"wall,omitempty"` // ns; also result
+
+	// Failure payload (failed; also event error text).
+	Error string `json:"error,omitempty"`
+	Panic bool   `json:"panic,omitempty"`
+
+	// Result payload.
+	Row *experiment.Row `json:"row,omitempty"`
+
+	// State transfer (state/put). JSON base64-encodes the snapshot bytes.
+	Miss bool   `json:"miss,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// knownTypes gates Recv: a type outside the protocol is a ProtocolError.
+var knownTypes = map[string]bool{
+	MsgHello: true, MsgReady: true, MsgLease: true, MsgEvent: true,
+	MsgResult: true, MsgFailed: true, MsgFetch: true, MsgState: true,
+	MsgPut: true, MsgShutdown: true,
+}
+
+// Codec frames Msg values as NDJSON over a byte stream. Sends are serialized
+// by an internal mutex so a worker's variant goroutine and its reply paths
+// can share one connection; Recv is single-consumer.
+type Codec struct {
+	dec *json.Decoder
+	wmu sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewCodec wraps a read and a write stream (often the same connection).
+func NewCodec(r io.Reader, w io.Writer) *Codec {
+	return &Codec{dec: json.NewDecoder(r), w: w, enc: json.NewEncoder(w)}
+}
+
+// Send writes one message as a single NDJSON line.
+func (c *Codec) Send(m Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(&m); err != nil {
+		return fmt.Errorf("fabric: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv reads the next message. A clean end of stream is io.EOF; a stream
+// ending mid-message is ErrTruncated; bytes that do not parse are
+// ErrMalformed; a parsed message of unknown type is a *ProtocolError. No
+// input can make Recv panic — the fuzz tests pin that contract.
+func (c *Codec) Recv() (Msg, error) {
+	var m Msg
+	if err := c.dec.Decode(&m); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return m, io.EOF
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return m, fmt.Errorf("%w: %v", ErrTruncated, err)
+		default:
+			return m, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	if !knownTypes[m.Type] {
+		return m, &ProtocolError{Reason: fmt.Sprintf("unknown message type %q", m.Type)}
+	}
+	return m, nil
+}

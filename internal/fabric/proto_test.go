@@ -1,0 +1,168 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eagletree/internal/experiment"
+)
+
+// sampleMsgs covers every message type with every field its type uses.
+func sampleMsgs() []Msg {
+	return []Msg{
+		{Type: MsgHello, Version: ProtoVersion, Spec: []byte(`{"version":1}`), SeriesBucket: 20_000_000},
+		{Type: MsgReady, Version: ProtoVersion, Count: 9, Sum: "ab12"},
+		{Type: MsgLease, Index: 0, Key: "spec1|{}"},
+		{Type: MsgLease, Index: 3, Key: "spec1|{\"geometry\":{}}"},
+		{Type: MsgEvent, Kind: experiment.EventVariantQueued, Index: 0, Variant: "ch=1", Variants: 8},
+		{Type: MsgEvent, Kind: experiment.EventPrepareMiss, Index: 2, Variant: "ch=4", Variants: 8, Key: "spec1|{}", Wall: 1_234_567},
+		{Type: MsgResult, Index: 2, Key: "spec1|{}", Wall: 77, Row: &experiment.Row{Label: "ch=4", X: 4, Timeline: "▁▂▃"}},
+		{Type: MsgFailed, Index: 5, Variant: "ch=32", Error: "boom", Panic: true, Wall: 3},
+		{Type: MsgFetch, Key: "spec1|{}"},
+		{Type: MsgState, Key: "spec1|{}", Data: []byte{1, 2, 3, 0xff}},
+		{Type: MsgState, Key: "spec1|{}", Miss: true},
+		{Type: MsgPut, Key: "spec1|{}", Data: []byte("EGTSNAP...")},
+		{Type: MsgShutdown, Error: "sweep complete"},
+	}
+}
+
+// TestCodecRoundTrip sends every sample message through a pipe buffer and
+// requires the decoded value to match field for field — including the zero
+// event kind and index zero, the classic omitempty casualties.
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf, &buf)
+	for _, m := range sampleMsgs() {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("send %s: %v", m.Type, err)
+		}
+	}
+	for _, want := range sampleMsgs() {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Type, err)
+		}
+		// Spec survives as semantically equal JSON; compare it separately.
+		if string(got.Spec) != string(want.Spec) {
+			t.Fatalf("%s: spec %s, want %s", want.Type, got.Spec, want.Spec)
+		}
+		got.Spec, want.Spec = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip:\ngot  %#v\nwant %#v", want.Type, got, want)
+		}
+	}
+	if _, err := c.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+}
+
+// TestCodecNDJSONFraming pins the wire shape: one message per line, no
+// indentation — the property that lets a human tail a session transcript.
+func TestCodecNDJSONFraming(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(nil, &buf)
+	for _, m := range sampleMsgs() {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(sampleMsgs()) {
+		t.Fatalf("%d lines for %d messages", len(lines), len(sampleMsgs()))
+	}
+	for i, ln := range lines {
+		if strings.ContainsAny(ln, "\n\r") || !strings.HasPrefix(ln, `{"type":`) {
+			t.Fatalf("line %d is not a compact NDJSON object: %q", i, ln)
+		}
+	}
+}
+
+// TestRecvTypedErrors maps the codec's failure modes onto its typed errors.
+func TestRecvTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"clean EOF", "", io.EOF},
+		{"truncated object", `{"type":"lease","index"`, ErrTruncated},
+		{"not JSON", "EGTSNAP\x01\x02", ErrMalformed},
+		{"wrong JSON shape", `{"type":["lease"]}`, ErrMalformed},
+		{"bad base64 state", `{"type":"state","data":"!!!"}`, ErrMalformed},
+	}
+	for _, tc := range cases {
+		c := NewCodec(strings.NewReader(tc.input), nil)
+		_, err := c.Recv()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	c := NewCodec(strings.NewReader(`{"type":"gossip"}`), nil)
+	_, err := c.Recv()
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Errorf("unknown type: got %v, want *ProtocolError", err)
+	}
+}
+
+// FuzzRecv pins the codec's robustness contract, mirroring the snapshot
+// codec's FuzzDecode: arbitrary input yields a message or one of the typed
+// errors — never a panic, never an untyped failure.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"type":"lease","index":3,"key":"spec1|{}"}`))
+	f.Add([]byte(`{"type":"state","data":"AQID"}{"type":"shutdown"}`))
+	f.Add([]byte(`{"type":"lease"`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Add([]byte(`{"type":"event","kind":"prepare-hit","index":1}`))
+	f.Add([]byte(`{"type":"event","kind":"sideways"}`))
+	var buf bytes.Buffer
+	enc := NewCodec(nil, &buf)
+	for _, m := range sampleMsgs() {
+		if err := enc.Send(m); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCodec(bytes.NewReader(data), nil)
+		for i := 0; i < 64; i++ { // bounded: corrupt input must not loop forever
+			_, err := c.Recv()
+			if err == nil {
+				continue
+			}
+			var pe *ProtocolError
+			switch {
+			case errors.Is(err, io.EOF),
+				errors.Is(err, ErrTruncated),
+				errors.Is(err, ErrMalformed),
+				errors.As(err, &pe):
+				return
+			default:
+				t.Fatalf("untyped error %T from Recv: %v", err, err)
+			}
+		}
+	})
+}
+
+// TestKeyDigestPositional: permuting the key list must change the digest —
+// leases are positional, so a digest that ignored order would let two
+// processes agree while disagreeing about which variant is which.
+func TestKeyDigestPositional(t *testing.T) {
+	a := KeyDigest([]string{"k1", "k2"})
+	b := KeyDigest([]string{"k2", "k1"})
+	if a == b {
+		t.Fatal("digest ignores key order")
+	}
+	if KeyDigest([]string{"ab", "c"}) == KeyDigest([]string{"a", "bc"}) {
+		t.Fatal("digest ignores key boundaries")
+	}
+	if a != KeyDigest([]string{"k1", "k2"}) {
+		t.Fatal("digest is not deterministic")
+	}
+}

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagletree/internal/iface"
+	"eagletree/internal/sim"
+)
+
+// modelGate is a Gate over explicit shared predicates, honoring the contract
+// the controller provides: every member of a wait-class waits on the same
+// condition (one member's failure proves the whole class undispatchable), a
+// class's token moves whenever its condition may have cleared, and its
+// stable token moves whenever a member's wait may have changed identity.
+// Evaluate agrees exactly with the plain canRun over the same state, so Pop
+// and PopClassed must select identical requests.
+type modelGate struct {
+	class   map[uint64]int  // request ID → wait-class; absent = unclassed
+	solo    map[uint64]bool // unclassed requests currently blocked
+	blocked [8]bool         // the per-class shared condition
+	tokens  [8]uint64
+	stable  [8]uint64
+}
+
+func newModelGate() *modelGate {
+	return &modelGate{class: make(map[uint64]int), solo: make(map[uint64]bool)}
+}
+
+func (m *modelGate) canRun(r *iface.Request) bool {
+	if c, ok := m.class[r.ID]; ok {
+		return !m.blocked[c]
+	}
+	return !m.solo[r.ID]
+}
+
+func (m *modelGate) Evaluate(r *iface.Request) (bool, int) {
+	if c, ok := m.class[r.ID]; ok {
+		if m.blocked[c] {
+			return false, c
+		}
+		return true, -1
+	}
+	if m.solo[r.ID] {
+		return false, -1 // unclassed failure: stays in the scan path
+	}
+	return true, -1
+}
+
+func (m *modelGate) ClassToken(c int) uint64  { return m.tokens[c] }
+func (m *modelGate) ClassStable(c int) uint64 { return m.stable[c] }
+
+// toggle flips a class's shared condition, bumping its wake token — the way
+// a LUN going idle (or busy) moves the controller's epoch.
+func (m *modelGate) toggle(c int) {
+	m.blocked[c] = !m.blocked[c]
+	m.tokens[c]++
+}
+
+// moveOne reassigns one member of class c to class nc (or to unclassed when
+// nc < 0) and bumps c's stable token: that member's wait changed identity,
+// the way a read retargets when its page is remapped.
+func (m *modelGate) moveOne(c, nc int, soloBlocked bool) {
+	for id, cl := range m.class {
+		if cl != c {
+			continue
+		}
+		if nc < 0 {
+			delete(m.class, id)
+			if soloBlocked {
+				m.solo[id] = true
+			}
+		} else {
+			m.class[id] = nc
+		}
+		m.stable[c]++
+		return
+	}
+}
+
+// forget drops a popped request from the model.
+func (m *modelGate) forget(id uint64) {
+	delete(m.class, id)
+	delete(m.solo, id)
+}
+
+func classedPairs() [][2]Policy {
+	return [][2]Policy{
+		{&FIFO{}, &FIFO{}},
+		{&Priority{Prefer: PreferReads, Internal: InternalLast}, &Priority{Prefer: PreferReads, Internal: InternalLast}},
+		{&Deadline{ReadDeadline: 50, WriteDeadline: 200}, &Deadline{ReadDeadline: 50, WriteDeadline: 200}},
+		{
+			&Deadline{ReadDeadline: 50, WriteDeadline: 200, MaxConsecutiveOverdue: 2},
+			&Deadline{ReadDeadline: 50, WriteDeadline: 200, MaxConsecutiveOverdue: 2},
+		},
+		{
+			&Deadline{ReadDeadline: 50, InternalDeadline: 400, Fallback: &Priority{Prefer: PreferReads}},
+			&Deadline{ReadDeadline: 50, InternalDeadline: 400, Fallback: &Priority{Prefer: PreferReads}},
+		},
+		{&Fair{Weights: [iface.NumSources]int{2, 1, 1, 1}}, &Fair{Weights: [iface.NumSources]int{2, 1, 1, 1}}},
+	}
+}
+
+// TestClassedMatchesPlain drives a plain-Pop instance and a PopClassed
+// instance of every classed policy through the same random schedule of
+// pushes, condition flips, wait retargets and pops, and requires identical
+// selections throughout. This is the determinism contract the controller
+// relies on when it routes dispatch through the classed gate.
+func TestClassedMatchesPlain(t *testing.T) {
+	for _, pair := range classedPairs() {
+		plain, classed := pair[0], pair[1]
+		cp, ok := classed.(ClassedPolicy)
+		if !ok {
+			t.Fatalf("%s does not implement ClassedPolicy", classed.Name())
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			gate := newModelGate()
+			now := sim.Time(0)
+			nextID := uint64(1)
+			queued := 0
+			for step := 0; step < 3000; step++ {
+				switch op := rng.Intn(12); {
+				case op < 5: // push
+					r := &iface.Request{ID: nextID, Submitted: now}
+					nextID++
+					if rng.Intn(2) == 0 {
+						r.Type = iface.Read
+					} else {
+						r.Type = iface.Write
+					}
+					if rng.Intn(4) == 0 {
+						r.Source = iface.SourceGC
+					}
+					switch rng.Intn(4) {
+					case 0: // unclassed, runnable
+					case 1: // unclassed, individually blocked
+						gate.solo[r.ID] = true
+					default: // classed: waits on a shared condition
+						gate.class[r.ID] = rng.Intn(len(gate.tokens))
+					}
+					plain.Push(r)
+					classed.Push(r)
+					queued++
+				case op < 6: // a shared condition flips
+					gate.toggle(rng.Intn(len(gate.tokens)))
+				case op < 7: // one member's wait changes identity
+					c := rng.Intn(len(gate.tokens))
+					nc := rng.Intn(len(gate.tokens)+1) - 1
+					gate.moveOne(c, nc, rng.Intn(2) == 0)
+				case op < 8: // an individual block clears or forms
+					for id := range gate.solo {
+						delete(gate.solo, id)
+						break
+					}
+				case op < 9: // time passes: deadlines become overdue
+					now = now.Add(sim.Duration(rng.Intn(100)))
+				default: // pop both, compare
+					a := plain.Pop(now, gate.canRun)
+					b := cp.PopClassed(now, gate)
+					switch {
+					case a == nil && b == nil:
+					case a == nil || b == nil:
+						t.Fatalf("%s seed %d step %d: plain=%v classed=%v", plain.Name(), seed, step, a, b)
+					case a.ID != b.ID:
+						t.Fatalf("%s seed %d step %d: plain popped %d, classed popped %d", plain.Name(), seed, step, a.ID, b.ID)
+					default:
+						gate.forget(a.ID)
+						queued--
+					}
+				}
+				if lp, lc := plain.Len(), classed.Len(); lp != lc || lp != queued {
+					t.Fatalf("%s seed %d step %d: Len plain=%d classed=%d want %d", plain.Name(), seed, step, lp, lc, queued)
+				}
+			}
+			// Drain with every condition clear: both must empty identically.
+			for c := range gate.tokens {
+				if gate.blocked[c] {
+					gate.toggle(c)
+				}
+			}
+			gate.solo = map[uint64]bool{}
+			for {
+				a := plain.Pop(now, gate.canRun)
+				b := cp.PopClassed(now, gate)
+				if a == nil && b == nil {
+					break
+				}
+				if a == nil || b == nil || a.ID != b.ID {
+					t.Fatalf("%s seed %d drain: plain=%v classed=%v", plain.Name(), seed, a, b)
+				}
+			}
+		}
+	}
+}

@@ -99,6 +99,7 @@ type queue struct {
 	// mixed use keeps arrival-order semantics exact.
 	classes  []classList
 	occupied []int // indices of classes with parked entries
+	scratch  []int // per-occupied cursor state for mutation-free scans
 }
 
 func (q *queue) push(r *iface.Request) {
@@ -297,13 +298,11 @@ func (q *queue) popScan(canRun func(*iface.Request) bool) *iface.Request {
 	}
 }
 
-// popClassed is arrival-ordered dispatch under a Gate. Sleeping classes
-// whose token stands still cost one comparison; everything else is the
-// usual lowest-seq merge over fresh arrivals and awake class heads.
-func (q *queue) popClassed(g Gate) *iface.Request {
-	// Wake phase: flush classes whose membership token moved (parked
-	// entries may belong elsewhere now), then re-arm sleeping classes
-	// whose wake token moved.
+// classMaintain re-arms the class lists against the gate's current tokens:
+// classes whose membership token moved are flushed back into the scan path
+// for re-classification, and sleeping classes whose wake token moved are
+// woken. Every classed pop runs this once before scanning.
+func (q *queue) classMaintain(g Gate) {
 	for oi := 0; oi < len(q.occupied); {
 		ci := q.occupied[oi]
 		cl := &q.classes[ci]
@@ -316,6 +315,13 @@ func (q *queue) popClassed(g Gate) *iface.Request {
 		}
 		oi++
 	}
+}
+
+// popClassed is arrival-ordered dispatch under a Gate. Sleeping classes
+// whose token stands still cost one comparison; everything else is the
+// usual lowest-seq merge over fresh arrivals and awake class heads.
+func (q *queue) popClassed(g Gate) *iface.Request {
+	q.classMaintain(g)
 	const noSeq = ^uint64(0)
 	fi := 0
 	for {
@@ -394,6 +400,167 @@ func (q *queue) wakeRequest(r *iface.Request, class int) {
 		q.insertBySeq(e)
 		return
 	}
+}
+
+// scanLoc names the location of a scannable entry during a mutation-free
+// scan: class == -1 means the fresh slice at view index idx; otherwise idx
+// indexes the named class's ents.
+type scanLoc struct{ class, idx int }
+
+// classCursor iterates fresh arrivals and awake class members in ascending
+// seq order without mutating the queue — the classed counterpart of ranging
+// over view(). Sleeping classes are skipped: their members are provably
+// undispatchable while their token stands still, so a scan that filters on
+// dispatchability loses nothing by never visiting them. Per-class cursor
+// state lives in the queue's scratch slice, so iteration does not allocate
+// once the scratch has grown.
+type classCursor struct {
+	q  *queue
+	fi int
+}
+
+// scanStart resets the per-class cursors and returns a cursor positioned
+// before the first scannable entry.
+func (q *queue) scanStart() classCursor {
+	q.scratch = q.scratch[:0]
+	for range q.occupied {
+		q.scratch = append(q.scratch, 0)
+	}
+	return classCursor{q: q}
+}
+
+// next returns the lowest-seq entry not yet yielded, with its location.
+// Locations stay valid until the queue's next mutation.
+func (c *classCursor) next() (qent, scanLoc, bool) {
+	q := c.q
+	const noSeq = ^uint64(0)
+	fresh := q.view()
+	bestSeq := noSeq
+	best := -1 // index into occupied; -1 means the fresh entry wins
+	if c.fi < len(fresh) {
+		bestSeq = fresh[c.fi].seq
+	}
+	for oi, ci := range q.occupied {
+		cl := &q.classes[ci]
+		if cl.asleep {
+			continue
+		}
+		p := cl.head + q.scratch[oi]
+		if p >= len(cl.ents) {
+			continue
+		}
+		if s := cl.ents[p].seq; s < bestSeq {
+			bestSeq, best = s, oi
+		}
+	}
+	if bestSeq == noSeq {
+		return qent{}, scanLoc{}, false
+	}
+	if best < 0 {
+		e := fresh[c.fi]
+		loc := scanLoc{-1, c.fi}
+		c.fi++
+		return e, loc, true
+	}
+	ci := q.occupied[best]
+	cl := &q.classes[ci]
+	p := cl.head + q.scratch[best]
+	q.scratch[best]++
+	return cl.ents[p], scanLoc{ci, p}, true
+}
+
+// removeLoc removes the entry at a location produced by a classCursor (with
+// no intervening queue mutations) and returns its request.
+func (q *queue) removeLoc(loc scanLoc) *iface.Request {
+	if loc.class < 0 {
+		return q.removeAt(loc.idx)
+	}
+	r := q.classes[loc.class].ents[loc.idx].r
+	q.classRemoveAt(loc.class, loc.idx)
+	return r
+}
+
+// removeRequest removes a scannable request located by pointer, searching
+// the fresh slice then the occupied class lists. Returns it, or nil when it
+// is not scannable (parked via PushBlocked, or already removed).
+func (q *queue) removeRequest(r *iface.Request) *iface.Request {
+	for i, e := range q.view() {
+		if e.r == r {
+			return q.removeAt(i)
+		}
+	}
+	for _, ci := range q.occupied {
+		cl := &q.classes[ci]
+		for i := cl.head; i < len(cl.ents); i++ {
+			if cl.ents[i].r == r {
+				q.classRemoveAt(ci, i)
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// parkRequest locates a scannable request by pointer and parks it under the
+// given wait-class. Scans that discover class-wide failures away from a
+// class head (Deadline's overdue sweep, Fair's per-source rounds) collect
+// them and park here after the scan, so later pops skip the whole class with
+// one token comparison. A request already filed under the right class only
+// puts that class to sleep: the member just proved the class-wide condition
+// still holds.
+func (q *queue) parkRequest(r *iface.Request, class int, g Gate) {
+	for i, e := range q.view() {
+		if e.r == r {
+			q.removeAt(i)
+			q.classPark(class, e, g)
+			return
+		}
+	}
+	for _, ci := range q.occupied {
+		cl := &q.classes[ci]
+		if ci == class {
+			for i := cl.head; i < len(cl.ents); i++ {
+				if cl.ents[i].r == r {
+					cl.asleep = true
+					cl.token = g.ClassToken(class)
+					cl.stable = g.ClassStable(class)
+					return
+				}
+			}
+			continue
+		}
+		for i := cl.head; i < len(cl.ents); i++ {
+			if cl.ents[i].r != r {
+				continue
+			}
+			e := cl.ents[i]
+			q.classRemoveAt(ci, i)
+			q.classPark(class, e, g)
+			return
+		}
+	}
+}
+
+// parkLog collects (request, class) pairs discovered undispatchable during a
+// mutation-free scan, for parking once the scan ends. The backing slices are
+// reused across pops.
+type parkLog struct {
+	rs []*iface.Request
+	cs []int
+}
+
+func (p *parkLog) record(r *iface.Request, class int) {
+	p.rs = append(p.rs, r)
+	p.cs = append(p.cs, class)
+}
+
+// apply parks every recorded request and resets the log.
+func (p *parkLog) apply(q *queue, g Gate) {
+	for i, r := range p.rs {
+		q.parkRequest(r, p.cs[i], g)
+		p.rs[i] = nil
+	}
+	p.rs, p.cs = p.rs[:0], p.cs[:0]
 }
 
 // classPark files an entry under a wait-class and puts the class to sleep
@@ -681,6 +848,7 @@ type Deadline struct {
 
 	q          queue
 	overdueRun int
+	parks      parkLog
 }
 
 // Name implements Policy.
@@ -798,6 +966,138 @@ func (d *Deadline) popViaFallback(now sim.Time, canRun func(*iface.Request) bool
 	return picked
 }
 
+// PopClassed implements ClassedPolicy: the same overdue-first/fresh/cap
+// sequence as Pop, with whole wait-classes parked off the scan paths.
+// Selection is identical to Pop's because a sleeping class's members are all
+// guaranteed undispatchable while its token stands still — and deadlines
+// only order requests that are dispatchable in the first place.
+func (d *Deadline) PopClassed(now sim.Time, g Gate) *iface.Request {
+	d.q.classMaintain(g)
+	preempt := d.MaxConsecutiveOverdue <= 0 || d.overdueRun < d.MaxConsecutiveOverdue
+	if preempt {
+		if r := d.popOverdueClassed(now, g); r != nil {
+			d.overdueRun++
+			return r
+		}
+	}
+	d.overdueRun = 0
+	if r := d.popFreshClassed(now, g); r != nil {
+		return r
+	}
+	if preempt {
+		return nil // nothing runnable at all
+	}
+	if r := d.popOverdueClassed(now, g); r != nil {
+		d.overdueRun = 1
+		return r
+	}
+	return nil
+}
+
+// WakeRequest implements ClassedPolicy.
+func (d *Deadline) WakeRequest(r *iface.Request, class int) { d.q.wakeRequest(r, class) }
+
+// popOverdueClassed is Pop's overdue sweep under a Gate: the earliest
+// overdue deadline among dispatchable entries wins, ties in arrival order.
+// Class-wide failures discovered along the way are parked once the sweep
+// ends.
+func (d *Deadline) popOverdueClassed(now sim.Time, g Gate) *iface.Request {
+	cur := d.q.scanStart()
+	best := scanLoc{}
+	bestDL := sim.Never
+	found := false
+	for {
+		e, loc, more := cur.next()
+		if !more {
+			break
+		}
+		if d.deadlineFor(e.r) > now {
+			continue
+		}
+		ok, class := g.Evaluate(e.r)
+		if !ok {
+			if class >= 0 {
+				d.parks.record(e.r, class)
+			}
+			continue
+		}
+		if dl := d.deadlineFor(e.r); dl < bestDL {
+			best, bestDL, found = loc, dl, true
+		}
+	}
+	var r *iface.Request
+	if found {
+		r = d.q.removeLoc(best)
+	}
+	d.parks.apply(&d.q, g)
+	return r
+}
+
+// popFreshClassed is popFresh under a Gate.
+func (d *Deadline) popFreshClassed(now sim.Time, g Gate) *iface.Request {
+	if d.Fallback != nil {
+		return d.popViaFallbackClassed(now, g)
+	}
+	cur := d.q.scanStart()
+	for {
+		e, loc, more := cur.next()
+		if !more {
+			break
+		}
+		if d.deadlineFor(e.r) <= now {
+			continue
+		}
+		ok, class := g.Evaluate(e.r)
+		if ok {
+			r := d.q.removeLoc(loc)
+			d.parks.apply(&d.q, g)
+			return r
+		}
+		if class >= 0 {
+			d.parks.record(e.r, class)
+		}
+	}
+	d.parks.apply(&d.q, g)
+	return nil
+}
+
+// popViaFallbackClassed lends the fallback every scannable entry — fresh
+// arrivals and awake class members in seq order, exactly the set a plain
+// lend would find runnable — and lets it order them. Sleeping class members
+// are withheld: the fallback could never pick them (canRun would refuse), so
+// their absence cannot change which request it returns.
+func (d *Deadline) popViaFallbackClassed(now sim.Time, g Gate) *iface.Request {
+	cur := d.q.scanStart()
+	for {
+		e, _, more := cur.next()
+		if !more {
+			break
+		}
+		d.Fallback.Push(e.r)
+	}
+	picked := d.Fallback.Pop(now, func(r *iface.Request) bool {
+		if d.deadlineFor(r) <= now {
+			return false
+		}
+		ok, class := g.Evaluate(r)
+		if !ok && class >= 0 {
+			d.parks.record(r, class)
+		}
+		return ok
+	})
+	// Drain the fallback completely so the next call starts clean.
+	for d.Fallback.Len() > 0 {
+		if d.Fallback.Pop(now, func(*iface.Request) bool { return true }) == nil {
+			break
+		}
+	}
+	if picked != nil {
+		d.q.removeRequest(picked)
+	}
+	d.parks.apply(&d.q, g)
+	return picked
+}
+
 // Fair serves sources in weighted round-robin order, preventing any single
 // source (for example a write-heavy thread, or GC) from monopolizing the
 // array. Weights index by iface.Source; zero weights default to 1.
@@ -807,6 +1107,7 @@ type Fair struct {
 	q       queue
 	credits [iface.NumSources]int
 	turn    iface.Source
+	parks   parkLog
 }
 
 // Name implements Policy.
@@ -857,3 +1158,51 @@ func (f *Fair) Pop(_ sim.Time, canRun func(*iface.Request) bool) *iface.Request 
 	}
 	return nil
 }
+
+// PopClassed implements ClassedPolicy: the same weighted round-robin as Pop
+// with whole wait-classes parked off the per-source scans. Selection and
+// credit bookkeeping are identical to Pop's — a sleeping class's members
+// would fail canRun in the plain scan too, and each entry is evaluated in at
+// most one source round (the one matching its own source).
+func (f *Fair) PopClassed(_ sim.Time, g Gate) *iface.Request {
+	f.q.classMaintain(g)
+	for tried := 0; tried < int(iface.NumSources); tried++ {
+		src := iface.Source((int(f.turn) + tried) % iface.NumSources)
+		cur := f.q.scanStart()
+		for {
+			e, loc, more := cur.next()
+			if !more {
+				break
+			}
+			r := e.r
+			if r.Source != src {
+				continue
+			}
+			ok, class := g.Evaluate(r)
+			if !ok {
+				if class >= 0 {
+					f.parks.record(r, class)
+				}
+				continue
+			}
+			if tried != 0 {
+				// Turn moved on; reset credits for the new holder.
+				f.turn = src
+				f.credits[src] = 0
+			}
+			f.credits[src]++
+			if f.credits[src] >= f.weight(src) {
+				f.credits[src] = 0
+				f.turn = iface.Source((int(src) + 1) % iface.NumSources)
+			}
+			f.q.removeLoc(loc)
+			f.parks.apply(&f.q, g)
+			return r
+		}
+	}
+	f.parks.apply(&f.q, g)
+	return nil
+}
+
+// WakeRequest implements ClassedPolicy.
+func (f *Fair) WakeRequest(r *iface.Request, class int) { f.q.wakeRequest(r, class) }

@@ -105,6 +105,16 @@ func Decode(data []byte) (*DeviceState, error) {
 	return ds, nil
 }
 
+// Verify checks that data is a complete, well-formed snapshot — magic,
+// version, checksum and every structural field — without handing the decoded
+// state to the caller. Transports use it to validate encoded snapshots
+// received from another process before admitting them to a state cache; the
+// errors are Decode's typed errors.
+func Verify(data []byte) error {
+	_, err := Decode(data)
+	return err
+}
+
 // --- encoder ---
 
 type enc struct{ b []byte }

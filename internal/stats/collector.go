@@ -28,10 +28,16 @@ type Collector struct {
 	latency   [nClasses]Dist
 	queueWait [nClasses]Dist
 	perThread map[int]*ThreadStats // thread id -> app latency, opt-in
+	sinks     []*ThreadStats       // dense by thread id: the completion fast path
+	epoch     uint64               // moves whenever sink pointers may change
 	series    *TimeSeries
 	trace     *Trace
 	completed uint64
 }
+
+// denseSinkLimit bounds the dense sink slice; threads with larger ids fall
+// back to the map. Real workloads number threads from zero.
+const denseSinkLimit = 4096
 
 // ThreadStats is one watched thread's latency, broken down by request type —
 // the paper's "statistics gathering objects attached to an individual
@@ -56,7 +62,8 @@ func (t *ThreadStats) Merged() Dist {
 // width (0 disables the series) and an optional trace capacity (0 disables
 // tracing).
 func NewCollector(bucket sim.Duration, traceCap int) *Collector {
-	c := &Collector{perThread: make(map[int]*ThreadStats)}
+	// epoch starts above zero so a zero-valued cached epoch never validates.
+	c := &Collector{perThread: make(map[int]*ThreadStats), epoch: 1}
 	if bucket > 0 {
 		c.series = NewTimeSeries(bucket)
 	}
@@ -79,7 +86,9 @@ func (c *Collector) Reset(now sim.Time) {
 		traceCap = c.trace.Cap()
 	}
 	watched := c.perThread
+	epoch := c.epoch
 	*c = *NewCollector(bucket, traceCap)
+	c.epoch = epoch + 1 // invalidate cached sink pointers, monotonically
 	c.start = now
 	if c.series != nil {
 		// Restart the x axis at the measurement epoch.
@@ -87,6 +96,7 @@ func (c *Collector) Reset(now sim.Time) {
 	}
 	for id := range watched { //lint:ordered writes land in a keyed map
 		c.perThread[id] = &ThreadStats{}
+		c.growSink(id)
 	}
 }
 
@@ -104,7 +114,39 @@ func (c *Collector) Series() *TimeSeries { return c.series }
 func (c *Collector) WatchThread(id int) {
 	if _, ok := c.perThread[id]; !ok {
 		c.perThread[id] = &ThreadStats{}
+		c.growSink(id)
+		c.epoch++
 	}
+}
+
+// growSink mirrors a watch registration into the dense sink slice.
+func (c *Collector) growSink(id int) {
+	if id < 0 || id >= denseSinkLimit {
+		return
+	}
+	for len(c.sinks) <= id {
+		c.sinks = append(c.sinks, nil)
+	}
+	c.sinks[id] = c.perThread[id]
+}
+
+// SinkEpoch returns a token that moves whenever previously returned thread
+// sinks may be stale. Callers caching a ThreadSink must revalidate when it
+// moves.
+func (c *Collector) SinkEpoch() uint64 { return c.epoch }
+
+// ThreadSink returns the watched thread's completion sink, or nil when the
+// thread is not watched. The result stays valid while SinkEpoch stands
+// still, letting completion paths cache it in per-request state instead of
+// paying a map lookup per completion.
+func (c *Collector) ThreadSink(id int) *ThreadStats {
+	if uint(id) < uint(len(c.sinks)) {
+		return c.sinks[id]
+	}
+	if id < 0 || id >= denseSinkLimit {
+		return c.perThread[id]
+	}
+	return nil
 }
 
 // ThreadLatency returns the watched thread's merged latency distribution,
@@ -123,17 +165,29 @@ func (c *Collector) ThreadStats(id int) *ThreadStats { return c.perThread[id] }
 
 // RecordCompletion ingests a finished request's timestamps.
 func (c *Collector) RecordCompletion(r *iface.Request) {
+	var ts *ThreadStats
+	if r.Source == iface.SourceApp {
+		ts = c.ThreadSink(r.Thread)
+	}
+	c.RecordCompletionTo(r, ts)
+}
+
+// RecordCompletionTo is RecordCompletion with the thread sink resolved by
+// the caller — the hoisted completion path: the controller caches the sink
+// in pooled request state at submit (validated against SinkEpoch), so the
+// per-completion thread lookup disappears. ts is ignored for non-application
+// requests and may be nil for unwatched threads.
+func (c *Collector) RecordCompletionTo(r *iface.Request, ts *ThreadStats) {
 	cl := ClassOf(r)
-	c.latency[cl].Add(r.Latency())
+	lat := r.Latency()
+	c.latency[cl].Add(lat)
 	c.queueWait[cl].Add(r.QueueWait())
 	c.completed++
-	if r.Source == iface.SourceApp {
-		if ts, ok := c.perThread[r.Thread]; ok {
-			ts.byType[r.Type].Add(r.Latency())
-		}
+	if ts != nil && r.Source == iface.SourceApp {
+		ts.byType[r.Type].Add(lat)
 	}
 	if c.series != nil {
-		c.series.Add(r.Completed, r.Latency())
+		c.series.Add(r.Completed, lat)
 	}
 	if c.trace != nil {
 		c.trace.Record(r.Completed, r.ID, StageCompleted, r)
