@@ -116,6 +116,9 @@ func Run(ctx context.Context, doc spec.Experiment, opts Options) (experiment.Res
 
 	conns, cleanup, err := c.dialWorkers(ctx)
 	if err != nil {
+		// A partial dial failure has already started subprocesses; close and
+		// reap them instead of leaking workers blocked on their stdin.
+		cleanup()
 		return res, err
 	}
 	defer cleanup()
@@ -216,14 +219,19 @@ type buildState struct {
 func (c *coordinator) dialWorkers(ctx context.Context) ([]io.ReadWriteCloser, func(), error) {
 	var conns []io.ReadWriteCloser
 	var procs []*exec.Cmd
+	// Once-guarded: the context-cancel goroutine and Run's deferred call may
+	// both clean up, and exec.Cmd.Wait is not safe to call concurrently.
+	var once sync.Once
 	cleanup := func() {
-		for _, conn := range conns {
-			conn.Close()
-		}
-		for _, p := range procs {
-			// CommandContext kills on context cancel; reap regardless.
-			_ = p.Wait()
-		}
+		once.Do(func() {
+			for _, conn := range conns {
+				conn.Close()
+			}
+			for _, p := range procs {
+				// CommandContext kills on context cancel; reap regardless.
+				_ = p.Wait()
+			}
+		})
 	}
 	conns = append(conns, c.opts.Conns...)
 	if c.opts.Workers > 0 && len(c.opts.Command) == 0 {
@@ -351,16 +359,25 @@ func (c *coordinator) release(idx, worker int) {
 		c.state[idx] = leasePending
 		c.opts.Logf("fabric: re-issuing variant %d (%s) after worker %d died", idx, c.labels[idx], worker)
 	}
+	c.failoverBuildsLocked(worker)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// failoverBuildsLocked abandons every preparation build the worker still
+// owns. A failed or canceled local build never publishes a put, so without
+// this the builds entry would outlive the lease: waiters would block forever
+// on ready, and the owner itself would self-deadlock re-fetching the key in a
+// later lease. Waiters see a closed channel with no data and retry, racing to
+// become the next owner. Called with c.mu held, on lease completion and on
+// worker death.
+func (c *coordinator) failoverBuildsLocked(worker int) {
 	for key, b := range c.builds {
 		if b.owner == worker {
-			// Waiters see a closed channel with no data and retry, racing
-			// to become the next owner.
 			close(b.ready)
 			delete(c.builds, key)
 		}
 	}
-	c.cond.Broadcast()
-	c.mu.Unlock()
 }
 
 // collect reads one lease's message stream — events, state fetches, puts —
@@ -471,6 +488,10 @@ func (c *coordinator) complete(worker, idx int, row experiment.Row, err error, w
 	c.leases[worker]++
 	c.wallSum += wall
 	c.wallN++
+	// The lease is over: any build this worker still owns will never be
+	// published (its put would have arrived before the result on the ordered
+	// stream), so hand ownership to whoever asks next.
+	c.failoverBuildsLocked(worker)
 	c.checkStragglersLocked()
 	c.cond.Broadcast()
 	c.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"eagletree/internal/experiment"
 	"eagletree/internal/spec"
@@ -199,6 +200,135 @@ func TestWorkerKillLeaseReissue(t *testing.T) {
 	wg.Wait()
 	if got := dump(res); got != want {
 		t.Errorf("rows diverge after worker kill:\n--- distributed\n%s--- sequential\n%s", got, want)
+	}
+}
+
+// TestFailedBuildFailsOver pins the delegated-build failover contract: a
+// worker that owns a preparation build and then ends its lease without
+// publishing (a failed or canceled local build sends no put) must hand the
+// build over, or every waiter — including the owner itself on a later lease —
+// blocks forever on the never-closed ready channel.
+func TestFailedBuildFailsOver(t *testing.T) {
+	c := &coordinator{
+		keys:    []string{"k0", "k1"},
+		labels:  []string{"v0", "v1"},
+		state:   make([]leaseState, 2),
+		rows:    make([]experiment.Row, 2),
+		errs:    make([]error, 2),
+		started: make([]time.Time, 2),
+		flagged: make([]bool, 2),
+		builds:  make(map[string]*buildState),
+		cache:   experiment.NewStateCache(""),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.opts.Logf = func(string, ...any) {}
+	ctx := context.Background()
+
+	// Worker 0 misses the prep key: the build is delegated to it.
+	data, err := c.serveFetch(ctx, 0, "prep")
+	if err != nil || data != nil {
+		t.Fatalf("first fetch = (%v, %v), want delegated miss (nil, nil)", data, err)
+	}
+
+	// Worker 1 asks for the same key and must wait on worker 0's build.
+	got := make(chan []byte, 1)
+	go func() {
+		d, err := c.serveFetch(ctx, 1, "prep")
+		if err != nil {
+			t.Errorf("waiter fetch: %v", err)
+		}
+		got <- d
+	}()
+
+	// Worker 0's lease ends in failure — its build will never be published.
+	c.complete(0, 0, experiment.Row{}, errors.New("prep failed"), 0)
+
+	select {
+	case d := <-got:
+		// The waiter retried and was handed ownership (a fresh miss).
+		if d != nil {
+			t.Fatalf("waiter got %d bytes, want delegated miss", len(d))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked after the build owner's lease failed")
+	}
+
+	// Ownership really moved: worker 1 now holds the in-flight build.
+	c.mu.Lock()
+	b, ok := c.builds["prep"]
+	c.mu.Unlock()
+	if !ok || b.owner != 1 {
+		t.Fatalf("build entry = %+v (present %v), want owner 1", b, ok)
+	}
+
+	// And the former owner is not wedged either: its next fetch for the same
+	// key waits on worker 1 rather than deadlocking on its own stale entry.
+	ctx2, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	reissued := make(chan error, 1)
+	go func() {
+		_, err := c.serveFetch(ctx2, 0, "prep")
+		reissued <- err
+	}()
+	c.complete(1, 1, experiment.Row{}, errors.New("prep failed again"), 0)
+	if err := <-reissued; err != nil {
+		t.Fatalf("former owner's re-fetch: %v (self-deadlock would time out)", err)
+	}
+}
+
+// TestCanceledWorkerDropsSession: a worker whose own context is canceled
+// mid-lease (SIGTERM on its host) must drop the session — so the coordinator
+// re-issues the lease as on a crash — instead of reporting MsgFailed, which
+// would record a permanent variant failure from a graceful stop.
+func TestCanceledWorkerDropsSession(t *testing.T) {
+	doc := suiteDoc(t, "E2")
+	docJSON, err := spec.Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := doc.VariantKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coordSide, workerSide := net.Pipe()
+	defer coordSide.Close()
+	serveErr := make(chan error, 1)
+	go func() {
+		err := Serve(ctx, workerSide, workerSide, WorkerOptions{})
+		workerSide.Close()
+		serveErr <- err
+	}()
+	codec := NewCodec(coordSide, coordSide)
+	if err := codec.Send(Msg{Type: MsgHello, Version: ProtoVersion, Spec: docJSON}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := codec.Recv(); err != nil || m.Type != MsgReady {
+		t.Fatalf("handshake: %v %v", m, err)
+	}
+	if err := codec.Send(Msg{Type: MsgLease, Index: 0, Key: keys[0]}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The worker may stream events or fetches before noticing the cancel; it
+	// must never turn the canceled lease into a MsgFailed.
+	for {
+		m, err := codec.Recv()
+		if err != nil {
+			break // session dropped — the coordinator would re-issue
+		}
+		switch m.Type {
+		case MsgFailed:
+			t.Fatalf("canceled worker reported permanent failure: %q", m.Error)
+		case MsgFetch:
+			if err := codec.Send(Msg{Type: MsgState, Key: m.Key, Miss: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := <-serveErr; err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serve returned %v, want the canceled-context error", err)
 	}
 }
 

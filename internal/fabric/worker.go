@@ -137,6 +137,14 @@ func (s *workerSession) runLease(ctx context.Context, runner *experiment.Runner,
 	row, err := runner.RunVariant(ctx, def, m.Index)
 	wall := time.Since(start)
 	if err != nil {
+		if ctx.Err() != nil {
+			// This process is being stopped (SIGTERM on a TCP worker host),
+			// not the variant failing: drop the session so the coordinator
+			// sees a dead worker and re-issues the lease to a survivor,
+			// rather than recording a permanent variant failure.
+			s.logf("worker: abandoning variant %d after %v: %v", m.Index, wall.Round(time.Millisecond), ctx.Err())
+			return fmt.Errorf("fabric: worker stopping: lease %d abandoned: %w", m.Index, context.Cause(ctx))
+		}
 		var ve *experiment.VariantError
 		isPanic := errors.As(err, &ve)
 		s.logf("worker: variant %d failed after %v: %v", m.Index, wall.Round(time.Millisecond), err)
