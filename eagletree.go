@@ -49,6 +49,8 @@ import (
 	"eagletree/internal/hotcold"
 	"eagletree/internal/iface"
 	"eagletree/internal/osched"
+	"eagletree/internal/query"
+	"eagletree/internal/resultstore"
 	"eagletree/internal/sched"
 	"eagletree/internal/sim"
 	"eagletree/internal/snapshot"
@@ -640,6 +642,69 @@ func RunDistributed(ctx context.Context, doc ExperimentSpec, opts FabricOptions)
 // stdin/stdout or a TCP connection.
 func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts FabricWorkerOptions) error {
 	return fabric.Serve(ctx, r, w, opts)
+}
+
+// Result store & relational query layer: every sweep row persisted with
+// provenance (spec digest, seed, commit label), replicated across seeds with
+// confidence intervals, and comparable across commits. See internal/resultstore,
+// internal/query and DESIGN.md "Result store & query layer".
+type (
+	// ResultStore is an append-only directory of CRC-protected columnar
+	// segments holding sweep result rows.
+	ResultStore = resultstore.Store
+	// StoredRow is one persisted sweep outcome: provenance plus the full
+	// report, one value per registered result column.
+	StoredRow = resultstore.Row
+	// ResultSink is an ExperimentObserver that captures finished variants
+	// as StoredRows, in grid order, for persistence.
+	ResultSink = resultstore.Sink
+	// ResultColumn describes one result-store column: name, kind, and which
+	// direction is better (for regression verdicts).
+	ResultColumn = resultstore.ColumnSpec
+	// QueryTable is an ordered, typed, immutable relational table over
+	// stored rows; every operator returns a new table deterministically.
+	QueryTable = query.Table
+	// QueryPredicate is one parsed -where filter clause.
+	QueryPredicate = query.Predicate
+	// QueryAgg is one parsed aggregate expression, e.g. mean(throughput_iops).
+	QueryAgg = query.Agg
+	// RegressionSummary totals a cross-commit diff: comparisons, regressions,
+	// improvements, unchanged, unpaired.
+	RegressionSummary = query.DiffSummary
+)
+
+// OpenResultStore opens (creating if absent) a result store directory, as
+// `eagletree sweep -results DIR` and `eagletree results` do.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// NewResultSink returns an observer that captures a sweep's finished
+// variants as StoredRows with provenance; attach it via ExperimentOptions
+// (or MultiExperimentObserver) and call Flush to append the rows. A nil
+// store captures without persisting.
+func NewResultSink(store *ResultStore, doc ExperimentSpec, commit string) (*ResultSink, error) {
+	return resultstore.NewSink(store, doc, commit)
+}
+
+// ResultColumns returns the full result-store column schema, in stored
+// order.
+func ResultColumns() []ResultColumn { return resultstore.Columns() }
+
+// QueryFromRows lifts stored rows into a relational table, one row per
+// StoredRow in the given order.
+func QueryFromRows(rows []StoredRow) *QueryTable { return query.FromRows(rows) }
+
+// DiffResults compares two stored sweeps by commit label, pairing rows on
+// (experiment, variant position, label, seed) and testing per-seed deltas
+// against their own 95% confidence interval; `eagletree results diff` prints
+// exactly this table and summary.
+func DiffResults(rows []StoredRow, a, b string, metrics []string) (*QueryTable, RegressionSummary, error) {
+	return query.Diff(rows, a, b, metrics)
+}
+
+// MultiExperimentObserver fans runner events out to several observers in
+// order — e.g. a progress printer plus a ResultSink.
+func MultiExperimentObserver(obs ...ExperimentObserver) ExperimentObserver {
+	return experiment.MultiObserver(obs...)
 }
 
 // DefaultConfig returns a mid-size SSD: 4 channels × 2 LUNs, 256 blocks per

@@ -34,6 +34,8 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		return cmdList(args, stdout, stderr)
 	case "spec":
 		return cmdSpec(args, stdout, stderr)
+	case "results":
+		return cmdResults(args, stdout, stderr)
 	case "doc":
 		return cmdDoc(args, stdout, stderr)
 	case "help", "-h", "-help", "--help":
@@ -60,6 +62,7 @@ Commands:
   worker   serve sweep variant leases to a distributing coordinator (stdio or TCP)
   list     print the experiment index from the suite's spec data
   spec     run any experiment spec document (single runs and variant grids)
+  results  query a result store written by 'sweep -results' (ls, query, diff)
   doc      render the component registry as the SPEC.md reference page
 
 Component flags (-policy, -alloc, -gc, -wl, -detector, -mapping, -timing,
@@ -78,6 +81,8 @@ Examples:
   eagletree sweep -run e4 -scale full -distribute 4 -state-cache ~/.cache/et-states
   eagletree worker -listen :9313 & eagletree sweep -run e4 -connect localhost:9313
   eagletree spec specs/e12.json
+  eagletree sweep -run e2 -seeds 7,12345 -results results/ -label HEAD
+  eagletree results diff -store results/ -a main -b HEAD -fail-on-regress
   eagletree doc -o SPEC.md
 `)
 }

@@ -79,6 +79,20 @@ func TestWorkerHelpGolden(t *testing.T) {
 	checkGolden(t, "help-worker.golden", stderr.String())
 }
 
+// TestResultsHelpGolden pins the result-store query surface: the query and
+// diff flag sets are the public contract of the persisted-rows feature.
+func TestResultsHelpGolden(t *testing.T) {
+	var all bytes.Buffer
+	for _, sub := range []string{"ls", "query", "diff"} {
+		var stdout, stderr bytes.Buffer
+		if code := Main([]string{"results", sub, "-h"}, &stdout, &stderr); code != 2 {
+			t.Fatalf("results %s -h exited %d, want 2 (flag.ErrHelp)", sub, code)
+		}
+		all.WriteString(stderr.String())
+	}
+	checkGolden(t, "help-results.golden", all.String())
+}
+
 // TestRunHelpCoversRegistry: every registered component name of every kind
 // the run flags expose appears in the generated help — automatically, with
 // no CLI edit.

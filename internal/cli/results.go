@@ -1,0 +1,230 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"eagletree/internal/query"
+	"eagletree/internal/resultstore"
+)
+
+// defaultSelect is the query projection when -select is not given: enough
+// provenance to identify a row plus the headline metrics. "-select all"
+// yields every stored column.
+var defaultSelect = []string{
+	"experiment", "commit", "seed", "label", "x",
+	"throughput_iops", "write_mean_ns", "write_amp", "effective_op",
+}
+
+// defaultDiffMetrics is the regression surface 'results diff' checks when
+// -metrics is not given.
+var defaultDiffMetrics = []string{
+	"throughput_iops", "read_mean_ns", "write_mean_ns",
+	"read_p99_ns", "write_p99_ns", "write_amp", "effective_op",
+}
+
+// multiFlag collects a repeatable string flag in order.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, " && ") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// cmdResults queries a result store written by 'sweep -results': ls lists
+// its segments and contents, query filters/projects/aggregates rows, diff
+// compares two stored sweeps and flags regressions.
+func cmdResults(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(stderr, "usage: eagletree results <ls|query|diff> -store DIR [flags]")
+		fmt.Fprintln(stderr, "run 'eagletree results <subcommand> -h' for that subcommand's flags")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "ls":
+		return cmdResultsLS(rest, stdout, stderr)
+	case "query":
+		return cmdResultsQuery(rest, stdout, stderr)
+	case "diff":
+		return cmdResultsDiff(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "eagletree results: unknown subcommand %q (want ls, query or diff)\n", sub)
+		return 2
+	}
+}
+
+// loadRows opens the store and reads every row, canonically ordered by
+// (experiment, commit, seed, index) so downstream output never depends on
+// segment append order.
+func loadRows(dir string, stderr io.Writer) (*query.Table, int) {
+	if dir == "" {
+		return nil, fail(stderr, fmt.Errorf("-store is required (the directory given to 'sweep -results')"))
+	}
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		return nil, fail(stderr, err)
+	}
+	rows, err := st.Rows()
+	if err != nil {
+		return nil, fail(stderr, err)
+	}
+	tab, err := query.FromRows(rows).Sort([]string{"experiment", "commit", "seed", "index"})
+	if err != nil {
+		return nil, fail(stderr, err)
+	}
+	return tab, 0
+}
+
+func cmdResultsLS(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree results ls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "result store directory")
+	csv := fs.Bool("csv", false, "print CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tab, code := loadRows(*storeDir, stderr)
+	if code != 0 {
+		return code
+	}
+	// One line per stored sweep side: which experiment, under which label,
+	// over which seeds, how many rows.
+	g, err := tab.GroupBy([]string{"experiment", "commit"}, []query.Agg{
+		{Fn: "count"},
+		{Fn: "min", Col: "seed"},
+		{Fn: "max", Col: "seed"},
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	render(stdout, g, *csv)
+	return 0
+}
+
+func cmdResultsQuery(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree results query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var wheres multiFlag
+	var (
+		storeDir = fs.String("store", "", "result store directory")
+		sel      = fs.String("select", "", "comma-separated columns to print (default headline set; \"all\" = every column)")
+		by       = fs.String("by", "", "comma-separated group-by key columns")
+		agg      = fs.String("agg", "", "comma-separated aggregates for -by: count | mean(col) | std(col) | ci95(col) | min(col) | max(col) | sum(col)")
+		sortBy   = fs.String("sort", "", "comma-separated sort columns applied to the output (prefix - for descending)")
+		csv      = fs.Bool("csv", false, "print CSV instead of an aligned table")
+	)
+	fs.Var(&wheres, "where", "filter clause \"col OP value\" (repeatable; OP: = != < <= > >= ~)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tab, code := loadRows(*storeDir, stderr)
+	if code != 0 {
+		return code
+	}
+
+	preds := make([]query.Predicate, 0, len(wheres))
+	for _, w := range wheres {
+		p, err := query.ParsePredicate(w)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		preds = append(preds, p)
+	}
+	tab, err := tab.Filter(preds)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	switch {
+	case *by != "":
+		if *agg == "" {
+			return fail(stderr, fmt.Errorf("-by needs -agg (e.g. -agg 'count,mean(throughput_iops),ci95(throughput_iops)')"))
+		}
+		var aggs []query.Agg
+		for _, a := range splitList(*agg) {
+			parsed, err := query.ParseAgg(a)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			aggs = append(aggs, parsed)
+		}
+		if tab, err = tab.GroupBy(splitList(*by), aggs); err != nil {
+			return fail(stderr, err)
+		}
+	case *sel == "all":
+		// full schema, no projection
+	case *sel != "":
+		if tab, err = tab.Project(splitList(*sel)); err != nil {
+			return fail(stderr, err)
+		}
+	default:
+		if tab, err = tab.Project(defaultSelect); err != nil {
+			return fail(stderr, err)
+		}
+	}
+
+	if *sortBy != "" {
+		if tab, err = tab.Sort(splitList(*sortBy)); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	render(stdout, tab, *csv)
+	return 0
+}
+
+func cmdResultsDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eagletree results diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		storeDir = fs.String("store", "", "result store directory")
+		a        = fs.String("a", "", "baseline side: a -label value stored in the commit column")
+		b        = fs.String("b", "", "candidate side: a -label value stored in the commit column")
+		metrics  = fs.String("metrics", "", "comma-separated metric columns to compare (default: "+strings.Join(defaultDiffMetrics, ",")+")")
+		csv      = fs.Bool("csv", false, "print CSV instead of an aligned table")
+		failOn   = fs.Bool("fail-on-regress", false, "exit 1 when any comparison regresses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *a == "" || *b == "" {
+		return fail(stderr, fmt.Errorf("diff needs both sides: -a LABEL -b LABEL"))
+	}
+	if *storeDir == "" {
+		return fail(stderr, fmt.Errorf("-store is required (the directory given to 'sweep -results')"))
+	}
+	st, err := resultstore.Open(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rows, err := st.Rows()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ms := defaultDiffMetrics
+	if *metrics != "" {
+		ms = splitList(*metrics)
+	}
+	tbl, sum, err := query.Diff(rows, *a, *b, ms)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	render(stdout, tbl, *csv)
+	fmt.Fprintln(stdout, sum)
+	if *failOn && sum.Regressions > 0 {
+		fmt.Fprintf(stderr, "eagletree: %d regression(s) from %q to %q\n", sum.Regressions, *a, *b)
+		return 1
+	}
+	return 0
+}
+
+func render(w io.Writer, t *query.Table, csv bool) {
+	if csv {
+		fmt.Fprint(w, t.CSV())
+		return
+	}
+	fmt.Fprint(w, t.Text())
+}

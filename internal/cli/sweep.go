@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -15,6 +16,8 @@ import (
 
 	"eagletree/internal/experiment"
 	"eagletree/internal/fabric"
+	"eagletree/internal/query"
+	"eagletree/internal/resultstore"
 	"eagletree/internal/sim"
 	"eagletree/internal/spec"
 )
@@ -121,42 +124,99 @@ func renderResults(stdout io.Writer, res experiment.Results, out *sweepOutput) {
 	}
 }
 
+// sweepJob is one execution of one document under one seed. Jobs are grouped
+// per selected experiment: a multi-seed sweep runs the group's jobs in seed
+// order, then prints one replication summary over the group's captured rows.
+type sweepJob struct {
+	doc  spec.Experiment
+	def  experiment.Definition // compiled for the in-process path only
+	sink *resultstore.Sink     // nil when rows are not being captured
+}
+
+// jobObserver composes the live progress stream with the job's result sink.
+func jobObserver(j sweepJob, progress bool, stderr io.Writer) experiment.Observer {
+	var obs []experiment.Observer
+	if progress {
+		obs = append(obs, progressObserver{w: stderr})
+	}
+	if j.sink != nil {
+		obs = append(obs, j.sink)
+	}
+	return experiment.MultiObserver(obs...)
+}
+
+// finishJob persists and collects one completed job's captured rows.
+func finishJob(j sweepJob, persist bool, collected *[]resultstore.Row, stderr io.Writer) int {
+	if j.sink == nil {
+		return 0
+	}
+	if persist {
+		if err := j.sink.Flush(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	*collected = append(*collected, j.sink.Rows()...)
+	return 0
+}
+
 // runDefinitions executes compiled definitions under an interrupt-aware
 // context through the streaming Runner and renders their results. The first
 // ^C cancels mid-sweep: workers drain, the partial row prefix prints, and the
 // process exits non-zero.
 func runDefinitions(defs []experiment.Definition, opts experiment.Options, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
+	groups := make([][]sweepJob, len(defs))
+	for i, def := range defs {
+		groups[i] = []sweepJob{{def: def}}
+	}
+	return runSweepGroups(groups, false, opts, out, progress, stdout, stderr)
+}
+
+// runSweepGroups executes job groups through the in-process Runner: each
+// job's rows flow through its sink, and a group that replicated over several
+// seeds closes with a confidence-interval summary.
+func runSweepGroups(groups [][]sweepJob, persist bool, opts experiment.Options, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
 	ctx, stop := interruptContext(stderr)
 	defer stop()
-	if progress {
-		opts.Observer = progressObserver{w: stderr}
-	}
-	runner := experiment.New(opts)
-	for _, def := range defs {
-		res, err := runner.Run(ctx, def)
-		if err != nil {
-			if errors.Is(err, experiment.ErrCanceled) {
-				if len(res.Rows) > 0 {
-					fmt.Fprintln(stdout, res.Table())
+	for _, jobs := range groups {
+		var collected []resultstore.Row
+		for _, j := range jobs {
+			o := opts
+			o.Observer = jobObserver(j, progress, stderr)
+			res, err := experiment.New(o).Run(ctx, j.def)
+			if err != nil {
+				if errors.Is(err, experiment.ErrCanceled) {
+					if len(res.Rows) > 0 {
+						fmt.Fprintln(stdout, res.Table())
+					}
+					fmt.Fprintf(stderr, "eagletree: %v\n", err)
+					return 130
 				}
-				fmt.Fprintf(stderr, "eagletree: %v\n", err)
-				return 130
+				return fail(stderr, err)
 			}
-			return fail(stderr, err)
+			if code := finishJob(j, persist, &collected, stderr); code != 0 {
+				return code
+			}
+			renderResults(stdout, res, out)
 		}
-		renderResults(stdout, res, out)
+		if len(jobs) > 1 {
+			if code := printReplication(stdout, stderr, collected); code != 0 {
+				return code
+			}
+		}
 	}
 	return 0
 }
 
-// runDistributed shards each document's variant grid over worker processes —
+// runDistributed shards each job's variant grid over worker processes —
 // -distribute N local subprocesses of this same binary, and/or -connect'ed
 // TCP workers — and renders the deterministically merged results through the
-// same renderer as the in-process path.
-func runDistributed(docs []spec.Experiment, distribute int, connect, cacheDir string, timeline bool, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
+// same renderer as the in-process path. The coordinator is the single store
+// writer: workers stream rows back, the merge orders them, and each job's
+// sink persists exactly what a sequential run would have.
+func runDistributed(groups [][]sweepJob, persist bool, distribute int, connect, cacheDir string, timeline bool, out *sweepOutput, progress bool, stdout, stderr io.Writer) int {
 	ctx, stop := interruptContext(stderr)
 	defer stop()
-	opts := fabric.Options{
+	base := fabric.Options{
 		Connect:      splitList(connect),
 		WorkerStderr: stderr,
 	}
@@ -169,34 +229,93 @@ func runDistributed(docs []spec.Experiment, distribute int, connect, cacheDir st
 		if cacheDir != "" {
 			argv = append(argv, "-state-cache", cacheDir)
 		}
-		opts.Workers = distribute
-		opts.Command = argv
+		base.Workers = distribute
+		base.Command = argv
 	}
 	if cacheDir != "" {
-		opts.Cache = experiment.NewStateCache(cacheDir)
+		base.Cache = experiment.NewStateCache(cacheDir)
 	}
 	if timeline {
-		opts.SeriesBucket = 20 * sim.Millisecond
+		base.SeriesBucket = 20 * sim.Millisecond
 	}
 	if progress {
-		opts.Observer = progressObserver{w: stderr}
-		opts.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+		base.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
 	}
-	for _, doc := range docs {
-		res, err := fabric.Run(ctx, doc, opts)
-		if err != nil {
-			if errors.Is(err, experiment.ErrCanceled) {
-				if len(res.Rows) > 0 {
-					fmt.Fprintln(stdout, res.Table())
+	for _, jobs := range groups {
+		var collected []resultstore.Row
+		for _, j := range jobs {
+			opts := base
+			opts.Observer = jobObserver(j, progress, stderr)
+			res, err := fabric.Run(ctx, j.doc, opts)
+			if err != nil {
+				if errors.Is(err, experiment.ErrCanceled) {
+					if len(res.Rows) > 0 {
+						fmt.Fprintln(stdout, res.Table())
+					}
+					fmt.Fprintf(stderr, "eagletree: %v\n", err)
+					return 130
 				}
-				fmt.Fprintf(stderr, "eagletree: %v\n", err)
-				return 130
+				return fail(stderr, err)
 			}
-			return fail(stderr, err)
+			if code := finishJob(j, persist, &collected, stderr); code != 0 {
+				return code
+			}
+			renderResults(stdout, res, out)
 		}
-		renderResults(stdout, res, out)
+		if len(jobs) > 1 {
+			if code := printReplication(stdout, stderr, collected); code != 0 {
+				return code
+			}
+		}
 	}
 	return 0
+}
+
+// printReplication renders the cross-seed replication summary: per variant,
+// mean ± 95% confidence half-width of the headline metrics over the sweep's
+// seeds. Group order follows the variant grid (rows are collected in grid
+// order per seed), so the summary lines up with the per-seed tables above it.
+func printReplication(stdout, stderr io.Writer, rows []resultstore.Row) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	tab := query.FromRows(rows)
+	g, err := tab.GroupBy([]string{"experiment", "label"}, []query.Agg{
+		{Fn: "count"},
+		{Fn: "mean", Col: "throughput_iops"}, {Fn: "ci95", Col: "throughput_iops"},
+		{Fn: "mean", Col: "write_mean_ns"}, {Fn: "ci95", Col: "write_mean_ns"},
+		{Fn: "mean", Col: "write_amp"}, {Fn: "ci95", Col: "write_amp"},
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintln(stdout, "replication summary (mean and 95% CI half-width across seeds):")
+	fmt.Fprintln(stdout, g.Text())
+	return 0
+}
+
+// parseSeeds parses the -seeds list. Seed 0 is rejected rather than accepted:
+// the runtime normalizes 0 to 1, so an explicit 0 would silently collide with
+// an explicit 1 in the store.
+func parseSeeds(s string) ([]uint64, error) {
+	parts := splitList(s)
+	seeds := make([]uint64, 0, len(parts))
+	seen := make(map[uint64]bool, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: %q is not an unsigned integer seed", p)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("-seeds: seed 0 is the runtime default alias for 1; say 1 explicitly")
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("-seeds: seed %d repeats", v)
+		}
+		seen[v] = true
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
 }
 
 // splitList parses a comma-separated flag value, dropping empty elements.
@@ -226,6 +345,10 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 
 		distribute = fs.Int("distribute", 0, "shard variants across N worker subprocesses of this binary (0 = run in-process)")
 		connect    = fs.String("connect", "", "also lease variants to remote workers at these comma-separated host:port addresses (see 'eagletree worker -listen')")
+
+		seeds      = fs.String("seeds", "", "replicate the sweep under these comma-separated seeds; more than one adds a 95%-CI replication summary")
+		resultsDir = fs.String("results", "", "append every completed variant's row to the result store in this directory (see 'eagletree results')")
+		label      = fs.String("label", "", "provenance label stored with -results rows, e.g. a commit hash (default \"unlabeled\")")
 	)
 	out := addSweepOutput(fs)
 	prof := addProfileFlags(fs)
@@ -294,6 +417,50 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var store *resultstore.Store
+	commit := *label
+	if *resultsDir != "" {
+		if store, err = resultstore.Open(*resultsDir); err != nil {
+			return fail(stderr, err)
+		}
+		if commit == "" {
+			commit = "unlabeled"
+		}
+	} else if commit != "" {
+		return fail(stderr, fmt.Errorf("-label labels stored rows; it needs -results"))
+	}
+
+	// Rows are captured whenever they are persisted or summarized; a plain
+	// sweep skips the sinks entirely and its output is byte-identical to a
+	// sweep predating them.
+	capture := store != nil || len(seedList) > 1
+	runSeeds := seedList
+	if len(runSeeds) == 0 {
+		runSeeds = []uint64{0} // the document's own seed
+	}
+	groups := make([][]sweepJob, 0, len(selected))
+	for _, e := range selected {
+		jobs := make([]sweepJob, 0, len(runSeeds))
+		for _, seed := range runSeeds {
+			doc := e
+			if seed != 0 {
+				doc.Base.Seed = seed
+			}
+			j := sweepJob{doc: doc}
+			if capture {
+				if j.sink, err = resultstore.NewSink(store, doc, commit); err != nil {
+					return fail(stderr, err)
+				}
+			}
+			jobs = append(jobs, j)
+		}
+		groups = append(groups, jobs)
+	}
+
 	if *distribute > 0 || *connect != "" {
 		// The fabric hands workers the spec documents themselves; flags that
 		// tune the in-process runner have no meaning there, and ignoring them
@@ -307,21 +474,22 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 		if conflict != "" {
 			return fail(stderr, fmt.Errorf("-%s does not apply to a distributed sweep (each worker runs one variant at a time)", conflict))
 		}
-		return runDistributed(selected, *distribute, *connect, *cacheDir, *out.timeline, out, *progress, stdout, stderr)
+		return runDistributed(groups, store != nil, *distribute, *connect, *cacheDir, *out.timeline, out, *progress, stdout, stderr)
 	}
 
-	var defs []experiment.Definition
-	for _, e := range selected {
-		def, err := experiment.FromSpec(e)
-		if err != nil {
-			return fail(stderr, err)
+	for gi := range groups {
+		for ji := range groups[gi] {
+			def, err := experiment.FromSpec(groups[gi][ji].doc)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			if *out.timeline {
+				def.SeriesBucket = 20 * sim.Millisecond
+			}
+			groups[gi][ji].def = def
 		}
-		if *out.timeline {
-			def.SeriesBucket = 20 * sim.Millisecond
-		}
-		defs = append(defs, def)
 	}
-	return runDefinitions(defs, opts, out, *progress, stdout, stderr)
+	return runSweepGroups(groups, store != nil, opts, out, *progress, stdout, stderr)
 }
 
 // cmdList prints the experiment index straight from the suite's spec data,

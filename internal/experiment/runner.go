@@ -199,6 +199,33 @@ type ObserverFunc func(Event)
 // OnEvent implements Observer.
 func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
 
+// MultiObserver fans one event stream out to every given observer, in order;
+// nils are skipped. It keeps the runner's serialization guarantee — each
+// observer sees the same serial stream.
+func MultiObserver(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) OnEvent(ev Event) {
+	for _, o := range m {
+		o.OnEvent(ev)
+	}
+}
+
 // ChanObserver returns an Observer that sends every event to ch (blocking —
 // size the channel or drain it promptly; a stalled receiver stalls the run).
 // The runner never closes ch: close it after Run returns.

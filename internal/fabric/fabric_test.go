@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"eagletree/internal/experiment"
+	"eagletree/internal/resultstore"
 	"eagletree/internal/spec"
 )
 
@@ -398,4 +400,49 @@ func TestLeaseIndexValidation(t *testing.T) {
 		t.Fatalf("worker accepted a skewed lease: %v", err)
 	}
 	coordSide.Close()
+}
+
+// TestStoreRowsDistributedBitIdentical pins the persistence acceptance bar:
+// the rows a result-store sink captures from a distributed 4-worker run must
+// be bit-identical — same encoded segment bytes — to the rows it captures
+// from the sequential runner for the same document. The sink only listens to
+// the terminal event stream, so this holds exactly when the coordinator's
+// merged events reproduce the sequential runner's.
+func TestStoreRowsDistributedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full small-scale experiments")
+	}
+	doc := suiteDoc(t, "E2")
+
+	seqSink, err := resultstore.NewSink(nil, doc, "pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := experiment.FromSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiment.New(experiment.Options{Workers: 1, Observer: seqSink}).Run(context.Background(), def); err != nil {
+		t.Fatal(err)
+	}
+
+	distSink, err := resultstore.NewSink(nil, doc, "pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, wg := startWorkers(t, 4, nil)
+	if _, err := Run(context.Background(), doc, Options{Conns: conns, Observer: distSink}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	seqRows, distRows := seqSink.Rows(), distSink.Rows()
+	if len(seqRows) == 0 || len(seqRows) != len(distRows) {
+		t.Fatalf("row counts: sequential %d, distributed %d", len(seqRows), len(distRows))
+	}
+	seqSeg := resultstore.EncodeSegment(seqRows)
+	distSeg := resultstore.EncodeSegment(distRows)
+	if !bytes.Equal(seqSeg, distSeg) {
+		t.Fatalf("persisted rows diverge between sequential and distributed runs:\n--- sequential\n%#v\n--- distributed\n%#v", seqRows, distRows)
+	}
 }

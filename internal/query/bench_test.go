@@ -1,0 +1,41 @@
+package query_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eagletree/internal/core"
+	"eagletree/internal/query"
+	"eagletree/internal/resultstore"
+)
+
+// BenchmarkQueryGroupBy measures the hot analytical path: grouping a
+// several-thousand-row corpus by variant and computing replicate statistics.
+func BenchmarkQueryGroupBy(b *testing.B) {
+	rows := make([]resultstore.Row, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		rows = append(rows, resultstore.Row{
+			Experiment: fmt.Sprintf("E%d", i%4),
+			Commit:     "bench",
+			Seed:       uint64(i % 16),
+			Index:      i % 64,
+			Variant:    fmt.Sprintf("spec1|{\"v\":%d}", i%64),
+			Label:      fmt.Sprintf("v%d", i%64),
+			Report:     core.Report{Throughput: float64(i), WriteAmplification: 1 + float64(i%7)/10},
+		})
+	}
+	tab := query.FromRows(rows)
+	aggs := []query.Agg{
+		{Fn: "count"},
+		{Fn: "mean", Col: "throughput_iops"},
+		{Fn: "ci95", Col: "throughput_iops"},
+		{Fn: "mean", Col: "write_amp"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.GroupBy([]string{"experiment", "label"}, aggs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

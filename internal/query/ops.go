@@ -1,0 +1,449 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eagletree/internal/resultstore"
+	"eagletree/internal/stats"
+)
+
+// Predicate is one parsed filter clause: column, operator, literal.
+type Predicate struct {
+	Col string
+	Op  string
+	Val string
+}
+
+// filterOps lists the comparison operators, two-character operators first so
+// parsing never splits ">=" into ">" and "=".
+var filterOps = []string{"!=", ">=", "<=", "=", "<", ">", "~"}
+
+// ParsePredicate parses one "column OP literal" clause. Spaces around the
+// operator are optional; the literal runs to the end of the clause.
+func ParsePredicate(expr string) (Predicate, error) {
+	for _, op := range filterOps {
+		i := strings.Index(expr, op)
+		if i <= 0 {
+			continue
+		}
+		col := strings.TrimSpace(expr[:i])
+		val := strings.TrimSpace(expr[i+len(op):])
+		if col == "" {
+			break
+		}
+		return Predicate{Col: col, Op: op, Val: val}, nil
+	}
+	return Predicate{}, fmt.Errorf("%w: %q (want column OP value with OP one of %s)",
+		ErrPredicate, expr, strings.Join(filterOps, " "))
+}
+
+// Filter returns the rows of t satisfying every predicate, in order.
+// String columns support = != ~ (substring); numeric columns support
+// = != < <= > >=.
+func (t *Table) Filter(preds []Predicate) (*Table, error) {
+	type compiled struct {
+		c  *column
+		op string
+		// exactly one literal representation is valid, chosen by column kind
+		s string
+		i int64
+		u uint64
+		f float64
+	}
+	comp := make([]compiled, len(preds))
+	for k, p := range preds {
+		c, err := t.col(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		cp := compiled{c: c, op: p.Op, s: p.Val}
+		switch c.kind {
+		case resultstore.KindString:
+			switch p.Op {
+			case "=", "!=", "~":
+			default:
+				return nil, fmt.Errorf("%w: operator %q does not apply to string column %q", ErrPredicate, p.Op, p.Col)
+			}
+		case resultstore.KindInt:
+			cp.i, err = strconv.ParseInt(p.Val, 10, 64)
+		case resultstore.KindUint:
+			cp.u, err = strconv.ParseUint(p.Val, 10, 64)
+		case resultstore.KindFloat:
+			cp.f, err = strconv.ParseFloat(p.Val, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q is not a valid literal for %s column %q", ErrPredicate, p.Val, c.kind, p.Col)
+		}
+		if c.kind != resultstore.KindString && p.Op == "~" {
+			return nil, fmt.Errorf("%w: operator ~ applies only to string columns, not %s %q", ErrPredicate, c.kind, p.Col)
+		}
+		comp[k] = cp
+	}
+
+	var idx []int
+	for r := 0; r < t.Len(); r++ {
+		keep := true
+		for _, cp := range comp {
+			var ord int // sign of cell - literal, for numeric kinds
+			var ok bool
+			switch cp.c.kind {
+			case resultstore.KindString:
+				cell := cp.c.strs[r]
+				switch cp.op {
+				case "=":
+					ok = cell == cp.s
+				case "!=":
+					ok = cell != cp.s
+				case "~":
+					ok = strings.Contains(cell, cp.s)
+				}
+				if !ok {
+					keep = false
+				}
+				continue
+			case resultstore.KindInt:
+				ord = cmpOrd(cp.c.ints[r], cp.i)
+			case resultstore.KindUint:
+				ord = cmpOrd(cp.c.uints[r], cp.u)
+			case resultstore.KindFloat:
+				ord = cmpOrd(cp.c.floats[r], cp.f)
+			}
+			switch cp.op {
+			case "=":
+				ok = ord == 0
+			case "!=":
+				ok = ord != 0
+			case "<":
+				ok = ord < 0
+			case "<=":
+				ok = ord <= 0
+			case ">":
+				ok = ord > 0
+			case ">=":
+				ok = ord >= 0
+			}
+			if !ok {
+				keep = false
+			}
+		}
+		if keep {
+			idx = append(idx, r)
+		}
+	}
+	return t.take(idx), nil
+}
+
+func cmpOrd[T int64 | uint64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Project returns a table holding only the named columns, in the given order.
+func (t *Table) Project(names []string) (*Table, error) {
+	out := &Table{cols: make([]column, 0, len(names))}
+	for _, name := range names {
+		c, err := t.col(name)
+		if err != nil {
+			return nil, err
+		}
+		out.cols = append(out.cols, *c)
+	}
+	return out, nil
+}
+
+// Sort returns the rows of t stably ordered by the named columns, earliest
+// name most significant. Prefix a name with "-" for descending order.
+func (t *Table) Sort(names []string) (*Table, error) {
+	type key struct {
+		c    *column
+		desc bool
+	}
+	keys := make([]key, len(names))
+	for i, name := range names {
+		desc := strings.HasPrefix(name, "-")
+		c, err := t.col(strings.TrimPrefix(name, "-"))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key{c: c, desc: desc}
+	}
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := idx[a], idx[b]
+		for _, k := range keys {
+			var ord int
+			switch k.c.kind {
+			case resultstore.KindString:
+				ord = strings.Compare(k.c.strs[ra], k.c.strs[rb])
+			case resultstore.KindInt:
+				ord = cmpOrd(k.c.ints[ra], k.c.ints[rb])
+			case resultstore.KindUint:
+				ord = cmpOrd(k.c.uints[ra], k.c.uints[rb])
+			case resultstore.KindFloat:
+				ord = cmpOrd(k.c.floats[ra], k.c.floats[rb])
+			}
+			if ord == 0 {
+				continue
+			}
+			if k.desc {
+				return ord > 0
+			}
+			return ord < 0
+		}
+		return false
+	})
+	return t.take(idx), nil
+}
+
+// Agg is one aggregate request: a function applied to a column within each
+// group.
+type Agg struct {
+	Fn  string
+	Col string
+}
+
+// ParseAgg parses "fn(col)" or the bare "count".
+func ParseAgg(expr string) (Agg, error) {
+	if expr == "count" {
+		return Agg{Fn: "count"}, nil
+	}
+	open := strings.Index(expr, "(")
+	if open <= 0 || !strings.HasSuffix(expr, ")") {
+		return Agg{}, fmt.Errorf("%w: %q (want fn(column), fn one of count mean std ci95 min max sum)", ErrAggregate, expr)
+	}
+	return Agg{Fn: expr[:open], Col: expr[open+1 : len(expr)-1]}, nil
+}
+
+// GroupBy partitions rows by the named key columns and computes the given
+// aggregates within each group. Groups appear in first-appearance row order,
+// so a pre-sorted table yields sorted groups and a grid-ordered table yields
+// grid-ordered groups. The result holds the key columns followed by one
+// column per aggregate, named "fn(col)"; count is a uint column, everything
+// else is float.
+func (t *Table) GroupBy(keyNames []string, aggs []Agg) (*Table, error) {
+	keyCols := make([]*column, len(keyNames))
+	for i, name := range keyNames {
+		c, err := t.col(name)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+	aggCols := make([]*column, len(aggs))
+	for i, a := range aggs {
+		switch a.Fn {
+		case "count":
+			continue
+		case "mean", "std", "ci95", "min", "max", "sum":
+		default:
+			return nil, fmt.Errorf("%w: unknown function %q", ErrAggregate, a.Fn)
+		}
+		c, err := t.col(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		if c.kind == resultstore.KindString {
+			return nil, fmt.Errorf("%w: %s(%s) aggregates a string column", ErrAggregate, a.Fn, a.Col)
+		}
+		aggCols[i] = c
+	}
+
+	// Group membership by composite key, groups in first-appearance order.
+	groupOf := make(map[string]int)
+	var members [][]int
+	var firstRow []int
+	var keyBuf []byte
+	for r := 0; r < t.Len(); r++ {
+		keyBuf = keyBuf[:0]
+		for _, c := range keyCols {
+			cell := c.cell(r)
+			keyBuf = binaryLenPrefix(keyBuf, cell)
+		}
+		g, ok := groupOf[string(keyBuf)]
+		if !ok {
+			g = len(members)
+			groupOf[string(keyBuf)] = g
+			members = append(members, nil)
+			firstRow = append(firstRow, r)
+		}
+		members[g] = append(members[g], r)
+	}
+
+	out := &Table{cols: make([]column, 0, len(keyCols)+len(aggs))}
+	for i, c := range keyCols {
+		kc := column{name: keyNames[i], kind: c.kind, better: c.better}
+		for _, r := range firstRow {
+			kc.append(c.value(r))
+		}
+		out.cols = append(out.cols, kc)
+	}
+	for i, a := range aggs {
+		name := a.Fn
+		if a.Col != "" {
+			name = a.Fn + "(" + a.Col + ")"
+		}
+		if a.Fn == "count" {
+			c := column{name: name, kind: resultstore.KindUint}
+			for _, rows := range members {
+				c.uints = append(c.uints, uint64(len(rows)))
+			}
+			out.cols = append(out.cols, c)
+			continue
+		}
+		src := aggCols[i]
+		c := column{name: name, kind: resultstore.KindFloat, better: src.better}
+		for _, rows := range members {
+			xs := make([]float64, len(rows))
+			for j, r := range rows {
+				xs[j] = src.float(r)
+			}
+			c.floats = append(c.floats, aggregate(a.Fn, xs))
+		}
+		out.cols = append(out.cols, c)
+	}
+	return out, nil
+}
+
+func aggregate(fn string, xs []float64) float64 {
+	switch fn {
+	case "mean":
+		return stats.Summarize(xs).Mean
+	case "std":
+		return stats.Summarize(xs).Std
+	case "ci95":
+		return stats.Summarize(xs).CI95
+	case "sum":
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	case "min":
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	default: // max
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+}
+
+// binaryLenPrefix appends s length-prefixed, so composite keys never collide
+// across cell boundaries ("a"+"bc" vs "ab"+"c").
+func binaryLenPrefix(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, ':')
+	return append(b, s...)
+}
+
+// Join inner-joins t with other on the named key columns, which must exist
+// with identical kinds in both tables. The result holds the key columns, then
+// t's remaining columns, then other's remaining columns; a name present on
+// both sides gets the given suffixes. Output order is t's row order, ties
+// within a key following other's row order — deterministic for deterministic
+// inputs.
+func (t *Table) Join(other *Table, on []string, suffixL, suffixR string) (*Table, error) {
+	lk := make([]*column, len(on))
+	rk := make([]*column, len(on))
+	for i, name := range on {
+		lc, err := t.col(name)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := other.col(name)
+		if err != nil {
+			return nil, err
+		}
+		if lc.kind != rc.kind {
+			return nil, fmt.Errorf("%w: key %q is %s on the left, %s on the right", ErrJoin, name, lc.kind, rc.kind)
+		}
+		lk[i], rk[i] = lc, rc
+	}
+	isKey := func(name string) bool {
+		for _, k := range on {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Index the right side: composite key -> row indices in order.
+	rIdx := make(map[string][]int)
+	var keyBuf []byte
+	for r := 0; r < other.Len(); r++ {
+		keyBuf = keyBuf[:0]
+		for _, c := range rk {
+			keyBuf = binaryLenPrefix(keyBuf, c.cell(r))
+		}
+		rIdx[string(keyBuf)] = append(rIdx[string(keyBuf)], r)
+	}
+
+	var lRows, rRows []int
+	for r := 0; r < t.Len(); r++ {
+		keyBuf = keyBuf[:0]
+		for _, c := range lk {
+			keyBuf = binaryLenPrefix(keyBuf, c.cell(r))
+		}
+		for _, rr := range rIdx[string(keyBuf)] {
+			lRows = append(lRows, r)
+			rRows = append(rRows, rr)
+		}
+	}
+
+	out := &Table{}
+	appendSide := func(src *Table, rows []int, suffix string, keysToo bool) {
+		for i := range src.cols {
+			c := &src.cols[i]
+			if isKey(c.name) != keysToo {
+				continue
+			}
+			name := c.name
+			if !keysToo && collides(t, other, name, on) {
+				name += suffix
+			}
+			nc := column{name: name, kind: c.kind, better: c.better}
+			for _, r := range rows {
+				nc.append(c.value(r))
+			}
+			out.cols = append(out.cols, nc)
+		}
+	}
+	appendSide(t, lRows, suffixL, true)
+	appendSide(t, lRows, suffixL, false)
+	appendSide(other, rRows, suffixR, false)
+	return out, nil
+}
+
+// collides reports whether a non-key column name exists on both sides.
+func collides(l, r *Table, name string, on []string) bool {
+	for _, k := range on {
+		if k == name {
+			return false
+		}
+	}
+	_, lerr := l.col(name)
+	_, rerr := r.col(name)
+	return lerr == nil && rerr == nil
+}

@@ -1,0 +1,84 @@
+package query
+
+import (
+	"strings"
+
+	"eagletree/internal/resultstore"
+)
+
+// Text renders the table as an aligned monospace grid: a header row, a rule,
+// then one line per row. String cells are left-aligned, numeric cells
+// right-aligned. The output is a pure function of the table.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.cols))
+	for i := range t.cols {
+		widths[i] = len(t.cols[i].name)
+		for r := 0; r < t.cols[i].len(); r++ {
+			if n := len(t.cols[i].cell(r)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	writeCell := func(i int, s string, leftAlign bool) {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		pad := widths[i] - len(s)
+		if !leftAlign {
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString(s)
+		if leftAlign && i < len(t.cols)-1 {
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+	}
+	for i := range t.cols {
+		writeCell(i, t.cols[i].name, t.cols[i].kind == resultstore.KindString)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for r := 0; r < t.Len(); r++ {
+		for i := range t.cols {
+			writeCell(i, t.cols[i].cell(r), t.cols[i].kind == resultstore.KindString)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV: header then rows, cells quoted
+// only when they contain a comma, quote or newline.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for i := range t.cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvCell(t.cols[i].name))
+	}
+	b.WriteByte('\n')
+	for r := 0; r < t.Len(); r++ {
+		for i := range t.cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(t.cols[i].cell(r)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}

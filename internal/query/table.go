@@ -1,0 +1,179 @@
+// Package query is a small relational layer over the result store: tables
+// of typed columns with filter, project, sort, group/aggregate and join —
+// enough algebra to ask a corpus of persisted sweep rows real questions
+// (which variant won across seeds, with what confidence; what changed
+// between two commits) without hauling in a database.
+//
+// Everything is deterministic by construction: operations preserve or define
+// row order explicitly, group order is first appearance, aggregate math runs
+// in row order, and rendering is pure formatting — the same table always
+// renders to the same bytes, across runs, machines and worker counts.
+//
+//eagletree:canonical
+//eagletree:typederrors
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eagletree/internal/resultstore"
+)
+
+// Errors reported by the query layer. Wrapped with detail; match with
+// errors.Is.
+var (
+	// ErrColumn marks a reference to a column the table does not have.
+	ErrColumn = errors.New("query: unknown column")
+	// ErrPredicate marks a filter expression that does not parse or cannot
+	// apply to its column's kind.
+	ErrPredicate = errors.New("query: bad predicate")
+	// ErrAggregate marks an unknown aggregate function or one applied to a
+	// non-numeric column.
+	ErrAggregate = errors.New("query: bad aggregate")
+	// ErrJoin marks a join whose key columns disagree between the tables.
+	ErrJoin = errors.New("query: bad join")
+)
+
+// column is one typed column; exactly one value slice is populated,
+// selected by kind.
+type column struct {
+	name   string
+	kind   resultstore.Kind
+	better int8
+	strs   []string
+	ints   []int64
+	uints  []uint64
+	floats []float64
+}
+
+func (c *column) len() int {
+	switch c.kind {
+	case resultstore.KindString:
+		return len(c.strs)
+	case resultstore.KindInt:
+		return len(c.ints)
+	case resultstore.KindUint:
+		return len(c.uints)
+	default:
+		return len(c.floats)
+	}
+}
+
+func (c *column) value(i int) resultstore.Value {
+	switch c.kind {
+	case resultstore.KindString:
+		return resultstore.Value{Str: c.strs[i]}
+	case resultstore.KindInt:
+		return resultstore.Value{Int: c.ints[i]}
+	case resultstore.KindUint:
+		return resultstore.Value{Uint: c.uints[i]}
+	default:
+		return resultstore.Value{Float: c.floats[i]}
+	}
+}
+
+func (c *column) append(v resultstore.Value) {
+	switch c.kind {
+	case resultstore.KindString:
+		c.strs = append(c.strs, v.Str)
+	case resultstore.KindInt:
+		c.ints = append(c.ints, v.Int)
+	case resultstore.KindUint:
+		c.uints = append(c.uints, v.Uint)
+	default:
+		c.floats = append(c.floats, v.Float)
+	}
+}
+
+// cell renders one value as its canonical text: strings verbatim, integers
+// in decimal, floats in shortest round-trip form.
+func (c *column) cell(i int) string {
+	switch c.kind {
+	case resultstore.KindString:
+		return c.strs[i]
+	case resultstore.KindInt:
+		return strconv.FormatInt(c.ints[i], 10)
+	case resultstore.KindUint:
+		return strconv.FormatUint(c.uints[i], 10)
+	default:
+		return strconv.FormatFloat(c.floats[i], 'g', -1, 64)
+	}
+}
+
+// float returns the cell as a float64 for aggregation; counters up to 2^53
+// convert exactly.
+func (c *column) float(i int) float64 {
+	switch c.kind {
+	case resultstore.KindString:
+		return 0
+	case resultstore.KindInt:
+		return float64(c.ints[i])
+	case resultstore.KindUint:
+		return float64(c.uints[i])
+	default:
+		return c.floats[i]
+	}
+}
+
+// Table is an ordered set of rows over named typed columns.
+type Table struct {
+	cols []column
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].len()
+}
+
+// Names returns the column names in table order.
+func (t *Table) Names() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// col finds a column by name.
+func (t *Table) col(name string) (*column, error) {
+	for i := range t.cols {
+		if t.cols[i].name == name {
+			return &t.cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (have %s)", ErrColumn, name, strings.Join(t.Names(), ", "))
+}
+
+// FromRows builds a table over the full result-store schema, one table row
+// per store row, preserving row order.
+func FromRows(rows []resultstore.Row) *Table {
+	specs := resultstore.Columns()
+	t := &Table{cols: make([]column, len(specs))}
+	for i, cs := range specs {
+		t.cols[i] = column{name: cs.Name, kind: cs.Kind, better: cs.Better}
+		for r := range rows {
+			t.cols[i].append(cs.Get(&rows[r]))
+		}
+	}
+	return t
+}
+
+// take builds a new table holding the given row indices of t, in order.
+func (t *Table) take(idx []int) *Table {
+	out := &Table{cols: make([]column, len(t.cols))}
+	for i := range t.cols {
+		src := &t.cols[i]
+		dst := &out.cols[i]
+		dst.name, dst.kind, dst.better = src.name, src.kind, src.better
+		for _, r := range idx {
+			dst.append(src.value(r))
+		}
+	}
+	return out
+}

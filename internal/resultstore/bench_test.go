@@ -1,0 +1,39 @@
+package resultstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eagletree/internal/resultstore"
+)
+
+// BenchmarkResultStoreAppend measures the full persistence path for one
+// sweep's worth of rows: columnar encode, temp-file write, atomic link. The
+// produced segment is removed outside the timed region so every iteration
+// appends into a store of the same (small) size, as a sweep in the wild does.
+func BenchmarkResultStoreAppend(b *testing.B) {
+	rows := sampleRows(64)
+	st, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(rows); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		segs, err := st.Segments()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, seg := range segs {
+			if err := os.Remove(filepath.Join(st.Dir(), seg)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+}

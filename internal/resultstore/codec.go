@@ -1,0 +1,314 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// The segment layout follows the snapshot codec's conventions: 6 magic
+// bytes, 1 version byte, a payload, and a little-endian CRC32 (IEEE) of the
+// payload. The CRC is verified before any field is parsed, so corruption
+// anywhere in the payload reports as ErrCorrupt rather than as a misleading
+// field error.
+//
+// The payload is columnar: the embedded schema (column names and kinds, so
+// drift between writer and reader is a typed refusal, never silent
+// misalignment), the row count, then one column at a time — string columns
+// as a dictionary plus per-row indices, integer columns as varints, float
+// columns as bit-exact fixed64 words.
+const (
+	segMagic   = "EGTRES"
+	segVersion = 1
+)
+
+// Errors reported by the segment codec and the store. Wrapped with detail;
+// match with errors.Is.
+var (
+	// ErrNotStore marks input (or a directory entry) that is not a result
+	// segment.
+	ErrNotStore = errors.New("resultstore: not a result segment")
+	// ErrVersion marks a segment written by an unknown format version or
+	// with a drifted column schema.
+	ErrVersion = errors.New("resultstore: unsupported segment version")
+	// ErrTruncated marks input shorter than its own structure promises.
+	ErrTruncated = errors.New("resultstore: truncated segment")
+	// ErrCorrupt marks a payload whose checksum or structure does not match.
+	ErrCorrupt = errors.New("resultstore: corrupt segment")
+)
+
+// EncodeSegment serializes rows to one immutable columnar segment.
+func EncodeSegment(rows []Row) []byte {
+	e := &enc{b: make([]byte, 0, 1<<12)}
+	e.b = append(e.b, segMagic...)
+	e.b = append(e.b, segVersion)
+	start := len(e.b)
+
+	cols := Columns()
+	e.u64(uint64(len(cols)))
+	for _, c := range cols {
+		e.str(c.Name)
+		e.b = append(e.b, byte(c.Kind))
+	}
+	e.u64(uint64(len(rows)))
+	for _, c := range cols {
+		for i := range rows {
+			v := c.Get(&rows[i])
+			switch c.Kind {
+			case KindString:
+				e.dictRef(v.Str)
+			case KindInt:
+				e.i64(v.Int)
+			case KindUint:
+				e.u64(v.Uint)
+			case KindFloat:
+				e.fix64(math.Float64bits(v.Float))
+			}
+		}
+		if c.Kind == KindString {
+			e.flushDict()
+		}
+	}
+
+	sum := crc32.ChecksumIEEE(e.b[start:])
+	e.b = binary.LittleEndian.AppendUint32(e.b, sum)
+	return e.b
+}
+
+// DecodeSegment parses a segment produced by EncodeSegment, verifying magic,
+// version, checksum and the embedded column schema before reconstructing any
+// row. All failures are the package's typed errors.
+func DecodeSegment(data []byte) ([]Row, error) {
+	if len(data) < len(segMagic)+1 || string(data[:len(segMagic)]) != segMagic {
+		return nil, ErrNotStore
+	}
+	if v := data[len(segMagic)]; v != segVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, v, segVersion)
+	}
+	if len(data) < len(segMagic)+1+4 {
+		return nil, fmt.Errorf("%w: no room for checksum", ErrTruncated)
+	}
+	payload := data[len(segMagic)+1 : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+
+	d := &dec{b: payload}
+	cols := Columns()
+	ncols := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ncols != uint64(len(cols)) {
+		return nil, fmt.Errorf("%w: segment has %d columns, schema has %d", ErrVersion, ncols, len(cols))
+	}
+	for _, c := range cols {
+		name := d.str()
+		kind := d.byte()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if name != c.Name || Kind(kind) != c.Kind {
+			return nil, fmt.Errorf("%w: segment column %q (kind %d), schema expects %q (%s)",
+				ErrVersion, name, kind, c.Name, c.Kind)
+		}
+	}
+	nrows := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Bounded allocation: every row contributes at least one byte per column
+	// to the payload, so a row count exceeding the remaining bytes is
+	// structurally impossible — refuse before allocating.
+	if nrows > uint64(len(d.b)-d.off)+1 {
+		return nil, fmt.Errorf("%w: %d rows promised, %d payload bytes remain", ErrCorrupt, nrows, len(d.b)-d.off)
+	}
+	rows := make([]Row, nrows)
+	for _, c := range cols {
+		switch c.Kind {
+		case KindString:
+			dict := d.dict(nrows)
+			for i := range rows {
+				idx := d.u64()
+				if d.err != nil {
+					return nil, d.err
+				}
+				if idx >= uint64(len(dict)) {
+					return nil, fmt.Errorf("%w: column %q: dictionary index %d of %d", ErrCorrupt, c.Name, idx, len(dict))
+				}
+				c.Set(&rows[i], Value{Str: dict[idx]})
+			}
+		case KindInt:
+			for i := range rows {
+				c.Set(&rows[i], Value{Int: d.i64()})
+			}
+		case KindUint:
+			for i := range rows {
+				c.Set(&rows[i], Value{Uint: d.u64()})
+			}
+		case KindFloat:
+			for i := range rows {
+				c.Set(&rows[i], Value{Float: math.Float64frombits(d.fix64())})
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return rows, nil
+}
+
+// --- encoder ---
+
+type enc struct {
+	b []byte
+	// String columns buffer their per-row dictionary references until the
+	// column's value set is known, then flush dictionary-first.
+	dictIdx map[string]uint64
+	dictVal []string
+	refs    []uint64
+}
+
+func (e *enc) u64(v uint64)   { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)    { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) fix64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) str(s string)   { e.u64(uint64(len(s))); e.b = append(e.b, s...) }
+
+// dictRef records one string cell against the current column's dictionary.
+func (e *enc) dictRef(s string) {
+	if e.dictIdx == nil {
+		e.dictIdx = make(map[string]uint64)
+	}
+	idx, ok := e.dictIdx[s]
+	if !ok {
+		idx = uint64(len(e.dictVal))
+		e.dictIdx[s] = idx
+		e.dictVal = append(e.dictVal, s)
+	}
+	e.refs = append(e.refs, idx)
+}
+
+// flushDict writes the current column's dictionary then its per-row
+// references, and resets for the next column. Dictionary order is first
+// appearance in row order — deterministic for a given row set.
+func (e *enc) flushDict() {
+	e.u64(uint64(len(e.dictVal)))
+	for _, s := range e.dictVal {
+		e.str(s)
+	}
+	for _, r := range e.refs {
+		e.u64(r)
+	}
+	e.dictIdx, e.dictVal, e.refs = nil, nil, nil
+}
+
+// --- decoder ---
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail(fmt.Errorf("%w: byte at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("%w: uvarint at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("%w: varint at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) fix64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail(fmt.Errorf("%w: fixed64 at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(fmt.Errorf("%w: string of %d bytes, %d remain", ErrTruncated, n, len(d.b)-d.off))
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// dict reads one string column's dictionary, bounding its size by both the
+// row count (a dictionary never holds more distinct values than rows) and
+// the remaining payload.
+func (d *dec) dict(nrows uint64) []string {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > nrows || n > uint64(len(d.b)-d.off)+1 {
+		d.fail(fmt.Errorf("%w: dictionary of %d entries for %d rows", ErrCorrupt, n, nrows))
+		return nil
+	}
+	dict := make([]string, n)
+	for i := range dict {
+		dict[i] = d.str()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return dict
+}

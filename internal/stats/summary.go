@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// Summary condenses replicate observations of one metric — the same variant
+// measured under several seeds — into the moments the result-store query
+// layer reports: sample mean, sample standard deviation, and the half-width
+// of the 95% confidence interval on the mean.
+type Summary struct {
+	// N is the replicate count.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// Std is the sample standard deviation (Bessel-corrected; 0 when N < 2).
+	Std float64
+	// CI95 is the 95% confidence half-width on the mean under the Student-t
+	// distribution with N-1 degrees of freedom: mean ± CI95 covers the true
+	// mean with 95% confidence if replicates are independent and roughly
+	// normal. 0 when N < 2 — a single seed carries no spread information.
+	CI95 float64
+}
+
+// Summarize computes the replicate summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = tCrit95(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// tCrit95 is the two-sided 95% critical value of the Student-t distribution
+// with df degrees of freedom. Experiments replicate over a handful of seeds,
+// so the small-df values matter: with 3 seeds (df=2) the interval is 2.2×
+// wider than the normal approximation would claim. Beyond the table the
+// normal limit 1.96 is within 0.5%.
+func tCrit95(df int) float64 {
+	table := [...]float64{
+		1:  12.706,
+		2:  4.303,
+		3:  3.182,
+		4:  2.776,
+		5:  2.571,
+		6:  2.447,
+		7:  2.365,
+		8:  2.306,
+		9:  2.262,
+		10: 2.228,
+		11: 2.201,
+		12: 2.179,
+		13: 2.160,
+		14: 2.145,
+		15: 2.131,
+		16: 2.120,
+		17: 2.110,
+		18: 2.101,
+		19: 2.093,
+		20: 2.086,
+		21: 2.080,
+		22: 2.074,
+		23: 2.069,
+		24: 2.064,
+		25: 2.060,
+		26: 2.056,
+		27: 2.052,
+		28: 2.048,
+		29: 2.045,
+		30: 2.042,
+	}
+	if df < 1 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeMoments(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Bessel-corrected: variance 32/7.
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, want)
+	}
+	// df=7 → t=2.365.
+	if want := 2.365 * s.Std / math.Sqrt(8); math.Abs(s.CI95-want) > 1e-12 {
+		t.Fatalf("ci95 %v, want %v", s.CI95, want)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	if s := Summarize([]float64{3.5}); s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("single: %+v", s)
+	}
+	if s := Summarize([]float64{4, 4, 4}); s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("constant replicates: %+v", s)
+	}
+}
+
+func TestTCritSmallSamplesWiden(t *testing.T) {
+	if tCrit95(1) != 12.706 || tCrit95(2) != 4.303 {
+		t.Fatal("small-df critical values wrong")
+	}
+	for df := 1; df < 40; df++ {
+		if tCrit95(df) < tCrit95(df+1) {
+			t.Fatalf("tCrit95 must be nonincreasing at df=%d", df)
+		}
+	}
+	if tCrit95(1000) != 1.960 {
+		t.Fatal("large df must fall back to the normal limit")
+	}
+	if tCrit95(0) != 0 {
+		t.Fatal("df<1 has no interval")
+	}
+}
